@@ -1,0 +1,29 @@
+//! Benchmarks regenerating the paper's **figures**: one bench per figure
+//! (1, 2, 3–5, 6, 7, 8–13) plus the §V.F hemisphere analysis and the two
+//! extensions. Each bench runs the complete experiment — workload
+//! generation, measurement path, analysis, and shape checks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crowdtz_experiments::{all_experiments, Config};
+
+fn bench_each_figure(c: &mut Criterion) {
+    let config = Config {
+        scale: 0.02,
+        seed: 2016,
+    };
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for (id, _title, run) in all_experiments() {
+        if id.starts_with("table") {
+            continue; // covered by the `tables` bench
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(id), &config, |bench, cfg| {
+            bench.iter(|| run(cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_each_figure);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Microbenchmarks of the numeric kernels the method is built on: EMD,
+//! Pearson, Gaussian fitting, GMM-EM, profile building, and placement.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crowdtz_bench::{crowd, placement_histogram, profiles};
+use crowdtz_core::{place_user, GenericProfile, MultiRegionFit, SingleRegionFit};
+use crowdtz_stats::{circular_emd, fit_gaussian, linear_emd, pearson, Distribution24};
+
+fn bench_emd(c: &mut Criterion) {
+    let a = Distribution24::delta(3).mix(&Distribution24::uniform(), 0.4);
+    let b = Distribution24::delta(19).mix(&Distribution24::uniform(), 0.2);
+    let mut group = c.benchmark_group("emd");
+    group.bench_function("linear", |bench| {
+        bench.iter(|| linear_emd(black_box(&a), black_box(&b)))
+    });
+    group.bench_function("circular", |bench| {
+        bench.iter(|| circular_emd(black_box(&a), black_box(&b)))
+    });
+    group.finish();
+}
+
+fn bench_pearson(c: &mut Criterion) {
+    let x: Vec<f64> = (0..24).map(|i| (i as f64 * 0.7).sin() + 1.5).collect();
+    let y: Vec<f64> = (0..24)
+        .map(|i| (i as f64 * 0.7 + 0.3).sin() + 1.5)
+        .collect();
+    c.bench_function("pearson/24", |bench| {
+        bench.iter(|| pearson(black_box(&x), black_box(&y)))
+    });
+}
+
+fn bench_gaussian_fit(c: &mut Criterion) {
+    let xs: Vec<f64> = (-11..=12).map(f64::from).collect();
+    let truth = crowdtz_stats::GaussianCurve::new(1.0, 2.5, 0.3);
+    let ys = truth.eval_all(&xs);
+    c.bench_function("gaussian_fit/24pts", |bench| {
+        bench.iter(|| fit_gaussian(black_box(&xs), black_box(&ys), Some(2.5)))
+    });
+}
+
+fn bench_profile_building(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_building");
+    for users in [10usize, 50, 200] {
+        let traces = crowd("germany", users, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(users), &traces, |bench, t| {
+            bench.iter(|| profiles(black_box(t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let traces = crowd("malaysia", 100, 42);
+    let profs = profiles(&traces);
+    let generic = GenericProfile::reference();
+    c.bench_function("place_user/100users", |bench| {
+        bench.iter(|| {
+            for p in &profs {
+                black_box(place_user(black_box(p), black_box(&generic)));
+            }
+        })
+    });
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let traces = crowd("japan", 150, 42);
+    let hist = placement_histogram(&profiles(&traces));
+    let mut group = c.benchmark_group("fits");
+    group.bench_function("single_gaussian", |bench| {
+        bench.iter(|| SingleRegionFit::fit(black_box(&hist)))
+    });
+    group.bench_function("gmm_select_k4", |bench| {
+        bench.iter(|| MultiRegionFit::fit(black_box(&hist), 4))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_emd,
+    bench_pearson,
+    bench_gaussian_fit,
+    bench_profile_building,
+    bench_placement,
+    bench_fits
+);
+criterion_main!(benches);

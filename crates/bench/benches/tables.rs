@@ -1,0 +1,35 @@
+//! Benchmarks regenerating the paper's **tables**: Table I (dataset
+//! construction + active-user counting) and Table II (all fitting
+//! metrics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crowdtz_experiments::{table1, table2, Config};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for scale in [0.02f64, 0.05] {
+        let config = Config { scale, seed: 2016 };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("scale{scale}")),
+            &config,
+            |bench, cfg| bench.iter(|| table1::run(cfg)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    let config = Config {
+        scale: 0.02,
+        seed: 2016,
+    };
+    group.bench_function("scale0.02", |bench| bench.iter(|| table2::run(&config)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_table2);
+criterion_main!(benches);

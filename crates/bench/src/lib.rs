@@ -1,0 +1,54 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each benchmark regenerates a paper artifact (a table or figure) or
+//! measures a core kernel; the fixtures here build the inputs once per
+//! bench so the timed region is the algorithm, not the data generation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use crowdtz_core::{
+    place_user, ActivityProfile, GenericProfile, PlacementHistogram, ProfileBuilder,
+};
+use crowdtz_synth::PopulationSpec;
+use crowdtz_time::{RegionDb, TraceSet};
+
+/// Builds a single-region crowd of `users` synthetic users.
+pub fn crowd(region: &str, users: usize, seed: u64) -> TraceSet {
+    let db = RegionDb::extended();
+    PopulationSpec::new(
+        db.get(&region.into())
+            .unwrap_or_else(|| panic!("unknown region {region}"))
+            .clone(),
+    )
+    .users(users)
+    .seed(seed)
+    .posts_per_day(0.5)
+    .generate()
+}
+
+/// Builds UTC activity profiles for a crowd (30-post threshold).
+pub fn profiles(traces: &TraceSet) -> Vec<ActivityProfile> {
+    ProfileBuilder::new().min_posts(30).build(traces)
+}
+
+/// Places profiles against the reference generic profile.
+pub fn placement_histogram(profiles: &[ActivityProfile]) -> PlacementHistogram {
+    let generic = GenericProfile::reference();
+    let placements: Vec<_> = profiles.iter().map(|p| place_user(p, &generic)).collect();
+    PlacementHistogram::from_placements(&placements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let traces = crowd("japan", 10, 1);
+        let profiles = profiles(&traces);
+        assert!(!profiles.is_empty());
+        let hist = placement_histogram(&profiles);
+        assert_eq!(hist.users(), profiles.len());
+    }
+}

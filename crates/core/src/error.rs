@@ -1,0 +1,76 @@
+//! Error type for the geolocation pipeline.
+
+use std::fmt;
+
+use crowdtz_stats::StatsError;
+
+/// The error type returned by fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A numeric kernel failed (degenerate fit, empty distribution…).
+    Stats(StatsError),
+    /// No user passed the activity/polishing filters, so there is no crowd
+    /// to geolocate.
+    EmptyCrowd,
+    /// A user trace had too few active slots to build a profile.
+    InsufficientActivity {
+        /// The user in question.
+        user: String,
+        /// Active (day, hour) slots found.
+        slots: usize,
+        /// Slots required.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Stats(e) => write!(f, "statistics failure: {e}"),
+            CoreError::EmptyCrowd => {
+                write!(f, "no users survived filtering; nothing to geolocate")
+            }
+            CoreError::InsufficientActivity {
+                user,
+                slots,
+                needed,
+            } => write!(f, "user {user:?} has {slots} active slots, need {needed}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> CoreError {
+        CoreError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::Stats(StatsError::ZeroVariance);
+        assert!(e.to_string().contains("statistics"));
+        assert!(e.source().is_some());
+        assert!(CoreError::EmptyCrowd.source().is_none());
+        let e = CoreError::InsufficientActivity {
+            user: "u1".into(),
+            slots: 3,
+            needed: 30,
+        };
+        assert!(e.to_string().contains("u1"));
+    }
+}

@@ -1,0 +1,182 @@
+//! The generic (time-zone-free) activity profile — §IV, Fig. 2b.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crowdtz_stats::{Distribution24, StatsError};
+
+use crate::crowd::CrowdProfile;
+
+/// The generic daily activity profile: what a crowd living exactly at a
+/// time zone looks like in that zone's own clock.
+///
+/// §IV of the paper: after shifting to a common time zone, the profiles of
+/// all 14 ground-truth regions are nearly identical (pairwise Pearson
+/// ≈ 0.9), so their average — the *generic profile* — can stand in for
+/// **any** time zone by simply rotating it: *"we can easily build the
+/// profile for every region, even those not present in Table I, by just
+/// shifting the generic profile"*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenericProfile {
+    /// Activity by *local* hour of the crowd's own zone.
+    local: Distribution24,
+}
+
+impl GenericProfile {
+    /// The published reference curve (the paper's Fig. 2b, normalized):
+    /// night trough 1–7 h, morning rise, lunch dip at 13 h, evening peak at
+    /// 21–22 h, rapid night drop.
+    ///
+    /// Use this when no ground-truth dataset is at hand; pipelines built
+    /// from a fresh Twitter-like dataset should prefer
+    /// [`GenericProfile::from_aligned`].
+    pub fn reference() -> GenericProfile {
+        let weights = [
+            0.50, 0.24, 0.12, 0.07, 0.05, 0.06, 0.10, 0.22, 0.42, 0.58, 0.66, 0.70, 0.68, 0.60,
+            0.64, 0.70, 0.76, 0.84, 0.90, 0.94, 0.98, 1.00, 0.96, 0.74,
+        ];
+        GenericProfile {
+            local: Distribution24::from_weights(&weights).expect("reference weights valid"),
+        }
+    }
+
+    /// Builds the generic profile from region crowd profiles that are
+    /// **already in local time** (built with
+    /// [`crate::ProfileBuilder::local_zone`]), averaging them weighted by
+    /// member count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NotEnoughData`] for an empty slice.
+    pub fn from_aligned(regions: &[CrowdProfile]) -> Result<GenericProfile, StatsError> {
+        if regions.is_empty() {
+            return Err(StatsError::NotEnoughData { got: 0, needed: 1 });
+        }
+        let mut sum = [0.0_f64; 24];
+        for crowd in regions {
+            let w = crowd.members() as f64;
+            for (dst, &v) in sum.iter_mut().zip(crowd.distribution().as_slice()) {
+                *dst += w * v;
+            }
+        }
+        Ok(GenericProfile {
+            local: Distribution24::from_weights(&sum)?,
+        })
+    }
+
+    /// Builds the generic profile from region crowd profiles computed in
+    /// **UTC hours**, shifting each by its region's standard offset to the
+    /// common local frame first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NotEnoughData`] for an empty slice.
+    pub fn from_utc_profiles(
+        regions: &[(i32, CrowdProfile)],
+    ) -> Result<GenericProfile, StatsError> {
+        let aligned: Vec<CrowdProfile> = regions
+            .iter()
+            .map(|(offset_hours, crowd)| crowd.shifted(*offset_hours))
+            .collect();
+        GenericProfile::from_aligned(&aligned)
+    }
+
+    /// Wraps a raw local-time distribution.
+    pub fn from_distribution(local: Distribution24) -> GenericProfile {
+        GenericProfile { local }
+    }
+
+    /// The local-hour distribution (activity by the crowd's own clock).
+    pub fn distribution(&self) -> &Distribution24 {
+        &self.local
+    }
+
+    /// The expected **UTC-hour** profile of a crowd living at UTC+`hours`:
+    /// activity at UTC hour `h` is the local activity at `h + hours`.
+    ///
+    /// ```
+    /// use crowdtz_core::GenericProfile;
+    /// let g = GenericProfile::reference();
+    /// // The reference peaks at 21h local; a UTC+3 crowd peaks at 18h UTC.
+    /// assert_eq!(g.zone_profile(3).peak_hour(), 18);
+    /// assert_eq!(g.zone_profile(0).peak_hour(), 21);
+    /// assert_eq!(g.zone_profile(-6).peak_hour(), 3);
+    /// ```
+    pub fn zone_profile(&self, hours: i32) -> Distribution24 {
+        self.local.shifted(-hours)
+    }
+}
+
+impl Default for GenericProfile {
+    /// [`GenericProfile::reference`].
+    fn default() -> GenericProfile {
+        GenericProfile::reference()
+    }
+}
+
+impl fmt::Display for GenericProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "generic profile (peak {:02}h, trough {:02}h local)",
+            self.local.peak_hour(),
+            self.local.trough_hour()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_landmarks() {
+        let g = GenericProfile::reference();
+        assert_eq!(g.distribution().peak_hour(), 21);
+        assert!((3..=5).contains(&g.distribution().trough_hour()));
+    }
+
+    #[test]
+    fn zone_profile_round_trips() {
+        let g = GenericProfile::reference();
+        for k in -11..=12 {
+            let zp = g.zone_profile(k);
+            // Shifting the zone profile back recovers the local curve.
+            assert_eq!(&zp.shifted(k), g.distribution());
+        }
+    }
+
+    #[test]
+    fn from_aligned_weighted_average() {
+        let a = CrowdProfile::from_distribution(Distribution24::delta(9), 3);
+        let b = CrowdProfile::from_distribution(Distribution24::delta(21), 1);
+        let g = GenericProfile::from_aligned(&[a, b]).unwrap();
+        assert!((g.distribution().get(9) - 0.75).abs() < 1e-12);
+        assert!((g.distribution().get(21) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_utc_profiles_aligns_first() {
+        // Two identical crowds at different offsets, observed in UTC hours.
+        let local = Distribution24::delta(21);
+        // UTC+3 crowd in UTC hours peaks at 18; UTC-6 crowd at 3.
+        let r1 = (3, CrowdProfile::from_distribution(local.shifted(-3), 1));
+        let r2 = (-6, CrowdProfile::from_distribution(local.shifted(6), 1));
+        let g = GenericProfile::from_utc_profiles(&[r1, r2]).unwrap();
+        assert_eq!(g.distribution().peak_hour(), 21);
+        assert!((g.distribution().get(21) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(GenericProfile::from_aligned(&[]).is_err());
+        assert!(GenericProfile::from_utc_profiles(&[]).is_err());
+    }
+
+    #[test]
+    fn default_and_display() {
+        assert_eq!(GenericProfile::default(), GenericProfile::reference());
+        assert!(GenericProfile::reference().to_string().contains("peak 21h"));
+    }
+}

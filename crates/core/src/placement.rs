@@ -1,0 +1,472 @@
+//! EMD-based placement of users into time zones — §IV.A.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crowdtz_stats::circular_emd;
+
+use crate::generic::GenericProfile;
+use crate::profile::ActivityProfile;
+
+/// Number of candidate time zones (UTC−11 … UTC+12).
+pub const ZONE_COUNT: usize = 24;
+
+/// The placement of one user: the time zone whose profile is EMD-closest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserPlacement {
+    user: String,
+    zone_hours: i32,
+    emd: f64,
+}
+
+impl UserPlacement {
+    /// Creates a placement record directly (used when placements come from
+    /// synthetic constructions rather than [`place_user`], e.g. the
+    /// replicated-crowd experiment of Fig. 6a).
+    pub fn new(user: impl Into<String>, zone_hours: i32, emd: f64) -> UserPlacement {
+        UserPlacement {
+            user: user.into(),
+            zone_hours,
+            emd,
+        }
+    }
+
+    /// The user's pseudonym.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// The assigned zone as whole hours east of UTC (−11 … +12).
+    pub fn zone_hours(&self) -> i32 {
+        self.zone_hours
+    }
+
+    /// The EMD to the winning zone profile.
+    pub fn emd(&self) -> f64 {
+        self.emd
+    }
+}
+
+impl fmt::Display for UserPlacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} → UTC{:+} (emd {:.3})",
+            self.user, self.zone_hours, self.emd
+        )
+    }
+}
+
+/// Places a user (profile in **UTC hours**) into the time zone whose
+/// shifted generic profile minimizes the Earth Mover's Distance.
+///
+/// §IV.A: *"we geolocate that member on the timezone whose activity
+/// profile is less distant"*.
+///
+/// ```
+/// use crowdtz_core::{place_user, ActivityProfile, GenericProfile};
+/// use crowdtz_time::{CivilDateTime, Timestamp, TzOffset, UserTrace};
+///
+/// // A user who is active exactly like the generic profile of UTC+2.
+/// let generic = GenericProfile::reference();
+/// # let mut posts = Vec::new();
+/// # for day in 1..=28u8 { for h in [8u8, 12, 19, 21] {
+/// #   posts.push(Timestamp::from_civil_utc(CivilDateTime::new(2016, 3, day, (h + 22) % 24, 0, 0)?));
+/// # }}
+/// let trace = UserTrace::new("u", posts);
+/// let profile = ActivityProfile::from_trace_offset(&trace, TzOffset::UTC).unwrap();
+/// let placement = place_user(&profile, &generic);
+/// // Four landmark hours are a coarse profile; the placement lands on the
+/// // true zone or its immediate neighbour.
+/// assert!((placement.zone_hours() - 2).abs() <= 1);
+/// # Ok::<(), crowdtz_time::TimeError>(())
+/// ```
+pub fn place_user(profile: &ActivityProfile, generic: &GenericProfile) -> UserPlacement {
+    let mut best_zone = 0i32;
+    let mut best_emd = f64::INFINITY;
+    for k in -11..=12 {
+        let d = circular_emd(profile.distribution(), &generic.zone_profile(k));
+        if d < best_emd {
+            best_emd = d;
+            best_zone = k;
+        }
+    }
+    UserPlacement {
+        user: profile.user().to_owned(),
+        zone_hours: best_zone,
+        emd: best_emd,
+    }
+}
+
+/// Places a bare hourly distribution (UTC hours) into its EMD-closest
+/// time zone; returns `(zone hours, emd)`.
+///
+/// [`place_user`] is this function plus user bookkeeping.
+pub fn place_distribution(
+    distribution: &crowdtz_stats::Distribution24,
+    generic: &GenericProfile,
+) -> (i32, f64) {
+    let mut best = (0i32, f64::INFINITY);
+    for k in -11..=12 {
+        let d = circular_emd(distribution, &generic.zone_profile(k));
+        if d < best.1 {
+            best = (k, d);
+        }
+    }
+    best
+}
+
+/// The distribution of a crowd over the 24 time zones — the object the
+/// paper's Figures 3–5 and 9–13 plot, and the input to the Gaussian /
+/// mixture fits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementHistogram {
+    fractions: [f64; ZONE_COUNT],
+    users: usize,
+}
+
+impl PlacementHistogram {
+    /// Builds the histogram from user placements.
+    pub fn from_placements<'a>(
+        placements: impl IntoIterator<Item = &'a UserPlacement>,
+    ) -> PlacementHistogram {
+        let mut counts = [0.0_f64; ZONE_COUNT];
+        let mut users = 0usize;
+        for p in placements {
+            counts[Self::index_of(p.zone_hours)] += 1.0;
+            users += 1;
+        }
+        if users > 0 {
+            for c in &mut counts {
+                *c /= users as f64;
+            }
+        }
+        PlacementHistogram {
+            fractions: counts,
+            users,
+        }
+    }
+
+    /// The array index of a zone offset (−11 → 0 … +12 → 23).
+    pub fn index_of(zone_hours: i32) -> usize {
+        (zone_hours + 11).rem_euclid(ZONE_COUNT as i32) as usize
+    }
+
+    /// The zone offset of an array index.
+    pub fn zone_of(index: usize) -> i32 {
+        index as i32 - 11
+    }
+
+    /// Fraction of the crowd placed in each zone, indexed −11 … +12.
+    pub fn fractions(&self) -> &[f64; ZONE_COUNT] {
+        &self.fractions
+    }
+
+    /// The fraction placed at the given zone offset.
+    pub fn fraction_at(&self, zone_hours: i32) -> f64 {
+        self.fractions[Self::index_of(zone_hours)]
+    }
+
+    /// Number of placed users.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// The zone coordinates (−11 … +12) as `f64`, for curve fitting.
+    pub fn xs() -> [f64; ZONE_COUNT] {
+        let mut out = [0.0; ZONE_COUNT];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = Self::zone_of(i) as f64;
+        }
+        out
+    }
+
+    /// Absolute user counts per zone (fractions × users).
+    pub fn counts(&self) -> [f64; ZONE_COUNT] {
+        let mut out = self.fractions;
+        for v in &mut out {
+            *v *= self.users as f64;
+        }
+        out
+    }
+
+    /// The start index of the best "cut" of the circle: the centre of the
+    /// emptiest 5-zone circular window.
+    ///
+    /// Hours (and thus time zones) live on a circle, but the Gaussian /
+    /// mixture fits operate on a line. Cutting the circle where the crowd
+    /// is absent and unrolling from there keeps every real component away
+    /// from the axis ends, so crowds near UTC±12 fit as cleanly as crowds
+    /// near UTC+0 (see [`PlacementHistogram::rotated_fractions`]).
+    pub fn wrap_cut(&self) -> usize {
+        const WINDOW: usize = 5;
+        let mass_at = |start: usize| -> f64 {
+            (0..WINDOW)
+                .map(|i| self.fractions[(start + i) % ZONE_COUNT])
+                .sum()
+        };
+        let min_mass = (0..ZONE_COUNT).map(mass_at).fold(f64::INFINITY, f64::min);
+        // Several windows may tie at the minimum (e.g. a long empty arc);
+        // cut at the middle of the longest run of tied windows so the
+        // crowd sits as centrally as possible on the unrolled axis.
+        let tied: Vec<bool> = (0..ZONE_COUNT)
+            .map(|s| mass_at(s) <= min_mass + 1e-12)
+            .collect();
+        if tied.iter().all(|&t| t) {
+            // Uniform histogram: every cut is equally good.
+            return 0;
+        }
+        let mut best_run = (0usize, 0usize); // (start, length)
+        for start in 0..ZONE_COUNT {
+            let prev = (start + ZONE_COUNT - 1) % ZONE_COUNT;
+            if !tied[start] || tied[prev] {
+                continue; // only consider run beginnings
+            }
+            let mut len = 1;
+            while tied[(start + len) % ZONE_COUNT] {
+                len += 1;
+            }
+            if len > best_run.1 {
+                best_run = (start, len);
+            }
+        }
+        (best_run.0 + best_run.1 / 2 + WINDOW / 2) % ZONE_COUNT
+    }
+
+    /// The fractions unrolled from `cut`: element `i` is the fraction of
+    /// the original index `(cut + i) % 24`.
+    pub fn rotated_fractions(&self, cut: usize) -> [f64; ZONE_COUNT] {
+        let mut out = [0.0; ZONE_COUNT];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.fractions[(cut + i) % ZONE_COUNT];
+        }
+        out
+    }
+
+    /// Maps a fractional coordinate on the rotated axis (`0.0..24.0`,
+    /// produced by fitting [`PlacementHistogram::rotated_fractions`]) back
+    /// to a zone coordinate in `(-12.0, 12.0]`.
+    pub fn unrotate_coord(coord: f64, cut: usize) -> f64 {
+        let original_index = (coord + cut as f64).rem_euclid(ZONE_COUNT as f64);
+        let zone = original_index - 11.0;
+        if zone > 12.0 {
+            zone - 24.0
+        } else {
+            zone
+        }
+    }
+
+    /// The zone offset holding the largest fraction.
+    pub fn peak_zone(&self) -> i32 {
+        let idx = self
+            .fractions
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(11);
+        Self::zone_of(idx)
+    }
+}
+
+impl fmt::Display for PlacementHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "placement of {} users, peak at UTC{:+}",
+            self.users,
+            self.peak_zone()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtz_stats::Distribution24;
+    use crowdtz_time::{CivilDateTime, Timestamp, TzOffset, UserTrace};
+
+    /// Builds a user whose activity replays the generic curve at UTC+k.
+    fn user_at_zone(name: &str, k: i32, generic: &GenericProfile) -> ActivityProfile {
+        let zone_profile = generic.zone_profile(k);
+        let mut posts = Vec::new();
+        // Deterministically lay out posts proportional to the profile.
+        for day in 0..60u32 {
+            for h in 0..24u8 {
+                let weight = zone_profile.get(h as usize);
+                // Post on days where the cumulative weight crosses integers.
+                let times = (weight * 60.0).round() as u32;
+                if day < times {
+                    let date_day = 1 + (day % 28) as u8;
+                    let month = 1 + (day / 28) as u8;
+                    posts.push(Timestamp::from_civil_utc(
+                        CivilDateTime::new(2016, month, date_day, h, 30, 0).unwrap(),
+                    ));
+                }
+            }
+        }
+        ActivityProfile::from_trace_offset(&UserTrace::new(name, posts), TzOffset::UTC).unwrap()
+    }
+
+    #[test]
+    fn exact_zone_replicas_place_exactly() {
+        let generic = GenericProfile::reference();
+        for k in [-8, -3, 0, 1, 5, 9, 12] {
+            let profile = user_at_zone("u", k, &generic);
+            let placement = place_user(&profile, &generic);
+            assert_eq!(placement.zone_hours(), k, "zone {k}");
+            assert!(placement.emd() < 1.0);
+        }
+    }
+
+    #[test]
+    fn histogram_from_placements() {
+        let placements = vec![
+            UserPlacement {
+                user: "a".into(),
+                zone_hours: 1,
+                emd: 0.1,
+            },
+            UserPlacement {
+                user: "b".into(),
+                zone_hours: 1,
+                emd: 0.2,
+            },
+            UserPlacement {
+                user: "c".into(),
+                zone_hours: -6,
+                emd: 0.3,
+            },
+        ];
+        let hist = PlacementHistogram::from_placements(&placements);
+        assert_eq!(hist.users(), 3);
+        assert!((hist.fraction_at(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((hist.fraction_at(-6) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(hist.peak_zone(), 1);
+        let total: f64 = hist.fractions().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(hist.counts()[PlacementHistogram::index_of(1)], 2.0);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let hist = PlacementHistogram::from_placements(&[]);
+        assert_eq!(hist.users(), 0);
+        assert_eq!(hist.fractions().iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn index_zone_bijection() {
+        for k in -11..=12 {
+            assert_eq!(
+                PlacementHistogram::zone_of(PlacementHistogram::index_of(k)),
+                k
+            );
+        }
+        let xs = PlacementHistogram::xs();
+        assert_eq!(xs[0], -11.0);
+        assert_eq!(xs[23], 12.0);
+    }
+
+    #[test]
+    fn uniform_profile_still_places_somewhere() {
+        // A perfectly flat user has some minimal-EMD zone; placement never
+        // panics (polishing should have removed such users, but the
+        // function itself is total).
+        let trace = UserTrace::new(
+            "flat",
+            (0..240)
+                .map(|i| Timestamp::from_secs(i * 3_600 + 1_450_000_000))
+                .collect(),
+        );
+        let profile = ActivityProfile::from_trace_offset(&trace, TzOffset::UTC).unwrap();
+        let placement = place_user(&profile, &GenericProfile::reference());
+        assert!((-11..=12).contains(&placement.zone_hours()));
+    }
+
+    #[test]
+    fn neighbour_zone_confusion_is_monotone() {
+        // A user exactly at UTC+2: EMD to +2 < EMD to +3 < EMD to +6.
+        let generic = GenericProfile::reference();
+        let profile = user_at_zone("u", 2, &generic);
+        let d = |k: i32| circular_emd(profile.distribution(), &generic.zone_profile(k));
+        assert!(d(2) < d(3));
+        assert!(d(3) < d(6));
+    }
+
+    #[test]
+    fn wrap_cut_avoids_the_crowd() {
+        // All mass around UTC+12 / UTC−11: the cut must land on the far,
+        // empty side of the circle.
+        let placements: Vec<UserPlacement> = [(12, 5), (-11, 4), (11, 3)]
+            .iter()
+            .flat_map(|&(zone, n)| {
+                (0..n).map(move |i| UserPlacement::new(format!("u{zone}-{i}"), zone, 0.1))
+            })
+            .collect();
+        let hist = PlacementHistogram::from_placements(&placements);
+        let cut = hist.wrap_cut();
+        // The crowd occupies indices 22, 23 (zones +11, +12) and 0 (−11);
+        // the cut must be well away from those.
+        let crowd_indices = [22usize, 23, 0];
+        for &ci in &crowd_indices {
+            let dist = (cut as i32 - ci as i32)
+                .rem_euclid(24)
+                .min((ci as i32 - cut as i32).rem_euclid(24));
+            assert!(dist >= 4, "cut {cut} too close to crowd index {ci}");
+        }
+    }
+
+    #[test]
+    fn rotated_fractions_round_trip() {
+        let placements: Vec<UserPlacement> = (0..5)
+            .map(|i| UserPlacement::new(format!("u{i}"), 3, 0.1))
+            .collect();
+        let hist = PlacementHistogram::from_placements(&placements);
+        let cut = 7;
+        let rotated = hist.rotated_fractions(cut);
+        for (i, &v) in rotated.iter().enumerate() {
+            assert_eq!(v, hist.fractions()[(cut + i) % 24]);
+        }
+        // Mass is conserved.
+        assert!((rotated.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrotate_coord_inverts_rotation() {
+        for cut in 0..24usize {
+            for zone in -11..=12i32 {
+                let original_index = (zone + 11) as usize;
+                let rotated_coord = (original_index + 24 - cut) % 24;
+                let back = PlacementHistogram::unrotate_coord(rotated_coord as f64, cut);
+                assert_eq!(back as i32, zone, "cut {cut}, zone {zone}");
+            }
+        }
+        // Fractional coordinates stay in (−12, 12].
+        let z = PlacementHistogram::unrotate_coord(23.7, 0);
+        assert!(z > -12.0 && z <= 12.0, "{z}");
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = UserPlacement {
+            user: "u".into(),
+            zone_hours: -6,
+            emd: 0.25,
+        };
+        assert_eq!(p.to_string(), "u → UTC-6 (emd 0.250)");
+        let hist = PlacementHistogram::from_placements(&[p]);
+        assert!(hist.to_string().contains("UTC-6"));
+    }
+
+    #[test]
+    fn delta_profiles_wrap_near_day_boundary() {
+        // Peak at 21h local for UTC+12 means 9h UTC — placement still
+        // resolves to +12 rather than an alias.
+        let generic = GenericProfile::reference();
+        let profile = user_at_zone("u", 12, &generic);
+        assert_eq!(place_user(&profile, &generic).zone_hours(), 12);
+        let _ = Distribution24::uniform();
+    }
+}

@@ -1,0 +1,26 @@
+//! Debug helper: placement of a crowd at the +11/+12 wrap boundary.
+use crowdtz_core::{GenericProfile, GeolocationPipeline};
+use crowdtz_synth::PopulationSpec;
+use crowdtz_time::{HolidayCalendar, Region, TzOffset, Zone};
+
+fn main() {
+    let region = Region::new(
+        "prop-region",
+        "Prop Region",
+        Zone::fixed(TzOffset::from_hours(11).unwrap()),
+        None,
+        HolidayCalendar::none(),
+    );
+    let traces = PopulationSpec::new(region)
+        .users(30)
+        .posts_per_day(0.8)
+        .seed(146)
+        .generate();
+    let report = GeolocationPipeline::with_generic(GenericProfile::reference())
+        .analyze(&traces)
+        .unwrap();
+    for (i, f) in report.histogram().fractions().iter().enumerate() {
+        println!("UTC{:+}: {:.3}", i as i32 - 11, f);
+    }
+    println!("{}", report.mixture());
+}

@@ -1,0 +1,320 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro                      # run all experiments at the default scale
+//! repro fig9 table2          # run a subset
+//! repro --scale 0.5          # bigger datasets (1.0 = paper volumes)
+//! repro --seed 42            # different synthetic world
+//! repro --list               # list experiment ids
+//! repro --sequential         # disable the parallel runner
+//! repro --json               # machine-readable output
+//! repro export crd-club      # dump a simulated forum's scraped traces as JSON
+//! repro analyze spec.json    # geolocate a custom ForumSpec (JSON file)
+//! ```
+
+use std::process::ExitCode;
+
+use crowdtz_experiments::{all_experiments, find_experiment, Config, Experiment, ExperimentOutput};
+
+struct Args {
+    config: Config,
+    ids: Vec<String>,
+    list: bool,
+    sequential: bool,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    parse_arg_list(std::env::args().skip(1))
+}
+
+fn parse_arg_list(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        config: Config::default(),
+        ids: Vec::new(),
+        list: false,
+        sequential: false,
+        json: false,
+    };
+    let mut iter = raw.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = iter.next().ok_or("--scale needs a value")?;
+                args.config.scale = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --scale {v:?}: {e}"))?;
+                if !(args.config.scale > 0.0 && args.config.scale <= 2.0) {
+                    return Err(format!("--scale {v} out of range (0, 2]"));
+                }
+            }
+            "--seed" => {
+                let v = iter.next().ok_or("--seed needs a value")?;
+                args.config.seed = v
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad --seed {v:?}: {e}"))?;
+            }
+            "--list" => args.list = true,
+            "--sequential" => args.sequential = true,
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: repro [ids…] [--scale F] [--seed N] [--list] [--sequential] [--json]"
+                        .to_owned(),
+                )
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}"));
+            }
+            id => args.ids.push(id.to_owned()),
+        }
+    }
+    Ok(args)
+}
+
+fn run_experiments(
+    experiments: Vec<Experiment>,
+    config: Config,
+    sequential: bool,
+) -> Vec<ExperimentOutput> {
+    if sequential || experiments.len() == 1 {
+        return experiments.iter().map(|(_, _, f)| f(&config)).collect();
+    }
+    // Run in parallel with scoped threads; print in registry order.
+    let mut outputs: Vec<Option<ExperimentOutput>> = Vec::new();
+    outputs.resize_with(experiments.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, (_, _, f)) in experiments.iter().enumerate() {
+            let cfg = config;
+            handles.push((i, scope.spawn(move |_| f(&cfg))));
+        }
+        for (i, handle) in handles {
+            outputs[i] = handle.join().ok();
+        }
+    })
+    .expect("experiment threads do not panic");
+    outputs.into_iter().flatten().collect()
+}
+
+/// Simulates a forum preset, scrapes it through the Tor substrate, and
+/// prints the calibrated UTC trace set as JSON — the dataset a downstream
+/// analysis would start from.
+fn export_forum(id: &str, config: &Config) -> Result<(), String> {
+    use crowdtz_forum::{ForumHost, ForumSpec, Scraper, SimulatedForum};
+    use crowdtz_time::{CivilDateTime, Timestamp};
+    use crowdtz_tor::TorNetwork;
+
+    let spec = match id {
+        "crd-club" => ForumSpec::crd_club(),
+        "idc" => ForumSpec::idc(),
+        "dream-market" => ForumSpec::dream_market(),
+        "majestic-garden" => ForumSpec::majestic_garden(),
+        "pedo-support" => ForumSpec::pedo_support(),
+        other => {
+            return Err(format!(
+            "unknown forum {other:?}; use crd-club|idc|dream-market|majestic-garden|pedo-support"
+        ))
+        }
+    };
+    let forum = SimulatedForum::generate(&spec.seed(config.seed));
+    let mut network = TorNetwork::with_relays(60, config.seed);
+    let address = network
+        .publish(ForumHost::new(forum).into_hidden_service(config.seed))
+        .map_err(|e| e.to_string())?;
+    let mut scraper = Scraper::new(
+        network
+            .connect(&address, config.seed)
+            .map_err(|e| e.to_string())?,
+    );
+    let crawl =
+        Timestamp::from_civil_utc(CivilDateTime::new(2017, 1, 15, 0, 0, 0).expect("static date"));
+    let scrape = scraper.calibrated_dump(crawl).map_err(|e| e.to_string())?;
+    let doc = serde_json::json!({
+        "forum": id,
+        "onion_address": address.to_string(),
+        "server_offset_secs": scrape.offset_secs(),
+        "posts": scrape.posts_seen(),
+        "traces_utc": scrape.utc_traces(),
+    });
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&doc).expect("serializable")
+    );
+    Ok(())
+}
+
+/// Geolocates a custom forum described by a `ForumSpec` JSON file,
+/// running the full measurement path and printing the placement.
+fn analyze_custom(path: &str, config: &Config) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let spec: crowdtz_forum::ForumSpec =
+        serde_json::from_str(&text).map_err(|e| format!("invalid ForumSpec in {path}: {e}"))?;
+    let analysis = crowdtz_experiments::forums::analyze(spec, config);
+    let hist = analysis.report.histogram();
+    let fitted = analysis.report.multi_fit().fitted_series();
+    println!(
+        "{}",
+        crowdtz_stats::render_overlay(
+            &format!("{} placement", analysis.forum.spec().name()),
+            hist.fractions(),
+            &fitted
+        )
+    );
+    println!(
+        "{} users classified, {} posts; measured server offset {} s",
+        analysis.report.users_classified(),
+        analysis.report.posts_classified(),
+        analysis.offset_secs
+    );
+    for (zone, weight) in analysis.report.multi_fit().time_zones() {
+        println!(
+            "  {:>3.0}% of the crowd in {}",
+            weight * 100.0,
+            crowdtz_time::zone_label(zone)
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.ids.first().map(String::as_str) == Some("analyze") {
+        let Some(path) = args.ids.get(1) else {
+            eprintln!("usage: repro analyze <forum-spec.json>");
+            return ExitCode::FAILURE;
+        };
+        return match analyze_custom(path, &args.config) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.ids.first().map(String::as_str) == Some("export") {
+        let Some(forum_id) = args.ids.get(1) else {
+            eprintln!("usage: repro export <forum-id>");
+            return ExitCode::FAILURE;
+        };
+        return match export_forum(forum_id, &args.config) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.list {
+        for (id, title, _) in all_experiments() {
+            println!("{id:<16} {title}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let experiments: Vec<Experiment> = if args.ids.is_empty() {
+        all_experiments()
+    } else {
+        let mut selected = Vec::new();
+        for id in &args.ids {
+            match find_experiment(id) {
+                Some(e) => selected.push(e),
+                None => {
+                    eprintln!("unknown experiment {id:?}; try --list");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        selected
+    };
+
+    if !args.json {
+        println!(
+            "crowdtz reproduction harness — scale {:.2}, seed {}\n",
+            args.config.scale, args.config.seed
+        );
+    }
+    let outputs = run_experiments(experiments, args.config, args.sequential);
+    let mut mismatches = 0usize;
+    let mut checks = 0usize;
+    for out in &outputs {
+        checks += out.findings.len();
+        mismatches += out.findings.iter().filter(|f| !f.ok).count();
+    }
+    if args.json {
+        let doc = serde_json::json!({
+            "scale": args.config.scale,
+            "seed": args.config.seed,
+            "experiments": outputs,
+            "checks": checks,
+            "mismatches": mismatches,
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("serializable")
+        );
+    } else {
+        for out in &outputs {
+            println!("{out}");
+        }
+        println!(
+            "── summary: {} experiments, {checks} shape checks, {mismatches} mismatches ──",
+            outputs.len()
+        );
+    }
+    if mismatches == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, String> {
+        parse_arg_list(words.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.config, Config::default());
+        assert!(a.ids.is_empty());
+        assert!(!a.list && !a.sequential && !a.json);
+    }
+
+    #[test]
+    fn flags_and_ids() {
+        let a = parse(&["fig9", "--scale", "0.5", "--seed", "42", "--json", "table2"]).unwrap();
+        assert_eq!(a.ids, vec!["fig9", "table2"]);
+        assert_eq!(a.config.scale, 0.5);
+        assert_eq!(a.config.seed, 42);
+        assert!(a.json);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "zero"]).is_err());
+        assert!(parse(&["--scale", "3.0"]).is_err());
+        assert!(parse(&["--scale", "-1"]).is_err());
+        assert!(parse(&["--seed", "abc"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--help"]).is_err()); // usage text via Err
+    }
+
+    #[test]
+    fn list_and_sequential() {
+        let a = parse(&["--list", "--sequential"]).unwrap();
+        assert!(a.list);
+        assert!(a.sequential);
+    }
+}

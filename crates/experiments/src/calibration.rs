@@ -1,0 +1,78 @@
+//! Extension X1 — server-clock offset calibration (§V's "Welcome thread"
+//! trick) across arbitrary, even adversarial, server offsets.
+
+use crowdtz_forum::{CrowdComponent, ForumHost, ForumSpec, Scraper, SimulatedForum};
+use crowdtz_time::{CivilDateTime, Timestamp};
+use crowdtz_tor::TorNetwork;
+
+use crate::report::{Config, ExperimentOutput};
+
+/// Sweeps server offsets (including deliberately shifted clocks — §V:
+/// *"the timestamp can be deliberately shifted"*) and verifies the
+/// calibration recovers each exactly, making the subsequent dump sound.
+pub fn run(config: &Config) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("calibration", "Server-clock offset calibration");
+    let offsets: [i64; 7] = [
+        0,
+        3_600,
+        -3_600,
+        3 * 3_600,
+        -11 * 3_600,
+        12 * 3_600 + 1_800, // a half-hour zone
+        4_242,              // a deliberately weird shift
+    ];
+    let crawl_time =
+        Timestamp::from_civil_utc(CivilDateTime::new(2017, 1, 15, 12, 0, 0).expect("valid"));
+    let mut recovered_all = true;
+    let mut dumps_match = true;
+    for (i, &offset) in offsets.iter().enumerate() {
+        let spec = ForumSpec::new(
+            format!("Offset Forum {i}"),
+            vec![CrowdComponent::new("italy", 1.0)],
+            10,
+        )
+        .seed(config.seed + i as u64)
+        .server_offset_secs(offset);
+        let forum = SimulatedForum::generate(&spec);
+        let host = ForumHost::new(forum.clone());
+        let mut network = TorNetwork::with_relays(40, config.seed + i as u64);
+        let address = network
+            .publish(host.into_hidden_service(config.seed))
+            .expect("publish");
+        let mut scraper = Scraper::new(network.connect(&address, 9).expect("connect"));
+        let report = scraper.calibrated_dump(crawl_time).expect("scrape");
+        let measured = report.offset_secs().expect("calibrated");
+        let exact = measured == offset;
+        let sound = report.utc_traces() == forum.ground_truth();
+        recovered_all &= exact;
+        dumps_match &= sound;
+        out.line(format!(
+            "server offset {offset:>7} s → measured {measured:>7} s {} | UTC dump == ground truth: {sound}",
+            if exact { "✓" } else { "✗" },
+        ));
+    }
+    out.finding(
+        "offset recovery",
+        "offset measurable by posting to the Welcome thread",
+        format!("exact for all {} offsets", offsets.len()),
+        recovered_all,
+    );
+    out.finding(
+        "normalized dumps",
+        "timestamps collected in a sound and consistent way",
+        "UTC traces equal ground truth for every offset".to_owned(),
+        dumps_match,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_recovers_every_offset() {
+        let out = run(&Config::test());
+        assert!(out.all_ok(), "{out}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Fig. 6 — geographical classification of multiple-region crowds with the
+//! Gaussian mixture model (§IV.B).
+
+use crowdtz_core::{
+    place_distribution, place_user, MultiRegionFit, PlacementHistogram, UserPlacement,
+};
+use crowdtz_stats::render_overlay;
+
+use crate::dataset::SharedDataset;
+use crate::report::{Config, ExperimentOutput};
+
+/// Runs both synthetic multi-region datasets of Fig. 6.
+pub fn run(config: &Config) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("fig6", "Multiple-region crowds via GMM");
+    let shared = SharedDataset::build(config);
+    part_a(&mut out, &shared);
+    part_b(&mut out, &shared);
+    out
+}
+
+/// Fig. 6a: the Malaysian crowd's behaviour replicated in three time
+/// zones — UTC, the Californian UTC−7, and the Australian UTC+9.
+fn part_a(out: &mut ExperimentOutput, shared: &SharedDataset) {
+    const TARGETS: [i32; 3] = [0, -7, 9];
+    const MALAYSIA_OFFSET: i32 = 8;
+    let profiles = shared.region_profiles_utc(&"malaysia".into());
+    let mut placements = Vec::new();
+    for (i, p) in profiles.iter().enumerate() {
+        for &target in &TARGETS {
+            // A user with identical local behaviour at `target` has the
+            // Malaysian UTC profile rotated by (8 − target).
+            let shifted = p.distribution().shifted(MALAYSIA_OFFSET - target);
+            let (zone, emd) = place_distribution(&shifted, shared.generic());
+            placements.push(UserPlacement::new(format!("rep{i}@{target}"), zone, emd));
+        }
+    }
+    let histogram = PlacementHistogram::from_placements(&placements);
+    let fit = MultiRegionFit::fit(&histogram, 5).expect("fit 6a");
+    out.line(render_overlay(
+        "Fig 6a — 3× Malaysian behaviour at UTC, UTC-7, UTC+9",
+        histogram.fractions(),
+        &fit.mixture()
+            .density_all_wrapped(&PlacementHistogram::xs(), 24.0),
+    ));
+    out.line(format!("mixture: {}", fit.mixture()));
+    out.finding(
+        "6a: number of regions uncovered",
+        "3",
+        format!("{}", fit.mixture().len()),
+        fit.mixture().len() == 3,
+    );
+    for target in TARGETS {
+        let hit = fit
+            .mixture()
+            .components()
+            .iter()
+            .any(|c| (c.mean - f64::from(target)).abs() <= 2.0);
+        out.finding(
+            format!("6a: component near UTC{target:+}"),
+            format!("center at UTC{target:+}"),
+            component_means(&fit),
+            hit,
+        );
+    }
+}
+
+/// Fig. 6b: merged users from Illinois (UTC−6), Germany (UTC+1), and
+/// Malaysia (UTC+8).
+fn part_b(out: &mut ExperimentOutput, shared: &SharedDataset) {
+    const REGIONS: [(&str, i32); 3] = [("illinois", -6), ("germany", 1), ("malaysia", 8)];
+    let mut placements = Vec::new();
+    for (region, _) in REGIONS {
+        for p in shared.region_profiles_utc(&region.into()) {
+            placements.push(place_user(&p, shared.generic()));
+        }
+    }
+    let histogram = PlacementHistogram::from_placements(&placements);
+    let fit = MultiRegionFit::fit(&histogram, 5).expect("fit 6b");
+    out.line(render_overlay(
+        "Fig 6b — Illinois + Germany + Malaysia",
+        histogram.fractions(),
+        &fit.mixture()
+            .density_all_wrapped(&PlacementHistogram::xs(), 24.0),
+    ));
+    out.line(format!("mixture: {}", fit.mixture()));
+    out.finding(
+        "6b: number of regions uncovered",
+        "3",
+        format!("{}", fit.mixture().len()),
+        fit.mixture().len() == 3,
+    );
+    for (region, offset) in REGIONS {
+        let hit = fit
+            .mixture()
+            .components()
+            .iter()
+            .any(|c| (c.mean - f64::from(offset)).abs() <= 2.0);
+        out.finding(
+            format!("6b: component near UTC{offset:+} ({region})"),
+            format!("center at UTC{offset:+}"),
+            component_means(&fit),
+            hit,
+        );
+    }
+}
+
+fn component_means(fit: &MultiRegionFit) -> String {
+    let means: Vec<String> = fit
+        .mixture()
+        .components()
+        .iter()
+        .map(|c| format!("{:+.1}", c.mean))
+        .collect();
+    means.join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmm_uncovers_synthetic_mixtures() {
+        let out = run(&Config::test());
+        assert!(out.all_ok(), "{out}");
+    }
+}

@@ -1,0 +1,133 @@
+//! §V.F — telling apart the northern and the southern hemisphere.
+
+use crowdtz_core::hemisphere::{classify_most_active, tally, HemisphereConfig};
+use crowdtz_forum::ForumSpec;
+use crowdtz_synth::PopulationSpec;
+use crowdtz_time::{Hemisphere, RegionDb};
+
+use crate::forums;
+use crate::report::{Config, ExperimentOutput};
+
+/// Validates the DST-based hemisphere test on the four countries the paper
+/// uses (UK, Germany, Italy, Brazil — all with DST), then applies it to
+/// the Pedo Support Community's most active users.
+pub fn run(config: &Config) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("hemisphere", "Northern vs southern hemisphere via DST");
+    let db = RegionDb::extended();
+    // A sizeable population so its top-5 are saturated heavy posters —
+    // the paper drew its top-5 from national Twitter crowds, where the
+    // most active users post many times a day.
+    let users = ((400.0 * config.scale) as usize).max(40);
+
+    // Validation: the 5 most active users of each DST country.
+    for (region, expected) in [
+        ("united-kingdom", Hemisphere::Northern),
+        ("germany", Hemisphere::Northern),
+        ("italy", Hemisphere::Northern),
+        ("brazil", Hemisphere::Southern),
+    ] {
+        // The paper's validation picks the 5 most active users out of
+        // thousands — heavy posters with thousands of tweets a year. Give
+        // the synthetic validation users comparable volume so the
+        // seasonal (two-month) windows are well populated.
+        let traces = PopulationSpec::new(db.get(&region.into()).expect("region").clone())
+            .users(users)
+            .posts_per_day(4.0)
+            .seed(config.seed ^ region.len() as u64)
+            .generate();
+        let verdicts = classify_most_active(&traces, 5, &HemisphereConfig::default());
+        let correct = verdicts
+            .iter()
+            .filter(|(_, v)| v.hemisphere == expected)
+            .count();
+        let contradictions = verdicts
+            .iter()
+            .filter(|(_, v)| v.hemisphere != expected && v.hemisphere != Hemisphere::Unknown)
+            .count();
+        out.line(format!(
+            "{region}: {}/{} top users classified {expected} ({} abstained)",
+            correct,
+            verdicts.len(),
+            verdicts.len() - correct - contradictions,
+        ));
+        // Abstentions are conservative; contradictions are errors.
+        out.finding(
+            format!("{region} top-5 hemisphere"),
+            format!("5/5 {expected}"),
+            format!(
+                "{correct}/{} correct, {contradictions} wrong",
+                verdicts.len()
+            ),
+            !verdicts.is_empty() && contradictions == 0 && correct * 5 >= verdicts.len() * 3,
+        );
+    }
+
+    // Application: the Pedo Support Community (paper: 3/5 southern).
+    let analysis = forums::analyze(ForumSpec::pedo_support(), config);
+    let truth_region = |user: &str| analysis.forum.author_region(user).cloned();
+    let traces = analysis.forum.ground_truth();
+    let verdicts = classify_most_active(&traces, 5, &HemisphereConfig::default());
+    let (n, s, u) = tally(&verdicts);
+    out.line(format!(
+        "Pedo Support top-5: {n} northern, {s} southern, {u} no-DST/unknown"
+    ));
+    // Compare each verdict against the simulation's ground truth. An
+    // `unknown` verdict is a conservative abstention (not enough DST
+    // signal), never an error. Contradictions split two ways:
+    // misclassifying a *DST* user's hemisphere would undermine the method
+    // (the paper validated exactly that, on UK/DE/IT/BR), while a no-DST
+    // user occasionally crossing the noise threshold is a known limit the
+    // paper never measured — tolerated up to one among the top five.
+    let mut dst_contradictions = 0usize;
+    let mut nodst_false_positives = 0usize;
+    let mut definitive = 0usize;
+    for (user, verdict) in &verdicts {
+        let expected = truth_region(user)
+            .and_then(|rid| db.get(&rid).map(|r| r.hemisphere()))
+            .unwrap_or(Hemisphere::Unknown);
+        let wrong = verdict.hemisphere != Hemisphere::Unknown && verdict.hemisphere != expected;
+        if verdict.hemisphere != Hemisphere::Unknown {
+            definitive += 1;
+        }
+        if wrong {
+            if expected == Hemisphere::Unknown {
+                nodst_false_positives += 1;
+            } else {
+                dst_contradictions += 1;
+            }
+        }
+        out.line(format!(
+            "  {user}: classified {}, ground truth {} {}",
+            verdict.hemisphere,
+            expected,
+            if wrong { "✗" } else { "✓" }
+        ));
+    }
+    out.finding(
+        "Pedo Support: southern component exists",
+        "3/5 most active users live in the southern hemisphere",
+        format!("{s} southern of {}", verdicts.len()),
+        s >= 1,
+    );
+    out.finding(
+        "verdicts consistent with simulation ground truth",
+        "hemisphere test is reliable (validated on UK/DE/IT/BR)",
+        format!(
+            "{definitive} definitive; {dst_contradictions} DST-user contradictions, \
+             {nodst_false_positives} no-DST false positives, {u} abstained"
+        ),
+        dst_contradictions == 0 && nodst_false_positives <= 1 && definitive >= 1,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hemisphere_validation_and_forum_application() {
+        let out = run(&Config::test());
+        assert!(out.all_ok(), "{out}");
+    }
+}

@@ -1,0 +1,199 @@
+//! The reproduction harness: one experiment per table and figure of
+//! *Time-Zone Geolocation of Crowds in the Dark Web* (ICDCS 2018).
+//!
+//! Each experiment regenerates a paper artifact — workload, analysis, and
+//! the printed rows/series — and reports *shape* checks against the
+//! paper's claims (who wins, where peaks fall, which zones are uncovered).
+//! Absolute values differ because the substrate is a synthetic twin of
+//! datasets that no longer exist; `EXPERIMENTS.md` records both columns.
+//!
+//! Run everything with the `repro` binary:
+//!
+//! ```text
+//! cargo run -p crowdtz-experiments --bin repro --release            # all
+//! cargo run -p crowdtz-experiments --bin repro --release -- fig9   # one
+//! cargo run -p crowdtz-experiments --bin repro --release -- --scale 0.5
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod ablations;
+pub mod adversarial;
+pub mod calibration;
+pub mod confidence;
+pub mod countermeasures;
+mod dataset;
+pub mod fig1;
+pub mod fig2;
+pub mod fig6;
+pub mod fig7;
+pub mod forums;
+pub mod hemisphere;
+pub mod monitor_duration;
+pub mod placement_figs;
+mod report;
+pub mod table1;
+pub mod table2;
+
+pub use dataset::SharedDataset;
+pub use report::{Config, ExperimentOutput, Finding};
+
+/// An experiment entry: id, title, and the function that runs it.
+pub type Experiment = (&'static str, &'static str, fn(&Config) -> ExperimentOutput);
+
+/// Every experiment in the harness, in paper order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        (
+            "table1",
+            "Table I — Twitter active users by region",
+            table1::run,
+        ),
+        ("fig1", "Fig. 1 — a single German user profile", fig1::run),
+        (
+            "fig2",
+            "Fig. 2 — German vs generic crowd profile; Pearson matrix",
+            fig2::run,
+        ),
+        (
+            "fig3",
+            "Fig. 3 — EMD placement of the German crowd",
+            placement_figs::run_german,
+        ),
+        (
+            "fig4",
+            "Fig. 4 — EMD placement of the French crowd",
+            placement_figs::run_french,
+        ),
+        (
+            "fig5",
+            "Fig. 5 — EMD placement of the Malaysian crowd",
+            placement_figs::run_malaysian,
+        ),
+        ("table2", "Table II — Gaussian fitting metrics", table2::run),
+        ("fig6", "Fig. 6 — multi-region crowds via GMM", fig6::run),
+        ("fig7", "Fig. 7 — flat profiles and polishing", fig7::run),
+        ("fig8", "Fig. 8 — CRD Club crowd profile", forums::run_fig8),
+        ("fig9", "Fig. 9 — CRD Club placement", forums::run_fig9),
+        (
+            "fig10",
+            "Fig. 10 — Italian DarkNet Community placement",
+            forums::run_fig10,
+        ),
+        (
+            "fig11",
+            "Fig. 11 — Dream Market placement",
+            forums::run_fig11,
+        ),
+        (
+            "fig12",
+            "Fig. 12 — The Majestic Garden placement",
+            forums::run_fig12,
+        ),
+        (
+            "fig13",
+            "Fig. 13 — Pedo Support Community placement",
+            forums::run_fig13,
+        ),
+        (
+            "hemisphere",
+            "§V.F — northern/southern hemisphere detection",
+            hemisphere::run,
+        ),
+        (
+            "calibration",
+            "§V — server-clock offset calibration (extension X1)",
+            calibration::run,
+        ),
+        (
+            "countermeasures",
+            "§VII — timestamp countermeasures (extension X2)",
+            countermeasures::run,
+        ),
+        (
+            "adversarial",
+            "§VII — coordinated decoy crowds (extension X3)",
+            adversarial::run,
+        ),
+        (
+            "ablations",
+            "Design-choice ablations (extension X4)",
+            ablations::run,
+        ),
+        (
+            "confidence",
+            "Bootstrap confidence on uncovered zones (extension X5)",
+            confidence::run,
+        ),
+        (
+            "monitor-duration",
+            "§VII — how long to monitor a timestamp-less forum (extension X6)",
+            monitor_duration::run,
+        ),
+    ]
+}
+
+/// Looks up an experiment by id.
+pub fn find_experiment(id: &str) -> Option<Experiment> {
+    all_experiments().into_iter().find(|(eid, _, _)| *eid == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_paper_artifact() {
+        let ids: Vec<&str> = all_experiments().iter().map(|(id, _, _)| *id).collect();
+        for expected in [
+            "table1",
+            "table2",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "hemisphere",
+        ] {
+            assert!(ids.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn lookup_works() {
+        assert!(find_experiment("fig9").is_some());
+        assert!(find_experiment("nope").is_none());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = all_experiments().iter().map(|(id, _, _)| *id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    /// The entire harness passes at several seeds — slow, so run with
+    /// `cargo test -p crowdtz-experiments -- --ignored`.
+    #[test]
+    #[ignore = "multi-seed sweep; run explicitly"]
+    fn every_experiment_passes_at_multiple_seeds() {
+        for seed in [7u64, 2016, 99] {
+            let config = Config { scale: 0.1, seed };
+            for (id, _, run) in all_experiments() {
+                let out = run(&config);
+                assert!(out.all_ok(), "seed {seed}, experiment {id}:\n{out}");
+            }
+        }
+    }
+}

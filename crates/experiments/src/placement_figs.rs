@@ -1,0 +1,127 @@
+//! Figures 3–5 — EMD placement of single-country Twitter crowds, with the
+//! Gaussian curve fit of §IV.A.
+
+use crowdtz_core::{place_user, PlacementHistogram, SingleRegionFit};
+use crowdtz_stats::render_overlay;
+use crowdtz_time::RegionId;
+
+use crate::dataset::SharedDataset;
+use crate::report::{Config, ExperimentOutput};
+
+/// Fig. 3 — the German crowd (home zone UTC+1).
+pub fn run_german(config: &Config) -> ExperimentOutput {
+    run_region(config, "fig3", "germany", 1)
+}
+
+/// Fig. 4 — the French crowd (home zone UTC+1).
+pub fn run_french(config: &Config) -> ExperimentOutput {
+    run_region(config, "fig4", "france", 1)
+}
+
+/// Fig. 5 — the Malaysian crowd (home zone UTC+8).
+pub fn run_malaysian(config: &Config) -> ExperimentOutput {
+    run_region(config, "fig5", "malaysia", 8)
+}
+
+/// Shared machinery: place one region's crowd, fit the Gaussian, chart it.
+pub fn run_region(config: &Config, id: &str, region: &str, home_zone: i32) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(id, format!("EMD placement of the {region} crowd"));
+    let shared = SharedDataset::build(config);
+    let (histogram, fit) = place_and_fit(&shared, &region.into());
+    render(&mut out, region, &histogram, &fit);
+    shape_checks(&mut out, home_zone, &histogram, &fit);
+    out
+}
+
+/// Places a region's users against the shared generic profile and fits the
+/// single-region Gaussian. Shared with Table II.
+pub fn place_and_fit(
+    shared: &SharedDataset,
+    region: &RegionId,
+) -> (PlacementHistogram, SingleRegionFit) {
+    let profiles = shared.region_profiles_utc(region);
+    let placements: Vec<_> = profiles
+        .iter()
+        .map(|p| place_user(p, shared.generic()))
+        .collect();
+    let histogram = PlacementHistogram::from_placements(&placements);
+    let fit = SingleRegionFit::fit(&histogram).expect("placement histogram is fittable");
+    (histogram, fit)
+}
+
+fn render(
+    out: &mut ExperimentOutput,
+    region: &str,
+    histogram: &PlacementHistogram,
+    fit: &SingleRegionFit,
+) {
+    let fitted = fit
+        .curve()
+        .eval_all_wrapped(&PlacementHistogram::xs(), 24.0);
+    out.line(render_overlay(
+        &format!(
+            "{region} placement ({} users; · = fitted Gaussian)",
+            histogram.users()
+        ),
+        histogram.fractions(),
+        &fitted,
+    ));
+    out.line(format!("fit: {}", fit.curve()));
+}
+
+fn shape_checks(
+    out: &mut ExperimentOutput,
+    home_zone: i32,
+    histogram: &PlacementHistogram,
+    fit: &SingleRegionFit,
+) {
+    // Mode jitter shrinks with crowd size; small test crowds get a wider
+    // tolerance on the histogram peak (the fitted mean stays tight).
+    let peak_tolerance = if histogram.users() >= 100 { 1 } else { 2 };
+    out.finding(
+        "placement peak",
+        format!("UTC{home_zone:+}"),
+        format!("UTC{:+}", histogram.peak_zone()),
+        (histogram.peak_zone() - home_zone).abs() <= peak_tolerance,
+    );
+    out.finding(
+        "Gaussian mean ≈ home zone",
+        format!("{home_zone}"),
+        format!("{:+.2}", fit.curve().mean),
+        (fit.curve().mean - f64::from(home_zone)).abs() <= 1.5,
+    );
+    out.finding(
+        "Gaussian σ ≈ 2.5",
+        "σ ≈ 2.5 (±1.5)",
+        format!("{:.2}", fit.curve().sigma),
+        (1.0..=4.0).contains(&fit.curve().sigma),
+    );
+    out.finding(
+        "values drop away from the peak",
+        "Gaussian-shaped fall-off",
+        format!(
+            "peak {:.3} vs 6 zones away {:.3}",
+            histogram.fraction_at(histogram.peak_zone()),
+            histogram.fraction_at(((histogram.peak_zone() + 6 + 11).rem_euclid(24)) - 11),
+        ),
+        histogram.fraction_at(histogram.peak_zone())
+            > 3.0 * histogram.fraction_at(((histogram.peak_zone() + 6 + 11).rem_euclid(24)) - 11),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn german_crowd_places_at_utc_plus_1() {
+        let out = run_german(&Config::test());
+        assert!(out.all_ok(), "{out}");
+    }
+
+    #[test]
+    fn malaysian_crowd_places_at_utc_plus_8() {
+        let out = run_malaysian(&Config::test());
+        assert!(out.all_ok(), "{out}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Experiment configuration and output types.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// Scale factor on dataset sizes (1.0 = the paper's full volumes).
+    pub scale: f64,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    /// 15% scale — large enough for every shape check, small enough to run
+    /// the whole harness in seconds.
+    fn default() -> Config {
+        Config {
+            scale: 0.15,
+            seed: 2016,
+        }
+    }
+}
+
+impl Config {
+    /// A tiny configuration for unit tests.
+    pub fn test() -> Config {
+        Config {
+            scale: 0.08,
+            seed: 7,
+        }
+    }
+}
+
+/// One paper-vs-measured comparison inside an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// What is being compared (e.g. "dominant zone").
+    pub name: String,
+    /// The paper's value/claim.
+    pub paper: String,
+    /// Our measured value.
+    pub measured: String,
+    /// Whether the shape check passed.
+    pub ok: bool,
+}
+
+impl Finding {
+    /// Creates a finding.
+    pub fn new(
+        name: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        ok: bool,
+    ) -> Finding {
+        Finding {
+            name: name.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            ok,
+        }
+    }
+}
+
+/// The complete output of one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentOutput {
+    /// Experiment id (e.g. "fig9").
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Rendered narrative: series, ASCII charts, notes.
+    pub narrative: String,
+    /// Structured paper-vs-measured rows.
+    pub findings: Vec<Finding>,
+}
+
+impl ExperimentOutput {
+    /// Creates an empty output for an experiment.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> ExperimentOutput {
+        ExperimentOutput {
+            id: id.into(),
+            title: title.into(),
+            narrative: String::new(),
+            findings: Vec::new(),
+        }
+    }
+
+    /// Appends a line to the narrative.
+    pub fn line(&mut self, text: impl AsRef<str>) {
+        self.narrative.push_str(text.as_ref());
+        self.narrative.push('\n');
+    }
+
+    /// Appends a finding.
+    pub fn finding(
+        &mut self,
+        name: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        ok: bool,
+    ) {
+        self.findings.push(Finding::new(name, paper, measured, ok));
+    }
+
+    /// Whether all shape checks passed.
+    pub fn all_ok(&self) -> bool {
+        self.findings.iter().all(|f| f.ok)
+    }
+}
+
+impl fmt::Display for ExperimentOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        let _ = writeln!(out, "═══ {} — {} ═══", self.id, self.title);
+        out.push_str(&self.narrative);
+        if !self.findings.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<38} {:<34} {:<34} check",
+                "metric", "paper", "measured"
+            );
+            for fd in &self.findings {
+                let _ = writeln!(
+                    out,
+                    "  {:<38} {:<34} {:<34} {}",
+                    fd.name,
+                    fd.paper,
+                    fd.measured,
+                    if fd.ok { "OK" } else { "MISMATCH" }
+                );
+            }
+        }
+        f.write_str(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_accumulates() {
+        let mut o = ExperimentOutput::new("figX", "demo");
+        o.line("hello");
+        o.finding("peak", "UTC+1", "UTC+1", true);
+        o.finding("sigma", "2.5", "9.9", false);
+        assert!(!o.all_ok());
+        let text = o.to_string();
+        assert!(text.contains("figX"));
+        assert!(text.contains("hello"));
+        assert!(text.contains("MISMATCH"));
+        assert!(text.contains("OK"));
+    }
+
+    #[test]
+    fn default_config() {
+        let c = Config::default();
+        assert!(c.scale > 0.0 && c.scale <= 1.0);
+        assert!(Config::test().scale < c.scale + 1e-9);
+    }
+}

@@ -1,0 +1,85 @@
+//! Table I — active Twitter users by country/state.
+
+use crate::dataset::SharedDataset;
+use crate::report::{Config, ExperimentOutput};
+
+/// The paper's Table I rows: `(region name, active users)`.
+pub const PAPER_ROWS: [(&str, u32); 14] = [
+    ("Brazil", 3_763),
+    ("California", 2_868),
+    ("Finland", 73),
+    ("France", 2_222),
+    ("Germany", 470),
+    ("Illinois", 794),
+    ("Italy", 734),
+    ("Japan", 3_745),
+    ("Malaysia", 1_714),
+    ("New South Wales", 151),
+    ("New York", 1_417),
+    ("Poland", 375),
+    ("Turkey", 1_019),
+    ("United Kingdom", 3_231),
+];
+
+/// Regenerates Table I from the synthetic dataset and checks that the
+/// measured active-user counts track the paper's counts × scale.
+pub fn run(config: &Config) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("table1", "Twitter dataset — active users by region");
+    let shared = SharedDataset::build(config);
+    let measured = shared.dataset().dataset_rows();
+    out.line(format!(
+        "dataset scale {:.2}; threshold {} posts; {} total posts",
+        config.scale,
+        shared.dataset().active_threshold(),
+        shared.dataset().total_posts()
+    ));
+    out.line(format!(
+        "{:<18} {:>8} {:>10} {:>10}",
+        "region", "paper", "expected", "measured"
+    ));
+    for (name, paper_count) in PAPER_ROWS {
+        let expected = (f64::from(paper_count) * config.scale).round() as usize;
+        let got = measured
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        out.line(format!(
+            "{name:<18} {paper_count:>8} {expected:>10} {got:>10}"
+        ));
+        // Shape check: within ±30% of the scaled count (±2 for tiny rows).
+        let tolerance = (expected as f64 * 0.3).max(2.0);
+        let ok = (got as f64 - expected as f64).abs() <= tolerance;
+        out.finding(
+            format!("{name} active users"),
+            format!("{paper_count} (×{:.2} = {expected})", config.scale),
+            format!("{got}"),
+            ok,
+        );
+    }
+    out
+}
+
+/// Helper: the measured Table I rows (name, active count).
+trait DatasetRows {
+    fn dataset_rows(&self) -> Vec<(String, usize)>;
+}
+
+impl DatasetRows for crowdtz_synth::TwitterDataset {
+    fn dataset_rows(&self) -> Vec<(String, usize)> {
+        self.active_user_counts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduces_at_test_scale() {
+        let out = run(&Config::test());
+        assert_eq!(out.findings.len(), 14);
+        assert!(out.all_ok(), "{out}");
+        assert!(out.narrative.contains("Germany"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for forum operations.
+
+use std::fmt;
+
+use crowdtz_tor::TorError;
+
+/// The error type returned by fallible forum and scraper operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ForumError {
+    /// The underlying Tor channel failed.
+    Transport(TorError),
+    /// The host answered with bytes that do not decode as a protocol
+    /// response.
+    Protocol {
+        /// Explanation of what failed to decode.
+        reason: String,
+    },
+    /// A request referenced a thread that does not exist.
+    UnknownThread {
+        /// The missing thread id.
+        thread: u64,
+    },
+    /// A page index past the end of a listing was requested.
+    PageOutOfRange {
+        /// The requested page.
+        page: usize,
+        /// Number of available pages.
+        pages: usize,
+    },
+    /// Calibration was attempted against a forum that hides timestamps.
+    TimestampsHidden,
+}
+
+impl fmt::Display for ForumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForumError::Transport(e) => write!(f, "transport failure: {e}"),
+            ForumError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
+            ForumError::UnknownThread { thread } => write!(f, "unknown thread {thread}"),
+            ForumError::PageOutOfRange { page, pages } => {
+                write!(f, "page {page} out of range ({pages} pages)")
+            }
+            ForumError::TimestampsHidden => {
+                write!(
+                    f,
+                    "forum hides timestamps; use monitor mode to self-timestamp posts"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ForumError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ForumError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TorError> for ForumError {
+    fn from(e: TorError) -> ForumError {
+        ForumError::Transport(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = ForumError::Transport(TorError::UnknownService {
+            address: "x.onion".into(),
+        });
+        assert!(e.to_string().contains("x.onion"));
+        assert!(e.source().is_some());
+        let e = ForumError::UnknownThread { thread: 9 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn from_tor_error() {
+        let e: ForumError = TorError::ServiceUnavailable {
+            address: "y.onion".into(),
+        }
+        .into();
+        assert!(matches!(e, ForumError::Transport(_)));
+    }
+}

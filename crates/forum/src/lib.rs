@@ -1,0 +1,48 @@
+//! Dark Web forum simulator, scraper, and server-clock calibration.
+//!
+//! The paper's measurements (§V) come from five real hidden-service forums
+//! that no longer exist. This crate rebuilds the whole measurement path:
+//!
+//! * a **forum model** — sections, threads, posts, accounts, and a server
+//!   clock with a configurable (possibly deliberately wrong) UTC offset;
+//! * **timestamp policies** — visible timestamps, hidden timestamps, and
+//!   randomly delayed display, the countermeasures §VII discusses;
+//! * a **forum host** serving paginated page requests over a
+//!   [`crowdtz_tor::AnonymousChannel`], exactly the access path the
+//!   paper's crawler used;
+//! * a **scraper** with two modes: a full dump crawl, and the §VII
+//!   *monitor* mode that self-timestamps posts when the forum hides them;
+//! * the **offset calibration** trick of §V: *"we sign up in the forum and
+//!   write a post in the 'Welcome' thread to calculate the offset
+//!   between the server time and UTC"*;
+//! * **presets** reproducing the five forums of the paper with the crowd
+//!   compositions its analysis uncovered.
+//!
+//! # Example
+//!
+//! ```
+//! use crowdtz_forum::{ForumSpec, SimulatedForum};
+//!
+//! let forum = SimulatedForum::generate(&ForumSpec::idc().scaled(0.5));
+//! assert!(forum.post_count() > 0);
+//! assert_eq!(forum.spec().name(), "Italian DarkNet Community");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod error;
+mod host;
+mod model;
+mod protocol;
+mod scrape;
+mod simulate;
+mod spec;
+
+pub use error::ForumError;
+pub use host::ForumHost;
+pub use model::{Post, PostId, Section, SectionAccess, ThreadId, ThreadInfo};
+pub use protocol::{Request, Response, ShownPost, TimestampPolicy};
+pub use scrape::{CalibrationReport, Monitor, ScrapeReport, Scraper};
+pub use simulate::SimulatedForum;
+pub use spec::{CrowdComponent, ForumSpec};

@@ -1,0 +1,168 @@
+//! The forum data model: sections, threads, posts.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crowdtz_time::Timestamp;
+
+/// Identifier of a thread within a forum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ThreadId(pub u64);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of a post within a forum; ids are assigned in posting order,
+/// so they double as a monotone sequence number for the monitor mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PostId(pub u64);
+
+impl fmt::Display for PostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Who can read a section — modelled after the IDC tiers described in §V.B
+/// (public sections, 'Pro'-readable market, 'Elite'-only areas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SectionAccess {
+    /// Anyone who joined the forum.
+    Public,
+    /// Paying members only (IDC 'Pro'/'Vendor').
+    Paid,
+    /// Invitation only (IDC 'Elite', the hidden Pedo Support sections).
+    Hidden,
+}
+
+/// A forum section ("Reception", "Main", "Bad Stuff", …).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Section {
+    name: String,
+    access: SectionAccess,
+}
+
+impl Section {
+    /// Creates a section.
+    pub fn new(name: impl Into<String>, access: SectionAccess) -> Section {
+        Section {
+            name: name.into(),
+            access,
+        }
+    }
+
+    /// The section name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The access level.
+    pub fn access(&self) -> SectionAccess {
+        self.access
+    }
+
+    /// Whether an unprivileged scraper can read this section. The paper
+    /// explicitly did *not* enter hidden sections (§V.E).
+    pub fn is_scrapable(&self) -> bool {
+        matches!(self.access, SectionAccess::Public)
+    }
+}
+
+/// Thread metadata as shown in a section listing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadInfo {
+    /// Thread identifier.
+    pub id: ThreadId,
+    /// Thread title.
+    pub title: String,
+    /// Index of the section the thread belongs to.
+    pub section: usize,
+    /// Number of posts currently in the thread.
+    pub post_count: usize,
+}
+
+/// A single forum post. `true_time` is the instant the author actually
+/// submitted it (UTC); what a visitor *sees* depends on the forum's
+/// timestamp policy and server offset and is computed by the host.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Post {
+    id: PostId,
+    thread: ThreadId,
+    author: String,
+    true_time: Timestamp,
+}
+
+impl Post {
+    /// Creates a post record.
+    pub fn new(
+        id: PostId,
+        thread: ThreadId,
+        author: impl Into<String>,
+        true_time: Timestamp,
+    ) -> Post {
+        Post {
+            id,
+            thread,
+            author: author.into(),
+            true_time,
+        }
+    }
+
+    /// The post id (monotone in submission order).
+    pub fn id(&self) -> PostId {
+        self.id
+    }
+
+    /// The thread this post belongs to.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// The author's pseudonym.
+    pub fn author(&self) -> &str {
+        &self.author
+    }
+
+    /// The true submission instant (UTC). Only the simulation and tests
+    /// see this; scrapers see the policy-filtered server time.
+    pub fn true_time(&self) -> Timestamp {
+        self.true_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_scrapability() {
+        assert!(Section::new("Main", SectionAccess::Public).is_scrapable());
+        assert!(!Section::new("Market", SectionAccess::Paid).is_scrapable());
+        assert!(!Section::new("Elite", SectionAccess::Hidden).is_scrapable());
+    }
+
+    #[test]
+    fn post_accessors() {
+        let p = Post::new(PostId(5), ThreadId(2), "alice", Timestamp::from_secs(100));
+        assert_eq!(p.id(), PostId(5));
+        assert_eq!(p.thread(), ThreadId(2));
+        assert_eq!(p.author(), "alice");
+        assert_eq!(p.true_time().as_secs(), 100);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(ThreadId(3).to_string(), "t3");
+        assert_eq!(PostId(9).to_string(), "p9");
+    }
+
+    #[test]
+    fn ids_order() {
+        assert!(PostId(1) < PostId(2));
+        assert!(ThreadId(1) < ThreadId(2));
+    }
+}

@@ -1,0 +1,193 @@
+//! The wire protocol between scraper and forum host, and the timestamp
+//! display policies of §VII.
+
+use serde::{Deserialize, Serialize};
+
+use crowdtz_time::Timestamp;
+
+use crate::model::{PostId, ThreadId, ThreadInfo};
+
+/// How the forum displays post timestamps — the §VII countermeasures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum TimestampPolicy {
+    /// Timestamps shown, in server time (the normal case; all five forums
+    /// the paper studied behaved this way).
+    #[default]
+    Visible,
+    /// Timestamps removed from pages. The paper's answer: monitor the
+    /// forum and timestamp new posts yourself.
+    Hidden,
+    /// Timestamps shown but perturbed by a uniform random delay of up to
+    /// the given number of seconds. The paper notes this must reach hours
+    /// to be effective, wrecking usability.
+    DelayedUniform {
+        /// Maximum artificial delay, in seconds.
+        max_delay_secs: u32,
+    },
+}
+
+/// A post as rendered on a page: author, and timestamp if policy permits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShownPost {
+    /// Post id.
+    pub id: PostId,
+    /// Author pseudonym.
+    pub author: String,
+    /// Displayed timestamp, in **server clock** seconds; `None` when the
+    /// forum hides timestamps.
+    pub shown_time: Option<Timestamp>,
+}
+
+/// A request from the scraper to the forum host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// List the forum's readable sections and threads (paginated).
+    ListThreads {
+        /// Zero-based page index.
+        page: usize,
+    },
+    /// Fetch one page of posts of a thread.
+    GetThread {
+        /// Thread id.
+        thread: ThreadId,
+        /// Zero-based page index.
+        page: usize,
+    },
+    /// Submit a post (used by the calibration step). `client_now` is the
+    /// client's own UTC clock at submission; the response carries the
+    /// server-stamped view of the same post.
+    PostMessage {
+        /// Target thread.
+        thread: ThreadId,
+        /// Posting pseudonym.
+        author: String,
+        /// The client's own UTC clock at submission.
+        client_now: Timestamp,
+    },
+    /// Poll for posts with id greater than `after` (monitor mode).
+    NewPosts {
+        /// Return posts with id strictly greater than this.
+        after: PostId,
+        /// The observer's own UTC clock at the poll instant; posts that
+        /// (truly) happen after this instant are not yet visible.
+        observer_now: Timestamp,
+    },
+}
+
+/// A response from the forum host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Thread listing page.
+    Threads {
+        /// Threads on this page.
+        threads: Vec<ThreadInfo>,
+        /// Total number of pages.
+        pages: usize,
+    },
+    /// One page of a thread.
+    ThreadPage {
+        /// Posts on this page, in submission order.
+        posts: Vec<ShownPost>,
+        /// Total number of pages in the thread.
+        pages: usize,
+    },
+    /// Echo of a just-submitted post, as it appears on the forum.
+    Posted {
+        /// The freshly created post as displayed.
+        post: ShownPost,
+    },
+    /// New posts since a given id (monitor mode).
+    Fresh {
+        /// The new posts, in id order.
+        posts: Vec<ShownPost>,
+    },
+    /// The request failed.
+    Error {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// Encodes a request for the Tor channel.
+pub(crate) fn encode_request(req: &Request) -> Vec<u8> {
+    serde_json::to_vec(req).expect("requests always serialize")
+}
+
+/// Decodes a request on the host side.
+pub(crate) fn decode_request(bytes: &[u8]) -> Option<Request> {
+    serde_json::from_slice(bytes).ok()
+}
+
+/// Encodes a response on the host side.
+pub(crate) fn encode_response(resp: &Response) -> Vec<u8> {
+    serde_json::to_vec(resp).expect("responses always serialize")
+}
+
+/// Decodes a response on the scraper side.
+pub(crate) fn decode_response(bytes: &[u8]) -> Option<Response> {
+    serde_json::from_slice(bytes).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let reqs = vec![
+            Request::ListThreads { page: 3 },
+            Request::GetThread {
+                thread: ThreadId(7),
+                page: 0,
+            },
+            Request::PostMessage {
+                thread: ThreadId(1),
+                author: "observer".into(),
+                client_now: Timestamp::from_secs(123),
+            },
+            Request::NewPosts {
+                after: PostId(42),
+                observer_now: Timestamp::from_secs(456),
+            },
+        ];
+        for req in reqs {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes), Some(req));
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::ThreadPage {
+            posts: vec![ShownPost {
+                id: PostId(1),
+                author: "a".into(),
+                shown_time: Some(Timestamp::from_secs(9)),
+            }],
+            pages: 2,
+        };
+        let bytes = encode_response(&resp);
+        assert_eq!(decode_response(&bytes), Some(resp));
+    }
+
+    #[test]
+    fn garbage_decodes_to_none() {
+        assert_eq!(decode_request(b"not json"), None);
+        assert_eq!(decode_response(b"{"), None);
+    }
+
+    #[test]
+    fn default_policy_is_visible() {
+        assert_eq!(TimestampPolicy::default(), TimestampPolicy::Visible);
+    }
+
+    #[test]
+    fn hidden_policy_means_no_time() {
+        let p = ShownPost {
+            id: PostId(1),
+            author: "x".into(),
+            shown_time: None,
+        };
+        assert!(p.shown_time.is_none());
+    }
+}

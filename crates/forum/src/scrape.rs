@@ -1,0 +1,487 @@
+//! The scraper: dump crawls, clock calibration, and monitor mode.
+
+use std::fmt;
+
+use crowdtz_time::{Timestamp, TraceSet};
+use crowdtz_tor::AnonymousChannel;
+
+use crate::error::ForumError;
+use crate::model::{PostId, ThreadId};
+use crate::protocol::{decode_response, encode_request, Request, Response};
+
+/// Result of the §V server-clock calibration: the measured offset between
+/// the forum's displayed time and the observer's UTC clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalibrationReport {
+    /// Server clock minus observer UTC, in seconds.
+    pub offset_secs: i64,
+}
+
+/// The output of a dump crawl: per-user traces in *server* time, plus
+/// bookkeeping, plus (after calibration) the offset needed to normalize
+/// them to UTC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrapeReport {
+    server_traces: TraceSet,
+    posts_seen: usize,
+    hidden_posts: usize,
+    offset_secs: Option<i64>,
+}
+
+impl ScrapeReport {
+    /// Traces with timestamps exactly as displayed by the forum.
+    pub fn server_traces(&self) -> &TraceSet {
+        &self.server_traces
+    }
+
+    /// Total posts crawled.
+    pub fn posts_seen(&self) -> usize {
+        self.posts_seen
+    }
+
+    /// Posts whose timestamp the forum withheld.
+    pub fn hidden_posts(&self) -> usize {
+        self.hidden_posts
+    }
+
+    /// The calibrated offset attached to this report, if any.
+    pub fn offset_secs(&self) -> Option<i64> {
+        self.offset_secs
+    }
+
+    /// Attaches a calibration result.
+    #[must_use]
+    pub fn with_offset(mut self, offset_secs: i64) -> ScrapeReport {
+        self.offset_secs = Some(offset_secs);
+        self
+    }
+
+    /// Traces normalized to UTC by subtracting the calibrated offset
+    /// (identity when no calibration was attached).
+    pub fn utc_traces(&self) -> TraceSet {
+        match self.offset_secs {
+            Some(off) => self.server_traces.shifted_secs(-off),
+            None => self.server_traces.clone(),
+        }
+    }
+}
+
+impl fmt::Display for ScrapeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scrape: {} users, {} posts ({} hidden), offset {:?}",
+            self.server_traces.len(),
+            self.posts_seen,
+            self.hidden_posts,
+            self.offset_secs
+        )
+    }
+}
+
+/// A forum scraper working over an anonymous Tor channel.
+///
+/// Mirrors the paper's §V procedure: *"First, we sign up in the forum and
+/// write a post in the 'Welcome' or 'Spam' thread to calculate the offset
+/// between the server time and UTC. … once the offset from UTC is known we
+/// can collect the timestamps of the posts in a sound and consistent way."*
+pub struct Scraper {
+    channel: AnonymousChannel,
+}
+
+impl Scraper {
+    /// Creates a scraper over an established channel.
+    pub fn new(channel: AnonymousChannel) -> Scraper {
+        Scraper { channel }
+    }
+
+    fn ask(&mut self, req: &Request) -> Result<Response, ForumError> {
+        let bytes = self.channel.request(&encode_request(req))?;
+        decode_response(&bytes).ok_or_else(|| ForumError::Protocol {
+            reason: "undecodable response".into(),
+        })
+    }
+
+    /// Lists all readable threads (walking every listing page).
+    pub fn list_threads(&mut self) -> Result<Vec<crate::model::ThreadInfo>, ForumError> {
+        let mut out = Vec::new();
+        let mut page = 0;
+        loop {
+            match self.ask(&Request::ListThreads { page })? {
+                Response::Threads { threads, pages } => {
+                    out.extend(threads);
+                    page += 1;
+                    if page >= pages {
+                        break;
+                    }
+                }
+                Response::Error { reason } => {
+                    return Err(ForumError::Protocol { reason });
+                }
+                _ => {
+                    return Err(ForumError::Protocol {
+                        reason: "unexpected response to ListThreads".into(),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Measures the server-clock offset by posting to the first readable
+    /// thread and comparing the echoed server timestamp with `own_now`.
+    ///
+    /// # Errors
+    ///
+    /// [`ForumError::TimestampsHidden`] when the forum strips timestamps —
+    /// in that case use [`Monitor`] instead.
+    pub fn calibrate(&mut self, own_now: Timestamp) -> Result<CalibrationReport, ForumError> {
+        let threads = self.list_threads()?;
+        let welcome: ThreadId =
+            threads
+                .first()
+                .map(|t| t.id)
+                .ok_or_else(|| ForumError::Protocol {
+                    reason: "forum has no readable threads".into(),
+                })?;
+        match self.ask(&Request::PostMessage {
+            thread: welcome,
+            author: "observer".into(),
+            client_now: own_now,
+        })? {
+            Response::Posted { post } => match post.shown_time {
+                Some(shown) => Ok(CalibrationReport {
+                    offset_secs: shown - own_now,
+                }),
+                None => Err(ForumError::TimestampsHidden),
+            },
+            Response::Error { reason } => Err(ForumError::Protocol { reason }),
+            _ => Err(ForumError::Protocol {
+                reason: "unexpected response to PostMessage".into(),
+            }),
+        }
+    }
+
+    /// Crawls every readable thread and collects `(author, shown time)`
+    /// into per-user traces (server time). Posts without timestamps are
+    /// counted but not recorded.
+    pub fn dump(&mut self) -> Result<ScrapeReport, ForumError> {
+        let threads = self.list_threads()?;
+        let mut traces = TraceSet::new();
+        let mut posts_seen = 0usize;
+        let mut hidden = 0usize;
+        for t in threads {
+            let mut page = 0;
+            loop {
+                match self.ask(&Request::GetThread { thread: t.id, page })? {
+                    Response::ThreadPage { posts, pages } => {
+                        for p in posts {
+                            posts_seen += 1;
+                            match p.shown_time {
+                                Some(ts) => traces.record(&p.author, ts),
+                                None => hidden += 1,
+                            }
+                        }
+                        page += 1;
+                        if page >= pages {
+                            break;
+                        }
+                    }
+                    Response::Error { reason } => {
+                        return Err(ForumError::Protocol { reason });
+                    }
+                    _ => {
+                        return Err(ForumError::Protocol {
+                            reason: "unexpected response to GetThread".into(),
+                        })
+                    }
+                }
+            }
+        }
+        Ok(ScrapeReport {
+            server_traces: traces,
+            posts_seen,
+            hidden_posts: hidden,
+            offset_secs: None,
+        })
+    }
+
+    /// Convenience: calibrate, then dump, returning UTC-normalized output.
+    ///
+    /// `own_now` must be an instant after the posts of interest (the
+    /// crawl's wall-clock time).
+    pub fn calibrated_dump(&mut self, own_now: Timestamp) -> Result<ScrapeReport, ForumError> {
+        let calibration = self.calibrate(own_now)?;
+        Ok(self.dump()?.with_offset(calibration.offset_secs))
+    }
+
+    /// Converts this scraper into a [`Monitor`] for forums that hide
+    /// timestamps.
+    pub fn into_monitor(self) -> Monitor {
+        Monitor {
+            channel: self.channel,
+            last_seen: PostId(0),
+        }
+    }
+}
+
+impl fmt::Debug for Scraper {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scraper")
+            .field("address", &self.channel.address())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Monitor mode (§VII): when the forum removes timestamps, watch it and
+/// timestamp new posts yourself.
+///
+/// *"it is enough to monitor the forum, see when posts are made and
+/// timestamp them ourselves"* — the precision is bounded by the polling
+/// interval, which adds uniform noise of at most one interval.
+pub struct Monitor {
+    channel: AnonymousChannel,
+    last_seen: PostId,
+}
+
+impl Monitor {
+    /// Creates a monitor over an established channel.
+    pub fn new(channel: AnonymousChannel) -> Monitor {
+        Monitor {
+            channel,
+            last_seen: PostId(0),
+        }
+    }
+
+    /// The id of the newest post seen so far.
+    pub fn last_seen(&self) -> PostId {
+        self.last_seen
+    }
+
+    /// Polls once at `observer_now`, self-timestamping every new post with
+    /// the observer's clock. Returns the `(author, observed time)` pairs.
+    pub fn poll(
+        &mut self,
+        observer_now: Timestamp,
+    ) -> Result<Vec<(String, Timestamp)>, ForumError> {
+        let mut out = Vec::new();
+        loop {
+            let bytes = self.channel.request(&encode_request(&Request::NewPosts {
+                after: self.last_seen,
+                observer_now,
+            }))?;
+            let resp = decode_response(&bytes).ok_or_else(|| ForumError::Protocol {
+                reason: "undecodable response".into(),
+            })?;
+            match resp {
+                Response::Fresh { posts } => {
+                    if posts.is_empty() {
+                        break;
+                    }
+                    for p in &posts {
+                        self.last_seen = self.last_seen.max(p.id);
+                        out.push((p.author.clone(), observer_now));
+                    }
+                }
+                Response::Error { reason } => return Err(ForumError::Protocol { reason }),
+                _ => {
+                    return Err(ForumError::Protocol {
+                        reason: "unexpected response to NewPosts".into(),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs the monitor from `from` to `to` polling every `interval_secs`,
+    /// accumulating self-timestamped traces (already in observer UTC).
+    pub fn run(
+        &mut self,
+        from: Timestamp,
+        to: Timestamp,
+        interval_secs: i64,
+    ) -> Result<TraceSet, ForumError> {
+        let interval = interval_secs.max(1);
+        let mut traces = TraceSet::new();
+        // Skip everything that predates the monitoring window.
+        let _ = self.poll_discard(from)?;
+        let mut t = from + interval;
+        let mut last_polled = from;
+        while t <= to {
+            for (author, ts) in self.poll(t)? {
+                traces.record(&author, ts);
+            }
+            last_polled = t;
+            t = t + interval;
+        }
+        // Final partial interval: poll once more at the window end so no
+        // post inside (last poll, to] is missed.
+        if last_polled < to {
+            for (author, ts) in self.poll(to)? {
+                traces.record(&author, ts);
+            }
+        }
+        Ok(traces)
+    }
+
+    /// Polls at `observer_now` but discards the results (fast-forward).
+    fn poll_discard(&mut self, observer_now: Timestamp) -> Result<usize, ForumError> {
+        Ok(self.poll(observer_now)?.len())
+    }
+}
+
+impl fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Monitor")
+            .field("address", &self.channel.address())
+            .field("last_seen", &self.last_seen)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::ForumHost;
+    use crate::protocol::TimestampPolicy;
+    use crate::simulate::SimulatedForum;
+    use crate::spec::{CrowdComponent, ForumSpec};
+    use crowdtz_time::CivilDateTime;
+    use crowdtz_tor::TorNetwork;
+
+    fn forum_spec(offset_secs: i64, policy: TimestampPolicy) -> ForumSpec {
+        ForumSpec::new("Test Forum", vec![CrowdComponent::new("italy", 1.0)], 8)
+            .seed(42)
+            .server_offset_secs(offset_secs)
+            .policy(policy)
+    }
+
+    fn connect(spec: &ForumSpec) -> (Scraper, SimulatedForum) {
+        let forum = SimulatedForum::generate(spec);
+        let host = ForumHost::new(forum.clone()).page_size(25);
+        let mut net = TorNetwork::with_relays(30, 5);
+        let addr = net.publish(host.into_hidden_service(1)).unwrap();
+        let channel = net.connect(&addr, 2).unwrap();
+        (Scraper::new(channel), forum)
+    }
+
+    fn end_of_2016() -> Timestamp {
+        Timestamp::from_civil_utc(CivilDateTime::new(2017, 1, 15, 0, 0, 0).unwrap())
+    }
+
+    #[test]
+    fn calibration_measures_offset_exactly() {
+        for offset in [-25_200i64, 0, 3_600, 12_345 - 45 /* quarter-ish */] {
+            let (mut scraper, _) = connect(&forum_spec(offset, TimestampPolicy::Visible));
+            let report = scraper.calibrate(end_of_2016()).unwrap();
+            assert_eq!(report.offset_secs, offset);
+        }
+    }
+
+    #[test]
+    fn calibration_fails_on_hidden_timestamps() {
+        let (mut scraper, _) = connect(&forum_spec(0, TimestampPolicy::Hidden));
+        assert!(matches!(
+            scraper.calibrate(end_of_2016()),
+            Err(ForumError::TimestampsHidden)
+        ));
+    }
+
+    #[test]
+    fn dump_recovers_ground_truth_after_calibration() {
+        let (mut scraper, forum) = connect(&forum_spec(7_200, TimestampPolicy::Visible));
+        let report = scraper.calibrated_dump(end_of_2016()).unwrap();
+        assert_eq!(report.posts_seen(), forum.post_count());
+        assert_eq!(report.hidden_posts(), 0);
+        assert_eq!(report.utc_traces(), forum.ground_truth());
+    }
+
+    #[test]
+    fn dump_without_calibration_is_shifted() {
+        let (mut scraper, forum) = connect(&forum_spec(3_600, TimestampPolicy::Visible));
+        let report = scraper.dump().unwrap();
+        assert_ne!(report.utc_traces(), forum.ground_truth());
+        assert_eq!(
+            report.server_traces().shifted_secs(-3_600),
+            forum.ground_truth()
+        );
+    }
+
+    #[test]
+    fn dump_counts_hidden_posts() {
+        let (mut scraper, forum) = connect(&forum_spec(0, TimestampPolicy::Hidden));
+        let report = scraper.dump().unwrap();
+        assert_eq!(report.hidden_posts(), forum.post_count());
+        assert_eq!(report.server_traces().total_posts(), 0);
+        assert!(report.to_string().contains("hidden"));
+    }
+
+    #[test]
+    fn monitor_self_timestamps_within_interval() {
+        let (scraper, forum) = connect(&forum_spec(0, TimestampPolicy::Hidden));
+        let mut monitor = scraper.into_monitor();
+        // Monitor March 2016 with 30-minute polls.
+        let from = Timestamp::from_civil_utc(CivilDateTime::new(2016, 3, 1, 0, 0, 0).unwrap());
+        let to = Timestamp::from_civil_utc(CivilDateTime::new(2016, 4, 1, 0, 0, 0).unwrap());
+        let interval = 1_800;
+        let observed = monitor.run(from, to, interval).unwrap();
+        // Ground truth in the window.
+        let truth: usize = forum
+            .posts()
+            .iter()
+            .filter(|p| p.true_time() > from && p.true_time() <= to)
+            .count();
+        assert_eq!(observed.total_posts(), truth);
+        // Every observed time is within one interval after the true time.
+        for trace in observed.iter() {
+            for &obs in trace.posts() {
+                let matching = forum.posts().iter().any(|p| {
+                    p.author() == trace.id()
+                        && obs - p.true_time() >= 0
+                        && obs - p.true_time() <= interval
+                });
+                assert!(matching, "no true post within interval of {obs}");
+            }
+        }
+    }
+
+    #[test]
+    fn monitor_is_incremental() {
+        let (scraper, _) = connect(&forum_spec(0, TimestampPolicy::Hidden));
+        let mut monitor = scraper.into_monitor();
+        let t1 = Timestamp::from_civil_utc(CivilDateTime::new(2016, 6, 1, 0, 0, 0).unwrap());
+        let first = monitor.poll(t1).unwrap();
+        let again = monitor.poll(t1).unwrap();
+        assert!(!first.is_empty());
+        assert!(again.is_empty(), "second poll must return nothing new");
+        assert!(monitor.last_seen() > PostId(0));
+    }
+
+    #[test]
+    fn delayed_policy_perturbs_dump() {
+        let (mut scraper, forum) = connect(&forum_spec(
+            0,
+            TimestampPolicy::DelayedUniform {
+                max_delay_secs: 6 * 3_600,
+            },
+        ));
+        let report = scraper.dump().unwrap();
+        assert_eq!(report.posts_seen(), forum.post_count());
+        // Same post multiset cardinality but shifted times.
+        assert_ne!(report.server_traces(), &forum.ground_truth());
+    }
+
+    #[test]
+    fn list_threads_sees_only_public_sections() {
+        let forum = SimulatedForum::generate(&ForumSpec::pedo_support().scaled(0.03));
+        let sections = forum.spec().section_list().to_vec();
+        let host = ForumHost::new(forum);
+        let mut net = TorNetwork::with_relays(30, 5);
+        let addr = net.publish(host.into_hidden_service(1)).unwrap();
+        let mut scraper = Scraper::new(net.connect(&addr, 2).unwrap());
+        for t in scraper.list_threads().unwrap() {
+            assert!(sections[t.section].is_scrapable());
+        }
+    }
+}

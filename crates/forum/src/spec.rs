@@ -1,0 +1,439 @@
+//! Forum specifications, including presets for the five forums of §V.
+//!
+//! Each preset encodes the crowd composition the paper *uncovered* for that
+//! forum, the user/post volumes it reports after cleaning, and plausible
+//! server-clock offsets — so running the reproduction pipeline against the
+//! simulated forum should land on the paper's findings.
+
+use serde::{Deserialize, Serialize};
+
+use crowdtz_time::{Date, RegionId};
+
+use crate::model::{Section, SectionAccess};
+use crate::protocol::TimestampPolicy;
+
+/// One regional component of a forum's crowd.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrowdComponent {
+    region: RegionId,
+    weight: f64,
+}
+
+impl CrowdComponent {
+    /// Creates a component; `weight` is relative (normalized later).
+    pub fn new(region: impl Into<RegionId>, weight: f64) -> CrowdComponent {
+        CrowdComponent {
+            region: region.into(),
+            weight: weight.max(0.0),
+        }
+    }
+
+    /// The region this component draws users from.
+    pub fn region(&self) -> &RegionId {
+        &self.region
+    }
+
+    /// The relative weight.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+}
+
+/// Full specification of a simulated Dark Web forum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForumSpec {
+    name: String,
+    onion_key: String,
+    language: String,
+    components: Vec<CrowdComponent>,
+    users: usize,
+    posts_per_user_per_day: f64,
+    seed: u64,
+    server_offset_secs: i64,
+    policy: TimestampPolicy,
+    start: Date,
+    end: Date,
+    sections: Vec<Section>,
+    threads_per_section: usize,
+}
+
+impl ForumSpec {
+    /// Creates a bare spec; use the builder-style setters to refine it.
+    pub fn new(
+        name: impl Into<String>,
+        components: Vec<CrowdComponent>,
+        users: usize,
+    ) -> ForumSpec {
+        let name = name.into();
+        ForumSpec {
+            onion_key: name.to_lowercase().replace(' ', "-"),
+            name,
+            language: "English".into(),
+            components,
+            users,
+            posts_per_user_per_day: 0.2,
+            seed: 1,
+            server_offset_secs: 0,
+            policy: TimestampPolicy::Visible,
+            start: Date::new(2016, 1, 1).expect("static date"),
+            end: Date::new(2016, 12, 31).expect("static date"),
+            sections: vec![
+                Section::new("Reception", SectionAccess::Public),
+                Section::new("Main", SectionAccess::Public),
+            ],
+            threads_per_section: 5,
+        }
+    }
+
+    // ---- the five forums of §V -------------------------------------------
+
+    /// CRD Club (`crdclub4wraumez4.onion`): Russian carding/technology
+    /// forum. Paper: 209 active users, 14,809 posts, one Gaussian between
+    /// UTC+3 and UTC+4 (avg distance 0.007, σ 0.006).
+    pub fn crd_club() -> ForumSpec {
+        ForumSpec::new(
+            "CRD Club",
+            vec![
+                CrowdComponent::new("russia-moscow", 0.58),
+                CrowdComponent::new("russia-samara", 0.20),
+                CrowdComponent::new("ukraine", 0.15),
+                CrowdComponent::new("georgia-tbilisi", 0.07),
+            ],
+            209,
+        )
+        .language("Russian")
+        .posts_per_user_per_day(14_809.0 / 209.0 / 366.0 * 1.4)
+        .server_offset_hours(3) // Moscow-hosted server clock
+        .seed(0xC8D)
+        .sections(vec![
+            Section::new("Welcome", SectionAccess::Public),
+            Section::new("Технологии", SectionAccess::Public),
+            Section::new("Carding", SectionAccess::Public),
+            Section::new("Job offers", SectionAccess::Public),
+            Section::new("International", SectionAccess::Public),
+        ])
+    }
+
+    /// Italian DarkNet Community (`idcrldul6umarqwi.onion`): Italian forum
+    /// and marketplace. Paper: 52 users, 1,711 posts, one component at
+    /// UTC+1 slightly shifted towards UTC+2 (σ 0.016, avg 0.014).
+    pub fn idc() -> ForumSpec {
+        ForumSpec::new(
+            "Italian DarkNet Community",
+            vec![
+                CrowdComponent::new("italy", 0.90),
+                CrowdComponent::new("finland", 0.10), // the slight +2 pull
+            ],
+            60,
+        )
+        .language("Italian")
+        .posts_per_user_per_day(1_711.0 / 52.0 / 366.0 * 1.8)
+        .server_offset_hours(1)
+        .seed(0x1DC)
+        .sections(vec![
+            Section::new("Reception", SectionAccess::Public),
+            Section::new("Main", SectionAccess::Public),
+            Section::new("Bad Stuff", SectionAccess::Public),
+            Section::new("Market", SectionAccess::Paid),
+            Section::new("Elite", SectionAccess::Hidden),
+        ])
+    }
+
+    /// Dream Market forum (`tmskhzavkycdupbr.onion`). Paper: 189 users,
+    /// 14,499 posts, two components — the larger at UTC+1 (Europe), the
+    /// smaller at UTC−6 (avg 0.011, σ 0.008).
+    pub fn dream_market() -> ForumSpec {
+        ForumSpec::new(
+            "Dream Market",
+            vec![
+                CrowdComponent::new("germany", 0.24),
+                CrowdComponent::new("france", 0.18),
+                CrowdComponent::new("spain", 0.12),
+                CrowdComponent::new("netherlands", 0.11),
+                CrowdComponent::new("us-central", 0.35),
+            ],
+            189,
+        )
+        .posts_per_user_per_day(14_499.0 / 189.0 / 366.0 * 1.4)
+        .server_offset_hours(0) // timestamps already in UTC
+        .seed(0xD2EA)
+        .sections(vec![
+            Section::new("Welcome", SectionAccess::Public),
+            Section::new("Vendor reviews", SectionAccess::Public),
+            Section::new("Scam reports", SectionAccess::Public),
+            Section::new("Product quality", SectionAccess::Public),
+        ])
+    }
+
+    /// The Majestic Garden (`bm26rwk32m7u7rec.onion`): psychedelics
+    /// community. Paper: 638 users, 75,875 posts, two components — the
+    /// larger at UTC−6, the second at UTC+1 (avg 0.009, σ 0.011).
+    pub fn majestic_garden() -> ForumSpec {
+        ForumSpec::new(
+            "The Majestic Garden",
+            vec![
+                CrowdComponent::new("us-central", 0.42),
+                CrowdComponent::new("us-eastern", 0.13),
+                CrowdComponent::new("us-pacific", 0.08),
+                CrowdComponent::new("germany", 0.15),
+                CrowdComponent::new("france", 0.13),
+                CrowdComponent::new("spain", 0.09),
+            ],
+            638,
+        )
+        .posts_per_user_per_day(75_875.0 / 638.0 / 366.0 * 1.25)
+        .server_offset_hours(-7)
+        .seed(0x3A2D)
+        .sections(vec![
+            Section::new("Welcome", SectionAccess::Public),
+            Section::new("Trip reports", SectionAccess::Public),
+            Section::new("Cultivation", SectionAccess::Public),
+            Section::new("Literature", SectionAccess::Public),
+        ])
+    }
+
+    /// Pedo Support Community (`support26v5pvkg6.onion`). Paper: 290 users,
+    /// 44,876 posts, three components — UTC−8/−7 (largest), UTC−3
+    /// (Southern Brazil / Paraguay), UTC+4 (smallest); σ 0.012, avg 0.01.
+    pub fn pedo_support() -> ForumSpec {
+        ForumSpec::new(
+            "Pedo Support Community",
+            vec![
+                CrowdComponent::new("us-pacific", 0.28),
+                CrowdComponent::new("us-mountain", 0.14),
+                CrowdComponent::new("brazil-south", 0.28),
+                CrowdComponent::new("paraguay", 0.07),
+                CrowdComponent::new("uae", 0.13),
+                CrowdComponent::new("georgia-tbilisi", 0.10),
+            ],
+            290,
+        )
+        .posts_per_user_per_day(44_876.0 / 290.0 / 366.0 * 1.25)
+        .server_offset_hours(2)
+        .seed(0x9ED0)
+        .sections(vec![
+            Section::new("Welcome", SectionAccess::Public),
+            Section::new("Support", SectionAccess::Public),
+            Section::new("Ethics", SectionAccess::Public),
+            Section::new("Hidden", SectionAccess::Hidden), // not scraped, as in the paper
+        ])
+    }
+
+    // ---- builder-style setters -------------------------------------------
+
+    /// Sets the forum language label.
+    #[must_use]
+    pub fn language(mut self, language: impl Into<String>) -> ForumSpec {
+        self.language = language.into();
+        self
+    }
+
+    /// Sets mean posts per user per day.
+    #[must_use]
+    pub fn posts_per_user_per_day(mut self, rate: f64) -> ForumSpec {
+        self.posts_per_user_per_day = rate.max(0.0);
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> ForumSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the server clock offset in whole hours.
+    #[must_use]
+    pub fn server_offset_hours(mut self, hours: i64) -> ForumSpec {
+        self.server_offset_secs = hours * 3_600;
+        self
+    }
+
+    /// Sets the server clock offset in seconds (may be deliberately odd).
+    #[must_use]
+    pub fn server_offset_secs(mut self, secs: i64) -> ForumSpec {
+        self.server_offset_secs = secs;
+        self
+    }
+
+    /// Sets the timestamp display policy.
+    #[must_use]
+    pub fn policy(mut self, policy: TimestampPolicy) -> ForumSpec {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the simulated period (inclusive dates).
+    #[must_use]
+    pub fn period(mut self, start: Date, end: Date) -> ForumSpec {
+        self.start = start;
+        self.end = end;
+        self
+    }
+
+    /// Replaces the section list.
+    #[must_use]
+    pub fn sections(mut self, sections: Vec<Section>) -> ForumSpec {
+        self.sections = sections;
+        self
+    }
+
+    /// Sets how many threads each section holds.
+    #[must_use]
+    pub fn threads_per_section(mut self, n: usize) -> ForumSpec {
+        self.threads_per_section = n.max(1);
+        self
+    }
+
+    /// Scales the user count by `factor` (≥ 1 user), for cheap test runs.
+    #[must_use]
+    pub fn scaled(mut self, factor: f64) -> ForumSpec {
+        self.users = ((self.users as f64 * factor).round() as usize).max(1);
+        self
+    }
+
+    // ---- getters -----------------------------------------------------------
+
+    /// Forum display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Key material name the onion address derives from.
+    pub fn onion_key(&self) -> &str {
+        &self.onion_key
+    }
+
+    /// Forum language.
+    pub fn language_name(&self) -> &str {
+        &self.language
+    }
+
+    /// The crowd components.
+    pub fn components(&self) -> &[CrowdComponent] {
+        &self.components
+    }
+
+    /// Target user count.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// Mean posts per user per day.
+    pub fn post_rate(&self) -> f64 {
+        self.posts_per_user_per_day
+    }
+
+    /// RNG seed.
+    pub fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    /// Server clock offset from UTC, seconds.
+    pub fn server_offset(&self) -> i64 {
+        self.server_offset_secs
+    }
+
+    /// Timestamp display policy.
+    pub fn timestamp_policy(&self) -> TimestampPolicy {
+        self.policy
+    }
+
+    /// Simulation period start (inclusive).
+    pub fn start(&self) -> Date {
+        self.start
+    }
+
+    /// Simulation period end (inclusive).
+    pub fn end(&self) -> Date {
+        self.end
+    }
+
+    /// The forum's sections.
+    pub fn section_list(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Threads per section.
+    pub fn thread_count_per_section(&self) -> usize {
+        self.threads_per_section
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_metadata() {
+        assert_eq!(ForumSpec::crd_club().users(), 209);
+        assert_eq!(ForumSpec::crd_club().language_name(), "Russian");
+        assert_eq!(ForumSpec::dream_market().users(), 189);
+        assert_eq!(ForumSpec::majestic_garden().users(), 638);
+        assert_eq!(ForumSpec::pedo_support().users(), 290);
+        assert_eq!(ForumSpec::idc().language_name(), "Italian");
+    }
+
+    #[test]
+    fn component_weights_are_sane() {
+        for spec in [
+            ForumSpec::crd_club(),
+            ForumSpec::idc(),
+            ForumSpec::dream_market(),
+            ForumSpec::majestic_garden(),
+            ForumSpec::pedo_support(),
+        ] {
+            let total: f64 = spec.components().iter().map(CrowdComponent::weight).sum();
+            assert!((total - 1.0).abs() < 0.01, "{}: {total}", spec.name());
+        }
+    }
+
+    #[test]
+    fn presets_reference_known_regions() {
+        let db = crowdtz_time::RegionDb::extended();
+        for spec in [
+            ForumSpec::crd_club(),
+            ForumSpec::idc(),
+            ForumSpec::dream_market(),
+            ForumSpec::majestic_garden(),
+            ForumSpec::pedo_support(),
+        ] {
+            for c in spec.components() {
+                assert!(
+                    db.get(c.region()).is_some(),
+                    "{}: unknown region {}",
+                    spec.name(),
+                    c.region()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_changes_users() {
+        let spec = ForumSpec::majestic_garden().scaled(0.1);
+        assert_eq!(spec.users(), 64);
+        // Never drops to zero.
+        assert_eq!(ForumSpec::idc().scaled(0.0001).users(), 1);
+    }
+
+    #[test]
+    fn pedo_support_has_hidden_section() {
+        let spec = ForumSpec::pedo_support();
+        assert!(spec.section_list().iter().any(|s| !s.is_scrapable()));
+    }
+
+    #[test]
+    fn builder_setters() {
+        let spec = ForumSpec::new("X", vec![CrowdComponent::new("italy", 1.0)], 10)
+            .server_offset_secs(4_321)
+            .policy(TimestampPolicy::Hidden)
+            .threads_per_section(9)
+            .seed(77);
+        assert_eq!(spec.server_offset(), 4_321);
+        assert_eq!(spec.timestamp_policy(), TimestampPolicy::Hidden);
+        assert_eq!(spec.thread_count_per_section(), 9);
+        assert_eq!(spec.seed_value(), 77);
+        assert_eq!(spec.onion_key(), "x");
+    }
+}

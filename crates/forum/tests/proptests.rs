@@ -1,0 +1,126 @@
+//! Property-based tests for the forum simulator and scraper: scrape
+//! fidelity under arbitrary server offsets, pagination sizes, and polling
+//! intervals.
+
+use crowdtz_forum::{
+    CrowdComponent, ForumHost, ForumSpec, Scraper, SimulatedForum, TimestampPolicy,
+};
+use crowdtz_time::{CivilDateTime, Timestamp};
+use crowdtz_tor::TorNetwork;
+use proptest::prelude::*;
+
+fn crawl_clock() -> Timestamp {
+    Timestamp::from_civil_utc(CivilDateTime::new(2017, 2, 1, 0, 0, 0).unwrap())
+}
+
+fn spec(seed: u64, offset: i64, users: usize) -> ForumSpec {
+    ForumSpec::new("Prop Forum", vec![CrowdComponent::new("italy", 1.0)], users)
+        .seed(seed)
+        .server_offset_secs(offset)
+        .posts_per_user_per_day(0.4)
+}
+
+fn connect(forum: SimulatedForum, page_size: usize, seed: u64) -> Scraper {
+    let host = ForumHost::new(forum).page_size(page_size);
+    let mut network = TorNetwork::with_relays(40, seed);
+    let address = network.publish(host.into_hidden_service(seed)).unwrap();
+    Scraper::new(network.connect(&address, seed).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any server offset and pagination size, a calibrated dump equals
+    /// the ground truth exactly.
+    #[test]
+    fn calibrated_dump_is_lossless(
+        seed in 0u64..2_000,
+        offset_qh in -48i64..=48, // quarter hours
+        page_size in 1usize..200,
+    ) {
+        let offset = offset_qh * 900;
+        let forum = SimulatedForum::generate(&spec(seed, offset, 6));
+        let mut scraper = connect(forum.clone(), page_size, seed);
+        let report = scraper.calibrated_dump(crawl_clock()).unwrap();
+        prop_assert_eq!(report.offset_secs(), Some(offset));
+        prop_assert_eq!(report.utc_traces(), forum.ground_truth());
+        prop_assert_eq!(report.posts_seen(), forum.post_count());
+    }
+
+    /// Monitor mode observes exactly the posts in its window, each within
+    /// one polling interval of the truth, for any interval.
+    #[test]
+    fn monitor_is_complete_and_bounded(
+        seed in 0u64..1_000,
+        interval_hours in 1i64..12,
+    ) {
+        let interval = interval_hours * 3_600;
+        let forum = SimulatedForum::generate(
+            &spec(seed, 0, 5).policy(TimestampPolicy::Hidden),
+        );
+        let scraper = connect(forum.clone(), 50, seed);
+        let mut monitor = scraper.into_monitor();
+        let from = Timestamp::from_civil_utc(CivilDateTime::new(2016, 5, 1, 0, 0, 0).unwrap());
+        let to = Timestamp::from_civil_utc(CivilDateTime::new(2016, 6, 1, 0, 0, 0).unwrap());
+        let observed = monitor.run(from, to, interval).unwrap();
+        let truth = forum
+            .posts()
+            .iter()
+            .filter(|p| p.true_time() > from && p.true_time() <= to)
+            .count();
+        prop_assert_eq!(observed.total_posts(), truth);
+        for trace in observed.iter() {
+            for &obs in trace.posts() {
+                let ok = forum.posts().iter().any(|p| {
+                    p.author() == trace.id()
+                        && obs - p.true_time() >= 0
+                        && obs - p.true_time() <= interval
+                });
+                prop_assert!(ok);
+            }
+        }
+    }
+
+    /// The displayed delay under `DelayedUniform` is always within bounds
+    /// and non-negative.
+    #[test]
+    fn delay_policy_bounds(seed in 0u64..1_000, max_delay in 1u32..86_400) {
+        let forum = SimulatedForum::generate(
+            &spec(seed, 0, 4).policy(TimestampPolicy::DelayedUniform {
+                max_delay_secs: max_delay,
+            }),
+        );
+        for (i, p) in forum.posts().iter().enumerate() {
+            let shown = forum.shown_time(i).unwrap();
+            let delta = shown - p.true_time();
+            prop_assert!((0..i64::from(max_delay)).contains(&delta), "delta {delta}");
+        }
+    }
+
+    /// Forum generation allocates users across components proportionally
+    /// to their weights (±12 percentage points at these sizes).
+    #[test]
+    fn component_allocation_tracks_weights(seed in 0u64..500) {
+        let spec = ForumSpec::new(
+            "Mix",
+            vec![
+                CrowdComponent::new("italy", 0.7),
+                CrowdComponent::new("japan", 0.3),
+            ],
+            40,
+        )
+        .seed(seed);
+        let forum = SimulatedForum::generate(&spec);
+        let mut italians = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        for p in forum.posts() {
+            if seen.insert(p.author().to_owned())
+                && forum.author_region(p.author()).unwrap().as_str() == "italy"
+            {
+                italians += 1;
+            }
+        }
+        let share = italians as f64 / seen.len() as f64;
+        prop_assert!((0.58..=0.82).contains(&share), "italian share {share}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Terminal bar charts for the experiment harness.
+//!
+//! Every figure of the paper is a bar/line plot over 24 categories (hours
+//! of the day or time zones). The harness renders them as horizontal ASCII
+//! bar charts with an optional fitted-curve overlay so the reproduced
+//! figures are inspectable directly in the terminal and in
+//! `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+
+/// A configurable ASCII bar chart.
+///
+/// ```
+/// use crowdtz_stats::AsciiChart;
+/// let chart = AsciiChart::new("demo")
+///     .width(20)
+///     .labels(vec!["a".into(), "b".into()]);
+/// let text = chart.render(&[1.0, 0.5]);
+/// assert!(text.contains("demo"));
+/// assert!(text.contains('a'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    title: String,
+    width: usize,
+    labels: Vec<String>,
+    marker: char,
+    overlay_marker: char,
+}
+
+impl AsciiChart {
+    /// Creates a chart with the given title.
+    pub fn new(title: impl Into<String>) -> AsciiChart {
+        AsciiChart {
+            title: title.into(),
+            width: 60,
+            labels: Vec::new(),
+            marker: '█',
+            overlay_marker: '·',
+        }
+    }
+
+    /// Sets the bar area width in characters (minimum 10).
+    #[must_use]
+    pub fn width(mut self, width: usize) -> AsciiChart {
+        self.width = width.max(10);
+        self
+    }
+
+    /// Sets per-row labels; missing labels fall back to the row index.
+    #[must_use]
+    pub fn labels(mut self, labels: Vec<String>) -> AsciiChart {
+        self.labels = labels;
+        self
+    }
+
+    /// Sets the bar fill character.
+    #[must_use]
+    pub fn marker(mut self, marker: char) -> AsciiChart {
+        self.marker = marker;
+        self
+    }
+
+    fn label_for(&self, i: usize) -> String {
+        self.labels
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("{i}"))
+    }
+
+    fn label_width(&self, n: usize) -> usize {
+        (0..n).map(|i| self.label_for(i).len()).max().unwrap_or(1)
+    }
+
+    /// Renders one bar per value.
+    pub fn render(&self, values: &[f64]) -> String {
+        self.render_with_overlay(values, None)
+    }
+
+    /// Renders bars with an optional overlay series (e.g. a fitted
+    /// Gaussian) marked at its own column positions.
+    pub fn render_with_overlay(&self, values: &[f64], overlay: Option<&[f64]>) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "── {} ──", self.title);
+        if values.is_empty() {
+            let _ = writeln!(out, "(no data)");
+            return out;
+        }
+        let max = values
+            .iter()
+            .chain(overlay.unwrap_or(&[]).iter())
+            .copied()
+            .fold(0.0_f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let lw = self.label_width(values.len());
+        for (i, &v) in values.iter().enumerate() {
+            let bar_len = ((v / max) * self.width as f64).round().max(0.0) as usize;
+            let mut row: Vec<char> = vec![' '; self.width + 1];
+            for c in row.iter_mut().take(bar_len.min(self.width)) {
+                *c = self.marker;
+            }
+            if let Some(ov) = overlay {
+                if let Some(&o) = ov.get(i) {
+                    let pos = ((o / max) * self.width as f64).round() as usize;
+                    let pos = pos.min(self.width);
+                    row[pos] = self.overlay_marker;
+                }
+            }
+            let bar: String = row.into_iter().collect();
+            let _ = writeln!(
+                out,
+                "{:>lw$} │{} {:.4}",
+                self.label_for(i),
+                bar.trim_end(),
+                v,
+                lw = lw
+            );
+        }
+        out
+    }
+}
+
+/// Renders a 24-value series as a bar chart with hour labels `0h..23h`.
+pub fn render_bars(title: &str, values: &[f64]) -> String {
+    let labels = (0..values.len()).map(|h| format!("{h:02}h")).collect();
+    AsciiChart::new(title).labels(labels).render(values)
+}
+
+/// Renders a placement distribution over the 24 canonical time zones with
+/// a fitted-curve overlay (`·` marks).
+pub fn render_overlay(title: &str, values: &[f64], fitted: &[f64]) -> String {
+    let labels = (0..values.len())
+        .map(|i| {
+            let h = i as i32 - 11;
+            format!("UTC{h:+}")
+        })
+        .collect();
+    AsciiChart::new(title)
+        .labels(labels)
+        .render_with_overlay(values, Some(fitted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_rows_and_title() {
+        let text = render_bars("hours", &[1.0, 2.0, 3.0]);
+        assert!(text.contains("── hours ──"));
+        assert!(text.contains("00h"));
+        assert!(text.contains("02h"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn tallest_bar_is_longest() {
+        let text = AsciiChart::new("t").width(10).render(&[0.5, 1.0]);
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        let count = |s: &str| s.matches('█').count();
+        assert!(count(lines[1]) > count(lines[0]));
+        assert_eq!(count(lines[1]), 10);
+    }
+
+    #[test]
+    fn empty_series() {
+        let text = AsciiChart::new("t").render(&[]);
+        assert!(text.contains("(no data)"));
+    }
+
+    #[test]
+    fn zero_values_do_not_panic() {
+        let text = AsciiChart::new("t").render(&[0.0, 0.0]);
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn overlay_marks_present() {
+        let text = render_overlay("placement", &[0.1, 0.9, 0.1], &[0.2, 0.8, 0.2]);
+        assert!(text.contains('·'));
+        assert!(text.contains("UTC-11"));
+        assert!(text.contains("UTC-9"));
+    }
+
+    #[test]
+    fn custom_marker() {
+        let text = AsciiChart::new("t").marker('#').render(&[1.0]);
+        assert!(text.contains('#'));
+        assert!(!text.contains('█'));
+    }
+
+    #[test]
+    fn zone_labels_span_canonical_range() {
+        let values = vec![0.1; 24];
+        let text = render_overlay("z", &values, &values);
+        assert!(text.contains("UTC-11"));
+        assert!(text.contains("UTC+0"));
+        assert!(text.contains("UTC+12"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Descriptive statistics used across the workspace.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Weighted arithmetic mean; `0.0` when the total weight is zero.
+pub fn weighted_mean(xs: &[f64], ws: &[f64]) -> f64 {
+    let total: f64 = ws.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    xs.iter().zip(ws.iter()).map(|(x, w)| x * w).sum::<f64>() / total
+}
+
+/// Population variance; `0.0` for fewer than one element.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn population_std(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median (lower of the two middle elements for even lengths); `0.0` for an
+/// empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    v[(v.len() - 1) / 2]
+}
+
+/// A compact summary of a data series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a series; an empty series yields an all-zero summary.
+    ///
+    /// ```
+    /// use crowdtz_stats::Summary;
+    /// let s = Summary::of(&[1.0, 2.0, 3.0]);
+    /// assert_eq!(s.count, 3);
+    /// assert_eq!(s.mean, 2.0);
+    /// assert_eq!(s.min, 1.0);
+    /// assert_eq!(s.max, 3.0);
+    /// ```
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        Summary {
+            count: xs.len(),
+            mean: mean(xs),
+            std: population_std(xs),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(population_std(&xs), 2.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(weighted_mean(&[], &[]), 0.0);
+        assert_eq!(Summary::of(&[]).count, 0);
+    }
+
+    #[test]
+    fn weighted_mean_weights() {
+        assert_eq!(weighted_mean(&[1.0, 10.0], &[9.0, 1.0]), 1.9);
+        assert_eq!(weighted_mean(&[1.0, 10.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.0); // lower middle
+        assert_eq!(median(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn summary_of_known_series() {
+        let s = Summary::of(&[1.0, 1.0, 1.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1.0);
+    }
+}

@@ -1,0 +1,413 @@
+//! 24-bin histograms and probability distributions over the hours of a day.
+
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+
+/// Number of bins: the 24 hours of a civil day.
+pub const BINS: usize = 24;
+
+/// A histogram of event counts per hour of the day.
+///
+/// This is the raw object accumulated from activity traces; normalize it
+/// into a [`Distribution24`] to obtain the paper's activity profile.
+///
+/// ```
+/// use crowdtz_stats::Histogram24;
+///
+/// let mut h = Histogram24::new();
+/// h.add(9);          // one event at 09:00–09:59
+/// h.add_weighted(21, 2.0);
+/// assert_eq!(h.total(), 3.0);
+/// let p = h.normalized()?;
+/// assert!((p[21] - 2.0 / 3.0).abs() < 1e-12);
+/// # Ok::<(), crowdtz_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Histogram24 {
+    bins: [f64; BINS],
+}
+
+impl Histogram24 {
+    /// An empty histogram.
+    pub fn new() -> Histogram24 {
+        Histogram24::default()
+    }
+
+    /// A histogram with the given bin contents.
+    pub fn from_bins(bins: [f64; BINS]) -> Histogram24 {
+        Histogram24 { bins }
+    }
+
+    /// Adds one event at the given hour. Hours ≥ 24 wrap around.
+    pub fn add(&mut self, hour: u8) {
+        self.add_weighted(hour, 1.0);
+    }
+
+    /// Adds a weighted event at the given hour. Hours ≥ 24 wrap around.
+    pub fn add_weighted(&mut self, hour: u8, weight: f64) {
+        self.bins[hour as usize % BINS] += weight;
+    }
+
+    /// Adds every bin of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram24) {
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Total mass across all bins.
+    pub fn total(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// The raw bins.
+    pub fn bins(&self) -> &[f64; BINS] {
+        &self.bins
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0.0
+    }
+
+    /// Normalizes into a probability distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidDistribution`] when the histogram is
+    /// empty or contains negative / non-finite mass.
+    pub fn normalized(&self) -> Result<Distribution24, StatsError> {
+        Distribution24::from_weights(&self.bins)
+    }
+}
+
+impl Index<usize> for Histogram24 {
+    type Output = f64;
+
+    fn index(&self, hour: usize) -> &f64 {
+        &self.bins[hour]
+    }
+}
+
+impl FromIterator<u8> for Histogram24 {
+    /// Collects raw hour observations into a histogram.
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Histogram24 {
+        let mut h = Histogram24::new();
+        for hour in iter {
+            h.add(hour);
+        }
+        h
+    }
+}
+
+/// A probability distribution over the 24 hours of the day.
+///
+/// This is the type of the paper's activity profiles (Eq. 1 and Eq. 2):
+/// entries are non-negative and sum to 1 (within floating-point tolerance,
+/// re-normalized on construction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Distribution24 {
+    p: [f64; BINS],
+}
+
+impl Distribution24 {
+    /// The uniform distribution, `1/24` everywhere — the paper's artificial
+    /// "flat profile" used to filter bots (§IV.C, Figure 7).
+    pub fn uniform() -> Distribution24 {
+        Distribution24 {
+            p: [1.0 / BINS as f64; BINS],
+        }
+    }
+
+    /// A distribution concentrated on a single hour.
+    pub fn delta(hour: u8) -> Distribution24 {
+        let mut p = [0.0; BINS];
+        p[hour as usize % BINS] = 1.0;
+        Distribution24 { p }
+    }
+
+    /// Builds a distribution from non-negative weights, normalizing to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidDistribution`] when the weights contain
+    /// negative or non-finite values, or all are zero.
+    pub fn from_weights(weights: &[f64; BINS]) -> Result<Distribution24, StatsError> {
+        let mut total = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(StatsError::InvalidDistribution {
+                    reason: format!("weight {w} at bin {i} is negative or non-finite"),
+                });
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(StatsError::InvalidDistribution {
+                reason: "all weights are zero".to_owned(),
+            });
+        }
+        let mut p = [0.0; BINS];
+        for (dst, &w) in p.iter_mut().zip(weights.iter()) {
+            *dst = w / total;
+        }
+        Ok(Distribution24 { p })
+    }
+
+    /// Builds a distribution from a slice of exactly 24 weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::LengthMismatch`] for other lengths, and the
+    /// same validation errors as [`Distribution24::from_weights`].
+    pub fn from_slice(weights: &[f64]) -> Result<Distribution24, StatsError> {
+        let arr: &[f64; BINS] = weights.try_into().map_err(|_| StatsError::LengthMismatch {
+            left: weights.len(),
+            right: BINS,
+        })?;
+        Distribution24::from_weights(arr)
+    }
+
+    /// The probability of activity during hour `h`.
+    pub fn get(&self, hour: usize) -> f64 {
+        self.p[hour % BINS]
+    }
+
+    /// The probabilities as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.p
+    }
+
+    /// Rotates the distribution by `hours` (positive = towards later local
+    /// hours), wrapping around midnight.
+    ///
+    /// Shifting a UTC profile by a zone's offset yields that zone's profile
+    /// — the core trick of §IV: *"we can easily build the profile for every
+    /// region … by just shifting the generic profile"*.
+    ///
+    /// ```
+    /// use crowdtz_stats::Distribution24;
+    /// let d = Distribution24::delta(0);
+    /// assert_eq!(d.shifted(3).get(3), 1.0);
+    /// assert_eq!(d.shifted(-1).get(23), 1.0);
+    /// assert_eq!(d.shifted(24), d);
+    /// ```
+    #[must_use]
+    pub fn shifted(&self, hours: i32) -> Distribution24 {
+        let mut p = [0.0; BINS];
+        for (h, &v) in self.p.iter().enumerate() {
+            let dst = (h as i32 + hours).rem_euclid(BINS as i32) as usize;
+            p[dst] = v;
+        }
+        Distribution24 { p }
+    }
+
+    /// A convex mixture `(1-t)·self + t·other`; `t` is clamped to `[0, 1]`.
+    #[must_use]
+    pub fn mix(&self, other: &Distribution24, t: f64) -> Distribution24 {
+        let t = t.clamp(0.0, 1.0);
+        let mut p = [0.0; BINS];
+        for ((dst, &a), &b) in p.iter_mut().zip(self.p.iter()).zip(other.p.iter()) {
+            *dst = (1.0 - t) * a + t * b;
+        }
+        Distribution24 { p }
+    }
+
+    /// The hour with maximum probability (the daily activity peak).
+    pub fn peak_hour(&self) -> usize {
+        self.p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(h, _)| h)
+            .unwrap_or(0)
+    }
+
+    /// The hour with minimum probability (the night trough).
+    pub fn trough_hour(&self) -> usize {
+        self.p
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(h, _)| h)
+            .unwrap_or(0)
+    }
+
+    /// Shannon entropy in bits; `log2(24) ≈ 4.585` for the uniform profile.
+    ///
+    /// High entropy is a cheap flatness signal, complementing the EMD-based
+    /// bot filter.
+    pub fn entropy_bits(&self) -> f64 {
+        -self
+            .p
+            .iter()
+            .filter(|&&v| v > 0.0)
+            .map(|&v| v * v.log2())
+            .sum::<f64>()
+    }
+
+    /// Cumulative distribution: `cdf[h] = Σ_{i≤h} p[i]`; `cdf[23] = 1`.
+    pub fn cdf(&self) -> [f64; BINS] {
+        let mut out = [0.0; BINS];
+        let mut acc = 0.0;
+        for (dst, &v) in out.iter_mut().zip(self.p.iter()) {
+            acc += v;
+            *dst = acc;
+        }
+        out
+    }
+}
+
+impl Index<usize> for Distribution24 {
+    type Output = f64;
+
+    fn index(&self, hour: usize) -> &f64 {
+        &self.p[hour % BINS]
+    }
+}
+
+impl fmt::Display for Distribution24 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (h, v) in self.p.iter().enumerate() {
+            if h > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{v:.3}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_accumulates_and_wraps() {
+        let mut h = Histogram24::new();
+        h.add(5);
+        h.add(5);
+        h.add(29); // wraps to 5
+        assert_eq!(h[5], 3.0);
+        assert_eq!(h.total(), 3.0);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram24::new();
+        a.add(1);
+        let mut b = Histogram24::new();
+        b.add(1);
+        b.add(2);
+        a.merge(&b);
+        assert_eq!(a[1], 2.0);
+        assert_eq!(a[2], 1.0);
+    }
+
+    #[test]
+    fn histogram_from_iterator() {
+        let h: Histogram24 = vec![0u8, 0, 12].into_iter().collect();
+        assert_eq!(h[0], 2.0);
+        assert_eq!(h[12], 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_cannot_normalize() {
+        assert!(Histogram24::new().normalized().is_err());
+    }
+
+    #[test]
+    fn distribution_normalizes() {
+        let mut w = [0.0; BINS];
+        w[3] = 3.0;
+        w[4] = 1.0;
+        let d = Distribution24::from_weights(&w).unwrap();
+        assert!((d.get(3) - 0.75).abs() < 1e-12);
+        assert!((d.as_slice().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let mut w = [1.0; BINS];
+        w[0] = -0.1;
+        assert!(Distribution24::from_weights(&w).is_err());
+        w[0] = f64::NAN;
+        assert!(Distribution24::from_weights(&w).is_err());
+        assert!(Distribution24::from_weights(&[0.0; BINS]).is_err());
+        assert!(Distribution24::from_slice(&[1.0; 23]).is_err());
+    }
+
+    #[test]
+    fn shift_group_laws() {
+        let d = Distribution24::delta(7);
+        assert_eq!(d.shifted(0), d);
+        assert_eq!(d.shifted(5).shifted(-5), d);
+        assert_eq!(d.shifted(25), d.shifted(1));
+        assert_eq!(d.shifted(-1), d.shifted(23));
+    }
+
+    #[test]
+    fn uniform_properties() {
+        let u = Distribution24::uniform();
+        assert!((u.entropy_bits() - (BINS as f64).log2()).abs() < 1e-12);
+        assert_eq!(u.shifted(5), u);
+    }
+
+    #[test]
+    fn delta_entropy_zero() {
+        assert_eq!(Distribution24::delta(3).entropy_bits(), 0.0);
+    }
+
+    #[test]
+    fn peak_and_trough() {
+        let mut w = [1.0; BINS];
+        w[21] = 10.0;
+        w[4] = 0.1;
+        let d = Distribution24::from_weights(&w).unwrap();
+        assert_eq!(d.peak_hour(), 21);
+        assert_eq!(d.trough_hour(), 4);
+    }
+
+    #[test]
+    fn mix_endpoint_behaviour() {
+        let a = Distribution24::delta(0);
+        let b = Distribution24::delta(12);
+        assert_eq!(a.mix(&b, 0.0), a);
+        assert_eq!(a.mix(&b, 1.0), b);
+        let half = a.mix(&b, 0.5);
+        assert!((half.get(0) - 0.5).abs() < 1e-12);
+        assert!((half.get(12) - 0.5).abs() < 1e-12);
+        // Clamp out-of-range t.
+        assert_eq!(a.mix(&b, -3.0), a);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let d = Distribution24::uniform();
+        let cdf = d.cdf();
+        for w in cdf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!((cdf[BINS - 1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_24_values() {
+        let s = Distribution24::uniform().to_string();
+        assert_eq!(s.matches("0.042").count(), 24);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Distribution24::delta(9);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Distribution24 = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for statistical operations.
+
+use std::fmt;
+
+/// The error type returned by fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// A distribution was built from weights that do not form a valid
+    /// probability vector (negative, non-finite, or all-zero mass).
+    InvalidDistribution {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+    /// Two sequences that must have equal length did not.
+    LengthMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+    /// Not enough data points for the requested operation.
+    NotEnoughData {
+        /// Points available.
+        got: usize,
+        /// Points required.
+        needed: usize,
+    },
+    /// An iterative fit failed to converge or produced a degenerate model.
+    FitFailed {
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// A sequence had zero variance where variation is required
+    /// (e.g. Pearson correlation of a constant series).
+    ZeroVariance,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidDistribution { reason } => {
+                write!(f, "invalid probability distribution: {reason}")
+            }
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            StatsError::NotEnoughData { got, needed } => {
+                write!(f, "not enough data: got {got}, need at least {needed}")
+            }
+            StatsError::FitFailed { reason } => write!(f, "fit failed: {reason}"),
+            StatsError::ZeroVariance => {
+                write!(f, "series has zero variance; correlation undefined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_detail() {
+        let e = StatsError::LengthMismatch { left: 3, right: 24 };
+        assert!(e.to_string().contains("3 vs 24"));
+        let e = StatsError::NotEnoughData { got: 1, needed: 2 };
+        assert!(e.to_string().contains("got 1"));
+        assert!(StatsError::ZeroVariance.to_string().contains("variance"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<StatsError>();
+    }
+}

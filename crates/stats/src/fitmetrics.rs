@@ -1,0 +1,157 @@
+//! Goodness-of-fit metrics for Table II.
+//!
+//! The paper quantifies how well fitted Gaussians match crowd placement
+//! distributions with *"the average and standard deviation of the
+//! point-by-point distance of the two"*, and benchmarks against the
+//! Malaysian placement compared with its own fit shifted by 12 hours
+//! (Table II's "Baseline" row).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::descriptive;
+use crate::error::StatsError;
+
+/// The point-by-point distance between a fitted curve and an empirical
+/// distribution: its average and standard deviation (Table II columns).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitQuality {
+    /// Mean of |fit(x_i) − data_i| over all points.
+    pub average: f64,
+    /// Population standard deviation of the same distances.
+    pub standard_deviation: f64,
+}
+
+impl FitQuality {
+    /// Computes the metric between fitted values and observed values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::LengthMismatch`] when lengths differ and
+    /// [`StatsError::NotEnoughData`] for empty input.
+    ///
+    /// ```
+    /// use crowdtz_stats::FitQuality;
+    /// let q = FitQuality::between(&[0.1, 0.2], &[0.1, 0.3])?;
+    /// assert!((q.average - 0.05).abs() < 1e-12);
+    /// # Ok::<(), crowdtz_stats::StatsError>(())
+    /// ```
+    pub fn between(fitted: &[f64], observed: &[f64]) -> Result<FitQuality, StatsError> {
+        if fitted.len() != observed.len() {
+            return Err(StatsError::LengthMismatch {
+                left: fitted.len(),
+                right: observed.len(),
+            });
+        }
+        if fitted.is_empty() {
+            return Err(StatsError::NotEnoughData { got: 0, needed: 1 });
+        }
+        let distances: Vec<f64> = fitted
+            .iter()
+            .zip(observed.iter())
+            .map(|(&f, &o)| (f - o).abs())
+            .collect();
+        Ok(FitQuality {
+            average: descriptive::mean(&distances),
+            standard_deviation: descriptive::population_std(&distances),
+        })
+    }
+
+    /// The Table II baseline: the observed distribution compared against
+    /// the fitted values rotated by `shift` positions (the paper uses a
+    /// 12-hour shift of the Malaysian fit).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FitQuality::between`].
+    pub fn shifted_baseline(
+        fitted: &[f64],
+        observed: &[f64],
+        shift: usize,
+    ) -> Result<FitQuality, StatsError> {
+        if fitted.len() != observed.len() {
+            return Err(StatsError::LengthMismatch {
+                left: fitted.len(),
+                right: observed.len(),
+            });
+        }
+        if fitted.is_empty() {
+            return Err(StatsError::NotEnoughData { got: 0, needed: 1 });
+        }
+        let n = fitted.len();
+        let rotated: Vec<f64> = (0..n).map(|i| fitted[(i + shift) % n]).collect();
+        FitQuality::between(&rotated, observed)
+    }
+}
+
+impl fmt::Display for FitQuality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "avg={:.3} std={:.3}",
+            self.average, self.standard_deviation
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fit_is_zero() {
+        let q = FitQuality::between(&[0.1, 0.5, 0.4], &[0.1, 0.5, 0.4]).unwrap();
+        assert_eq!(q.average, 0.0);
+        assert_eq!(q.standard_deviation, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let q = FitQuality::between(&[0.0, 0.0], &[0.1, 0.3]).unwrap();
+        assert!((q.average - 0.2).abs() < 1e-12);
+        assert!((q.standard_deviation - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(FitQuality::between(&[0.1], &[0.1, 0.2]).is_err());
+        assert!(FitQuality::between(&[], &[]).is_err());
+        assert!(FitQuality::shifted_baseline(&[0.1], &[0.1, 0.2], 3).is_err());
+        assert!(FitQuality::shifted_baseline(&[], &[], 12).is_err());
+    }
+
+    #[test]
+    fn baseline_worse_than_aligned_for_peaked_data() {
+        // A peaked distribution vs itself: aligned = 0; shifted 12 ≫ 0.
+        let data: Vec<f64> = (0..24)
+            .map(|h| {
+                let z = (h as f64 - 20.0) / 2.5;
+                0.3 * (-0.5 * z * z).exp()
+            })
+            .collect();
+        let aligned = FitQuality::between(&data, &data).unwrap();
+        let shifted = FitQuality::shifted_baseline(&data, &data, 12).unwrap();
+        assert_eq!(aligned.average, 0.0);
+        assert!(shifted.average > 10.0 * f64::EPSILON);
+        assert!(shifted.average > aligned.average);
+    }
+
+    #[test]
+    fn shift_of_zero_equals_between() {
+        let fitted = [0.2, 0.3, 0.5];
+        let observed = [0.3, 0.3, 0.4];
+        let a = FitQuality::between(&fitted, &observed).unwrap();
+        let b = FitQuality::shifted_baseline(&fitted, &observed, 0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display() {
+        let q = FitQuality {
+            average: 0.0123,
+            standard_deviation: 0.0456,
+        };
+        assert_eq!(q.to_string(), "avg=0.012 std=0.046");
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the statistical kernels.
+
+use crowdtz_stats::{
+    circular_emd, fit_gaussian, linear_emd, min_shift_emd, pearson, Distribution24, FitQuality,
+    GaussianCurve, Histogram24, BINS,
+};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary valid 24-bin distribution.
+fn distribution() -> impl Strategy<Value = Distribution24> {
+    proptest::collection::vec(0.0_f64..100.0, BINS).prop_filter_map("needs mass", |v| {
+        let arr: [f64; BINS] = v.try_into().ok()?;
+        Distribution24::from_weights(&arr).ok()
+    })
+}
+
+proptest! {
+    /// EMD identity of indiscernibles (one direction): d(p, p) = 0.
+    #[test]
+    fn emd_self_distance_zero(p in distribution()) {
+        prop_assert!(linear_emd(&p, &p).abs() < 1e-12);
+        prop_assert!(circular_emd(&p, &p).abs() < 1e-12);
+    }
+
+    /// EMD symmetry.
+    #[test]
+    fn emd_symmetry(p in distribution(), q in distribution()) {
+        prop_assert!((linear_emd(&p, &q) - linear_emd(&q, &p)).abs() < 1e-9);
+        prop_assert!((circular_emd(&p, &q) - circular_emd(&q, &p)).abs() < 1e-9);
+    }
+
+    /// EMD triangle inequality.
+    #[test]
+    fn emd_triangle(p in distribution(), q in distribution(), r in distribution()) {
+        let eps = 1e-9;
+        prop_assert!(linear_emd(&p, &r) <= linear_emd(&p, &q) + linear_emd(&q, &r) + eps);
+        prop_assert!(circular_emd(&p, &r) <= circular_emd(&p, &q) + circular_emd(&q, &r) + eps);
+    }
+
+    /// Circular EMD is invariant under joint rotation.
+    #[test]
+    fn circular_emd_rotation_invariant(p in distribution(), q in distribution(), s in 0i32..24) {
+        let d0 = circular_emd(&p, &q);
+        let d1 = circular_emd(&p.shifted(s), &q.shifted(s));
+        prop_assert!((d0 - d1).abs() < 1e-9);
+    }
+
+    /// Circular EMD never exceeds linear EMD and both are bounded by 12/23.
+    #[test]
+    fn emd_bounds(p in distribution(), q in distribution()) {
+        let lin = linear_emd(&p, &q);
+        let circ = circular_emd(&p, &q);
+        prop_assert!(circ <= lin + 1e-9);
+        prop_assert!(lin <= 23.0 + 1e-9);
+        prop_assert!(circ <= 12.0 + 1e-9);
+    }
+
+    /// min_shift_emd of a pure rotation recovers the rotation exactly.
+    #[test]
+    fn min_shift_recovers_rotation(p in distribution(), s in -11i32..=12) {
+        let rotated = p.shifted(s);
+        let (_found, d) = min_shift_emd(&rotated, &p);
+        // The residual at the true inverse shift must be ~0, so min is ~0.
+        prop_assert!(d < 1e-9);
+    }
+
+    /// Distributions stay normalized under shifting and mixing.
+    #[test]
+    fn distribution_invariants(p in distribution(), q in distribution(), s in -48i32..48, t in 0.0f64..1.0) {
+        let total: f64 = p.shifted(s).as_slice().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let total: f64 = p.mix(&q, t).as_slice().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for &v in p.mix(&q, t).as_slice() {
+            prop_assert!(v >= -1e-12);
+        }
+    }
+
+    /// Histogram normalization agrees with manual division.
+    #[test]
+    fn histogram_normalization(hours in proptest::collection::vec(0u8..24, 1..200)) {
+        let h: Histogram24 = hours.iter().copied().collect();
+        let d = h.normalized().unwrap();
+        let n = hours.len() as f64;
+        for hour in 0..BINS {
+            let count = hours.iter().filter(|&&x| x as usize == hour).count() as f64;
+            prop_assert!((d.get(hour) - count / n).abs() < 1e-12);
+        }
+    }
+
+    /// Pearson correlation is bounded and symmetric.
+    #[test]
+    fn pearson_bounded_symmetric(
+        x in proptest::collection::vec(-100.0f64..100.0, 4..32),
+    ) {
+        let y: Vec<f64> = x.iter().rev().copied().collect();
+        if let (Ok(a), Ok(b)) = (pearson(&x, &y), pearson(&y, &x)) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&a));
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Pearson is invariant under positive affine transforms.
+    #[test]
+    fn pearson_affine_invariant(
+        x in proptest::collection::vec(-50.0f64..50.0, 4..24),
+        scale in 0.1f64..10.0,
+        offset in -10.0f64..10.0,
+    ) {
+        let y: Vec<f64> = x.iter().enumerate().map(|(i, &v)| v + (i as f64).sin()).collect();
+        let x2: Vec<f64> = x.iter().map(|&v| scale * v + offset).collect();
+        if let (Ok(a), Ok(b)) = (pearson(&x, &y), pearson(&x2, &y)) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Gaussian fitting on exact curves recovers parameters.
+    #[test]
+    fn gaussian_fit_recovers(
+        mean in -8.0f64..8.0,
+        sigma in 1.0f64..4.0,
+        amp in 0.05f64..1.0,
+    ) {
+        let truth = GaussianCurve::new(mean, sigma, amp);
+        let xs: Vec<f64> = (-11..=12).map(f64::from).collect();
+        let ys = truth.eval_all(&xs);
+        let fit = fit_gaussian(&xs, &ys, Some(2.5)).unwrap();
+        prop_assert!((fit.mean - mean).abs() < 0.1, "{} vs {}", fit.mean, mean);
+        prop_assert!((fit.sigma - sigma).abs() < 0.2, "{} vs {}", fit.sigma, sigma);
+    }
+
+    /// FitQuality is zero iff series are identical, and non-negative.
+    #[test]
+    fn fit_quality_nonnegative(
+        a in proptest::collection::vec(0.0f64..1.0, 24),
+        b in proptest::collection::vec(0.0f64..1.0, 24),
+    ) {
+        let q = FitQuality::between(&a, &b).unwrap();
+        prop_assert!(q.average >= 0.0);
+        prop_assert!(q.standard_deviation >= 0.0);
+        let same = FitQuality::between(&a, &a).unwrap();
+        prop_assert_eq!(same.average, 0.0);
+    }
+}

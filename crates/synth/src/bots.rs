@@ -1,0 +1,213 @@
+//! Flat-profile users: bots and shift workers.
+//!
+//! §IV.C of the paper: users whose activity is *"very close to being
+//! uniformly distributed over all the hours"* are typically bots — or,
+//! rarely, shift workers — and carry no time-zone information, so the
+//! polishing step removes them. These generators produce exactly those two
+//! kinds of user so the filter can be exercised.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crowdtz_time::{Date, Timestamp, UserTrace, SECS_PER_DAY};
+
+use crate::sampling::poisson;
+
+/// Specification of an automated poster (a bot).
+///
+/// Bots run on server cron schedules, not on human circadian rhythm:
+/// posts are spread uniformly over the whole day in UTC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BotSpec {
+    /// Mean posts per day.
+    pub posts_per_day: f64,
+    /// First day of activity (UTC).
+    pub start: Date,
+    /// Last day of activity (UTC), inclusive.
+    pub end: Date,
+}
+
+impl Default for BotSpec {
+    /// A bot posting 2 times/day through 2016.
+    fn default() -> BotSpec {
+        BotSpec {
+            posts_per_day: 2.0,
+            start: Date::new(2016, 1, 1).expect("static date"),
+            end: Date::new(2016, 12, 31).expect("static date"),
+        }
+    }
+}
+
+/// Generates a bot's trace: Poisson posts uniformly over each UTC day.
+///
+/// ```
+/// use crowdtz_synth::{generate_bot, BotSpec};
+/// let trace = generate_bot("bot-1", &BotSpec::default(), 7);
+/// assert!(trace.len() > 300);
+/// ```
+pub fn generate_bot(id: &str, spec: &BotSpec, seed: u64) -> UserTrace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB07_B07);
+    let mut posts = Vec::new();
+    for date in spec.start.iter_to(spec.end) {
+        let n = poisson(&mut rng, spec.posts_per_day);
+        let day_start = date.days_since_epoch() * SECS_PER_DAY;
+        for _ in 0..n {
+            posts.push(Timestamp::from_secs(
+                day_start + rng.gen_range(0..SECS_PER_DAY),
+            ));
+        }
+    }
+    UserTrace::new(id, posts)
+}
+
+/// Specification of a rotating-shift worker.
+///
+/// The worker posts only during the off-shift leisure window; the shift
+/// rotates every `rotation_days` through three 8-hour patterns, so the
+/// long-run profile flattens out even though each week is strongly peaked.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShiftWorkerSpec {
+    /// Mean posts per day.
+    pub posts_per_day: f64,
+    /// Days between shift rotations.
+    pub rotation_days: u32,
+    /// First day of activity (local = UTC offset handled by caller).
+    pub start: Date,
+    /// Last day of activity, inclusive.
+    pub end: Date,
+}
+
+impl Default for ShiftWorkerSpec {
+    /// Weekly-rotating worker posting 1.5 times/day through 2016.
+    fn default() -> ShiftWorkerSpec {
+        ShiftWorkerSpec {
+            posts_per_day: 1.5,
+            rotation_days: 7,
+            start: Date::new(2016, 1, 1).expect("static date"),
+            end: Date::new(2016, 12, 31).expect("static date"),
+        }
+    }
+}
+
+/// Generates a rotating-shift worker's trace.
+///
+/// Each rotation period the 8-hour posting window moves: 14–22, 22–06,
+/// 06–14. Aggregated over months the hour histogram approaches uniform.
+pub fn generate_shift_worker(id: &str, spec: &ShiftWorkerSpec, seed: u64) -> UserTrace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5817F7);
+    let windows: [i64; 3] = [14, 22, 6]; // window start hours
+    let mut posts = Vec::new();
+    for date in spec.start.iter_to(spec.end) {
+        let day_index = date.days_since_epoch() - spec.start.days_since_epoch();
+        let rotation = (day_index / i64::from(spec.rotation_days.max(1))) as usize % 3;
+        let window_start_hour = windows[rotation];
+        let n = poisson(&mut rng, spec.posts_per_day);
+        let day_start = date.days_since_epoch() * SECS_PER_DAY;
+        for _ in 0..n {
+            let sec_in_window = rng.gen_range(0..8 * 3_600);
+            let sec = (window_start_hour * 3_600 + sec_in_window).rem_euclid(SECS_PER_DAY);
+            // Window may wrap past midnight; keep it on the same civil day
+            // for simplicity (the wrap only blurs the profile further).
+            posts.push(Timestamp::from_secs(day_start + sec));
+        }
+    }
+    UserTrace::new(id, posts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtz_stats::{circular_emd, Distribution24, Histogram24};
+    use crowdtz_time::TzOffset;
+
+    fn profile(trace: &UserTrace) -> Distribution24 {
+        let h: Histogram24 = trace
+            .posts()
+            .iter()
+            .map(|&t| t.hour_in_offset(TzOffset::UTC))
+            .collect();
+        h.normalized().unwrap()
+    }
+
+    #[test]
+    fn bot_profile_is_nearly_flat() {
+        let trace = generate_bot("b", &BotSpec::default(), 1);
+        let d = profile(&trace);
+        let dist = circular_emd(&d, &Distribution24::uniform());
+        assert!(dist < 0.5, "bot EMD to uniform = {dist}");
+    }
+
+    #[test]
+    fn bot_is_deterministic() {
+        let a = generate_bot("b", &BotSpec::default(), 5);
+        let b = generate_bot("b", &BotSpec::default(), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bot_respects_period() {
+        let spec = BotSpec {
+            posts_per_day: 5.0,
+            start: Date::new(2016, 3, 1).unwrap(),
+            end: Date::new(2016, 3, 31).unwrap(),
+        };
+        let trace = generate_bot("b", &spec, 2);
+        let lo = Date::new(2016, 3, 1).unwrap().days_since_epoch() * SECS_PER_DAY;
+        let hi = Date::new(2016, 4, 1).unwrap().days_since_epoch() * SECS_PER_DAY;
+        for &p in trace.posts() {
+            assert!(p.as_secs() >= lo && p.as_secs() < hi);
+        }
+    }
+
+    #[test]
+    fn shift_worker_long_run_flattens() {
+        let trace = generate_shift_worker("w", &ShiftWorkerSpec::default(), 3);
+        let d = profile(&trace);
+        // Flatter than a normal human profile: closer to uniform than a
+        // standard rhythm is.
+        let human = crate::diurnal::DiurnalModel::standard().distribution();
+        let worker_flatness = circular_emd(&d, &Distribution24::uniform());
+        let human_flatness = circular_emd(&human, &Distribution24::uniform());
+        assert!(
+            worker_flatness < human_flatness * 0.6,
+            "worker {worker_flatness} vs human {human_flatness}"
+        );
+    }
+
+    #[test]
+    fn shift_worker_single_rotation_is_peaked() {
+        // Within one rotation the worker posts in one 8-hour window only.
+        let spec = ShiftWorkerSpec {
+            posts_per_day: 4.0,
+            rotation_days: 400, // never rotates within the period
+            start: Date::new(2016, 1, 1).unwrap(),
+            end: Date::new(2016, 3, 31).unwrap(),
+        };
+        let trace = generate_shift_worker("w", &spec, 4);
+        let d = profile(&trace);
+        // All mass within hours 14..22.
+        let in_window: f64 = (14..22).map(|h| d.get(h)).sum();
+        assert!((in_window - 1.0).abs() < 1e-9, "in window {in_window}");
+    }
+
+    #[test]
+    fn volumes_scale() {
+        let low = generate_bot(
+            "b",
+            &BotSpec {
+                posts_per_day: 0.5,
+                ..BotSpec::default()
+            },
+            9,
+        );
+        let high = generate_bot(
+            "b",
+            &BotSpec {
+                posts_per_day: 5.0,
+                ..BotSpec::default()
+            },
+            9,
+        );
+        assert!(high.len() > low.len() * 5);
+    }
+}

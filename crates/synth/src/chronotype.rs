@@ -1,0 +1,196 @@
+//! Chronotypes: systematic per-person deviations from the standard rhythm.
+//!
+//! §IV.A of the paper: *"Despite a common nationality, the habits of two
+//! different people are not exactly the same. For example, youngsters tend
+//! to go to sleep later than older people, parents wake up earlier than
+//! teenagers, and so on."* These within-region differences are what spreads
+//! a single-country placement into a Gaussian with σ ≈ 2.5 instead of a
+//! spike; the chronotypes below reproduce them.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::diurnal::DiurnalModel;
+use crate::sampling::sample_discrete;
+
+/// A person's systematic daily-rhythm type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Chronotype {
+    /// The population-average rhythm.
+    #[default]
+    Typical,
+    /// Up early, asleep early — the whole curve runs about an hour early.
+    EarlyBird,
+    /// Awake late into the night; curve runs late with a heavier night tail.
+    NightOwl,
+    /// Early mornings forced by children; suppressed late evening.
+    Parent,
+    /// Very late rise, activity concentrated in the evening and night.
+    Teenager,
+}
+
+impl Chronotype {
+    /// All chronotypes.
+    pub const ALL: [Chronotype; 5] = [
+        Chronotype::Typical,
+        Chronotype::EarlyBird,
+        Chronotype::NightOwl,
+        Chronotype::Parent,
+        Chronotype::Teenager,
+    ];
+
+    /// Population mixing weights (sum to 1).
+    pub fn population_weights() -> [f64; 5] {
+        [0.45, 0.15, 0.20, 0.12, 0.08]
+    }
+
+    /// Samples a chronotype from the population mix.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Chronotype {
+        Chronotype::ALL[sample_discrete(rng, &Chronotype::population_weights())]
+    }
+
+    /// The typical phase shift of this chronotype relative to the standard
+    /// rhythm, in hours (positive = later).
+    pub fn phase_shift(self) -> i32 {
+        match self {
+            Chronotype::Typical => 0,
+            Chronotype::EarlyBird | Chronotype::Parent => -1,
+            Chronotype::NightOwl => 1,
+            Chronotype::Teenager => 2,
+        }
+    }
+
+    /// Derives this chronotype's personal rhythm from a base model.
+    pub fn personalize(self, base: &DiurnalModel) -> DiurnalModel {
+        let shifted = base.rotated(self.phase_shift());
+        match self {
+            Chronotype::Typical => shifted,
+            Chronotype::EarlyBird => {
+                // Slightly flatter evening: blend a bit towards the shifted
+                // base with the night tail clipped.
+                let mut w = *shifted.weights();
+                for h in [22usize, 23, 0, 1] {
+                    w[h] *= 0.6;
+                }
+                for h in [6usize, 7, 8] {
+                    w[h] *= 1.3;
+                }
+                DiurnalModel::from_weights(w)
+            }
+            Chronotype::NightOwl => {
+                let mut w = *shifted.weights();
+                for h in [23usize, 0, 1, 2] {
+                    w[h] *= 1.8;
+                }
+                for h in [7usize, 8, 9] {
+                    w[h] *= 0.6;
+                }
+                DiurnalModel::from_weights(w)
+            }
+            Chronotype::Parent => {
+                let mut w = *shifted.weights();
+                for h in [6usize, 7] {
+                    w[h] *= 1.6;
+                }
+                for h in [22usize, 23, 0] {
+                    w[h] *= 0.5;
+                }
+                DiurnalModel::from_weights(w)
+            }
+            Chronotype::Teenager => {
+                let mut w = *shifted.weights();
+                for h in [0usize, 1, 2] {
+                    w[h] *= 1.6;
+                }
+                for h in [6usize, 7, 8, 9] {
+                    w[h] *= 0.4;
+                }
+                DiurnalModel::from_weights(w)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let total: f64 = Chronotype::population_weights().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_covers_all_types() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(Chronotype::sample(&mut rng));
+        }
+        assert_eq!(seen.len(), Chronotype::ALL.len());
+    }
+
+    #[test]
+    fn typical_is_pure_base() {
+        let base = DiurnalModel::standard();
+        assert_eq!(Chronotype::Typical.personalize(&base), base);
+    }
+
+    #[test]
+    fn night_owl_shifts_late() {
+        let base = DiurnalModel::standard();
+        let owl = Chronotype::NightOwl.personalize(&base).distribution();
+        let typical = base.distribution();
+        // More mass after midnight.
+        let owl_night: f64 = [0usize, 1, 2].iter().map(|&h| owl.get(h)).sum();
+        let typ_night: f64 = [0usize, 1, 2].iter().map(|&h| typical.get(h)).sum();
+        assert!(owl_night > typ_night);
+    }
+
+    #[test]
+    fn early_bird_shifts_early() {
+        let base = DiurnalModel::standard();
+        let bird = Chronotype::EarlyBird.personalize(&base).distribution();
+        let typical = base.distribution();
+        let bird_morning: f64 = (6..=8).map(|h| bird.get(h)).sum();
+        let typ_morning: f64 = (6..=8).map(|h| typical.get(h)).sum();
+        assert!(bird_morning > typ_morning);
+        assert!(bird.peak_hour() < typical.peak_hour());
+    }
+
+    #[test]
+    fn teenager_suppresses_morning() {
+        let base = DiurnalModel::standard();
+        let teen = Chronotype::Teenager.personalize(&base).distribution();
+        let typical = base.distribution();
+        let teen_morning: f64 = (6..=9).map(|h| teen.get(h)).sum();
+        let typ_morning: f64 = (6..=9).map(|h| typical.get(h)).sum();
+        assert!(teen_morning < typ_morning);
+    }
+
+    #[test]
+    fn all_personalizations_keep_evening_peak_band() {
+        // Whatever the chronotype, the peak stays within the broad evening
+        // band (the paper's profiles all peak 17–23 local, ±2h chronotype).
+        let base = DiurnalModel::standard();
+        for ct in Chronotype::ALL {
+            let peak = ct.personalize(&base).distribution().peak_hour();
+            assert!((17..=23).contains(&peak) || peak <= 1, "{ct:?} peak {peak}");
+        }
+    }
+
+    #[test]
+    fn phase_shifts_are_small() {
+        for ct in Chronotype::ALL {
+            assert!(ct.phase_shift().abs() <= 2);
+        }
+    }
+
+    #[test]
+    fn default_is_typical() {
+        assert_eq!(Chronotype::default(), Chronotype::Typical);
+    }
+}

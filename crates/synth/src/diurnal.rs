@@ -1,0 +1,282 @@
+//! The diurnal activity model: *when during the local day people post*.
+//!
+//! The paper's entire method rests on the stability of this curve: §III
+//! observes (citing the Facebook and YouTube measurement studies [5], [6])
+//! that requests *"steadily grow from the early morning to the afternoon
+//! with a peak between 17:00 and 22:00, then the number of requests drops
+//! rapidly during the night"*, and §IV adds the night trough between 1 h
+//! and 7 h and a lunch-time dip visible in single-user profiles (Fig. 1).
+//! Crucially, the curve is near-identical across the 14 ground-truth
+//! regions once shifted to a common time zone (pairwise Pearson ≈ 0.9).
+
+use serde::{Deserialize, Serialize};
+
+use crowdtz_stats::Distribution24;
+use crowdtz_time::HOURS_PER_DAY;
+
+/// A 24-hour template of relative posting intensity in **local time**.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalModel {
+    weights: [f64; HOURS_PER_DAY],
+}
+
+impl DiurnalModel {
+    /// The standard human rhythm used throughout the reproduction.
+    ///
+    /// Landmarks (local time), matching the paper's description:
+    /// * deep trough between 01 h and 07 h, minimum around 04–05 h;
+    /// * steady morning rise from 07 h;
+    /// * slight lunch dip around 13 h;
+    /// * growth through the afternoon into an evening peak at 21–22 h;
+    /// * rapid drop after 22 h.
+    ///
+    /// ```
+    /// use crowdtz_synth::DiurnalModel;
+    /// let d = DiurnalModel::standard().distribution();
+    /// assert!((20..=22).contains(&d.peak_hour()));
+    /// assert!((3..=5).contains(&d.trough_hour()));
+    /// ```
+    pub fn standard() -> DiurnalModel {
+        DiurnalModel {
+            weights: [
+                0.50, // 00
+                0.24, // 01
+                0.12, // 02
+                0.07, // 03
+                0.05, // 04  trough
+                0.06, // 05
+                0.10, // 06
+                0.22, // 07
+                0.42, // 08
+                0.58, // 09
+                0.66, // 10
+                0.70, // 11
+                0.68, // 12
+                0.60, // 13  lunch dip
+                0.64, // 14
+                0.70, // 15
+                0.76, // 16
+                0.84, // 17
+                0.90, // 18
+                0.94, // 19
+                0.98, // 20
+                1.00, // 21  evening peak
+                0.96, // 22
+                0.74, // 23
+            ],
+        }
+    }
+
+    /// A flat model (every hour equally likely) — what bots look like.
+    pub fn flat() -> DiurnalModel {
+        DiurnalModel {
+            weights: [1.0; HOURS_PER_DAY],
+        }
+    }
+
+    /// Builds a model from raw non-negative weights.
+    ///
+    /// Weights are used relatively; they need not sum to anything
+    /// particular. Negative entries are clamped to zero.
+    pub fn from_weights(weights: [f64; HOURS_PER_DAY]) -> DiurnalModel {
+        let mut w = weights;
+        for v in &mut w {
+            if !v.is_finite() || *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        DiurnalModel { weights: w }
+    }
+
+    /// The weekend variant of this model: mornings start later and
+    /// late-night activity is higher, as observed in the access-pattern
+    /// studies the paper builds on.
+    #[must_use]
+    pub fn weekend(&self) -> DiurnalModel {
+        let mut w = [0.0; HOURS_PER_DAY];
+        for (h, dst) in w.iter_mut().enumerate() {
+            // Push the morning one hour later and lift the night tail.
+            let shifted = self.weights[(h + HOURS_PER_DAY - 1) % HOURS_PER_DAY];
+            let base = self.weights[h];
+            let mixed = if (6..12).contains(&h) {
+                0.4 * base + 0.6 * shifted
+            } else {
+                base
+            };
+            *dst = if h <= 2 || h == 23 {
+                mixed * 1.35
+            } else {
+                mixed
+            };
+        }
+        DiurnalModel { weights: w }
+    }
+
+    /// The raw hourly weights.
+    pub fn weights(&self) -> &[f64; HOURS_PER_DAY] {
+        &self.weights
+    }
+
+    /// The model normalized to a probability distribution over hours.
+    pub fn distribution(&self) -> Distribution24 {
+        Distribution24::from_weights(&self.weights)
+            .expect("diurnal weights validated at construction")
+    }
+
+    /// Relative intensity at a fractional local hour (circular linear
+    /// interpolation); used when thinning continuous-time events.
+    pub fn intensity(&self, local_hour: f64) -> f64 {
+        let h = local_hour.rem_euclid(24.0);
+        let lo = h.floor() as usize % HOURS_PER_DAY;
+        let hi = (lo + 1) % HOURS_PER_DAY;
+        let frac = h - h.floor();
+        self.weights[lo] * (1.0 - frac) + self.weights[hi] * frac
+    }
+
+    /// Circularly rotates the template by a fractional number of hours
+    /// (positive = later), resampling through linear interpolation.
+    ///
+    /// Human chronotypes vary continuously, not in whole-hour steps; the
+    /// population generator uses this to avoid artificial clustering of
+    /// users at discrete phase offsets.
+    #[must_use]
+    pub fn rotated_fractional(&self, hours: f64) -> DiurnalModel {
+        let mut w = [0.0; HOURS_PER_DAY];
+        for (h, dst) in w.iter_mut().enumerate() {
+            *dst = self.intensity(h as f64 - hours);
+        }
+        DiurnalModel { weights: w }
+    }
+
+    /// Circularly rotates the template by `hours` (positive = later).
+    #[must_use]
+    pub fn rotated(&self, hours: i32) -> DiurnalModel {
+        let mut w = [0.0; HOURS_PER_DAY];
+        for (h, &v) in self.weights.iter().enumerate() {
+            let dst = (h as i32 + hours).rem_euclid(HOURS_PER_DAY as i32) as usize;
+            w[dst] = v;
+        }
+        DiurnalModel { weights: w }
+    }
+
+    /// Blends this model towards another: `(1−t)·self + t·other`.
+    #[must_use]
+    pub fn blended(&self, other: &DiurnalModel, t: f64) -> DiurnalModel {
+        let t = t.clamp(0.0, 1.0);
+        let mut w = [0.0; HOURS_PER_DAY];
+        for (h, dst) in w.iter_mut().enumerate() {
+            *dst = (1.0 - t) * self.weights[h] + t * other.weights[h];
+        }
+        DiurnalModel { weights: w }
+    }
+}
+
+impl Default for DiurnalModel {
+    /// [`DiurnalModel::standard`].
+    fn default() -> DiurnalModel {
+        DiurnalModel::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_landmarks() {
+        let d = DiurnalModel::standard().distribution();
+        // Peak in the paper's 17–22 evening band.
+        assert!((17..=22).contains(&d.peak_hour()), "peak {}", d.peak_hour());
+        // Trough inside the 1–7 night band.
+        assert!(
+            (1..=7).contains(&d.trough_hour()),
+            "trough {}",
+            d.trough_hour()
+        );
+        // Night hours (1–6) each hold < 2% of daily activity.
+        for h in 1..=6 {
+            assert!(d.get(h) < 0.02, "hour {h}: {}", d.get(h));
+        }
+        // Lunch dip: 13h below both 12h and 15h.
+        let w = DiurnalModel::standard();
+        assert!(w.weights()[13] < w.weights()[12]);
+        assert!(w.weights()[13] < w.weights()[15]);
+    }
+
+    #[test]
+    fn evening_dominates_morning() {
+        let w = DiurnalModel::standard();
+        let evening: f64 = (17..=22).map(|h| w.weights()[h]).sum();
+        let morning: f64 = (7..=12).map(|h| w.weights()[h]).sum();
+        assert!(evening > morning);
+    }
+
+    #[test]
+    fn flat_is_uniform() {
+        let d = DiurnalModel::flat().distribution();
+        for h in 0..24 {
+            assert!((d.get(h) - 1.0 / 24.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_weights_sanitizes() {
+        let mut w = [1.0; 24];
+        w[0] = -5.0;
+        w[1] = f64::NAN;
+        let m = DiurnalModel::from_weights(w);
+        assert_eq!(m.weights()[0], 0.0);
+        assert_eq!(m.weights()[1], 0.0);
+    }
+
+    #[test]
+    fn intensity_interpolates() {
+        let m = DiurnalModel::standard();
+        let at_9 = m.intensity(9.0);
+        let at_10 = m.intensity(10.0);
+        let mid = m.intensity(9.5);
+        assert!((mid - (at_9 + at_10) / 2.0).abs() < 1e-12);
+        // Wraps around midnight.
+        assert!((m.intensity(23.5) - (m.weights()[23] + m.weights()[0]) / 2.0).abs() < 1e-12);
+        assert_eq!(m.intensity(-1.0), m.intensity(23.0));
+        assert_eq!(m.intensity(25.0), m.intensity(1.0));
+    }
+
+    #[test]
+    fn rotation_moves_peak() {
+        let m = DiurnalModel::standard();
+        let peak = m.distribution().peak_hour();
+        let rotated = m.rotated(3);
+        assert_eq!(rotated.distribution().peak_hour(), (peak + 3) % 24);
+        // Full turn is identity.
+        assert_eq!(m.rotated(24), m);
+    }
+
+    #[test]
+    fn weekend_lifts_night() {
+        let wd = DiurnalModel::standard();
+        let we = wd.weekend();
+        let wd_d = wd.distribution();
+        let we_d = we.distribution();
+        let wd_night: f64 = [0usize, 1, 2].iter().map(|&h| wd_d.get(h)).sum();
+        let we_night: f64 = [0usize, 1, 2].iter().map(|&h| we_d.get(h)).sum();
+        assert!(we_night > wd_night);
+        // The peak stays in the evening.
+        assert!((17..=23).contains(&we_d.peak_hour()));
+    }
+
+    #[test]
+    fn blend_endpoints() {
+        let a = DiurnalModel::standard();
+        let b = DiurnalModel::flat();
+        assert_eq!(a.blended(&b, 0.0), a);
+        assert_eq!(a.blended(&b, 1.0), b);
+        let mid = a.blended(&b, 0.5);
+        assert!((mid.weights()[4] - (a.weights()[4] + 1.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_standard() {
+        assert_eq!(DiurnalModel::default(), DiurnalModel::standard());
+    }
+}

@@ -1,0 +1,408 @@
+//! Region population generator: many users, one region, one year of posts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crowdtz_time::{Date, Region, TraceSet, UserTrace};
+
+use crate::chronotype::Chronotype;
+use crate::diurnal::DiurnalModel;
+use crate::sampling::{normal, poisson, sample_discrete};
+
+/// Builder for a synthetic population of one region.
+///
+/// Users are generated deterministically from the seed: each gets a
+/// chronotype, a personal posting rate, and per-hour idiosyncratic noise.
+/// Posts are laid out day by day in **local civil time** — with weekend and
+/// holiday modulation — and converted to UTC through the region's zone, so
+/// daylight-saving transitions leave the same fingerprint in the trace that
+/// they leave in real data (§V.F).
+///
+/// ```
+/// use crowdtz_synth::PopulationSpec;
+/// use crowdtz_time::RegionDb;
+///
+/// let db = RegionDb::table1();
+/// let italy = db.get(&"italy".into()).unwrap();
+/// let traces = PopulationSpec::new(italy.clone()).users(5).seed(1).generate();
+/// assert_eq!(traces.len(), 5);
+/// assert!(traces.total_posts() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PopulationSpec {
+    region: Region,
+    users: usize,
+    seed: u64,
+    start: Date,
+    end: Date,
+    posts_per_day: f64,
+    prefix: String,
+    base_model: DiurnalModel,
+    holiday_damping: f64,
+}
+
+impl PopulationSpec {
+    /// Creates a spec for the given region with the defaults used by the
+    /// paper reproduction: the full year 2016, a mean of 0.4 posts per user
+    /// per day, user ids prefixed with the region slug.
+    pub fn new(region: Region) -> PopulationSpec {
+        let prefix = format!("{}-u", region.id());
+        PopulationSpec {
+            region,
+            users: 100,
+            seed: 0,
+            start: Date::new(2016, 1, 1).expect("static date"),
+            end: Date::new(2016, 12, 31).expect("static date"),
+            posts_per_day: 0.4,
+            prefix,
+            base_model: DiurnalModel::standard(),
+            holiday_damping: 0.25,
+        }
+    }
+
+    /// Sets the number of users.
+    #[must_use]
+    pub fn users(mut self, users: usize) -> PopulationSpec {
+        self.users = users;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> PopulationSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the observation period (inclusive dates, local time).
+    #[must_use]
+    pub fn period(mut self, start: Date, end: Date) -> PopulationSpec {
+        self.start = start;
+        self.end = end;
+        self
+    }
+
+    /// Sets the mean posts per user per day.
+    #[must_use]
+    pub fn posts_per_day(mut self, rate: f64) -> PopulationSpec {
+        self.posts_per_day = rate.max(0.0);
+        self
+    }
+
+    /// Sets the user-id prefix.
+    #[must_use]
+    pub fn prefix(mut self, prefix: impl Into<String>) -> PopulationSpec {
+        self.prefix = prefix.into();
+        self
+    }
+
+    /// Replaces the base diurnal model (e.g. with a custom culture's curve).
+    #[must_use]
+    pub fn base_model(mut self, model: DiurnalModel) -> PopulationSpec {
+        self.base_model = model;
+        self
+    }
+
+    /// Multiplier applied to the posting rate on holidays (default 0.25).
+    #[must_use]
+    pub fn holiday_damping(mut self, damping: f64) -> PopulationSpec {
+        self.holiday_damping = damping.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The region this spec generates for.
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// Generates the population's traces.
+    pub fn generate(&self) -> TraceSet {
+        self.generate_detailed()
+            .into_iter()
+            .map(|(trace, _)| trace)
+            .collect()
+    }
+
+    /// Generates traces together with each user's chronotype (useful for
+    /// tests and for the Fig. 1 single-user experiment).
+    pub fn generate_detailed(&self) -> Vec<(UserTrace, Chronotype)> {
+        let mut out = Vec::with_capacity(self.users);
+        for i in 0..self.users {
+            // Derive a per-user RNG so insertion order never matters.
+            let mut rng = StdRng::seed_from_u64(
+                self.seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64),
+            );
+            let chronotype = Chronotype::sample(&mut rng);
+            let trace = self.generate_user(&format!("{}{}", self.prefix, i), chronotype, &mut rng);
+            out.push((trace, chronotype));
+        }
+        out
+    }
+
+    /// Generates one user with an explicit chronotype and RNG.
+    pub fn generate_user<R: Rng + ?Sized>(
+        &self,
+        id: &str,
+        chronotype: Chronotype,
+        rng: &mut R,
+    ) -> UserTrace {
+        // Personal rate: log-normal-ish spread around the population mean.
+        let rate = (self.posts_per_day * normal(rng, 0.0, 0.5).exp())
+            .clamp(self.posts_per_day * 0.25, self.posts_per_day * 6.0);
+        // Personal rhythm: chronotype, a continuous phase offset (people
+        // are not quantized to whole-hour chronotypes), and idiosyncratic
+        // per-hour noise.
+        let personal = chronotype
+            .personalize(&self.base_model)
+            .rotated_fractional(normal(rng, 0.0, 0.75).clamp(-2.0, 2.0));
+        let weekday_weights = jitter_weights(personal.weights(), rng);
+        let weekend_weights = jitter_weights(
+            DiurnalModel::from_weights(weekday_weights)
+                .weekend()
+                .weights(),
+            rng,
+        );
+
+        let zone = self.region.zone();
+        let holidays = self.region.holidays();
+        let mut posts = Vec::new();
+        for date in self.start.iter_to(self.end) {
+            let weights = if date.weekday().is_weekend() {
+                &weekend_weights
+            } else {
+                &weekday_weights
+            };
+            let mut day_rate = rate;
+            if holidays.contains(date) {
+                day_rate *= self.holiday_damping;
+            }
+            let n = poisson(rng, day_rate);
+            for _ in 0..n {
+                let hour = sample_discrete(rng, weights) as u8;
+                let minute = rng.gen_range(0u8..60);
+                let second = rng.gen_range(0u8..60);
+                let local =
+                    match crowdtz_time::CivilDateTime::from_date_time(date, hour, minute, second) {
+                        Ok(c) => c,
+                        Err(_) => continue,
+                    };
+                if let Ok(ts) = zone.from_local(local) {
+                    posts.push(ts);
+                }
+            }
+        }
+        UserTrace::new(id, posts)
+    }
+}
+
+/// Applies multiplicative idiosyncratic noise to hourly weights.
+fn jitter_weights<R: Rng + ?Sized>(weights: &[f64; 24], rng: &mut R) -> [f64; 24] {
+    let mut out = [0.0; 24];
+    for (dst, &w) in out.iter_mut().zip(weights.iter()) {
+        let factor = normal(rng, 0.0, 0.3).exp().clamp(0.4, 2.5);
+        *dst = w * factor;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtz_stats::Histogram24;
+    use crowdtz_time::{RegionDb, Timestamp, TzOffset};
+
+    fn region(id: &str) -> Region {
+        RegionDb::extended().get(&id.into()).unwrap().clone()
+    }
+
+    fn hour_histogram(traces: &TraceSet, offset: TzOffset) -> Histogram24 {
+        let mut h = Histogram24::new();
+        for t in traces.iter() {
+            for &p in t.posts() {
+                h.add(p.hour_in_offset(offset));
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = PopulationSpec::new(region("germany")).users(5).seed(99);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let base = PopulationSpec::new(region("germany")).users(5);
+        let a = base.clone().seed(1).generate();
+        let b = base.seed(2).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn population_shows_diurnal_pattern_in_local_time() {
+        let spec = PopulationSpec::new(region("japan")) // fixed UTC+9, no DST
+            .users(50)
+            .seed(3)
+            .posts_per_day(1.0);
+        let traces = spec.generate();
+        let hist = hour_histogram(&traces, TzOffset::from_hours(9).unwrap());
+        let d = hist.normalized().unwrap();
+        // Peak in the evening, trough at night (local time).
+        assert!((17..=23).contains(&d.peak_hour()), "peak {}", d.peak_hour());
+        assert!(
+            (1..=7).contains(&d.trough_hour()),
+            "trough {}",
+            d.trough_hour()
+        );
+        // Night activity well below evening.
+        assert!(d.get(4) < d.get(21) / 4.0);
+    }
+
+    #[test]
+    fn utc_profile_is_shifted_by_offset() {
+        let spec = PopulationSpec::new(region("malaysia")) // fixed UTC+8
+            .users(60)
+            .seed(5)
+            .posts_per_day(1.0);
+        let traces = spec.generate();
+        let local = hour_histogram(&traces, TzOffset::from_hours(8).unwrap())
+            .normalized()
+            .unwrap();
+        let utc = hour_histogram(&traces, TzOffset::UTC).normalized().unwrap();
+        // UTC profile = local profile rotated by −8.
+        let rotated = local.shifted(-8);
+        let emd = crowdtz_stats::linear_emd(&rotated, &utc);
+        assert!(emd < 1e-9, "emd {emd}");
+    }
+
+    #[test]
+    fn holidays_are_quieter() {
+        let r = region("germany");
+        let spec = PopulationSpec::new(r.clone())
+            .users(40)
+            .seed(8)
+            .posts_per_day(2.0)
+            .holiday_damping(0.1);
+        let traces = spec.generate();
+        // Posts on Dec 25 vs a regular Tuesday in March, counted in local days.
+        let zone = r.zone();
+        let count_on = |m: u8, d: u8| {
+            let date = Date::new(2016, m, d).unwrap();
+            traces
+                .iter()
+                .flat_map(|t| t.posts().iter())
+                .filter(|&&p| zone.to_local(p).date() == date)
+                .count()
+        };
+        let christmas = count_on(12, 25);
+        let regular: usize = [(3u8, 8u8), (3, 15), (3, 22)]
+            .iter()
+            .map(|&(m, d)| count_on(m, d))
+            .sum::<usize>()
+            / 3;
+        assert!(
+            (christmas as f64) < regular as f64 * 0.6,
+            "christmas {christmas} vs regular {regular}"
+        );
+    }
+
+    #[test]
+    fn period_bounds_are_respected() {
+        let r = region("italy");
+        let start = Date::new(2016, 6, 1).unwrap();
+        let end = Date::new(2016, 6, 30).unwrap();
+        let spec = PopulationSpec::new(r.clone())
+            .users(10)
+            .seed(4)
+            .posts_per_day(2.0)
+            .period(start, end);
+        let traces = spec.generate();
+        // All posts within June 2016 ± a day of zone slack.
+        let lo = Timestamp::from_civil_utc(
+            crowdtz_time::CivilDateTime::new(2016, 5, 31, 0, 0, 0).unwrap(),
+        );
+        let hi = Timestamp::from_civil_utc(
+            crowdtz_time::CivilDateTime::new(2016, 7, 2, 0, 0, 0).unwrap(),
+        );
+        for t in traces.iter() {
+            for &p in t.posts() {
+                assert!(p >= lo && p < hi);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_controls_ids() {
+        let spec = PopulationSpec::new(region("france"))
+            .users(3)
+            .prefix("anon")
+            .seed(1);
+        let traces = spec.generate();
+        assert!(traces.get("anon0").is_some());
+        assert!(traces.get("anon2").is_some());
+    }
+
+    #[test]
+    fn yearly_volume_scales_with_rate() {
+        let r = region("france");
+        let low = PopulationSpec::new(r.clone())
+            .users(20)
+            .seed(10)
+            .posts_per_day(0.2)
+            .generate()
+            .total_posts();
+        let high = PopulationSpec::new(r)
+            .users(20)
+            .seed(10)
+            .posts_per_day(2.0)
+            .generate()
+            .total_posts();
+        assert!(high > low * 5);
+    }
+
+    #[test]
+    fn detailed_exposes_chronotypes() {
+        let spec = PopulationSpec::new(region("germany")).users(30).seed(12);
+        let detailed = spec.generate_detailed();
+        assert_eq!(detailed.len(), 30);
+        let distinct: std::collections::HashSet<_> = detailed.iter().map(|(_, c)| *c).collect();
+        assert!(distinct.len() >= 2, "expected chronotype variety");
+    }
+
+    #[test]
+    fn dst_region_shows_seasonal_utc_shift() {
+        // Germany (EU DST): UTC activity in July runs one hour earlier
+        // than in January, because local rhythm is fixed but UTC+2 applies.
+        let spec = PopulationSpec::new(region("germany"))
+            .users(80)
+            .seed(21)
+            .posts_per_day(1.5);
+        let traces = spec.generate();
+        let in_month = |m: u8| {
+            let mut h = Histogram24::new();
+            for t in traces.iter() {
+                for &p in t.posts() {
+                    let c = p.to_civil_utc().unwrap();
+                    if c.date().month_number() == m {
+                        h.add(c.hour());
+                    }
+                }
+            }
+            h.normalized().unwrap()
+        };
+        let january = in_month(1);
+        let july = in_month(7);
+        // July profile shifted +1 should match January better than unshifted.
+        let shifted = crowdtz_stats::linear_emd(&july.shifted(1), &january);
+        let unshifted = crowdtz_stats::linear_emd(&july, &january);
+        assert!(
+            shifted < unshifted,
+            "shifted {shifted} vs unshifted {unshifted}"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Low-level random sampling helpers.
+//!
+//! Implemented here (rather than pulling in `rand_distr`) to keep the
+//! dependency set to the approved list; a Poisson sampler and a discrete
+//! (categorical) sampler are all the generators need.
+
+use rand::Rng;
+
+/// Samples a Poisson-distributed count with the given mean.
+///
+/// Uses Knuth's multiplication method for small `lambda` and a normal
+/// approximation (rounded, clamped at 0) for large `lambda`, which is more
+/// than adequate for per-day post counts.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        // Box–Muller normal approximation N(λ, λ).
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let value = lambda + lambda.sqrt() * z;
+        value.round().max(0.0) as u64
+    }
+}
+
+/// Samples a normally distributed value via Box–Muller.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    mean + std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples an index from a (not necessarily normalized) weight vector.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or all weights are non-positive.
+pub fn sample_discrete<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "sample_discrete: empty weights");
+    let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    assert!(total > 0.0, "sample_discrete: no positive mass");
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        let w = w.max(0.0);
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -3.0), 0);
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let lambda = 3.5;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let lambda = 100.0;
+        let samples: Vec<f64> = (0..n).map(|_| poisson(&mut rng, lambda) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 1.0, "mean {mean}");
+        assert!((var - lambda).abs() < 10.0, "var {var}");
+    }
+
+    #[test]
+    fn discrete_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[sample_discrete(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn discrete_single_bucket() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(sample_discrete(&mut rng, &[0.7]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no positive mass")]
+    fn discrete_rejects_zero_mass() {
+        let mut rng = StdRng::seed_from_u64(6);
+        sample_discrete(&mut rng, &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty weights")]
+    fn discrete_rejects_empty() {
+        let mut rng = StdRng::seed_from_u64(7);
+        sample_discrete(&mut rng, &[]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..10).map(|_| poisson(&mut rng, 5.0)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..10).map(|_| poisson(&mut rng, 5.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

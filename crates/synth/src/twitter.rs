@@ -1,0 +1,342 @@
+//! The synthetic Twitter ground-truth dataset (paper Table I).
+//!
+//! The paper builds region profiles from the 2016 Twitter stream grab [7]:
+//! users whose hometown is known, filtered to *active* users (≥ 30 posts),
+//! yielding the Table I counts. This module generates a statistically
+//! equivalent dataset: per-region populations with the right relative
+//! sizes, a tail of casual (sub-threshold) users, and a sprinkling of bots
+//! with flat profiles, so every cleaning step of the paper has something
+//! real to do.
+
+use std::fmt;
+
+use crowdtz_time::{Date, Region, RegionDb, RegionId, TraceSet};
+
+use crate::bots::{generate_bot, BotSpec};
+use crate::population::PopulationSpec;
+
+/// A generated multi-region ground-truth dataset.
+#[derive(Debug, Clone)]
+pub struct TwitterDataset {
+    regions: Vec<(Region, TraceSet)>,
+    active_threshold: usize,
+}
+
+impl TwitterDataset {
+    /// Starts building a dataset.
+    pub fn builder() -> TwitterDatasetBuilder {
+        TwitterDatasetBuilder::default()
+    }
+
+    /// The traces of one region (including casual users and bots).
+    pub fn region_traces(&self, id: &RegionId) -> Option<&TraceSet> {
+        self.regions
+            .iter()
+            .find(|(r, _)| r.id() == id)
+            .map(|(_, t)| t)
+    }
+
+    /// The region metadata and traces, in generation order.
+    pub fn regions(&self) -> impl Iterator<Item = (&Region, &TraceSet)> {
+        self.regions.iter().map(|(r, t)| (r, t))
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the dataset has no regions.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The active-user filter threshold (paper: 30 posts).
+    pub fn active_threshold(&self) -> usize {
+        self.active_threshold
+    }
+
+    /// Table I reproduction: `(region name, active user count)` rows,
+    /// where *active* means at least [`Self::active_threshold`] posts.
+    pub fn active_user_counts(&self) -> Vec<(String, usize)> {
+        self.regions
+            .iter()
+            .map(|(r, t)| {
+                (
+                    r.name().to_owned(),
+                    t.filter_active(self.active_threshold).len(),
+                )
+            })
+            .collect()
+    }
+
+    /// All traces of all regions merged into one set (the "generic"
+    /// dataset of Fig. 2b), user ids already region-prefixed.
+    pub fn merged(&self) -> TraceSet {
+        let mut out = TraceSet::new();
+        for (_, traces) in &self.regions {
+            for t in traces.iter() {
+                out.insert(t.clone());
+            }
+        }
+        out
+    }
+
+    /// Total posts across all regions.
+    pub fn total_posts(&self) -> usize {
+        self.regions.iter().map(|(_, t)| t.total_posts()).sum()
+    }
+}
+
+impl fmt::Display for TwitterDataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TwitterDataset({} regions, {} posts)",
+            self.regions.len(),
+            self.total_posts()
+        )
+    }
+}
+
+/// Builder for [`TwitterDataset`].
+#[derive(Debug, Clone)]
+pub struct TwitterDatasetBuilder {
+    db: RegionDb,
+    scale: f64,
+    seed: u64,
+    posts_per_day: f64,
+    casual_fraction: f64,
+    bot_fraction: f64,
+    active_threshold: usize,
+    start: Date,
+    end: Date,
+}
+
+impl Default for TwitterDatasetBuilder {
+    /// Table I regions at 10% scale, the paper's thresholds, year 2016.
+    fn default() -> TwitterDatasetBuilder {
+        TwitterDatasetBuilder {
+            db: RegionDb::table1(),
+            scale: 0.1,
+            seed: 2016,
+            posts_per_day: 0.4,
+            casual_fraction: 0.25,
+            bot_fraction: 0.02,
+            active_threshold: 30,
+            start: Date::new(2016, 1, 1).expect("static date"),
+            end: Date::new(2016, 12, 31).expect("static date"),
+        }
+    }
+}
+
+impl TwitterDatasetBuilder {
+    /// Uses a custom region database instead of Table I.
+    #[must_use]
+    pub fn regions(mut self, db: RegionDb) -> TwitterDatasetBuilder {
+        self.db = db;
+        self
+    }
+
+    /// Scales every region's Table I user count by this factor (default
+    /// 0.1; 1.0 reproduces the full 22,576-user dataset).
+    #[must_use]
+    pub fn scale(mut self, scale: f64) -> TwitterDatasetBuilder {
+        self.scale = scale.max(0.0);
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> TwitterDatasetBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Mean posts per active user per day.
+    #[must_use]
+    pub fn posts_per_day(mut self, rate: f64) -> TwitterDatasetBuilder {
+        self.posts_per_day = rate.max(0.0);
+        self
+    }
+
+    /// Fraction of extra casual users generated on top of the active count
+    /// (they post too rarely to pass the 30-post filter).
+    #[must_use]
+    pub fn casual_fraction(mut self, fraction: f64) -> TwitterDatasetBuilder {
+        self.casual_fraction = fraction.clamp(0.0, 10.0);
+        self
+    }
+
+    /// Fraction of extra bot users with flat profiles.
+    #[must_use]
+    pub fn bot_fraction(mut self, fraction: f64) -> TwitterDatasetBuilder {
+        self.bot_fraction = fraction.clamp(0.0, 10.0);
+        self
+    }
+
+    /// The active-user post threshold (paper: 30).
+    #[must_use]
+    pub fn active_threshold(mut self, threshold: usize) -> TwitterDatasetBuilder {
+        self.active_threshold = threshold;
+        self
+    }
+
+    /// Observation period (inclusive local dates).
+    #[must_use]
+    pub fn period(mut self, start: Date, end: Date) -> TwitterDatasetBuilder {
+        self.start = start;
+        self.end = end;
+        self
+    }
+
+    /// Generates the dataset.
+    pub fn build(&self) -> TwitterDataset {
+        let mut regions = Vec::new();
+        for (idx, region) in self.db.iter().enumerate() {
+            let Some(count) = region.twitter_active_users() else {
+                continue;
+            };
+            let actives = ((f64::from(count) * self.scale).round() as usize).max(1);
+            let region_seed = self.seed.wrapping_add((idx as u64 + 1) * 0x1234_5678);
+
+            // Active users: enough volume to pass the threshold.
+            let mut traces = PopulationSpec::new(region.clone())
+                .users(actives)
+                .seed(region_seed)
+                .posts_per_day(self.posts_per_day)
+                .period(self.start, self.end)
+                .generate();
+
+            // Casual users: an extra tail below the activity threshold.
+            let casuals = (actives as f64 * self.casual_fraction).round() as usize;
+            if casuals > 0 {
+                let casual_traces = PopulationSpec::new(region.clone())
+                    .users(casuals)
+                    .seed(region_seed ^ 0xCA5A)
+                    .posts_per_day(0.02) // ~7 posts/year ≪ 30
+                    .period(self.start, self.end)
+                    .prefix(format!("{}-casual", region.id()))
+                    .generate();
+                for t in casual_traces.iter() {
+                    traces.insert(t.clone());
+                }
+            }
+
+            // Bots: flat UTC-uniform posters.
+            let bots = (actives as f64 * self.bot_fraction).round() as usize;
+            for b in 0..bots {
+                let spec = BotSpec {
+                    posts_per_day: 1.0,
+                    start: self.start,
+                    end: self.end,
+                };
+                traces.insert(generate_bot(
+                    &format!("{}-bot{}", region.id(), b),
+                    &spec,
+                    region_seed ^ (b as u64),
+                ));
+            }
+
+            regions.push((region.clone(), traces));
+        }
+        TwitterDataset {
+            regions,
+            active_threshold: self.active_threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TwitterDataset {
+        TwitterDataset::builder().scale(0.01).seed(1).build()
+    }
+
+    #[test]
+    fn builds_all_table1_regions() {
+        let ds = small();
+        assert_eq!(ds.len(), 14);
+        assert!(!ds.is_empty());
+        assert!(ds.total_posts() > 0);
+    }
+
+    #[test]
+    fn counts_scale_with_table1() {
+        let ds = TwitterDataset::builder()
+            .scale(0.02)
+            .casual_fraction(0.0)
+            .bot_fraction(0.0)
+            .seed(3)
+            .build();
+        // Brazil (3763) should have ~75 users, Finland (73) ~1–2.
+        let brazil = ds.region_traces(&"brazil".into()).unwrap().len();
+        let finland = ds.region_traces(&"finland".into()).unwrap().len();
+        assert!((70..=81).contains(&brazil), "brazil {brazil}");
+        assert!((1..=2).contains(&finland), "finland {finland}");
+    }
+
+    #[test]
+    fn active_counts_exclude_casuals() {
+        let ds = TwitterDataset::builder()
+            .scale(0.01)
+            .casual_fraction(1.0)
+            .bot_fraction(0.0)
+            .seed(5)
+            .build();
+        for (region, traces) in ds.regions() {
+            let active = traces.filter_active(30).len();
+            let total = traces.len();
+            // Casual users should mostly fail the 30-post threshold.
+            assert!(
+                active < total,
+                "{}: active {active} == total {total}",
+                region.name()
+            );
+        }
+    }
+
+    #[test]
+    fn table1_rows_have_every_region_name() {
+        let ds = small();
+        let rows = ds.active_user_counts();
+        let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+        for expected in ["Brazil", "Germany", "Japan", "United Kingdom"] {
+            assert!(names.contains(&expected), "{expected} missing");
+        }
+    }
+
+    #[test]
+    fn merged_contains_all_users() {
+        let ds = small();
+        let merged = ds.merged();
+        let sum: usize = ds.regions().map(|(_, t)| t.len()).sum();
+        assert_eq!(merged.len(), sum);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = TwitterDataset::builder().scale(0.005).seed(9).build();
+        let b = TwitterDataset::builder().scale(0.005).seed(9).build();
+        assert_eq!(a.merged(), b.merged());
+    }
+
+    #[test]
+    fn bots_present_when_requested() {
+        let ds = TwitterDataset::builder()
+            .scale(0.02)
+            .bot_fraction(0.1)
+            .seed(2)
+            .build();
+        let germany = ds.region_traces(&"germany".into()).unwrap();
+        assert!(germany.get("germany-bot0").is_some());
+    }
+
+    #[test]
+    fn display() {
+        let ds = small();
+        assert!(ds.to_string().contains("14 regions"));
+    }
+}

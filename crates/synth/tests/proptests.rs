@@ -1,0 +1,144 @@
+//! Property-based tests for the synthetic-population generators.
+
+use crowdtz_synth::{generate_bot, BotSpec, Chronotype, DiurnalModel, PopulationSpec};
+use crowdtz_time::{Date, HolidayCalendar, Region, RegionDb, TzOffset, Zone};
+use proptest::prelude::*;
+
+fn fixed_region(offset: i32) -> Region {
+    Region::new(
+        "prop",
+        "Prop",
+        Zone::fixed(TzOffset::from_hours(offset).unwrap()),
+        None,
+        HolidayCalendar::none(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Generation is deterministic in (seed, users, rate, region).
+    #[test]
+    fn generation_deterministic(seed in 0u64..10_000, users in 1usize..12) {
+        let spec = PopulationSpec::new(fixed_region(3)).users(users).seed(seed);
+        prop_assert_eq!(spec.generate(), spec.generate());
+    }
+
+    /// Every post falls within the configured period (± a day of zone slack).
+    #[test]
+    fn posts_within_period(seed in 0u64..5_000, offset in -11i32..=12) {
+        let start = Date::new(2016, 4, 1).unwrap();
+        let end = Date::new(2016, 4, 30).unwrap();
+        let traces = PopulationSpec::new(fixed_region(offset))
+            .users(5)
+            .seed(seed)
+            .posts_per_day(1.0)
+            .period(start, end)
+            .generate();
+        let lo = (start.days_since_epoch() - 1) * 86_400;
+        let hi = (end.days_since_epoch() + 2) * 86_400;
+        for t in traces.iter() {
+            for &p in t.posts() {
+                prop_assert!(p.as_secs() >= lo && p.as_secs() < hi);
+            }
+        }
+    }
+
+    /// Higher posting rates yield more posts (statistically, 5× margin).
+    #[test]
+    fn rate_monotonicity(seed in 0u64..1_000) {
+        let base = PopulationSpec::new(fixed_region(0)).users(10).seed(seed);
+        let low = base.clone().posts_per_day(0.1).generate().total_posts();
+        let high = base.posts_per_day(2.0).generate().total_posts();
+        prop_assert!(high > low, "high {high} low {low}");
+    }
+
+    /// The local-hour profile of any fixed-offset population peaks in the
+    /// evening and troughs at night.
+    #[test]
+    fn diurnal_shape_holds_at_any_offset(offset in -11i32..=12, seed in 0u64..500) {
+        let traces = PopulationSpec::new(fixed_region(offset))
+            .users(30)
+            .seed(seed)
+            .posts_per_day(1.0)
+            .generate();
+        let mut hist = crowdtz_stats::Histogram24::new();
+        let tz = TzOffset::from_hours(offset).unwrap();
+        for t in traces.iter() {
+            for &p in t.posts() {
+                hist.add(p.hour_in_offset(tz));
+            }
+        }
+        let d = hist.normalized().unwrap();
+        // The evening plateau wraps midnight for night-owl-heavy samples.
+        prop_assert!(
+            (17..=23).contains(&d.peak_hour()) || d.peak_hour() == 0,
+            "peak {}",
+            d.peak_hour()
+        );
+        prop_assert!(
+            (1..=7).contains(&d.trough_hour()),
+            "trough {}",
+            d.trough_hour()
+        );
+    }
+
+    /// Fractional rotation: rotating by whole hours matches integer
+    /// rotation, and rotating by x then −x returns the original.
+    #[test]
+    fn fractional_rotation_consistency(hours in -12i32..=12, frac in -3.0f64..3.0) {
+        let m = DiurnalModel::standard();
+        let whole = m.rotated(hours);
+        let fractional = m.rotated_fractional(f64::from(hours));
+        for h in 0..24 {
+            prop_assert!((whole.weights()[h] - fractional.weights()[h]).abs() < 1e-9);
+        }
+        // Round trip within interpolation tolerance.
+        let round = m.rotated_fractional(frac).rotated_fractional(-frac);
+        for h in 0..24 {
+            prop_assert!((round.weights()[h] - m.weights()[h]).abs() < 0.35,
+                "h={h}: {} vs {}", round.weights()[h], m.weights()[h]);
+        }
+    }
+
+    /// Chronotype personalization preserves non-negativity and mass.
+    #[test]
+    fn personalization_valid(idx in 0usize..5) {
+        let ct = Chronotype::ALL[idx];
+        let model = ct.personalize(&DiurnalModel::standard());
+        for &w in model.weights() {
+            prop_assert!(w >= 0.0 && w.is_finite());
+        }
+        prop_assert!(model.weights().iter().sum::<f64>() > 0.0);
+    }
+
+    /// Bots are deterministic and flat regardless of seed.
+    #[test]
+    fn bots_flat_for_any_seed(seed in 0u64..2_000) {
+        let trace = generate_bot("b", &BotSpec::default(), seed);
+        prop_assert!(trace.len() > 200);
+        let hist: crowdtz_stats::Histogram24 = trace
+            .posts()
+            .iter()
+            .map(|&t| t.hour_in_offset(TzOffset::UTC))
+            .collect();
+        let d = hist.normalized().unwrap();
+        let emd = crowdtz_stats::circular_emd(&d, &crowdtz_stats::Distribution24::uniform());
+        prop_assert!(emd < 0.6, "bot emd {emd}");
+    }
+
+    /// Table-I regions all generate non-empty active populations.
+    #[test]
+    fn every_table1_region_generates(seed in 0u64..100) {
+        let db = RegionDb::table1();
+        for region in db.iter().take(3) {
+            let traces = PopulationSpec::new(region.clone())
+                .users(3)
+                .seed(seed)
+                .posts_per_day(0.5)
+                .generate();
+            prop_assert_eq!(traces.len(), 3);
+            prop_assert!(traces.total_posts() > 0);
+        }
+    }
+}

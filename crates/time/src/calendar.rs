@@ -1,0 +1,661 @@
+//! Proleptic-Gregorian calendar arithmetic.
+//!
+//! The conversions between calendar dates and day counts use the classic
+//! era-based algorithms (Howard Hinnant's `days_from_civil` /
+//! `civil_from_days`), which are exact over the entire supported range.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TimeError;
+
+/// Minimum supported year (inclusive).
+pub const MIN_YEAR: i32 = -9999;
+/// Maximum supported year (inclusive).
+pub const MAX_YEAR: i32 = 9999;
+
+/// A month of the Gregorian calendar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Month {
+    January = 1,
+    February = 2,
+    March = 3,
+    April = 4,
+    May = 5,
+    June = 6,
+    July = 7,
+    August = 8,
+    September = 9,
+    October = 10,
+    November = 11,
+    December = 12,
+}
+
+impl Month {
+    /// All months, January first.
+    pub const ALL: [Month; 12] = [
+        Month::January,
+        Month::February,
+        Month::March,
+        Month::April,
+        Month::May,
+        Month::June,
+        Month::July,
+        Month::August,
+        Month::September,
+        Month::October,
+        Month::November,
+        Month::December,
+    ];
+
+    /// Returns the month with the given 1-based number, if valid.
+    ///
+    /// ```
+    /// use crowdtz_time::Month;
+    /// assert_eq!(Month::from_number(3), Some(Month::March));
+    /// assert_eq!(Month::from_number(0), None);
+    /// ```
+    pub fn from_number(n: u8) -> Option<Month> {
+        Month::ALL.get(n.checked_sub(1)? as usize).copied()
+    }
+
+    /// The 1-based month number (January = 1).
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+}
+
+impl fmt::Display for Month {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Month::January => "January",
+            Month::February => "February",
+            Month::March => "March",
+            Month::April => "April",
+            Month::May => "May",
+            Month::June => "June",
+            Month::July => "July",
+            Month::August => "August",
+            Month::September => "September",
+            Month::October => "October",
+            Month::November => "November",
+            Month::December => "December",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A day of the week.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Weekday {
+    Monday = 0,
+    Tuesday = 1,
+    Wednesday = 2,
+    Thursday = 3,
+    Friday = 4,
+    Saturday = 5,
+    Sunday = 6,
+}
+
+impl Weekday {
+    /// All weekdays, Monday first (ISO order).
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+        Weekday::Saturday,
+        Weekday::Sunday,
+    ];
+
+    /// Index with Monday = 0 … Sunday = 6.
+    pub fn index_from_monday(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether this day falls on the weekend (Saturday or Sunday).
+    pub fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+}
+
+impl fmt::Display for Weekday {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Weekday::Monday => "Monday",
+            Weekday::Tuesday => "Tuesday",
+            Weekday::Wednesday => "Wednesday",
+            Weekday::Thursday => "Thursday",
+            Weekday::Friday => "Friday",
+            Weekday::Saturday => "Saturday",
+            Weekday::Sunday => "Sunday",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A calendar date in the proleptic Gregorian calendar.
+///
+/// Ordered chronologically; the internal representation is validated on
+/// construction, so every in-scope `Date` names a real day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+impl Date {
+    /// Creates a date after validating all components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::InvalidDate`] if the month or day are out of
+    /// range for the given year, and [`TimeError::YearOutOfRange`] if the
+    /// year lies outside `[-9999, 9999]`.
+    ///
+    /// ```
+    /// use crowdtz_time::Date;
+    /// assert!(Date::new(2016, 2, 29).is_ok()); // leap year
+    /// assert!(Date::new(2017, 2, 29).is_err());
+    /// ```
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Date, TimeError> {
+        if !(MIN_YEAR..=MAX_YEAR).contains(&year) {
+            return Err(TimeError::YearOutOfRange { year });
+        }
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return Err(TimeError::InvalidDate { year, month, day });
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// The year component.
+    pub fn year(&self) -> i32 {
+        self.year
+    }
+
+    /// The month component.
+    pub fn month(&self) -> Month {
+        Month::from_number(self.month).expect("validated at construction")
+    }
+
+    /// The 1-based month number.
+    pub fn month_number(&self) -> u8 {
+        self.month
+    }
+
+    /// The day-of-month component (1-based).
+    pub fn day(&self) -> u8 {
+        self.day
+    }
+
+    /// Number of days since the Unix epoch (1970-01-01 = 0); negative before.
+    ///
+    /// ```
+    /// use crowdtz_time::Date;
+    /// assert_eq!(Date::new(1970, 1, 1)?.days_since_epoch(), 0);
+    /// assert_eq!(Date::new(1970, 1, 2)?.days_since_epoch(), 1);
+    /// assert_eq!(Date::new(1969, 12, 31)?.days_since_epoch(), -1);
+    /// # Ok::<(), crowdtz_time::TimeError>(())
+    /// ```
+    pub fn days_since_epoch(&self) -> i64 {
+        days_from_civil(self.year, self.month, self.day)
+    }
+
+    /// The date `days` days since the Unix epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::YearOutOfRange`] if the resulting year falls
+    /// outside the supported range.
+    pub fn from_days_since_epoch(days: i64) -> Result<Date, TimeError> {
+        let (year, month, day) = civil_from_days(days);
+        if !(MIN_YEAR..=MAX_YEAR).contains(&year) {
+            return Err(TimeError::YearOutOfRange { year });
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// The weekday of this date.
+    ///
+    /// ```
+    /// use crowdtz_time::{Date, Weekday};
+    /// // 2016-07-15 was a Friday.
+    /// assert_eq!(Date::new(2016, 7, 15)?.weekday(), Weekday::Friday);
+    /// # Ok::<(), crowdtz_time::TimeError>(())
+    /// ```
+    pub fn weekday(&self) -> Weekday {
+        // 1970-01-01 was a Thursday (index 3 from Monday).
+        let days = self.days_since_epoch();
+        let idx = (days + 3).rem_euclid(7) as usize;
+        Weekday::ALL[idx]
+    }
+
+    /// The 1-based ordinal day within the year (1–365/366).
+    pub fn day_of_year(&self) -> u16 {
+        let jan1 = days_from_civil(self.year, 1, 1);
+        (self.days_since_epoch() - jan1 + 1) as u16
+    }
+
+    /// The date `n` days after this one (or before, if negative).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::YearOutOfRange`] if the result is out of range.
+    pub fn add_days(&self, n: i64) -> Result<Date, TimeError> {
+        Date::from_days_since_epoch(self.days_since_epoch() + n)
+    }
+
+    /// Returns an iterator over all dates from `self` to `end` inclusive.
+    ///
+    /// Yields nothing if `end < self`.
+    pub fn iter_to(self, end: Date) -> DateRange {
+        DateRange {
+            next: self.days_since_epoch(),
+            last: end.days_since_epoch(),
+        }
+    }
+
+    /// The `n`-th (1-based) given weekday of a month, e.g. the 2nd Sunday of
+    /// March 2016.
+    ///
+    /// Returns `None` if the month has no such day (e.g. a 5th Friday in a
+    /// month with only four).
+    pub fn nth_weekday_of_month(year: i32, month: Month, weekday: Weekday, n: u8) -> Option<Date> {
+        if n == 0 {
+            return None;
+        }
+        let first = Date::new(year, month.number(), 1).ok()?;
+        let offset = (weekday.index_from_monday() + 7 - first.weekday().index_from_monday()) % 7;
+        let day = 1 + offset + (n - 1) * 7;
+        Date::new(year, month.number(), day).ok()
+    }
+
+    /// The last given weekday of a month, e.g. the last Sunday of October.
+    pub fn last_weekday_of_month(year: i32, month: Month, weekday: Weekday) -> Date {
+        let last_day = days_in_month(year, month.number());
+        let last = Date::new(year, month.number(), last_day).expect("valid month end");
+        let back = (last.weekday().index_from_monday() + 7 - weekday.index_from_monday()) % 7;
+        Date::new(year, month.number(), last_day - back).expect("within month")
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// Iterator over an inclusive range of dates. Created by [`Date::iter_to`].
+#[derive(Debug, Clone)]
+pub struct DateRange {
+    next: i64,
+    last: i64,
+}
+
+impl Iterator for DateRange {
+    type Item = Date;
+
+    fn next(&mut self) -> Option<Date> {
+        if self.next > self.last {
+            return None;
+        }
+        let d = Date::from_days_since_epoch(self.next).ok()?;
+        self.next += 1;
+        Some(d)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.last - self.next + 1).max(0) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for DateRange {}
+
+/// A civil (wall-clock) date and time, with second precision.
+///
+/// A `CivilDateTime` is time-zone-agnostic: it is what a clock on the wall
+/// shows. Pair it with a [`crate::Zone`] or [`crate::TzOffset`] to name an
+/// instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CivilDateTime {
+    date: Date,
+    hour: u8,
+    minute: u8,
+    second: u8,
+}
+
+impl CivilDateTime {
+    /// Creates a civil date-time after validating all components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::InvalidDate`] / [`TimeError::InvalidTimeOfDay`]
+    /// on out-of-range components.
+    pub fn new(
+        year: i32,
+        month: u8,
+        day: u8,
+        hour: u8,
+        minute: u8,
+        second: u8,
+    ) -> Result<CivilDateTime, TimeError> {
+        let date = Date::new(year, month, day)?;
+        Self::from_date_time(date, hour, minute, second)
+    }
+
+    /// Creates a civil date-time from a [`Date`] and a time of day.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::InvalidTimeOfDay`] on out-of-range components.
+    pub fn from_date_time(
+        date: Date,
+        hour: u8,
+        minute: u8,
+        second: u8,
+    ) -> Result<CivilDateTime, TimeError> {
+        if hour > 23 || minute > 59 || second > 59 {
+            return Err(TimeError::InvalidTimeOfDay {
+                hour,
+                minute,
+                second,
+            });
+        }
+        Ok(CivilDateTime {
+            date,
+            hour,
+            minute,
+            second,
+        })
+    }
+
+    /// Midnight at the start of the given date.
+    pub fn midnight(date: Date) -> CivilDateTime {
+        CivilDateTime {
+            date,
+            hour: 0,
+            minute: 0,
+            second: 0,
+        }
+    }
+
+    /// The calendar date component.
+    pub fn date(&self) -> Date {
+        self.date
+    }
+
+    /// The hour of day, `0..=23`.
+    pub fn hour(&self) -> u8 {
+        self.hour
+    }
+
+    /// The minute, `0..=59`.
+    pub fn minute(&self) -> u8 {
+        self.minute
+    }
+
+    /// The second, `0..=59`.
+    pub fn second(&self) -> u8 {
+        self.second
+    }
+
+    /// Seconds since the Unix epoch of this wall time *interpreted as UTC*.
+    pub fn seconds_since_epoch_as_utc(&self) -> i64 {
+        self.date.days_since_epoch() * crate::SECS_PER_DAY
+            + self.hour as i64 * crate::SECS_PER_HOUR
+            + self.minute as i64 * 60
+            + self.second as i64
+    }
+
+    /// Builds the civil time that, read as UTC, equals the given epoch
+    /// seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::YearOutOfRange`] if out of calendar range.
+    pub fn from_seconds_since_epoch_utc(secs: i64) -> Result<CivilDateTime, TimeError> {
+        let days = secs.div_euclid(crate::SECS_PER_DAY);
+        let rem = secs.rem_euclid(crate::SECS_PER_DAY);
+        let date = Date::from_days_since_epoch(days)?;
+        Ok(CivilDateTime {
+            date,
+            hour: (rem / crate::SECS_PER_HOUR) as u8,
+            minute: ((rem % crate::SECS_PER_HOUR) / 60) as u8,
+            second: (rem % 60) as u8,
+        })
+    }
+}
+
+impl fmt::Display for CivilDateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {:02}:{:02}:{:02}",
+            self.date, self.hour, self.minute, self.second
+        )
+    }
+}
+
+/// Whether `year` is a Gregorian leap year.
+///
+/// ```
+/// use crowdtz_time::Date;
+/// assert_eq!(Date::new(2000, 2, 29).is_ok(), true);
+/// assert_eq!(Date::new(1900, 2, 29).is_ok(), false);
+/// ```
+pub(crate) fn is_leap_year(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+/// Number of days in the given month of the given year.
+pub(crate) fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Days since 1970-01-01 for a civil date (Hinnant's `days_from_civil`).
+fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(m);
+    let d = i64::from(d);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for days since 1970-01-01 (Hinnant's `civil_from_days`).
+fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        let d = Date::new(1970, 1, 1).unwrap();
+        assert_eq!(d.days_since_epoch(), 0);
+        assert_eq!(d.weekday(), Weekday::Thursday);
+    }
+
+    #[test]
+    fn known_day_counts() {
+        // 2016-01-01 is 16801 days after the epoch.
+        assert_eq!(Date::new(2016, 1, 1).unwrap().days_since_epoch(), 16_801);
+        assert_eq!(Date::new(2000, 3, 1).unwrap().days_since_epoch(), 11_017);
+        assert_eq!(Date::new(1969, 12, 31).unwrap().days_since_epoch(), -1);
+    }
+
+    #[test]
+    fn rejects_invalid_dates() {
+        assert!(Date::new(2017, 2, 29).is_err());
+        assert!(Date::new(2016, 2, 29).is_ok());
+        assert!(Date::new(2016, 13, 1).is_err());
+        assert!(Date::new(2016, 0, 1).is_err());
+        assert!(Date::new(2016, 4, 31).is_err());
+        assert!(Date::new(2016, 4, 0).is_err());
+        assert!(Date::new(10_000, 1, 1).is_err());
+        assert!(Date::new(-10_000, 1, 1).is_err());
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2016));
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(2017));
+        assert!(is_leap_year(2400));
+    }
+
+    #[test]
+    fn weekday_progression() {
+        let mut d = Date::new(2016, 1, 1).unwrap(); // a Friday
+        assert_eq!(d.weekday(), Weekday::Friday);
+        for expected in [
+            Weekday::Saturday,
+            Weekday::Sunday,
+            Weekday::Monday,
+            Weekday::Tuesday,
+        ] {
+            d = d.add_days(1).unwrap();
+            assert_eq!(d.weekday(), expected);
+        }
+    }
+
+    #[test]
+    fn day_of_year() {
+        assert_eq!(Date::new(2016, 1, 1).unwrap().day_of_year(), 1);
+        assert_eq!(Date::new(2016, 12, 31).unwrap().day_of_year(), 366);
+        assert_eq!(Date::new(2017, 12, 31).unwrap().day_of_year(), 365);
+        assert_eq!(Date::new(2016, 3, 1).unwrap().day_of_year(), 61);
+    }
+
+    #[test]
+    fn nth_weekday() {
+        // Second Sunday of March 2016 was the 13th (US DST start).
+        let d = Date::nth_weekday_of_month(2016, Month::March, Weekday::Sunday, 2).unwrap();
+        assert_eq!(d, Date::new(2016, 3, 13).unwrap());
+        // First Sunday of November 2016 was the 6th (US DST end).
+        let d = Date::nth_weekday_of_month(2016, Month::November, Weekday::Sunday, 1).unwrap();
+        assert_eq!(d, Date::new(2016, 11, 6).unwrap());
+        // No 5th Sunday in November 2016.
+        assert!(Date::nth_weekday_of_month(2016, Month::November, Weekday::Sunday, 5).is_none());
+        assert!(Date::nth_weekday_of_month(2016, Month::November, Weekday::Sunday, 0).is_none());
+    }
+
+    #[test]
+    fn last_weekday() {
+        // Last Sunday of March 2016 was the 27th (EU DST start).
+        let d = Date::last_weekday_of_month(2016, Month::March, Weekday::Sunday);
+        assert_eq!(d, Date::new(2016, 3, 27).unwrap());
+        // Last Sunday of October 2016 was the 30th (EU DST end).
+        let d = Date::last_weekday_of_month(2016, Month::October, Weekday::Sunday);
+        assert_eq!(d, Date::new(2016, 10, 30).unwrap());
+    }
+
+    #[test]
+    fn date_range_iteration() {
+        let a = Date::new(2016, 2, 27).unwrap();
+        let b = Date::new(2016, 3, 2).unwrap();
+        let days: Vec<Date> = a.iter_to(b).collect();
+        assert_eq!(days.len(), 5); // 27, 28, 29 (leap), 1, 2
+        assert_eq!(days[2], Date::new(2016, 2, 29).unwrap());
+        assert_eq!(days.last().copied(), Some(b));
+        // Empty when reversed.
+        assert_eq!(b.iter_to(a).count(), 0);
+        // ExactSizeIterator agrees.
+        assert_eq!(a.iter_to(b).len(), 5);
+    }
+
+    #[test]
+    fn civil_datetime_round_trip_known() {
+        let c = CivilDateTime::new(2016, 7, 15, 12, 34, 56).unwrap();
+        let secs = c.seconds_since_epoch_as_utc();
+        assert_eq!(secs, 1_468_586_096);
+        let back = CivilDateTime::from_seconds_since_epoch_utc(secs).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn civil_datetime_rejects_bad_time() {
+        assert!(CivilDateTime::new(2016, 1, 1, 24, 0, 0).is_err());
+        assert!(CivilDateTime::new(2016, 1, 1, 0, 60, 0).is_err());
+        assert!(CivilDateTime::new(2016, 1, 1, 0, 0, 60).is_err());
+    }
+
+    #[test]
+    fn civil_datetime_negative_epoch() {
+        let c = CivilDateTime::from_seconds_since_epoch_utc(-1).unwrap();
+        assert_eq!(c.to_string(), "1969-12-31 23:59:59");
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = CivilDateTime::new(2016, 1, 5, 9, 3, 0).unwrap();
+        assert_eq!(c.to_string(), "2016-01-05 09:03:00");
+        assert_eq!(Month::July.to_string(), "July");
+        assert_eq!(Weekday::Sunday.to_string(), "Sunday");
+    }
+
+    #[test]
+    fn month_numbering() {
+        for (i, m) in Month::ALL.iter().enumerate() {
+            assert_eq!(m.number() as usize, i + 1);
+            assert_eq!(Month::from_number(m.number()), Some(*m));
+        }
+        assert_eq!(Month::from_number(13), None);
+    }
+
+    #[test]
+    fn weekend_detection() {
+        assert!(Weekday::Saturday.is_weekend());
+        assert!(Weekday::Sunday.is_weekend());
+        assert!(!Weekday::Wednesday.is_weekend());
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        let a = Date::new(2016, 1, 31).unwrap();
+        let b = Date::new(2016, 2, 1).unwrap();
+        assert!(a < b);
+        let c1 = CivilDateTime::new(2016, 2, 1, 0, 0, 0).unwrap();
+        let c2 = CivilDateTime::new(2016, 2, 1, 0, 0, 1).unwrap();
+        assert!(c1 < c2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Date::new(2016, 2, 29).unwrap();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Date = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

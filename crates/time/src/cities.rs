@@ -1,0 +1,94 @@
+//! Example cities per canonical time zone.
+//!
+//! The paper annotates every uncovered zone with familiar reference
+//! cities — *"the UTC+3 (Bucharest, Moskow, Minsk) and the UTC+4 (Abu
+//! Dhabi, Tbilisi, Yerevan) time zones"* — so investigators can read a
+//! placement without a zone map. This module provides the same labels.
+
+use crate::offset::TzOffset;
+
+/// Example cities for each canonical zone UTC−11 … UTC+12 (2016 standard
+/// time), in the index order of [`TzOffset::canonical_zones`].
+const CITIES: [&str; 24] = [
+    "Pago Pago, Niue",                         // −11
+    "Honolulu, Papeete",                       // −10
+    "Anchorage, Gambier Islands",              // −9
+    "Los Angeles, San Francisco, Vancouver",   // −8
+    "Denver, Phoenix, Chihuahua",              // −7
+    "Chicago, New Orleans, Mexico City",       // −6
+    "New York, Toronto, Bogotá, Lima",         // −5
+    "Halifax, Caracas, La Paz",                // −4
+    "Rio de Janeiro, São Paulo, Buenos Aires", // −3
+    "South Georgia, Fernando de Noronha",      // −2
+    "Azores, Praia",                           // −1
+    "London, Lisbon, Accra, Reykjavík",        // 0
+    "Berlin, Paris, Rome, Lagos",              // +1
+    "Athens, Cairo, Johannesburg, Kyiv",       // +2
+    "Bucharest, Moscow, Minsk, Istanbul",      // +3
+    "Abu Dhabi, Tbilisi, Yerevan, Samara",     // +4
+    "Karachi, Tashkent, Yekaterinburg",        // +5
+    "Dhaka, Almaty, Omsk",                     // +6
+    "Bangkok, Jakarta, Hanoi",                 // +7
+    "Beijing, Singapore, Kuala Lumpur, Perth", // +8
+    "Tokyo, Seoul, Yakutsk",                   // +9
+    "Sydney, Melbourne, Vladivostok",          // +10
+    "Nouméa, Magadan, Honiara",                // +11
+    "Auckland, Suva, Kamchatka",               // +12
+];
+
+/// Example cities living at the given offset (rounded to the nearest
+/// canonical zone).
+///
+/// ```
+/// use crowdtz_time::{zone_cities, TzOffset};
+/// assert!(zone_cities(TzOffset::from_hours(3)?).contains("Moscow"));
+/// assert!(zone_cities(TzOffset::UTC).contains("London"));
+/// # Ok::<(), crowdtz_time::TimeError>(())
+/// ```
+pub fn zone_cities(offset: TzOffset) -> &'static str {
+    CITIES[offset.canonical_index()]
+}
+
+/// A display label for a zone: `"UTC+3 (Bucharest, Moscow, Minsk, …)"`.
+pub fn zone_label(offset: TzOffset) -> String {
+    format!("{} ({})", offset, zone_cities(offset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_city_examples_match() {
+        // Cities the paper cites per zone.
+        let h = |n: i32| TzOffset::from_hours(n).unwrap();
+        assert!(zone_cities(h(3)).contains("Moscow"));
+        assert!(zone_cities(h(4)).contains("Tbilisi"));
+        assert!(zone_cities(h(4)).contains("Abu Dhabi"));
+        assert!(zone_cities(h(-6)).contains("Chicago"));
+        assert!(zone_cities(h(-6)).contains("New Orleans"));
+        assert!(zone_cities(h(-3)).contains("Rio de Janeiro"));
+        assert!(zone_cities(h(-8)).contains("San Francisco"));
+        assert!(zone_cities(h(1)).contains("Berlin"));
+    }
+
+    #[test]
+    fn every_canonical_zone_has_cities() {
+        for z in TzOffset::canonical_zones() {
+            assert!(!zone_cities(z).is_empty());
+        }
+    }
+
+    #[test]
+    fn label_format() {
+        let label = zone_label(TzOffset::from_hours(-6).unwrap());
+        assert!(label.starts_with("UTC-6 ("), "{label}");
+        assert!(label.ends_with(')'), "{label}");
+    }
+
+    #[test]
+    fn fractional_offsets_round() {
+        let india = TzOffset::from_minutes(330).unwrap(); // +5:30 → +6
+        assert!(zone_cities(india).contains("Dhaka"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Daylight-saving-time rules.
+//!
+//! §V.F of the paper rests on one observation: *northern* hemisphere regions
+//! run DST roughly March→October while *southern* hemisphere regions run it
+//! roughly October→February. These rules implement the real transition
+//! calendars (nth/last weekday of a month at a local hour), which is what
+//! the hemisphere classifier in `crowdtz-core` infers against.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::calendar::{CivilDateTime, Date, Month, Weekday};
+
+/// Which occurrence of a weekday within a month a transition falls on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WeekOfMonth {
+    /// The n-th occurrence (1-based); e.g. `Nth(2)` = second.
+    Nth(u8),
+    /// The last occurrence in the month.
+    Last,
+}
+
+/// A single DST transition rule: "the \<week\> \<weekday\> of \<month\>, at
+/// \<local hour\>".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Transition {
+    month: Month,
+    week: WeekOfMonth,
+    weekday: Weekday,
+    local_hour: u8,
+}
+
+impl Transition {
+    /// Creates a transition rule.
+    ///
+    /// `local_hour` is the wall-clock hour (standard time) at which the
+    /// switch happens and is clamped to `0..=23`.
+    pub fn new(month: Month, week: WeekOfMonth, weekday: Weekday, local_hour: u8) -> Transition {
+        Transition {
+            month,
+            week,
+            weekday,
+            local_hour: local_hour.min(23),
+        }
+    }
+
+    /// The month of the transition.
+    pub fn month(&self) -> Month {
+        self.month
+    }
+
+    /// The concrete transition instant (in local standard time) for `year`.
+    ///
+    /// Months in which the requested occurrence does not exist (e.g. a 5th
+    /// Sunday) fall back to the last occurrence.
+    pub fn instant_in_year(&self, year: i32) -> CivilDateTime {
+        let date = match self.week {
+            WeekOfMonth::Nth(n) => Date::nth_weekday_of_month(year, self.month, self.weekday, n)
+                .unwrap_or_else(|| Date::last_weekday_of_month(year, self.month, self.weekday)),
+            WeekOfMonth::Last => Date::last_weekday_of_month(year, self.month, self.weekday),
+        };
+        CivilDateTime::from_date_time(date, self.local_hour, 0, 0).expect("hour clamped")
+    }
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.week {
+            WeekOfMonth::Nth(n) => write!(
+                f,
+                "{}th {} of {} {:02}:00",
+                n, self.weekday, self.month, self.local_hour
+            ),
+            WeekOfMonth::Last => write!(
+                f,
+                "last {} of {} {:02}:00",
+                self.weekday, self.month, self.local_hour
+            ),
+        }
+    }
+}
+
+/// A daylight-saving rule: the pair of yearly transitions plus the shift.
+///
+/// `start` is when clocks move *forward* by `shift_secs`; `end` is when they
+/// move back. A northern rule has `start` in spring (Feb–June) and `end` in
+/// autumn; a southern rule is the reverse, so its DST period *spans the new
+/// year*.
+///
+/// ```
+/// use crowdtz_time::{Date, DstRule};
+///
+/// let eu = DstRule::eu();
+/// assert!(eu.is_dst_on(Date::new(2016, 7, 1)?));   // summer
+/// assert!(!eu.is_dst_on(Date::new(2016, 1, 15)?)); // winter
+///
+/// let brazil = DstRule::brazil();
+/// assert!(brazil.is_dst_on(Date::new(2016, 1, 15)?));  // austral summer
+/// assert!(!brazil.is_dst_on(Date::new(2016, 7, 1)?));
+/// # Ok::<(), crowdtz_time::TimeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DstRule {
+    start: Transition,
+    end: Transition,
+    shift_secs: i32,
+}
+
+impl DstRule {
+    /// Creates a DST rule with a custom shift (normally one hour).
+    pub fn new(start: Transition, end: Transition, shift_secs: i32) -> DstRule {
+        DstRule {
+            start,
+            end,
+            shift_secs,
+        }
+    }
+
+    /// The European Union rule: last Sunday of March 02:00 → last Sunday of
+    /// October 03:00, +1 h.
+    pub fn eu() -> DstRule {
+        DstRule::new(
+            Transition::new(Month::March, WeekOfMonth::Last, Weekday::Sunday, 2),
+            Transition::new(Month::October, WeekOfMonth::Last, Weekday::Sunday, 3),
+            3_600,
+        )
+    }
+
+    /// The United States rule (post-2007): second Sunday of March 02:00 →
+    /// first Sunday of November 02:00, +1 h.
+    pub fn us() -> DstRule {
+        DstRule::new(
+            Transition::new(Month::March, WeekOfMonth::Nth(2), Weekday::Sunday, 2),
+            Transition::new(Month::November, WeekOfMonth::Nth(1), Weekday::Sunday, 2),
+            3_600,
+        )
+    }
+
+    /// The Brazilian rule as in force in 2016 (southern): third Sunday of
+    /// October 00:00 → third Sunday of February 00:00, +1 h.
+    ///
+    /// Only the southern, most populated states observed it — the paper
+    /// relies on exactly this rule to place part of the Pedo Support
+    /// Community crowd in Southern Brazil / Paraguay.
+    pub fn brazil() -> DstRule {
+        DstRule::new(
+            Transition::new(Month::October, WeekOfMonth::Nth(3), Weekday::Sunday, 0),
+            Transition::new(Month::February, WeekOfMonth::Nth(3), Weekday::Sunday, 0),
+            3_600,
+        )
+    }
+
+    /// The Paraguayan rule (southern): first Sunday of October 00:00 →
+    /// fourth Sunday of March 00:00, +1 h.
+    pub fn paraguay() -> DstRule {
+        DstRule::new(
+            Transition::new(Month::October, WeekOfMonth::Nth(1), Weekday::Sunday, 0),
+            Transition::new(Month::March, WeekOfMonth::Nth(4), Weekday::Sunday, 0),
+            3_600,
+        )
+    }
+
+    /// The Australian (NSW/Victoria) rule (southern): first Sunday of
+    /// October 02:00 → first Sunday of April 03:00, +1 h.
+    pub fn australia_nsw() -> DstRule {
+        DstRule::new(
+            Transition::new(Month::October, WeekOfMonth::Nth(1), Weekday::Sunday, 2),
+            Transition::new(Month::April, WeekOfMonth::Nth(1), Weekday::Sunday, 3),
+            3_600,
+        )
+    }
+
+    /// The shift applied while DST is in force, in seconds.
+    pub fn shift_secs(&self) -> i32 {
+        self.shift_secs
+    }
+
+    /// The spring-forward transition.
+    pub fn start(&self) -> Transition {
+        self.start
+    }
+
+    /// The fall-back transition.
+    pub fn end(&self) -> Transition {
+        self.end
+    }
+
+    /// Whether this rule belongs to the southern hemisphere (its DST period
+    /// spans the new year).
+    pub fn is_southern(&self) -> bool {
+        self.start.month() > self.end.month()
+    }
+
+    /// Whether DST is in force at the given local (standard-time) moment.
+    pub fn is_dst_at(&self, local_standard: CivilDateTime) -> bool {
+        let year = local_standard.date().year();
+        let start = self.start.instant_in_year(year);
+        let end = self.end.instant_in_year(year);
+        if !self.is_southern() {
+            local_standard >= start && local_standard < end
+        } else {
+            // Southern: in force from `start` to year end, and from year
+            // start to `end`.
+            local_standard >= start || local_standard < end
+        }
+    }
+
+    /// Whether DST is in force for (the noon of) the given local date.
+    pub fn is_dst_on(&self, date: Date) -> bool {
+        let noon = CivilDateTime::from_date_time(date, 12, 0, 0).expect("noon valid");
+        self.is_dst_at(noon)
+    }
+}
+
+impl fmt::Display for DstRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DST +{}s from ({}) to ({})",
+            self.shift_secs, self.start, self.end
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u8, day: u8) -> Date {
+        Date::new(y, m, day).unwrap()
+    }
+
+    #[test]
+    fn eu_transitions_2016() {
+        let eu = DstRule::eu();
+        assert!(!eu.is_dst_on(d(2016, 3, 26))); // day before last Sunday
+        assert!(eu.is_dst_on(d(2016, 3, 27))); // transition day (noon)
+        assert!(eu.is_dst_on(d(2016, 10, 29)));
+        assert!(!eu.is_dst_on(d(2016, 10, 30))); // noon after 03:00 switch
+        assert!(!eu.is_dst_on(d(2016, 12, 25)));
+    }
+
+    #[test]
+    fn eu_transition_hour_boundary() {
+        let eu = DstRule::eu();
+        let before = CivilDateTime::new(2016, 3, 27, 1, 59, 59).unwrap();
+        let after = CivilDateTime::new(2016, 3, 27, 2, 0, 0).unwrap();
+        assert!(!eu.is_dst_at(before));
+        assert!(eu.is_dst_at(after));
+    }
+
+    #[test]
+    fn us_transitions_2016() {
+        let us = DstRule::us();
+        assert!(!us.is_dst_on(d(2016, 3, 12)));
+        assert!(us.is_dst_on(d(2016, 3, 13))); // second Sunday of March
+        assert!(us.is_dst_on(d(2016, 11, 5)));
+        assert!(!us.is_dst_on(d(2016, 11, 6))); // first Sunday of November
+    }
+
+    #[test]
+    fn brazil_is_southern_and_spans_new_year() {
+        let br = DstRule::brazil();
+        assert!(br.is_southern());
+        assert!(br.is_dst_on(d(2016, 1, 10))); // austral summer
+        assert!(br.is_dst_on(d(2016, 12, 25)));
+        assert!(!br.is_dst_on(d(2016, 6, 15))); // austral winter
+                                                // 2016: starts 3rd Sunday of October = Oct 16.
+        assert!(!br.is_dst_on(d(2016, 10, 15)));
+        assert!(br.is_dst_on(d(2016, 10, 16)));
+        // Ends 3rd Sunday of February = Feb 21.
+        assert!(br.is_dst_on(d(2016, 2, 20)));
+        assert!(!br.is_dst_on(d(2016, 2, 21)));
+    }
+
+    #[test]
+    fn australia_is_southern() {
+        let au = DstRule::australia_nsw();
+        assert!(au.is_southern());
+        assert!(au.is_dst_on(d(2016, 1, 15)));
+        assert!(!au.is_dst_on(d(2016, 7, 15)));
+    }
+
+    #[test]
+    fn northern_rules_are_not_southern() {
+        assert!(!DstRule::eu().is_southern());
+        assert!(!DstRule::us().is_southern());
+    }
+
+    #[test]
+    fn nth_fallback_never_panics() {
+        // A rule asking for the 5th Sunday falls back to the last.
+        let t = Transition::new(Month::February, WeekOfMonth::Nth(5), Weekday::Sunday, 2);
+        let inst = t.instant_in_year(2015); // Feb 2015 has only 4 Sundays
+        assert_eq!(
+            inst.date(),
+            Date::last_weekday_of_month(2015, Month::February, Weekday::Sunday)
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = DstRule::eu().to_string();
+        assert!(s.contains("March"), "{s}");
+        assert!(s.contains("October"), "{s}");
+    }
+
+    #[test]
+    fn shift_and_accessors() {
+        let eu = DstRule::eu();
+        assert_eq!(eu.shift_secs(), 3_600);
+        assert_eq!(eu.start().month(), Month::March);
+        assert_eq!(eu.end().month(), Month::October);
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for civil-time operations.
+
+use std::fmt;
+
+/// The error type returned by fallible operations in this crate.
+///
+/// Every variant carries enough information to report *what* input was
+/// rejected, following the Rust API guidelines (C-GOOD-ERR).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TimeError {
+    /// A calendar date with out-of-range components was requested.
+    InvalidDate {
+        /// Requested year.
+        year: i32,
+        /// Requested month (1-based).
+        month: u8,
+        /// Requested day of month (1-based).
+        day: u8,
+    },
+    /// A time of day with out-of-range components was requested.
+    InvalidTimeOfDay {
+        /// Requested hour.
+        hour: u8,
+        /// Requested minute.
+        minute: u8,
+        /// Requested second.
+        second: u8,
+    },
+    /// A UTC offset outside the representable range (±18 h) or not aligned
+    /// to a quarter-hour was requested.
+    InvalidOffset {
+        /// Requested offset in seconds east of UTC.
+        seconds: i32,
+    },
+    /// A year outside the supported range of the calendar arithmetic.
+    YearOutOfRange {
+        /// Requested year.
+        year: i32,
+    },
+    /// An unknown region identifier was looked up in a [`crate::RegionDb`].
+    UnknownRegion {
+        /// The identifier that failed to resolve.
+        id: String,
+    },
+}
+
+impl fmt::Display for TimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeError::InvalidDate { year, month, day } => {
+                write!(f, "invalid calendar date {year:04}-{month:02}-{day:02}")
+            }
+            TimeError::InvalidTimeOfDay {
+                hour,
+                minute,
+                second,
+            } => {
+                write!(f, "invalid time of day {hour:02}:{minute:02}:{second:02}")
+            }
+            TimeError::InvalidOffset { seconds } => {
+                write!(
+                    f,
+                    "invalid UTC offset of {seconds} s (must be within ±18 h and \
+                     aligned to 900 s)"
+                )
+            }
+            TimeError::YearOutOfRange { year } => {
+                write!(f, "year {year} outside the supported range [-9999, 9999]")
+            }
+            TimeError::UnknownRegion { id } => write!(f, "unknown region id {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TimeError::InvalidDate {
+            year: 2016,
+            month: 2,
+            day: 30,
+        };
+        assert_eq!(e.to_string(), "invalid calendar date 2016-02-30");
+        let e = TimeError::InvalidTimeOfDay {
+            hour: 25,
+            minute: 0,
+            second: 0,
+        };
+        assert!(e.to_string().contains("25:00:00"));
+        let e = TimeError::InvalidOffset { seconds: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = TimeError::UnknownRegion {
+            id: "atlantis".into(),
+        };
+        assert!(e.to_string().contains("atlantis"));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<TimeError>();
+    }
+}

@@ -1,0 +1,66 @@
+//! Civil-time substrate for the crowdtz project.
+//!
+//! The geolocation method of *Time-Zone Geolocation of Crowds in the Dark
+//! Web* (ICDCS 2018) is built entirely on wall-clock arithmetic: post
+//! timestamps are converted to local hours of the day under candidate time
+//! zones, daylight-saving time must be normalized when building region
+//! profiles (§IV of the paper), and the hemisphere-detection technique
+//! (§V.F) *is* an inference about DST rules. Because that arithmetic is part
+//! of the reproduced method, this crate implements it from scratch instead
+//! of delegating to a calendar library.
+//!
+//! # Contents
+//!
+//! * [`Timestamp`] — an instant in UTC, seconds since the Unix epoch.
+//! * [`Date`], [`CivilDateTime`] — proleptic-Gregorian calendar types.
+//! * [`TzOffset`] — a UTC offset at quarter-hour granularity.
+//! * [`DstRule`], [`Transition`] — daylight-saving rules for the northern
+//!   and southern hemispheres.
+//! * [`Zone`] — a standard offset plus an optional DST rule; converts
+//!   instants to local civil time.
+//! * [`Region`], [`RegionDb`] — the ground-truth regions used by the paper
+//!   (Table I) plus extras, with population weights, hemispheres, and
+//!   holiday calendars.
+//!
+//! # Example
+//!
+//! ```
+//! use crowdtz_time::{CivilDateTime, Timestamp, Zone, TzOffset};
+//!
+//! // Germany: UTC+1 standard time with EU (northern) DST.
+//! let berlin = Zone::eu(TzOffset::from_hours(1)?);
+//! // 2016-07-15 12:00:00 UTC is 14:00 in Berlin (CEST, UTC+2).
+//! let ts = Timestamp::from_civil_utc(CivilDateTime::new(2016, 7, 15, 12, 0, 0)?);
+//! assert_eq!(berlin.to_local(ts).hour(), 14);
+//! # Ok::<(), crowdtz_time::TimeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod calendar;
+mod cities;
+mod dst;
+mod error;
+mod offset;
+mod region;
+mod timestamp;
+mod trace;
+mod zone;
+
+pub use calendar::{CivilDateTime, Date, Month, Weekday};
+pub use cities::{zone_cities, zone_label};
+pub use dst::{DstRule, Transition, WeekOfMonth};
+pub use error::TimeError;
+pub use offset::TzOffset;
+pub use region::{HolidayCalendar, Region, RegionDb, RegionId};
+pub use timestamp::Timestamp;
+pub use trace::{TraceSet, UserTrace};
+pub use zone::{Hemisphere, Zone};
+
+/// Number of seconds in one hour.
+pub const SECS_PER_HOUR: i64 = 3_600;
+/// Number of seconds in one civil day.
+pub const SECS_PER_DAY: i64 = 86_400;
+/// Number of hours in one civil day; the dimension of activity profiles.
+pub const HOURS_PER_DAY: usize = 24;

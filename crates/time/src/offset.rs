@@ -1,0 +1,227 @@
+//! Fixed UTC offsets.
+
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TimeError;
+
+/// A fixed offset from UTC, east positive, at quarter-hour granularity.
+///
+/// Real-world offsets range from UTC−12 to UTC+14 and are all multiples of
+/// 15 minutes; the type enforces `±18 h` and the alignment so that every
+/// value is a plausible offset.
+///
+/// The paper works with the 24 *integral* time zones UTC−11 … UTC+12; see
+/// [`TzOffset::canonical_zones`].
+///
+/// ```
+/// use crowdtz_time::TzOffset;
+///
+/// let cet = TzOffset::from_hours(1)?;
+/// assert_eq!(cet.to_string(), "UTC+1");
+/// assert_eq!(TzOffset::from_minutes(330)?.to_string(), "UTC+5:30"); // India
+/// # Ok::<(), crowdtz_time::TimeError>(())
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TzOffset {
+    seconds: i32,
+}
+
+impl TzOffset {
+    /// The UTC offset (zero).
+    pub const UTC: TzOffset = TzOffset { seconds: 0 };
+
+    const MAX_SECONDS: i32 = 18 * 3_600;
+
+    /// Creates an offset from whole hours east of UTC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::InvalidOffset`] outside `±18` hours.
+    pub fn from_hours(hours: i32) -> Result<TzOffset, TimeError> {
+        Self::from_seconds(hours.saturating_mul(3_600))
+    }
+
+    /// Creates an offset from whole minutes east of UTC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::InvalidOffset`] outside `±18` hours or when the
+    /// offset is not a multiple of 15 minutes.
+    pub fn from_minutes(minutes: i32) -> Result<TzOffset, TimeError> {
+        Self::from_seconds(minutes.saturating_mul(60))
+    }
+
+    /// Creates an offset from seconds east of UTC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::InvalidOffset`] outside `±18` hours or when the
+    /// offset is not a multiple of 900 s (a quarter hour).
+    pub fn from_seconds(seconds: i32) -> Result<TzOffset, TimeError> {
+        if seconds.abs() > Self::MAX_SECONDS || seconds % 900 != 0 {
+            return Err(TimeError::InvalidOffset { seconds });
+        }
+        Ok(TzOffset { seconds })
+    }
+
+    /// The offset in seconds east of UTC.
+    pub const fn seconds(self) -> i32 {
+        self.seconds
+    }
+
+    /// The offset in fractional hours east of UTC.
+    pub fn hours(self) -> f64 {
+        f64::from(self.seconds) / 3_600.0
+    }
+
+    /// The offset in whole hours, rounding toward the nearest hour.
+    ///
+    /// Used when snapping a fractional fit (e.g. a Gaussian mean of 1.3) to
+    /// a canonical integral time zone.
+    pub fn whole_hours(self) -> i32 {
+        (f64::from(self.seconds) / 3_600.0).round() as i32
+    }
+
+    /// The 24 canonical integral zones UTC−11 … UTC+12, in ascending order.
+    ///
+    /// These are the bins the paper places anonymous users into.
+    ///
+    /// ```
+    /// use crowdtz_time::TzOffset;
+    /// let zones = TzOffset::canonical_zones();
+    /// assert_eq!(zones.len(), 24);
+    /// assert_eq!(zones[0].whole_hours(), -11);
+    /// assert_eq!(zones[23].whole_hours(), 12);
+    /// ```
+    pub fn canonical_zones() -> [TzOffset; 24] {
+        let mut out = [TzOffset::UTC; 24];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = TzOffset {
+                seconds: (i as i32 - 11) * 3_600,
+            };
+        }
+        out
+    }
+
+    /// Index of this offset within [`TzOffset::canonical_zones`]
+    /// (`0` = UTC−11 … `23` = UTC+12), rounding fractional offsets.
+    pub fn canonical_index(self) -> usize {
+        (self.whole_hours() + 11).rem_euclid(24) as usize
+    }
+}
+
+impl Add for TzOffset {
+    type Output = TzOffset;
+
+    /// Adds two offsets, saturating at ±18 h.
+    fn add(self, rhs: TzOffset) -> TzOffset {
+        TzOffset {
+            seconds: (self.seconds + rhs.seconds).clamp(-Self::MAX_SECONDS, Self::MAX_SECONDS),
+        }
+    }
+}
+
+impl Sub for TzOffset {
+    type Output = TzOffset;
+
+    /// Subtracts two offsets, saturating at ±18 h.
+    fn sub(self, rhs: TzOffset) -> TzOffset {
+        TzOffset {
+            seconds: (self.seconds - rhs.seconds).clamp(-Self::MAX_SECONDS, Self::MAX_SECONDS),
+        }
+    }
+}
+
+impl Neg for TzOffset {
+    type Output = TzOffset;
+
+    fn neg(self) -> TzOffset {
+        TzOffset {
+            seconds: -self.seconds,
+        }
+    }
+}
+
+impl fmt::Display for TzOffset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.seconds < 0 { '-' } else { '+' };
+        let abs = self.seconds.abs();
+        let h = abs / 3_600;
+        let m = (abs % 3_600) / 60;
+        if m == 0 {
+            write!(f, "UTC{sign}{h}")
+        } else {
+            write!(f, "UTC{sign}{h}:{m:02}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(TzOffset::from_hours(12).is_ok());
+        assert!(TzOffset::from_hours(-12).is_ok());
+        assert!(TzOffset::from_hours(14).is_ok());
+        assert!(TzOffset::from_hours(19).is_err());
+        assert!(TzOffset::from_minutes(330).is_ok()); // +5:30
+        assert!(TzOffset::from_minutes(331).is_err()); // not quarter-aligned
+        assert!(TzOffset::from_seconds(1).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TzOffset::UTC.to_string(), "UTC+0");
+        assert_eq!(TzOffset::from_hours(3).unwrap().to_string(), "UTC+3");
+        assert_eq!(TzOffset::from_hours(-7).unwrap().to_string(), "UTC-7");
+        assert_eq!(
+            TzOffset::from_minutes(-210).unwrap().to_string(),
+            "UTC-3:30"
+        );
+    }
+
+    #[test]
+    fn canonical_zone_index_round_trip() {
+        for (i, z) in TzOffset::canonical_zones().iter().enumerate() {
+            assert_eq!(z.canonical_index(), i);
+        }
+    }
+
+    #[test]
+    fn canonical_index_rounds_fractional() {
+        // UTC+5:30 rounds to UTC+6 → index 17.
+        let india = TzOffset::from_minutes(330).unwrap();
+        assert_eq!(india.whole_hours(), 6);
+        assert_eq!(india.canonical_index(), 17);
+    }
+
+    #[test]
+    fn arithmetic_and_negation() {
+        let a = TzOffset::from_hours(3).unwrap();
+        let b = TzOffset::from_hours(-7).unwrap();
+        assert_eq!((a + b).whole_hours(), -4);
+        assert_eq!((a - b).whole_hours(), 10);
+        assert_eq!((-a).whole_hours(), -3);
+        // Saturation.
+        let max = TzOffset::from_hours(18).unwrap();
+        assert_eq!((max + max).seconds(), 18 * 3_600);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(TzOffset::from_hours(-1).unwrap() < TzOffset::UTC);
+        assert!(TzOffset::UTC < TzOffset::from_hours(1).unwrap());
+    }
+
+    #[test]
+    fn hours_fractional() {
+        assert_eq!(TzOffset::from_minutes(330).unwrap().hours(), 5.5);
+    }
+}

@@ -1,0 +1,595 @@
+//! Ground-truth regions: the 14 countries/states of the paper's Table I,
+//! plus extra regions needed by the Dark Web experiments.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::calendar::Date;
+use crate::dst::DstRule;
+use crate::error::TimeError;
+use crate::offset::TzOffset;
+use crate::zone::{Hemisphere, Zone};
+
+/// Identifier of a region in a [`RegionDb`]; a lowercase slug such as
+/// `"germany"` or `"new-south-wales"`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegionId(String);
+
+impl RegionId {
+    /// Creates an id from a slug; the slug is lowercased.
+    pub fn new(slug: impl Into<String>) -> RegionId {
+        RegionId(slug.into().to_lowercase())
+    }
+
+    /// The slug string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for RegionId {
+    fn from(s: &str) -> RegionId {
+        RegionId::new(s)
+    }
+}
+
+/// A yearly calendar of low-activity periods (holidays).
+///
+/// §IV of the paper: *"we have filtered out periods of particularly low
+/// activity, like holidays"*. The calendar is a set of inclusive
+/// month/day ranges that repeat every year; ranges may wrap the new year
+/// (e.g. Dec 23 – Jan 2).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HolidayCalendar {
+    /// Inclusive ranges as ((start month, start day), (end month, end day)).
+    ranges: Vec<((u8, u8), (u8, u8))>,
+}
+
+impl HolidayCalendar {
+    /// An empty calendar (no holidays filtered).
+    pub fn none() -> HolidayCalendar {
+        HolidayCalendar::default()
+    }
+
+    /// A typical "western" calendar: winter holidays (Dec 23 – Jan 2) and a
+    /// summer national break (Aug 10 – Aug 20).
+    pub fn western() -> HolidayCalendar {
+        HolidayCalendar {
+            ranges: vec![((12, 23), (1, 2)), ((8, 10), (8, 20))],
+        }
+    }
+
+    /// Adds an inclusive month/day range (may wrap the new year).
+    #[must_use]
+    pub fn with_range(mut self, start: (u8, u8), end: (u8, u8)) -> HolidayCalendar {
+        self.ranges.push((start, end));
+        self
+    }
+
+    /// Whether the given date falls inside a holiday period.
+    ///
+    /// ```
+    /// use crowdtz_time::{Date, HolidayCalendar};
+    /// let cal = HolidayCalendar::western();
+    /// assert!(cal.contains(Date::new(2016, 12, 25)?));
+    /// assert!(cal.contains(Date::new(2016, 1, 1)?));
+    /// assert!(!cal.contains(Date::new(2016, 3, 15)?));
+    /// # Ok::<(), crowdtz_time::TimeError>(())
+    /// ```
+    pub fn contains(&self, date: Date) -> bool {
+        let md = (date.month_number(), date.day());
+        self.ranges.iter().any(|&(start, end)| {
+            if start <= end {
+                md >= start && md <= end
+            } else {
+                // Wrapping range, e.g. (12,23) ..= (1,2).
+                md >= start || md <= end
+            }
+        })
+    }
+
+    /// Number of configured ranges.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the calendar has no ranges.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+/// A ground-truth region: a place with a known time zone, DST calendar,
+/// hemisphere, and (for the paper's Table I regions) a Twitter active-user
+/// count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    id: RegionId,
+    name: String,
+    zone: Zone,
+    twitter_active_users: Option<u32>,
+    holidays: HolidayCalendar,
+}
+
+impl Region {
+    /// Creates a region.
+    pub fn new(
+        id: impl Into<RegionId>,
+        name: impl Into<String>,
+        zone: Zone,
+        twitter_active_users: Option<u32>,
+        holidays: HolidayCalendar,
+    ) -> Region {
+        Region {
+            id: id.into(),
+            name: name.into(),
+            zone,
+            twitter_active_users,
+            holidays,
+        }
+    }
+
+    /// The region identifier.
+    pub fn id(&self) -> &RegionId {
+        &self.id
+    }
+
+    /// Human-readable name, as printed in Table I.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The region's time zone (standard offset + DST rule).
+    pub fn zone(&self) -> Zone {
+        self.zone
+    }
+
+    /// The standard (winter) UTC offset.
+    pub fn standard_offset(&self) -> TzOffset {
+        self.zone.standard_offset()
+    }
+
+    /// The hemisphere implied by the DST rule.
+    pub fn hemisphere(&self) -> Hemisphere {
+        self.zone.hemisphere()
+    }
+
+    /// Number of active Twitter users in the paper's Table I, if this is
+    /// one of the 14 ground-truth regions.
+    pub fn twitter_active_users(&self) -> Option<u32> {
+        self.twitter_active_users
+    }
+
+    /// The holiday calendar used when polishing activity traces.
+    pub fn holidays(&self) -> &HolidayCalendar {
+        &self.holidays
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.zone)
+    }
+}
+
+/// A database of [`Region`]s with lookup by id.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RegionDb {
+    regions: Vec<Region>,
+}
+
+impl RegionDb {
+    /// An empty database.
+    pub fn new() -> RegionDb {
+        RegionDb::default()
+    }
+
+    /// The 14 ground-truth regions of the paper's Table I, with their 2016
+    /// time zones, DST rules, hemispheres, and active-user counts.
+    ///
+    /// ```
+    /// use crowdtz_time::RegionDb;
+    /// let db = RegionDb::table1();
+    /// assert_eq!(db.len(), 14);
+    /// assert_eq!(db.get(&"japan".into()).unwrap().standard_offset().whole_hours(), 9);
+    /// ```
+    pub fn table1() -> RegionDb {
+        let h = |off: i32| TzOffset::from_hours(off).expect("static offsets valid");
+        let west = HolidayCalendar::western;
+        let mut db = RegionDb::new();
+        for region in [
+            Region::new(
+                "brazil",
+                "Brazil",
+                Zone::with_dst(h(-3), DstRule::brazil()),
+                Some(3_763),
+                HolidayCalendar::none()
+                    .with_range((12, 23), (1, 2))
+                    .with_range((2, 5), (2, 10)),
+            ),
+            Region::new(
+                "california",
+                "California",
+                Zone::us(h(-8)),
+                Some(2_868),
+                west(),
+            ),
+            Region::new("finland", "Finland", Zone::eu(h(2)), Some(73), west()),
+            Region::new("france", "France", Zone::eu(h(1)), Some(2_222), west()),
+            Region::new("germany", "Germany", Zone::eu(h(1)), Some(470), west()),
+            Region::new("illinois", "Illinois", Zone::us(h(-6)), Some(794), west()),
+            Region::new("italy", "Italy", Zone::eu(h(1)), Some(734), west()),
+            Region::new(
+                "japan",
+                "Japan",
+                Zone::fixed(h(9)),
+                Some(3_745),
+                HolidayCalendar::none()
+                    .with_range((12, 29), (1, 3))
+                    .with_range((4, 29), (5, 5)),
+            ),
+            Region::new(
+                "malaysia",
+                "Malaysia",
+                Zone::fixed(h(8)),
+                Some(1_714),
+                HolidayCalendar::none(),
+            ),
+            Region::new(
+                "new-south-wales",
+                "New South Wales",
+                Zone::with_dst(h(10), DstRule::australia_nsw()),
+                Some(151),
+                HolidayCalendar::none().with_range((12, 23), (1, 2)),
+            ),
+            Region::new("new-york", "New York", Zone::us(h(-5)), Some(1_417), west()),
+            Region::new("poland", "Poland", Zone::eu(h(1)), Some(375), west()),
+            // Turkey moved to permanent UTC+3 in September 2016; the paper's
+            // dataset spans 2016, so we model the year-end state.
+            Region::new(
+                "turkey",
+                "Turkey",
+                Zone::fixed(h(3)),
+                Some(1_019),
+                HolidayCalendar::none(),
+            ),
+            Region::new(
+                "united-kingdom",
+                "United Kingdom",
+                Zone::eu(h(0)),
+                Some(3_231),
+                west(),
+            ),
+        ] {
+            db.insert(region);
+        }
+        db
+    }
+
+    /// Table I plus the extra regions needed by the Dark Web experiments
+    /// (§V): Russia, Ukraine, the Gulf (UTC+4), Paraguay, US Pacific &
+    /// Mountain, and Western/Central Europe synonyms.
+    pub fn extended() -> RegionDb {
+        let h = |off: i32| TzOffset::from_hours(off).expect("static offsets valid");
+        let mut db = RegionDb::table1();
+        for region in [
+            // Russia abolished DST in 2014; Moscow is fixed UTC+3.
+            Region::new(
+                "russia-moscow",
+                "Russia (Moscow)",
+                Zone::fixed(h(3)),
+                None,
+                HolidayCalendar::none().with_range((12, 31), (1, 8)),
+            ),
+            Region::new(
+                "russia-samara",
+                "Russia (Samara)",
+                Zone::fixed(h(4)),
+                None,
+                HolidayCalendar::none().with_range((12, 31), (1, 8)),
+            ),
+            Region::new(
+                "ukraine",
+                "Ukraine",
+                Zone::eu(h(2)),
+                None,
+                HolidayCalendar::none(),
+            ),
+            Region::new(
+                "uae",
+                "United Arab Emirates",
+                Zone::fixed(h(4)),
+                None,
+                HolidayCalendar::none(),
+            ),
+            Region::new(
+                "georgia-tbilisi",
+                "Georgia (Tbilisi)",
+                Zone::fixed(h(4)),
+                None,
+                HolidayCalendar::none(),
+            ),
+            Region::new(
+                "paraguay",
+                "Paraguay",
+                Zone::with_dst(h(-4), DstRule::paraguay()),
+                None,
+                HolidayCalendar::none().with_range((12, 24), (1, 1)),
+            ),
+            Region::new(
+                "brazil-south",
+                "Southern Brazil",
+                Zone::with_dst(h(-3), DstRule::brazil()),
+                None,
+                HolidayCalendar::none().with_range((12, 23), (1, 2)),
+            ),
+            Region::new(
+                "us-pacific",
+                "US Pacific",
+                Zone::us(h(-8)),
+                None,
+                HolidayCalendar::western(),
+            ),
+            Region::new(
+                "us-mountain",
+                "US Mountain",
+                Zone::us(h(-7)),
+                None,
+                HolidayCalendar::western(),
+            ),
+            Region::new(
+                "us-central",
+                "US Central",
+                Zone::us(h(-6)),
+                None,
+                HolidayCalendar::western(),
+            ),
+            Region::new(
+                "us-eastern",
+                "US Eastern",
+                Zone::us(h(-5)),
+                None,
+                HolidayCalendar::western(),
+            ),
+            Region::new(
+                "mexico-city",
+                "Mexico City",
+                Zone::us(h(-6)),
+                None,
+                HolidayCalendar::none(),
+            ),
+            Region::new(
+                "spain",
+                "Spain",
+                Zone::eu(h(1)),
+                None,
+                HolidayCalendar::western(),
+            ),
+            Region::new(
+                "netherlands",
+                "Netherlands",
+                Zone::eu(h(1)),
+                None,
+                HolidayCalendar::western(),
+            ),
+            Region::new(
+                "nigeria",
+                "Nigeria",
+                Zone::fixed(h(1)),
+                None,
+                HolidayCalendar::none(),
+            ),
+            Region::new(
+                "china",
+                "China",
+                Zone::fixed(h(8)),
+                None,
+                HolidayCalendar::none(),
+            ),
+            Region::new(
+                "india",
+                "India",
+                Zone::fixed(TzOffset::from_minutes(330).expect("IST valid")),
+                None,
+                HolidayCalendar::none(),
+            ),
+            Region::new(
+                "argentina",
+                "Argentina",
+                Zone::fixed(h(-3)),
+                None,
+                HolidayCalendar::none(),
+            ),
+        ] {
+            db.insert(region);
+        }
+        db
+    }
+
+    /// Inserts (or replaces, by id) a region.
+    pub fn insert(&mut self, region: Region) {
+        if let Some(existing) = self.regions.iter_mut().find(|r| r.id == region.id) {
+            *existing = region;
+        } else {
+            self.regions.push(region);
+        }
+    }
+
+    /// Looks up a region by id.
+    pub fn get(&self, id: &RegionId) -> Option<&Region> {
+        self.regions.iter().find(|r| &r.id == id)
+    }
+
+    /// Looks up a region by id, returning an error with the missing slug.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::UnknownRegion`] if absent.
+    pub fn require(&self, id: &RegionId) -> Result<&Region, TimeError> {
+        self.get(id).ok_or_else(|| TimeError::UnknownRegion {
+            id: id.as_str().to_owned(),
+        })
+    }
+
+    /// Iterates over all regions in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Region> {
+        self.regions.iter()
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a RegionDb {
+    type Item = &'a Region;
+    type IntoIter = std::slice::Iter<'a, Region>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.regions.iter()
+    }
+}
+
+impl FromIterator<Region> for RegionDb {
+    fn from_iter<T: IntoIterator<Item = Region>>(iter: T) -> RegionDb {
+        let mut db = RegionDb::new();
+        for r in iter {
+            db.insert(r);
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let db = RegionDb::table1();
+        assert_eq!(db.len(), 14);
+        let total: u32 = db.iter().filter_map(Region::twitter_active_users).sum();
+        // Sum of Table I counts.
+        assert_eq!(total, 22_576);
+        let germany = db.get(&"germany".into()).unwrap();
+        assert_eq!(germany.twitter_active_users(), Some(470));
+        assert_eq!(germany.standard_offset().whole_hours(), 1);
+        assert_eq!(germany.hemisphere(), Hemisphere::Northern);
+    }
+
+    #[test]
+    fn hemispheres_match_geography() {
+        let db = RegionDb::table1();
+        assert_eq!(
+            db.get(&"brazil".into()).unwrap().hemisphere(),
+            Hemisphere::Southern
+        );
+        assert_eq!(
+            db.get(&"new-south-wales".into()).unwrap().hemisphere(),
+            Hemisphere::Southern
+        );
+        assert_eq!(
+            db.get(&"japan".into()).unwrap().hemisphere(),
+            Hemisphere::Unknown
+        );
+        assert_eq!(
+            db.get(&"malaysia".into()).unwrap().hemisphere(),
+            Hemisphere::Unknown
+        );
+        assert_eq!(
+            db.get(&"france".into()).unwrap().hemisphere(),
+            Hemisphere::Northern
+        );
+    }
+
+    #[test]
+    fn extended_has_dark_web_regions() {
+        let db = RegionDb::extended();
+        for id in [
+            "russia-moscow",
+            "paraguay",
+            "uae",
+            "us-pacific",
+            "brazil-south",
+        ] {
+            assert!(db.get(&id.into()).is_some(), "missing {id}");
+        }
+        assert!(db.len() > 14);
+        // Moscow has no DST since 2014.
+        assert_eq!(
+            db.get(&"russia-moscow".into()).unwrap().hemisphere(),
+            Hemisphere::Unknown
+        );
+        assert_eq!(
+            db.get(&"paraguay".into()).unwrap().hemisphere(),
+            Hemisphere::Southern
+        );
+    }
+
+    #[test]
+    fn insert_replaces_by_id() {
+        let mut db = RegionDb::new();
+        let z = Zone::fixed(TzOffset::UTC);
+        db.insert(Region::new("x", "X", z, None, HolidayCalendar::none()));
+        db.insert(Region::new("x", "X2", z, Some(5), HolidayCalendar::none()));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get(&"x".into()).unwrap().name(), "X2");
+    }
+
+    #[test]
+    fn require_reports_slug() {
+        let db = RegionDb::table1();
+        let err = db.require(&"atlantis".into()).unwrap_err();
+        assert!(err.to_string().contains("atlantis"));
+    }
+
+    #[test]
+    fn region_id_is_lowercased() {
+        assert_eq!(RegionId::new("Germany").as_str(), "germany");
+    }
+
+    #[test]
+    fn holiday_calendar_wrapping() {
+        let cal = HolidayCalendar::none().with_range((12, 23), (1, 2));
+        assert!(cal.contains(Date::new(2016, 12, 31).unwrap()));
+        assert!(cal.contains(Date::new(2016, 1, 1).unwrap()));
+        assert!(!cal.contains(Date::new(2016, 1, 3).unwrap()));
+        assert!(!cal.contains(Date::new(2016, 12, 22).unwrap()));
+        assert_eq!(cal.len(), 1);
+        assert!(!cal.is_empty());
+        assert!(HolidayCalendar::none().is_empty());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let z = Zone::fixed(TzOffset::UTC);
+        let db: RegionDb = vec![
+            Region::new("a", "A", z, None, HolidayCalendar::none()),
+            Region::new("b", "B", z, None, HolidayCalendar::none()),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn display() {
+        let db = RegionDb::table1();
+        let s = db.get(&"germany".into()).unwrap().to_string();
+        assert!(s.contains("Germany"));
+        assert!(s.contains("UTC+1"));
+    }
+}

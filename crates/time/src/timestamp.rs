@@ -1,0 +1,237 @@
+//! Instants in time.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::calendar::CivilDateTime;
+use crate::error::TimeError;
+use crate::offset::TzOffset;
+use crate::{SECS_PER_DAY, SECS_PER_HOUR};
+
+/// An instant in time: whole seconds since the Unix epoch, in UTC.
+///
+/// This is the only notion of "absolute time" in the workspace. Forum posts,
+/// scraper observations, and synthetic traces all carry `Timestamp`s;
+/// wall-clock views are derived through a [`crate::Zone`].
+///
+/// ```
+/// use crowdtz_time::{CivilDateTime, Timestamp};
+///
+/// let t = Timestamp::from_civil_utc(CivilDateTime::new(2016, 7, 15, 12, 0, 0)?);
+/// assert_eq!(t.as_secs(), 1_468_584_000);
+/// assert_eq!((t + 3_600).to_civil_utc()?.hour(), 13);
+/// # Ok::<(), crowdtz_time::TimeError>(())
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(i64);
+
+impl Timestamp {
+    /// The Unix epoch, 1970-01-01 00:00:00 UTC.
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from raw seconds since the Unix epoch.
+    pub const fn from_secs(secs: i64) -> Timestamp {
+        Timestamp(secs)
+    }
+
+    /// Seconds since the Unix epoch.
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// Creates a timestamp from a civil time read as UTC.
+    pub fn from_civil_utc(civil: CivilDateTime) -> Timestamp {
+        Timestamp(civil.seconds_since_epoch_as_utc())
+    }
+
+    /// Creates a timestamp from a civil time read in the given fixed offset.
+    ///
+    /// ```
+    /// use crowdtz_time::{CivilDateTime, Timestamp, TzOffset};
+    /// let noon_utc = Timestamp::from_civil_utc(CivilDateTime::new(2016, 1, 1, 12, 0, 0)?);
+    /// let one_pm_cet =
+    ///     Timestamp::from_civil_offset(CivilDateTime::new(2016, 1, 1, 13, 0, 0)?,
+    ///                                  TzOffset::from_hours(1)?);
+    /// assert_eq!(noon_utc, one_pm_cet);
+    /// # Ok::<(), crowdtz_time::TimeError>(())
+    /// ```
+    pub fn from_civil_offset(civil: CivilDateTime, offset: TzOffset) -> Timestamp {
+        Timestamp(civil.seconds_since_epoch_as_utc() - i64::from(offset.seconds()))
+    }
+
+    /// The UTC civil time of this instant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::YearOutOfRange`] for instants outside the
+    /// supported calendar range.
+    pub fn to_civil_utc(self) -> Result<CivilDateTime, TimeError> {
+        CivilDateTime::from_seconds_since_epoch_utc(self.0)
+    }
+
+    /// The civil time of this instant in the given fixed offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::YearOutOfRange`] for instants outside the
+    /// supported calendar range.
+    pub fn to_civil_offset(self, offset: TzOffset) -> Result<CivilDateTime, TimeError> {
+        CivilDateTime::from_seconds_since_epoch_utc(self.0 + i64::from(offset.seconds()))
+    }
+
+    /// The hour of day, `0..=23`, of this instant in the given fixed offset.
+    ///
+    /// This is the fundamental observable of the paper: the bin of the
+    /// activity histogram a post falls into under a candidate time zone.
+    pub fn hour_in_offset(self, offset: TzOffset) -> u8 {
+        let local = self.0 + i64::from(offset.seconds());
+        (local.rem_euclid(SECS_PER_DAY) / SECS_PER_HOUR) as u8
+    }
+
+    /// The day index (days since epoch) of this instant in the given offset.
+    pub fn day_in_offset(self, offset: TzOffset) -> i64 {
+        (self.0 + i64::from(offset.seconds())).div_euclid(SECS_PER_DAY)
+    }
+
+    /// Saturating addition of seconds.
+    pub fn saturating_add_secs(self, secs: i64) -> Timestamp {
+        Timestamp(self.0.saturating_add(secs))
+    }
+
+    /// The earlier of two timestamps.
+    pub fn min(self, other: Timestamp) -> Timestamp {
+        Timestamp(self.0.min(other.0))
+    }
+
+    /// The later of two timestamps.
+    pub fn max(self, other: Timestamp) -> Timestamp {
+        Timestamp(self.0.max(other.0))
+    }
+}
+
+impl Add<i64> for Timestamp {
+    type Output = Timestamp;
+
+    /// Adds whole seconds.
+    fn add(self, secs: i64) -> Timestamp {
+        Timestamp(self.0 + secs)
+    }
+}
+
+impl Sub<i64> for Timestamp {
+    type Output = Timestamp;
+
+    /// Subtracts whole seconds.
+    fn sub(self, secs: i64) -> Timestamp {
+        Timestamp(self.0 - secs)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = i64;
+
+    /// The signed difference in seconds between two instants.
+    fn sub(self, other: Timestamp) -> i64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.to_civil_utc() {
+            Ok(c) => write!(f, "{c} UTC"),
+            Err(_) => write!(f, "@{}s", self.0),
+        }
+    }
+}
+
+impl From<i64> for Timestamp {
+    fn from(secs: i64) -> Timestamp {
+        Timestamp(secs)
+    }
+}
+
+impl From<Timestamp> for i64 {
+    fn from(t: Timestamp) -> i64 {
+        t.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::CivilDateTime;
+
+    #[test]
+    fn epoch_round_trip() {
+        assert_eq!(
+            Timestamp::EPOCH.to_civil_utc().unwrap().to_string(),
+            "1970-01-01 00:00:00"
+        );
+        assert_eq!(
+            Timestamp::from_civil_utc(CivilDateTime::new(1970, 1, 1, 0, 0, 0).unwrap()),
+            Timestamp::EPOCH
+        );
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::from_secs(1_000);
+        assert_eq!((t + 500).as_secs(), 1_500);
+        assert_eq!((t - 500).as_secs(), 500);
+        assert_eq!(t + 500 - t, 500);
+        assert_eq!(t.min(t + 1), t);
+        assert_eq!(t.max(t + 1), t + 1);
+    }
+
+    #[test]
+    fn hour_in_offset_wraps() {
+        // 23:30 UTC is 00:30 next day at UTC+1.
+        let t = Timestamp::from_civil_utc(CivilDateTime::new(2016, 3, 1, 23, 30, 0).unwrap());
+        assert_eq!(t.hour_in_offset(TzOffset::UTC), 23);
+        assert_eq!(t.hour_in_offset(TzOffset::from_hours(1).unwrap()), 0);
+        assert_eq!(t.hour_in_offset(TzOffset::from_hours(-1).unwrap()), 22);
+    }
+
+    #[test]
+    fn day_in_offset_boundaries() {
+        let t = Timestamp::from_civil_utc(CivilDateTime::new(1970, 1, 1, 23, 0, 0).unwrap());
+        assert_eq!(t.day_in_offset(TzOffset::UTC), 0);
+        assert_eq!(t.day_in_offset(TzOffset::from_hours(2).unwrap()), 1);
+        let before = Timestamp::from_secs(-1);
+        assert_eq!(before.day_in_offset(TzOffset::UTC), -1);
+    }
+
+    #[test]
+    fn negative_instants() {
+        let t = Timestamp::from_secs(-3_600);
+        assert_eq!(t.hour_in_offset(TzOffset::UTC), 23);
+        assert_eq!(t.to_civil_utc().unwrap().to_string(), "1969-12-31 23:00:00");
+    }
+
+    #[test]
+    fn from_civil_offset_inverts_to_civil_offset() {
+        let off = TzOffset::from_hours(8).unwrap();
+        let civil = CivilDateTime::new(2016, 6, 1, 20, 15, 45).unwrap();
+        let t = Timestamp::from_civil_offset(civil, off);
+        assert_eq!(t.to_civil_offset(off).unwrap(), civil);
+    }
+
+    #[test]
+    fn display_far_out_of_range_does_not_panic() {
+        let t = Timestamp::from_secs(i64::MAX / 2);
+        let s = t.to_string();
+        assert!(s.starts_with('@'));
+    }
+
+    #[test]
+    fn conversion_traits() {
+        let t: Timestamp = 42i64.into();
+        let s: i64 = t.into();
+        assert_eq!(s, 42);
+    }
+}

@@ -1,0 +1,329 @@
+//! Activity traces: the `(author, post time)` pairs every other crate
+//! exchanges.
+//!
+//! The paper's pipeline consumes exactly this shape of data — *"only author
+//! ID and time of posting, without the body of the forum post"* (§VIII) —
+//! whether it comes from the Twitter ground-truth dataset, a scraped Dark
+//! Web forum, or a synthetic population.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::timestamp::Timestamp;
+
+/// The posting history of a single (pseudonymous) user.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserTrace {
+    id: String,
+    posts: Vec<Timestamp>,
+}
+
+impl UserTrace {
+    /// Creates a trace; post times are sorted chronologically.
+    pub fn new(id: impl Into<String>, mut posts: Vec<Timestamp>) -> UserTrace {
+        posts.sort_unstable();
+        UserTrace {
+            id: id.into(),
+            posts,
+        }
+    }
+
+    /// The user's pseudonymous identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The post timestamps, in chronological order.
+    pub fn posts(&self) -> &[Timestamp] {
+        &self.posts
+    }
+
+    /// Number of posts.
+    pub fn len(&self) -> usize {
+        self.posts.len()
+    }
+
+    /// Whether the user has no posts.
+    pub fn is_empty(&self) -> bool {
+        self.posts.is_empty()
+    }
+
+    /// Appends a post, keeping chronological order.
+    pub fn push(&mut self, ts: Timestamp) {
+        match self.posts.last() {
+            Some(&last) if ts < last => {
+                let idx = self.posts.partition_point(|&p| p <= ts);
+                self.posts.insert(idx, ts);
+            }
+            _ => self.posts.push(ts),
+        }
+    }
+
+    /// A copy of the trace with every timestamp shifted by `secs` seconds.
+    ///
+    /// Used to undo a forum server's clock offset after calibration.
+    #[must_use]
+    pub fn shifted_secs(&self, secs: i64) -> UserTrace {
+        UserTrace {
+            id: self.id.clone(),
+            posts: self.posts.iter().map(|&t| t + secs).collect(),
+        }
+    }
+
+    /// The sub-trace with posts in `[from, to)`.
+    #[must_use]
+    pub fn between(&self, from: Timestamp, to: Timestamp) -> UserTrace {
+        UserTrace {
+            id: self.id.clone(),
+            posts: self
+                .posts
+                .iter()
+                .copied()
+                .filter(|&t| t >= from && t < to)
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for UserTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} posts)", self.id, self.posts.len())
+    }
+}
+
+/// A collection of user traces — one forum dump or one region's dataset.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSet {
+    traces: BTreeMap<String, UserTrace>,
+}
+
+impl TraceSet {
+    /// An empty trace set.
+    pub fn new() -> TraceSet {
+        TraceSet::default()
+    }
+
+    /// Inserts a trace; merges posts when the user id already exists.
+    pub fn insert(&mut self, trace: UserTrace) {
+        match self.traces.get_mut(trace.id()) {
+            Some(existing) => {
+                for &t in trace.posts() {
+                    existing.push(t);
+                }
+            }
+            None => {
+                self.traces.insert(trace.id().to_owned(), trace);
+            }
+        }
+    }
+
+    /// Records one post for the given user.
+    pub fn record(&mut self, user: &str, ts: Timestamp) {
+        self.traces
+            .entry(user.to_owned())
+            .or_insert_with(|| UserTrace::new(user, Vec::new()))
+            .push(ts);
+    }
+
+    /// Looks up a user's trace.
+    pub fn get(&self, id: &str) -> Option<&UserTrace> {
+        self.traces.get(id)
+    }
+
+    /// Iterates over traces in user-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &UserTrace> {
+        self.traces.values()
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether there are no users.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Total number of posts across all users.
+    pub fn total_posts(&self) -> usize {
+        self.traces.values().map(UserTrace::len).sum()
+    }
+
+    /// Keeps only users with at least `min_posts` posts — the paper's
+    /// *active user* filter (threshold 30 in §IV).
+    #[must_use]
+    pub fn filter_active(&self, min_posts: usize) -> TraceSet {
+        TraceSet {
+            traces: self
+                .traces
+                .iter()
+                .filter(|(_, t)| t.len() >= min_posts)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// The `n` users with the most posts, most active first.
+    pub fn most_active(&self, n: usize) -> Vec<&UserTrace> {
+        let mut all: Vec<&UserTrace> = self.traces.values().collect();
+        all.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.id().cmp(b.id())));
+        all.truncate(n);
+        all
+    }
+
+    /// A copy with every timestamp shifted by `secs` seconds.
+    #[must_use]
+    pub fn shifted_secs(&self, secs: i64) -> TraceSet {
+        let mut out = TraceSet::new();
+        for t in self.traces.values() {
+            out.insert(t.shifted_secs(secs));
+        }
+        out
+    }
+}
+
+impl FromIterator<UserTrace> for TraceSet {
+    fn from_iter<T: IntoIterator<Item = UserTrace>>(iter: T) -> TraceSet {
+        let mut set = TraceSet::new();
+        for t in iter {
+            set.insert(t);
+        }
+        set
+    }
+}
+
+impl<'a> IntoIterator for &'a TraceSet {
+    type Item = &'a UserTrace;
+    type IntoIter = std::collections::btree_map::Values<'a, String, UserTrace>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.traces.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn trace_sorts_posts() {
+        let t = UserTrace::new("u", vec![ts(30), ts(10), ts(20)]);
+        assert_eq!(t.posts(), &[ts(10), ts(20), ts(30)]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn push_keeps_order() {
+        let mut t = UserTrace::new("u", vec![ts(10), ts(30)]);
+        t.push(ts(20));
+        assert_eq!(t.posts(), &[ts(10), ts(20), ts(30)]);
+        t.push(ts(40));
+        assert_eq!(t.posts().last(), Some(&ts(40)));
+        t.push(ts(5));
+        assert_eq!(t.posts().first(), Some(&ts(5)));
+    }
+
+    #[test]
+    fn shifted_secs_moves_everything() {
+        let t = UserTrace::new("u", vec![ts(100), ts(200)]);
+        let shifted = t.shifted_secs(-50);
+        assert_eq!(shifted.posts(), &[ts(50), ts(150)]);
+        assert_eq!(shifted.id(), "u");
+    }
+
+    #[test]
+    fn between_is_half_open() {
+        let t = UserTrace::new("u", vec![ts(10), ts(20), ts(30)]);
+        let mid = t.between(ts(10), ts(30));
+        assert_eq!(mid.posts(), &[ts(10), ts(20)]);
+    }
+
+    #[test]
+    fn traceset_merges_duplicate_users() {
+        let mut set = TraceSet::new();
+        set.insert(UserTrace::new("a", vec![ts(1)]));
+        set.insert(UserTrace::new("a", vec![ts(2)]));
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.get("a").unwrap().len(), 2);
+        assert_eq!(set.total_posts(), 2);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut set = TraceSet::new();
+        set.record("x", ts(5));
+        set.record("x", ts(3));
+        assert_eq!(set.get("x").unwrap().posts(), &[ts(3), ts(5)]);
+    }
+
+    #[test]
+    fn filter_active_threshold() {
+        let mut set = TraceSet::new();
+        set.insert(UserTrace::new("busy", (0..30).map(ts).collect()));
+        set.insert(UserTrace::new("quiet", vec![ts(1)]));
+        let active = set.filter_active(30);
+        assert_eq!(active.len(), 1);
+        assert!(active.get("busy").is_some());
+    }
+
+    #[test]
+    fn most_active_orders_and_truncates() {
+        let mut set = TraceSet::new();
+        set.insert(UserTrace::new("a", (0..5).map(ts).collect()));
+        set.insert(UserTrace::new("b", (0..10).map(ts).collect()));
+        set.insert(UserTrace::new("c", (0..10).map(ts).collect()));
+        let top = set.most_active(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].id(), "b"); // ties break by id
+        assert_eq!(top[1].id(), "c");
+    }
+
+    #[test]
+    fn from_iterator_and_into_iterator() {
+        let set: TraceSet = vec![
+            UserTrace::new("a", vec![ts(1)]),
+            UserTrace::new("b", vec![ts(2)]),
+        ]
+        .into_iter()
+        .collect();
+        let ids: Vec<&str> = (&set).into_iter().map(UserTrace::id).collect();
+        assert_eq!(ids, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn display() {
+        let t = UserTrace::new("alice", vec![ts(1), ts(2)]);
+        assert_eq!(t.to_string(), "alice (2 posts)");
+    }
+
+    #[test]
+    fn traceset_serde_round_trip() {
+        let mut set = TraceSet::new();
+        set.insert(UserTrace::new("a", vec![ts(5), ts(1)]));
+        set.insert(UserTrace::new("b", vec![ts(9)]));
+        let json = serde_json::to_string(&set).unwrap();
+        let back: TraceSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, set);
+        assert_eq!(back.get("a").unwrap().posts(), &[ts(1), ts(5)]);
+    }
+
+    #[test]
+    fn shifted_set_preserves_structure() {
+        let mut set = TraceSet::new();
+        set.record("x", ts(100));
+        set.record("y", ts(200));
+        let shifted = set.shifted_secs(-100);
+        assert_eq!(shifted.len(), 2);
+        assert_eq!(shifted.get("x").unwrap().posts(), &[ts(0)]);
+        assert_eq!(shifted.get("y").unwrap().posts(), &[ts(100)]);
+        assert_eq!(shifted.total_posts(), set.total_posts());
+    }
+}

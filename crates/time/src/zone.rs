@@ -1,0 +1,280 @@
+//! Time zones: a standard offset plus an optional DST rule.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::calendar::CivilDateTime;
+use crate::dst::DstRule;
+use crate::error::TimeError;
+use crate::offset::TzOffset;
+use crate::timestamp::Timestamp;
+
+/// The hemisphere a region lies in, as inferable from its DST calendar.
+///
+/// §V.F of the paper: regions whose clocks move forward around March are
+/// northern, regions that move forward around October are southern, and
+/// regions without DST give no signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Hemisphere {
+    /// Northern hemisphere (DST roughly March → October).
+    Northern,
+    /// Southern hemisphere (DST roughly October → February/March).
+    Southern,
+    /// No DST observed; the hemisphere cannot be told apart by this method.
+    Unknown,
+}
+
+impl fmt::Display for Hemisphere {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Hemisphere::Northern => "northern",
+            Hemisphere::Southern => "southern",
+            Hemisphere::Unknown => "unknown",
+        })
+    }
+}
+
+/// A time zone: standard UTC offset plus an optional daylight-saving rule.
+///
+/// ```
+/// use crowdtz_time::{CivilDateTime, Timestamp, TzOffset, Zone};
+///
+/// let rome = Zone::eu(TzOffset::from_hours(1)?);
+/// let winter = Timestamp::from_civil_utc(CivilDateTime::new(2016, 1, 15, 12, 0, 0)?);
+/// let summer = Timestamp::from_civil_utc(CivilDateTime::new(2016, 7, 15, 12, 0, 0)?);
+/// assert_eq!(rome.offset_at(winter).whole_hours(), 1);
+/// assert_eq!(rome.offset_at(summer).whole_hours(), 2);
+/// # Ok::<(), crowdtz_time::TimeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Zone {
+    standard: TzOffset,
+    dst: Option<DstRule>,
+}
+
+impl Zone {
+    /// A zone with a fixed offset and no daylight saving.
+    pub const fn fixed(standard: TzOffset) -> Zone {
+        Zone {
+            standard,
+            dst: None,
+        }
+    }
+
+    /// A zone with the given standard offset and the EU DST rule.
+    pub fn eu(standard: TzOffset) -> Zone {
+        Zone {
+            standard,
+            dst: Some(DstRule::eu()),
+        }
+    }
+
+    /// A zone with the given standard offset and the US DST rule.
+    pub fn us(standard: TzOffset) -> Zone {
+        Zone {
+            standard,
+            dst: Some(DstRule::us()),
+        }
+    }
+
+    /// A zone with a custom DST rule.
+    pub fn with_dst(standard: TzOffset, rule: DstRule) -> Zone {
+        Zone {
+            standard,
+            dst: Some(rule),
+        }
+    }
+
+    /// The standard (winter) offset.
+    pub fn standard_offset(&self) -> TzOffset {
+        self.standard
+    }
+
+    /// The DST rule, if the zone observes daylight saving.
+    pub fn dst_rule(&self) -> Option<DstRule> {
+        self.dst
+    }
+
+    /// The hemisphere implied by the DST rule.
+    pub fn hemisphere(&self) -> Hemisphere {
+        match self.dst {
+            None => Hemisphere::Unknown,
+            Some(rule) if rule.is_southern() => Hemisphere::Southern,
+            Some(_) => Hemisphere::Northern,
+        }
+    }
+
+    /// The effective UTC offset at the given instant (standard or DST).
+    pub fn offset_at(&self, ts: Timestamp) -> TzOffset {
+        match self.dst {
+            None => self.standard,
+            Some(rule) => {
+                let local_standard = ts.to_civil_offset(self.standard).unwrap_or_else(|_| {
+                    CivilDateTime::midnight(
+                        crate::calendar::Date::new(1970, 1, 1).expect("epoch date"),
+                    )
+                });
+                if rule.is_dst_at(local_standard) {
+                    TzOffset::from_seconds(self.standard.seconds() + rule.shift_secs())
+                        .unwrap_or(self.standard)
+                } else {
+                    self.standard
+                }
+            }
+        }
+    }
+
+    /// The local civil time of an instant in this zone, DST included.
+    ///
+    /// Instants outside the supported calendar range are clamped to the
+    /// epoch, which cannot occur for the 2015–2018 windows this project
+    /// works with.
+    pub fn to_local(&self, ts: Timestamp) -> CivilDateTime {
+        ts.to_civil_offset(self.offset_at(ts)).unwrap_or_else(|_| {
+            CivilDateTime::midnight(crate::calendar::Date::new(1970, 1, 1).expect("epoch date"))
+        })
+    }
+
+    /// The local hour of day, `0..=23`, of an instant in this zone.
+    pub fn local_hour(&self, ts: Timestamp) -> u8 {
+        ts.hour_in_offset(self.offset_at(ts))
+    }
+
+    /// Converts a local civil time in this zone to an instant.
+    ///
+    /// During the (at most one-hour) skipped or ambiguous wall times
+    /// around DST transitions the DST reading is used — the result is
+    /// always within one hour of the alternative, which is the resolution
+    /// this project's hour-granular analysis works at.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TimeError::YearOutOfRange`] from calendar conversion.
+    pub fn from_local(&self, local: CivilDateTime) -> Result<Timestamp, TimeError> {
+        let standard_guess = Timestamp::from_civil_offset(local, self.standard);
+        let off = self.offset_at(standard_guess);
+        Ok(Timestamp::from_civil_offset(local, off))
+    }
+}
+
+impl fmt::Display for Zone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.dst {
+            None => write!(f, "{}", self.standard),
+            Some(_) => write!(f, "{} (+DST, {})", self.standard, self.hemisphere()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::CivilDateTime;
+
+    fn ts(y: i32, m: u8, d: u8, h: u8) -> Timestamp {
+        Timestamp::from_civil_utc(CivilDateTime::new(y, m, d, h, 0, 0).unwrap())
+    }
+
+    #[test]
+    fn fixed_zone_never_shifts() {
+        let z = Zone::fixed(TzOffset::from_hours(8).unwrap());
+        assert_eq!(z.offset_at(ts(2016, 1, 15, 12)).whole_hours(), 8);
+        assert_eq!(z.offset_at(ts(2016, 7, 15, 12)).whole_hours(), 8);
+        assert_eq!(z.hemisphere(), Hemisphere::Unknown);
+    }
+
+    #[test]
+    fn eu_zone_summer_winter() {
+        let berlin = Zone::eu(TzOffset::from_hours(1).unwrap());
+        assert_eq!(berlin.local_hour(ts(2016, 1, 15, 12)), 13);
+        assert_eq!(berlin.local_hour(ts(2016, 7, 15, 12)), 14);
+        assert_eq!(berlin.hemisphere(), Hemisphere::Northern);
+    }
+
+    #[test]
+    fn us_zone_hemisphere() {
+        let chicago = Zone::us(TzOffset::from_hours(-6).unwrap());
+        assert_eq!(chicago.hemisphere(), Hemisphere::Northern);
+        assert_eq!(chicago.local_hour(ts(2016, 1, 15, 12)), 6);
+        assert_eq!(chicago.local_hour(ts(2016, 7, 15, 12)), 7);
+    }
+
+    #[test]
+    fn southern_zone() {
+        let sao_paulo = Zone::with_dst(TzOffset::from_hours(-3).unwrap(), DstRule::brazil());
+        assert_eq!(sao_paulo.hemisphere(), Hemisphere::Southern);
+        // Austral summer (January): UTC-2 effective.
+        assert_eq!(sao_paulo.local_hour(ts(2016, 1, 15, 12)), 10);
+        // Austral winter (July): UTC-3.
+        assert_eq!(sao_paulo.local_hour(ts(2016, 7, 15, 12)), 9);
+    }
+
+    #[test]
+    fn local_round_trip_away_from_transitions() {
+        let berlin = Zone::eu(TzOffset::from_hours(1).unwrap());
+        let local = CivilDateTime::new(2016, 5, 20, 18, 30, 0).unwrap();
+        let t = berlin.from_local(local).unwrap();
+        assert_eq!(berlin.to_local(t), local);
+    }
+
+    #[test]
+    fn transition_instant_exact() {
+        // EU DST starts 2016-03-27 02:00 local standard (=01:00 UTC for UTC+1).
+        let berlin = Zone::eu(TzOffset::from_hours(1).unwrap());
+        let before = ts(2016, 3, 27, 0); // 01:00 local standard
+        let after = ts(2016, 3, 27, 1); // 02:00 local standard → DST
+        assert_eq!(berlin.offset_at(before).whole_hours(), 1);
+        assert_eq!(berlin.offset_at(after).whole_hours(), 2);
+    }
+
+    #[test]
+    fn display() {
+        let z = Zone::fixed(TzOffset::from_hours(3).unwrap());
+        assert_eq!(z.to_string(), "UTC+3");
+        let z = Zone::eu(TzOffset::from_hours(1).unwrap());
+        assert!(z.to_string().contains("DST"));
+    }
+
+    #[test]
+    fn skipped_wall_time_maps_into_dst() {
+        // EU spring-forward 2016-03-27: 02:30 local never exists. The DST
+        // reading is used: 02:30 CEST = 00:30 UTC.
+        let berlin = Zone::eu(TzOffset::from_hours(1).unwrap());
+        let skipped = CivilDateTime::new(2016, 3, 27, 2, 30, 0).unwrap();
+        let t = berlin.from_local(skipped).unwrap();
+        assert_eq!(t.to_civil_utc().unwrap().to_string(), "2016-03-27 00:30:00");
+    }
+
+    #[test]
+    fn ambiguous_wall_time_resolves_consistently() {
+        // EU fall-back 2016-10-30: 02:30 local occurs twice; from_local
+        // must pick one deterministic reading whose round trip is within
+        // the one-hour ambiguity.
+        let berlin = Zone::eu(TzOffset::from_hours(1).unwrap());
+        let ambiguous = CivilDateTime::new(2016, 10, 30, 2, 30, 0).unwrap();
+        let t = berlin.from_local(ambiguous).unwrap();
+        let back = berlin.to_local(t);
+        let diff = (berlin.from_local(back).unwrap() - t).abs();
+        assert!(diff == 0 || diff == 3_600, "diff {diff}");
+    }
+
+    #[test]
+    fn zone_serde_round_trip() {
+        let z = Zone::with_dst(TzOffset::from_hours(-3).unwrap(), DstRule::brazil());
+        let json = serde_json::to_string(&z).unwrap();
+        let back: Zone = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, z);
+        assert_eq!(back.hemisphere(), Hemisphere::Southern);
+    }
+
+    #[test]
+    fn offset_at_is_stable_across_a_plain_day() {
+        // No transition on 2016-06-15: every hour has the same offset.
+        let chicago = Zone::us(TzOffset::from_hours(-6).unwrap());
+        let offsets: std::collections::HashSet<i32> = (0..24)
+            .map(|h| chicago.offset_at(ts(2016, 6, 15, h)).seconds())
+            .collect();
+        assert_eq!(offsets.len(), 1);
+    }
+}

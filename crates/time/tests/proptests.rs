@@ -1,0 +1,99 @@
+//! Property-based tests for calendar and zone arithmetic.
+
+use crowdtz_time::{CivilDateTime, Date, Timestamp, TzOffset, Zone, SECS_PER_DAY};
+use proptest::prelude::*;
+
+proptest! {
+    /// Converting days → date → days is the identity over a wide range.
+    #[test]
+    fn date_day_count_round_trip(days in -1_000_000i64..1_000_000) {
+        let date = Date::from_days_since_epoch(days).unwrap();
+        prop_assert_eq!(date.days_since_epoch(), days);
+    }
+
+    /// Constructing a date from components and reading them back agrees.
+    #[test]
+    fn date_component_round_trip(days in -500_000i64..500_000) {
+        let date = Date::from_days_since_epoch(days).unwrap();
+        let rebuilt = Date::new(date.year(), date.month_number(), date.day()).unwrap();
+        prop_assert_eq!(rebuilt, date);
+    }
+
+    /// Epoch seconds → civil UTC → epoch seconds is the identity.
+    #[test]
+    fn civil_seconds_round_trip(secs in -50_000_000_000i64..50_000_000_000) {
+        let civil = CivilDateTime::from_seconds_since_epoch_utc(secs).unwrap();
+        prop_assert_eq!(civil.seconds_since_epoch_as_utc(), secs);
+    }
+
+    /// Weekdays advance cyclically: (d+1).weekday follows d.weekday.
+    #[test]
+    fn weekday_cycle(days in -100_000i64..100_000) {
+        let a = Date::from_days_since_epoch(days).unwrap().weekday();
+        let b = Date::from_days_since_epoch(days + 1).unwrap().weekday();
+        prop_assert_eq!((a.index_from_monday() + 1) % 7, b.index_from_monday());
+    }
+
+    /// Fixed-offset local conversion shifts the clock by exactly the offset.
+    #[test]
+    fn fixed_offset_shifts_clock(
+        secs in 0i64..2_000_000_000,
+        hours in -12i32..=12,
+    ) {
+        let ts = Timestamp::from_secs(secs);
+        let off = TzOffset::from_hours(hours).unwrap();
+        let local = ts.to_civil_offset(off).unwrap();
+        let utc = ts.to_civil_utc().unwrap();
+        let delta = local.seconds_since_epoch_as_utc() - utc.seconds_since_epoch_as_utc();
+        prop_assert_eq!(delta, i64::from(off.seconds()));
+    }
+
+    /// `hour_in_offset` equals the hour of the civil conversion.
+    #[test]
+    fn hour_in_offset_consistent(
+        secs in -2_000_000_000i64..2_000_000_000,
+        quarter in -48i32..=48,
+    ) {
+        let ts = Timestamp::from_secs(secs);
+        let off = TzOffset::from_minutes(quarter * 15).unwrap();
+        prop_assert_eq!(ts.hour_in_offset(off), ts.to_civil_offset(off).unwrap().hour());
+    }
+
+    /// A DST zone's offset differs from standard by 0 or the DST shift.
+    #[test]
+    fn dst_offset_is_standard_or_shifted(
+        day in 16_000i64..18_000, // 2013–2019
+        hour in 0i64..24,
+        std_hours in -10i32..=10,
+    ) {
+        let ts = Timestamp::from_secs(day * SECS_PER_DAY + hour * 3_600);
+        let standard = TzOffset::from_hours(std_hours).unwrap();
+        for zone in [Zone::eu(standard), Zone::us(standard)] {
+            let eff = zone.offset_at(ts).seconds() - standard.seconds();
+            prop_assert!(eff == 0 || eff == 3_600, "unexpected shift {eff}");
+        }
+    }
+
+    /// from_local inverts to_local away from transition ambiguity.
+    #[test]
+    fn zone_local_round_trip(
+        day in 16_100i64..17_800,
+        secs_in_day in 0i64..SECS_PER_DAY,
+    ) {
+        let ts = Timestamp::from_secs(day * SECS_PER_DAY + secs_in_day);
+        let zone = Zone::eu(TzOffset::from_hours(1).unwrap());
+        let local = zone.to_local(ts);
+        let back = zone.from_local(local).unwrap();
+        // Identity except within the 1-hour ambiguous window at fall-back.
+        let diff = (back - ts).abs();
+        prop_assert!(diff == 0 || diff == 3_600, "diff {diff}");
+    }
+
+    /// Canonical zone index is a bijection on whole-hour offsets −11..=12.
+    #[test]
+    fn canonical_index_bijection(h in -11i32..=12) {
+        let off = TzOffset::from_hours(h).unwrap();
+        let idx = off.canonical_index();
+        prop_assert_eq!(TzOffset::canonical_zones()[idx], off);
+    }
+}

@@ -1,0 +1,159 @@
+//! Onion addresses.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TorError;
+
+/// The base32 alphabet used by onion addresses (RFC 4648, lowercase).
+const BASE32: &[u8; 32] = b"abcdefghijklmnopqrstuvwxyz234567";
+
+/// A v2-style onion address: 16 base32 characters derived from the hash of
+/// the service's public key, plus the `.onion` TLD.
+///
+/// §II.B of the paper: *"their host name consists of a string of 16
+/// characters derived from the service's public key"*.
+///
+/// ```
+/// use crowdtz_tor::OnionAddress;
+///
+/// let addr = OnionAddress::derive(b"my-service-public-key");
+/// assert_eq!(addr.to_string().len(), 16 + ".onion".len());
+/// let parsed: OnionAddress = addr.to_string().parse()?;
+/// assert_eq!(parsed, addr);
+/// # Ok::<(), crowdtz_tor::TorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OnionAddress {
+    label: [u8; 16],
+}
+
+impl OnionAddress {
+    /// Derives the address from a service public key, mimicking the real
+    /// scheme (hash of the key, truncated, base32-encoded).
+    ///
+    /// The hash is an 80-bit truncation of a split FNV-1a digest — not
+    /// cryptographic, but deterministic and well-spread, which is all the
+    /// simulation needs.
+    pub fn derive(public_key: &[u8]) -> OnionAddress {
+        // Two passes of 64-bit FNV-1a with different offsets → 128 bits,
+        // of which 80 are encoded (16 base32 chars × 5 bits).
+        let h1 = fnv1a(public_key, 0xcbf2_9ce4_8422_2325);
+        let h2 = fnv1a(public_key, 0x6c62_272e_07bb_0142);
+        let mut bits = [0u8; 10]; // 80 bits
+        bits[..8].copy_from_slice(&h1.to_be_bytes());
+        bits[8..].copy_from_slice(&h2.to_be_bytes()[..2]);
+        let mut label = [0u8; 16];
+        for (i, slot) in label.iter_mut().enumerate() {
+            let bit_index = i * 5;
+            let byte = bit_index / 8;
+            let shift = bit_index % 8;
+            let mut value = (bits[byte] as u16) << 8;
+            if byte + 1 < bits.len() {
+                value |= bits[byte + 1] as u16;
+            }
+            let five = ((value >> (11 - shift)) & 0x1F) as usize;
+            *slot = BASE32[five];
+        }
+        OnionAddress { label }
+    }
+
+    /// The 16-character label (without `.onion`).
+    pub fn label(&self) -> &str {
+        std::str::from_utf8(&self.label).expect("label is ASCII base32")
+    }
+}
+
+fn fnv1a(data: &[u8], offset: u64) -> u64 {
+    let mut hash = offset;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+impl fmt::Display for OnionAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.onion", self.label())
+    }
+}
+
+impl FromStr for OnionAddress {
+    type Err = TorError;
+
+    fn from_str(s: &str) -> Result<OnionAddress, TorError> {
+        let err = || TorError::InvalidAddress { input: s.into() };
+        let label = s.strip_suffix(".onion").ok_or_else(err)?;
+        if label.len() != 16 {
+            return Err(err());
+        }
+        let mut out = [0u8; 16];
+        for (dst, c) in out.iter_mut().zip(label.bytes()) {
+            if !BASE32.contains(&c) {
+                return Err(err());
+            }
+            *dst = c;
+        }
+        Ok(OnionAddress { label: out })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let a = OnionAddress::derive(b"key");
+        let b = OnionAddress::derive(b"key");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_keys_different_addresses() {
+        assert_ne!(OnionAddress::derive(b"key1"), OnionAddress::derive(b"key2"));
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let a = OnionAddress::derive(b"forum");
+        let s = a.to_string();
+        assert!(s.ends_with(".onion"));
+        assert_eq!(s.len(), 22);
+        let parsed: OnionAddress = s.parse().unwrap();
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<OnionAddress>().is_err());
+        assert!("abc.onion".parse::<OnionAddress>().is_err()); // too short
+        assert!("abcdefghijklmnop".parse::<OnionAddress>().is_err()); // no TLD
+        assert!("ABCDEFGHIJKLMNOP.onion".parse::<OnionAddress>().is_err()); // uppercase
+        assert!("abcdefghijklmn0p.onion".parse::<OnionAddress>().is_err()); // '0' not in alphabet
+        assert!("abcdefghijklmnopq.onion".parse::<OnionAddress>().is_err()); // 17 chars
+    }
+
+    #[test]
+    fn labels_use_base32_alphabet() {
+        for key in [&b"a"[..], b"bb", b"ccc", b"the quick brown fox"] {
+            let addr = OnionAddress::derive(key);
+            for c in addr.label().bytes() {
+                assert!(BASE32.contains(&c), "bad char {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn spread_over_many_keys() {
+        // 1000 distinct keys → no collisions expected at 80 bits.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u32 {
+            let addr = OnionAddress::derive(&i.to_be_bytes());
+            assert!(seen.insert(addr), "collision at {i}");
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Three-hop circuits.
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::TorError;
+use crate::relay::{Relay, RelayId};
+
+/// The position of a relay within a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CircuitPosition {
+    /// The entry guard — the only hop that talks to the client.
+    Entry,
+    /// The middle hop — sees neither endpoint.
+    Middle,
+    /// The exit hop — the only hop that talks to the destination.
+    Exit,
+}
+
+/// A three-hop Tor circuit: entry guard, middle, exit.
+///
+/// §II.A of the paper: *"the guard is the only relay that communicates with
+/// the user, while it has no information on the final destination. The exit
+/// relay is the only one that communicates with the final destination,
+/// while it has no information on the user."*
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Circuit {
+    entry: RelayId,
+    middle: RelayId,
+    exit: RelayId,
+}
+
+impl Circuit {
+    /// Builds a circuit from three distinct relays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TorError::NotEnoughRelays`] if the relays are not
+    /// pairwise distinct (a real client never reuses a relay in a path).
+    pub fn new(entry: RelayId, middle: RelayId, exit: RelayId) -> Result<Circuit, TorError> {
+        if entry == middle || middle == exit || entry == exit {
+            return Err(TorError::NotEnoughRelays {
+                available: 2,
+                required: 3,
+            });
+        }
+        Ok(Circuit {
+            entry,
+            middle,
+            exit,
+        })
+    }
+
+    /// Selects a bandwidth-weighted random circuit from the consensus,
+    /// avoiding the relays in `exclude`.
+    ///
+    /// Entry relays must carry the guard flag; path selection weights
+    /// choices by advertised bandwidth, as real Tor does (and as the
+    /// low-resource attacks discussed in the paper's related work exploit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TorError::NotEnoughRelays`] when fewer than three usable
+    /// distinct relays remain.
+    pub fn select<R: Rng + ?Sized>(
+        rng: &mut R,
+        relays: &[Relay],
+        exclude: &[RelayId],
+    ) -> Result<Circuit, TorError> {
+        let usable = |r: &&Relay| !exclude.contains(&r.id());
+        let guards: Vec<&Relay> = relays
+            .iter()
+            .filter(|r| r.flags().guard)
+            .filter(usable)
+            .collect();
+        let entry = pick_weighted(rng, &guards).ok_or(TorError::NotEnoughRelays {
+            available: guards.len(),
+            required: 3,
+        })?;
+        let middles: Vec<&Relay> = relays
+            .iter()
+            .filter(usable)
+            .filter(|r| r.id() != entry)
+            .collect();
+        let middle = pick_weighted(rng, &middles).ok_or(TorError::NotEnoughRelays {
+            available: middles.len() + 1,
+            required: 3,
+        })?;
+        let exits: Vec<&Relay> = relays
+            .iter()
+            .filter(usable)
+            .filter(|r| r.id() != entry && r.id() != middle)
+            .collect();
+        let exit = pick_weighted(rng, &exits).ok_or(TorError::NotEnoughRelays {
+            available: exits.len() + 2,
+            required: 3,
+        })?;
+        Circuit::new(entry, middle, exit)
+    }
+
+    /// The entry guard.
+    pub fn entry(&self) -> RelayId {
+        self.entry
+    }
+
+    /// The middle relay.
+    pub fn middle(&self) -> RelayId {
+        self.middle
+    }
+
+    /// The exit relay.
+    pub fn exit(&self) -> RelayId {
+        self.exit
+    }
+
+    /// The relay at a given position.
+    pub fn at(&self, position: CircuitPosition) -> RelayId {
+        match position {
+            CircuitPosition::Entry => self.entry,
+            CircuitPosition::Middle => self.middle,
+            CircuitPosition::Exit => self.exit,
+        }
+    }
+
+    /// Whether the circuit uses the given relay anywhere.
+    pub fn contains(&self, id: RelayId) -> bool {
+        self.entry == id || self.middle == id || self.exit == id
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} → {} → {}", self.entry, self.middle, self.exit)
+    }
+}
+
+/// Bandwidth-weighted random pick.
+fn pick_weighted<R: Rng + ?Sized>(rng: &mut R, relays: &[&Relay]) -> Option<RelayId> {
+    let total: u64 = relays
+        .iter()
+        .map(|r| u64::from(r.bandwidth_kbps()).max(1))
+        .sum();
+    if relays.is_empty() || total == 0 {
+        return None;
+    }
+    let mut target = rng.gen_range(0..total);
+    for r in relays {
+        let w = u64::from(r.bandwidth_kbps()).max(1);
+        if target < w {
+            return Some(r.id());
+        }
+        target -= w;
+    }
+    relays.last().map(|r| r.id())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relay::RelayFlags;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn relay(id: u64, bw: u32, guard: bool) -> Relay {
+        Relay::new(
+            RelayId::new(id),
+            format!("r{id}"),
+            bw,
+            RelayFlags {
+                guard,
+                exit: true,
+                hsdir: false,
+            },
+        )
+    }
+
+    #[test]
+    fn rejects_duplicate_relays() {
+        let a = RelayId::new(1);
+        let b = RelayId::new(2);
+        assert!(Circuit::new(a, a, b).is_err());
+        assert!(Circuit::new(a, b, b).is_err());
+        assert!(Circuit::new(a, b, a).is_err());
+        assert!(Circuit::new(a, b, RelayId::new(3)).is_ok());
+    }
+
+    #[test]
+    fn select_produces_distinct_hops() {
+        let relays: Vec<Relay> = (0..10).map(|i| relay(i, 100, true)).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let c = Circuit::select(&mut rng, &relays, &[]).unwrap();
+            assert_ne!(c.entry(), c.middle());
+            assert_ne!(c.middle(), c.exit());
+            assert_ne!(c.entry(), c.exit());
+        }
+    }
+
+    #[test]
+    fn select_requires_guard_for_entry() {
+        // Only relay 0 is a guard.
+        let mut relays: Vec<Relay> = (1..5).map(|i| relay(i, 100, false)).collect();
+        relays.push(relay(0, 100, true));
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let c = Circuit::select(&mut rng, &relays, &[]).unwrap();
+            assert_eq!(c.entry(), RelayId::new(0));
+        }
+    }
+
+    #[test]
+    fn select_honours_exclusions() {
+        let relays: Vec<Relay> = (0..5).map(|i| relay(i, 100, true)).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let excluded = RelayId::new(2);
+        for _ in 0..50 {
+            let c = Circuit::select(&mut rng, &relays, &[excluded]).unwrap();
+            assert!(!c.contains(excluded));
+        }
+    }
+
+    #[test]
+    fn select_fails_with_too_few_relays() {
+        let relays: Vec<Relay> = (0..2).map(|i| relay(i, 100, true)).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(matches!(
+            Circuit::select(&mut rng, &relays, &[]),
+            Err(TorError::NotEnoughRelays { .. })
+        ));
+    }
+
+    #[test]
+    fn bandwidth_weighting_biases_selection() {
+        // One relay has 100× the bandwidth of the others; it should appear
+        // in the vast majority of circuits.
+        let mut relays: Vec<Relay> = (0..10).map(|i| relay(i, 10, true)).collect();
+        relays.push(relay(99, 10_000, true));
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..500)
+            .filter(|_| {
+                Circuit::select(&mut rng, &relays, &[])
+                    .unwrap()
+                    .contains(RelayId::new(99))
+            })
+            .count();
+        assert!(hits > 400, "big relay in only {hits}/500 circuits");
+    }
+
+    #[test]
+    fn at_positions() {
+        let c = Circuit::new(RelayId::new(1), RelayId::new(2), RelayId::new(3)).unwrap();
+        assert_eq!(c.at(CircuitPosition::Entry), RelayId::new(1));
+        assert_eq!(c.at(CircuitPosition::Middle), RelayId::new(2));
+        assert_eq!(c.at(CircuitPosition::Exit), RelayId::new(3));
+        assert!(c.to_string().contains("→"));
+    }
+}

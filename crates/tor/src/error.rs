@@ -1,0 +1,93 @@
+//! Error type for the Tor substrate.
+
+use std::fmt;
+
+/// The error type returned by fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TorError {
+    /// The consensus does not contain enough distinct relays to build a
+    /// three-hop circuit (plus any already-reserved relays).
+    NotEnoughRelays {
+        /// Relays available.
+        available: usize,
+        /// Relays required.
+        required: usize,
+    },
+    /// No hidden-service descriptor is published under the address.
+    UnknownService {
+        /// The onion address that failed to resolve.
+        address: String,
+    },
+    /// A malformed onion address string was parsed.
+    InvalidAddress {
+        /// The rejected input.
+        input: String,
+    },
+    /// The hidden service's introduction points are no longer part of the
+    /// consensus (the service must republish).
+    StaleDescriptor {
+        /// The affected onion address.
+        address: String,
+    },
+    /// The service handler is gone (service was taken down mid-session).
+    ServiceUnavailable {
+        /// The affected onion address.
+        address: String,
+    },
+}
+
+impl fmt::Display for TorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TorError::NotEnoughRelays {
+                available,
+                required,
+            } => write!(
+                f,
+                "not enough relays for a circuit: {available} available, {required} required"
+            ),
+            TorError::UnknownService { address } => {
+                write!(f, "no descriptor published for {address}")
+            }
+            TorError::InvalidAddress { input } => {
+                write!(f, "invalid onion address {input:?}")
+            }
+            TorError::StaleDescriptor { address } => {
+                write!(
+                    f,
+                    "descriptor for {address} references relays no longer in consensus"
+                )
+            }
+            TorError::ServiceUnavailable { address } => {
+                write!(f, "hidden service {address} is unavailable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TorError::NotEnoughRelays {
+            available: 2,
+            required: 6,
+        };
+        assert!(e.to_string().contains("2 available"));
+        let e = TorError::UnknownService {
+            address: "abc.onion".into(),
+        };
+        assert!(e.to_string().contains("abc.onion"));
+    }
+
+    #[test]
+    fn error_traits() {
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<TorError>();
+    }
+}

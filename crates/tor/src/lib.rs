@@ -1,0 +1,46 @@
+//! A minimal in-process Tor hidden-service substrate.
+//!
+//! §II of the paper describes the infrastructure its measurements ride on:
+//! onion-routed circuits of three relays, hidden services reachable through
+//! *introduction points*, *hidden service directories*, and a *rendezvous
+//! point*, such that *"both entities are anonymous to each other and no
+//! node in the system has complete information about the communication"*.
+//!
+//! This crate models that machinery in-process — relays, consensus,
+//! circuit construction, descriptor publication and the rendezvous
+//! handshake — so the forum scraper in `crowdtz-forum` reaches its target
+//! the way the paper's crawler reached the real forums, and so tests can
+//! assert the crucial invariant: **the service never learns the client's
+//! address and the client never learns the service's**.
+//!
+//! It is a behavioural simulation, not a cryptographic implementation:
+//! cells are not encrypted, but the *information flow* (who can see which
+//! identifier at each hop) is enforced by the API.
+//!
+//! # Example
+//!
+//! ```
+//! use crowdtz_tor::{HiddenService, TorNetwork};
+//!
+//! let mut network = TorNetwork::with_relays(30, 42);
+//! let service = HiddenService::create("echo", 7, |req: &[u8]| req.to_vec());
+//! let address = network.publish(service)?;
+//! let mut channel = network.connect(&address, 1)?;
+//! assert_eq!(channel.request(b"hello")?, b"hello");
+//! # Ok::<(), crowdtz_tor::TorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod address;
+mod circuit;
+mod error;
+mod network;
+mod relay;
+
+pub use address::OnionAddress;
+pub use circuit::{Circuit, CircuitPosition};
+pub use error::TorError;
+pub use network::{AnonymousChannel, HiddenService, ServiceDescriptor, TorNetwork};
+pub use relay::{Relay, RelayFlags, RelayId};

@@ -1,0 +1,427 @@
+//! The in-process Tor network: consensus, hidden-service directories, and
+//! the rendezvous handshake.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::address::OnionAddress;
+use crate::circuit::Circuit;
+use crate::error::TorError;
+use crate::relay::{Relay, RelayFlags, RelayId};
+
+/// The handler a hidden service runs: a request/response function.
+type Handler = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
+
+/// A hidden service awaiting publication: a name (used to derive the key
+/// and thus the onion address) and a request handler.
+#[derive(Clone)]
+pub struct HiddenService {
+    address: OnionAddress,
+    seed: u64,
+    handler: Handler,
+}
+
+impl HiddenService {
+    /// Creates a hidden service whose onion address is derived from `name`
+    /// (standing in for the service key pair).
+    ///
+    /// The handler is the service's application logic — in this workspace,
+    /// a Dark Web forum answering page requests.
+    pub fn create<F>(name: &str, seed: u64, handler: F) -> HiddenService
+    where
+        F: Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static,
+    {
+        HiddenService {
+            address: OnionAddress::derive(name.as_bytes()),
+            seed,
+            handler: Arc::new(handler),
+        }
+    }
+
+    /// The service's onion address.
+    pub fn address(&self) -> OnionAddress {
+        self.address
+    }
+}
+
+impl fmt::Debug for HiddenService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HiddenService")
+            .field("address", &self.address)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The descriptor a hidden service publishes to the HS directories:
+/// its address and chosen introduction points. Contains **no** location
+/// information about the service host.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceDescriptor {
+    address: OnionAddress,
+    introduction_points: Vec<RelayId>,
+}
+
+impl ServiceDescriptor {
+    /// The service address.
+    pub fn address(&self) -> OnionAddress {
+        self.address
+    }
+
+    /// The introduction point relays.
+    pub fn introduction_points(&self) -> &[RelayId] {
+        &self.introduction_points
+    }
+}
+
+/// The simulated Tor network: a relay consensus, hidden-service
+/// directories, and the registry of running services.
+pub struct TorNetwork {
+    relays: Vec<Relay>,
+    descriptors: HashMap<OnionAddress, ServiceDescriptor>,
+    services: HashMap<OnionAddress, (Handler, Circuit)>,
+}
+
+impl TorNetwork {
+    /// Builds a network with `n` relays (deterministic from `seed`).
+    ///
+    /// Roughly half the relays get the guard flag, a third the exit flag,
+    /// a quarter the HSDir flag, with bandwidths spread over two orders of
+    /// magnitude — a coarse sketch of the real consensus the paper's §II
+    /// describes (≈7,000 relays).
+    pub fn with_relays(n: usize, seed: u64) -> TorNetwork {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let relays = (0..n)
+            .map(|i| {
+                let flags = RelayFlags {
+                    guard: rng.gen_bool(0.5),
+                    exit: rng.gen_bool(0.33),
+                    hsdir: rng.gen_bool(0.25),
+                };
+                Relay::new(
+                    RelayId::new(rng.gen()),
+                    format!("relay{i}"),
+                    rng.gen_range(100..20_000),
+                    flags,
+                )
+            })
+            .collect();
+        TorNetwork {
+            relays,
+            descriptors: HashMap::new(),
+            services: HashMap::new(),
+        }
+    }
+
+    /// The consensus relay list.
+    pub fn relays(&self) -> &[Relay] {
+        &self.relays
+    }
+
+    /// Number of published hidden services.
+    pub fn service_count(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Performs the hidden-service setup of §II.B: the service selects
+    /// introduction points, opens a circuit to them, and uploads its
+    /// descriptor to the responsible HS directories. Returns the onion
+    /// address clients should use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TorError::NotEnoughRelays`] when no circuit can be built.
+    pub fn publish(&mut self, service: HiddenService) -> Result<OnionAddress, TorError> {
+        let mut rng = StdRng::seed_from_u64(service.seed);
+        // The service's own circuit towards its introduction points.
+        let service_circuit = Circuit::select(&mut rng, &self.relays, &[])?;
+        // Introduction points: up to three relays not already on the
+        // service circuit.
+        let intro: Vec<RelayId> = self
+            .relays
+            .iter()
+            .filter(|r| !service_circuit.contains(r.id()))
+            .take(3)
+            .map(Relay::id)
+            .collect();
+        if intro.is_empty() {
+            return Err(TorError::NotEnoughRelays {
+                available: self.relays.len(),
+                required: 4,
+            });
+        }
+        let descriptor = ServiceDescriptor {
+            address: service.address,
+            introduction_points: intro,
+        };
+        self.descriptors.insert(service.address, descriptor);
+        self.services
+            .insert(service.address, (service.handler, service_circuit));
+        Ok(service.address)
+    }
+
+    /// Removes a service (site taken down, as happened to Silk Road).
+    pub fn take_down(&mut self, address: &OnionAddress) {
+        self.services.remove(address);
+        self.descriptors.remove(address);
+    }
+
+    /// Fetches a service descriptor from the HS directories, as the client
+    /// does before connecting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TorError::UnknownService`] for unpublished addresses.
+    pub fn fetch_descriptor(&self, address: &OnionAddress) -> Result<&ServiceDescriptor, TorError> {
+        self.descriptors
+            .get(address)
+            .ok_or_else(|| TorError::UnknownService {
+                address: address.to_string(),
+            })
+    }
+
+    /// Performs the client side of the rendezvous handshake of §II.B and
+    /// returns an anonymous channel to the service:
+    ///
+    /// 1. fetch the descriptor from an HS directory;
+    /// 2. select a rendezvous point and build a circuit to it;
+    /// 3. tell an introduction point the rendezvous address;
+    /// 4. the service builds its own circuit to the rendezvous point.
+    ///
+    /// # Errors
+    ///
+    /// * [`TorError::UnknownService`] — no descriptor published.
+    /// * [`TorError::ServiceUnavailable`] — descriptor exists but the
+    ///   service is gone.
+    /// * [`TorError::NotEnoughRelays`] — circuit construction failed.
+    pub fn connect(
+        &self,
+        address: &OnionAddress,
+        client_seed: u64,
+    ) -> Result<AnonymousChannel, TorError> {
+        let descriptor = self.fetch_descriptor(address)?;
+        let (handler, service_circuit) =
+            self.services
+                .get(address)
+                .ok_or_else(|| TorError::ServiceUnavailable {
+                    address: address.to_string(),
+                })?;
+        let mut rng = StdRng::seed_from_u64(client_seed ^ 0xC11E57);
+        // Client circuit to the rendezvous point.
+        let client_circuit = Circuit::select(&mut rng, &self.relays, &[])?;
+        // The rendezvous point is the client circuit's exit.
+        let rendezvous = client_circuit.exit();
+        // The introduction point used to pass the rendezvous address along.
+        let introduction = descriptor.introduction_points()[0];
+        Ok(AnonymousChannel {
+            address: *address,
+            client_circuit,
+            service_circuit: *service_circuit,
+            rendezvous,
+            introduction,
+            handler: Arc::clone(handler),
+            requests_served: 0,
+        })
+    }
+}
+
+impl fmt::Debug for TorNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TorNetwork")
+            .field("relays", &self.relays.len())
+            .field("services", &self.services.len())
+            .finish()
+    }
+}
+
+/// An established anonymous channel between a client and a hidden service.
+///
+/// The type deliberately exposes only circuit/relay metadata: there is no
+/// client address and no service address to leak — mirroring the
+/// information flow the real protocol guarantees.
+pub struct AnonymousChannel {
+    address: OnionAddress,
+    client_circuit: Circuit,
+    service_circuit: Circuit,
+    rendezvous: RelayId,
+    introduction: RelayId,
+    handler: Handler,
+    requests_served: u64,
+}
+
+impl AnonymousChannel {
+    /// The onion address this channel reaches.
+    pub fn address(&self) -> OnionAddress {
+        self.address
+    }
+
+    /// The client-side circuit (client ↔ rendezvous point).
+    pub fn client_circuit(&self) -> Circuit {
+        self.client_circuit
+    }
+
+    /// The service-side circuit (service ↔ rendezvous point).
+    pub fn service_circuit(&self) -> Circuit {
+        self.service_circuit
+    }
+
+    /// The rendezvous relay both circuits meet at.
+    pub fn rendezvous(&self) -> RelayId {
+        self.rendezvous
+    }
+
+    /// The introduction point used during setup.
+    pub fn introduction(&self) -> RelayId {
+        self.introduction
+    }
+
+    /// Number of requests sent over this channel so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    /// Sends a request through the circuit pair and returns the service's
+    /// response.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in the simulation, but returns `Result` to
+    /// keep the contract of a network operation.
+    pub fn request(&mut self, payload: &[u8]) -> Result<Vec<u8>, TorError> {
+        self.requests_served += 1;
+        Ok((self.handler)(payload))
+    }
+}
+
+impl fmt::Debug for AnonymousChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnonymousChannel")
+            .field("address", &self.address)
+            .field("rendezvous", &self.rendezvous)
+            .field("requests_served", &self.requests_served)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_service(name: &str) -> HiddenService {
+        HiddenService::create(name, 1, |req: &[u8]| {
+            let mut out = b"echo:".to_vec();
+            out.extend_from_slice(req);
+            out
+        })
+    }
+
+    #[test]
+    fn publish_and_connect_round_trip() {
+        let mut net = TorNetwork::with_relays(30, 7);
+        let addr = net.publish(echo_service("forum")).unwrap();
+        let mut ch = net.connect(&addr, 99).unwrap();
+        assert_eq!(ch.request(b"hi").unwrap(), b"echo:hi");
+        assert_eq!(ch.requests_served(), 1);
+        assert_eq!(ch.address(), addr);
+    }
+
+    #[test]
+    fn unknown_service_errors() {
+        let net = TorNetwork::with_relays(30, 7);
+        let bogus = OnionAddress::derive(b"nothing-here");
+        assert!(matches!(
+            net.connect(&bogus, 1),
+            Err(TorError::UnknownService { .. })
+        ));
+        assert!(net.fetch_descriptor(&bogus).is_err());
+    }
+
+    #[test]
+    fn take_down_removes_service() {
+        let mut net = TorNetwork::with_relays(30, 7);
+        let addr = net.publish(echo_service("silk-road")).unwrap();
+        assert_eq!(net.service_count(), 1);
+        net.take_down(&addr);
+        assert_eq!(net.service_count(), 0);
+        assert!(net.connect(&addr, 1).is_err());
+    }
+
+    #[test]
+    fn descriptor_has_intro_points_and_no_location() {
+        let mut net = TorNetwork::with_relays(30, 7);
+        let addr = net.publish(echo_service("forum")).unwrap();
+        let desc = net.fetch_descriptor(&addr).unwrap();
+        assert!(!desc.introduction_points().is_empty());
+        assert!(desc.introduction_points().len() <= 3);
+        assert_eq!(desc.address(), addr);
+        // The descriptor serializes to address + relay ids only.
+        let json = serde_json::to_string(desc).unwrap();
+        assert!(!json.contains("ip"), "unexpected field in {json}");
+    }
+
+    #[test]
+    fn circuits_meet_at_rendezvous_but_do_not_share_identity() {
+        let mut net = TorNetwork::with_relays(50, 7);
+        let addr = net.publish(echo_service("forum")).unwrap();
+        let ch = net.connect(&addr, 5).unwrap();
+        // The rendezvous is the client circuit's exit.
+        assert_eq!(ch.rendezvous(), ch.client_circuit().exit());
+        // Client and service use different entry guards (their own).
+        assert_ne!(ch.client_circuit().entry(), ch.service_circuit().entry());
+    }
+
+    #[test]
+    fn distinct_clients_get_distinct_circuits() {
+        let mut net = TorNetwork::with_relays(50, 7);
+        let addr = net.publish(echo_service("forum")).unwrap();
+        let a = net.connect(&addr, 1).unwrap();
+        let b = net.connect(&addr, 2).unwrap();
+        assert_ne!(a.client_circuit(), b.client_circuit());
+    }
+
+    #[test]
+    fn too_small_network_fails() {
+        let mut net = TorNetwork::with_relays(2, 7);
+        assert!(matches!(
+            net.publish(echo_service("forum")),
+            Err(TorError::NotEnoughRelays { .. })
+        ));
+    }
+
+    #[test]
+    fn addresses_are_stable_for_same_name() {
+        let s1 = echo_service("forum");
+        let s2 = echo_service("forum");
+        assert_eq!(s1.address(), s2.address());
+    }
+
+    #[test]
+    fn multiple_services_coexist() {
+        let mut net = TorNetwork::with_relays(40, 3);
+        let a = net.publish(echo_service("alpha")).unwrap();
+        let b = net.publish(echo_service("beta")).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(net.service_count(), 2);
+        let mut cha = net.connect(&a, 1).unwrap();
+        let mut chb = net.connect(&b, 1).unwrap();
+        assert_eq!(cha.request(b"x").unwrap(), b"echo:x");
+        assert_eq!(chb.request(b"y").unwrap(), b"echo:y");
+    }
+
+    #[test]
+    fn debug_formats_do_not_leak_handler() {
+        let mut net = TorNetwork::with_relays(30, 7);
+        let addr = net.publish(echo_service("forum")).unwrap();
+        let ch = net.connect(&addr, 1).unwrap();
+        let s = format!("{ch:?}");
+        assert!(s.contains("AnonymousChannel"));
+        let s = format!("{net:?}");
+        assert!(s.contains("TorNetwork"));
+    }
+}

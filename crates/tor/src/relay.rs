@@ -1,0 +1,134 @@
+//! Relays and the network consensus.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier (fingerprint) of a relay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RelayId(u64);
+
+impl RelayId {
+    /// Creates a relay id from a raw fingerprint value.
+    pub const fn new(raw: u64) -> RelayId {
+        RelayId(raw)
+    }
+
+    /// The raw fingerprint value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RelayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:016x}", self.0)
+    }
+}
+
+/// Capability flags a relay advertises in the consensus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RelayFlags {
+    /// May be used as an entry guard.
+    pub guard: bool,
+    /// May be used as an exit node.
+    pub exit: bool,
+    /// Serves as a hidden-service directory.
+    pub hsdir: bool,
+}
+
+impl RelayFlags {
+    /// A middle-only relay.
+    pub const MIDDLE: RelayFlags = RelayFlags {
+        guard: false,
+        exit: false,
+        hsdir: false,
+    };
+
+    /// A fully capable relay.
+    pub const ALL: RelayFlags = RelayFlags {
+        guard: true,
+        exit: true,
+        hsdir: true,
+    };
+}
+
+/// A Tor relay as listed in the consensus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relay {
+    id: RelayId,
+    nickname: String,
+    bandwidth_kbps: u32,
+    flags: RelayFlags,
+}
+
+impl Relay {
+    /// Creates a relay entry.
+    pub fn new(
+        id: RelayId,
+        nickname: impl Into<String>,
+        bandwidth_kbps: u32,
+        flags: RelayFlags,
+    ) -> Relay {
+        Relay {
+            id,
+            nickname: nickname.into(),
+            bandwidth_kbps,
+            flags,
+        }
+    }
+
+    /// The relay fingerprint.
+    pub fn id(&self) -> RelayId {
+        self.id
+    }
+
+    /// The operator-chosen nickname.
+    pub fn nickname(&self) -> &str {
+        &self.nickname
+    }
+
+    /// Advertised bandwidth in kbit/s (used for weighted path selection).
+    pub fn bandwidth_kbps(&self) -> u32 {
+        self.bandwidth_kbps
+    }
+
+    /// Capability flags.
+    pub fn flags(&self) -> RelayFlags {
+        self.flags
+    }
+}
+
+impl fmt::Display for Relay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.nickname, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let r = Relay::new(RelayId::new(7), "moria1", 5_000, RelayFlags::ALL);
+        assert_eq!(r.id().raw(), 7);
+        assert_eq!(r.nickname(), "moria1");
+        assert_eq!(r.bandwidth_kbps(), 5_000);
+        assert!(r.flags().guard && r.flags().exit && r.flags().hsdir);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the flag constants
+    fn middle_flags() {
+        assert!(!RelayFlags::MIDDLE.guard);
+        assert!(!RelayFlags::MIDDLE.exit);
+        assert!(!RelayFlags::MIDDLE.hsdir);
+    }
+
+    #[test]
+    fn display() {
+        let r = Relay::new(RelayId::new(0xAB), "nick", 1, RelayFlags::MIDDLE);
+        assert_eq!(r.to_string(), "nick ($00000000000000ab)");
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests for the Tor substrate.
+
+use crowdtz_tor::{Circuit, HiddenService, OnionAddress, Relay, RelayFlags, RelayId, TorNetwork};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Onion addresses round-trip through display/parse for any key.
+    #[test]
+    fn onion_round_trip(key in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let addr = OnionAddress::derive(&key);
+        let text = addr.to_string();
+        let parsed: OnionAddress = text.parse().unwrap();
+        prop_assert_eq!(parsed, addr);
+        prop_assert_eq!(text.len(), 22);
+    }
+
+    /// Circuit selection always yields three distinct relays and honours
+    /// guard flags, for any seed and consensus size.
+    #[test]
+    fn circuit_selection_invariants(seed in 0u64..10_000, n in 4usize..40) {
+        let relays: Vec<Relay> = (0..n)
+            .map(|i| {
+                Relay::new(
+                    RelayId::new(i as u64),
+                    format!("r{i}"),
+                    100 + (i as u32 * 37) % 5_000,
+                    RelayFlags {
+                        guard: i % 2 == 0,
+                        exit: true,
+                        hsdir: i % 4 == 0,
+                    },
+                )
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = Circuit::select(&mut rng, &relays, &[]).unwrap();
+        prop_assert_ne!(c.entry(), c.middle());
+        prop_assert_ne!(c.middle(), c.exit());
+        prop_assert_ne!(c.entry(), c.exit());
+        prop_assert_eq!(c.entry().raw() % 2, 0, "entry must be a guard");
+    }
+
+    /// Publish/connect/request works for any network seed large enough.
+    #[test]
+    fn end_to_end_echo(seed in 0u64..2_000) {
+        let mut net = TorNetwork::with_relays(25, seed);
+        let svc = HiddenService::create("svc", seed, |req: &[u8]| req.iter().rev().copied().collect());
+        let addr = net.publish(svc).unwrap();
+        let mut ch = net.connect(&addr, seed ^ 1).unwrap();
+        let resp = ch.request(b"abc").unwrap();
+        prop_assert_eq!(resp, b"cba".to_vec());
+        // Client and service entry guards differ (independent circuits).
+        prop_assert_ne!(ch.client_circuit(), ch.service_circuit());
+    }
+
+    /// Address derivation is stable and collision-free over small key sets.
+    #[test]
+    fn no_collisions_in_batch(base in 0u32..1_000_000) {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..50u32 {
+            let addr = OnionAddress::derive(&(base + i).to_be_bytes());
+            prop_assert!(seen.insert(addr));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # crowdtz — Time-Zone Geolocation of Crowds in the Dark Web
+//!
+//! A production-quality Rust reproduction of *"Time-Zone Geolocation of
+//! Crowds in the Dark Web"* (La Morgia, Mei, Raponi, Stefa — IEEE ICDCS
+//! 2018).
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! * [`time`] — civil time, time zones, DST rules, region database.
+//! * [`stats`] — EMD, Pearson correlation, Gaussian fitting, GMM-EM.
+//! * [`synth`] — synthetic populations with realistic diurnal rhythms.
+//! * [`tor`] — a minimal hidden-service substrate.
+//! * [`forum`] — Dark Web forum simulator, scraper, offset calibration.
+//! * [`core`] — the paper's method: profiles, placement, geolocation.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and the
+//! repository `README.md` for an architecture overview.
+
+#![forbid(unsafe_code)]
+
+pub use crowdtz_core as core;
+pub use crowdtz_forum as forum;
+pub use crowdtz_stats as stats;
+pub use crowdtz_synth as synth;
+pub use crowdtz_time as time;
+pub use crowdtz_tor as tor;
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crowdtz_core::*;
+    pub use crowdtz_stats::{Distribution24, GaussianCurve};
+    pub use crowdtz_time::{
+        CivilDateTime, Date, Hemisphere, Region, RegionDb, RegionId, Timestamp, TzOffset, Zone,
+    };
+}

@@ -1,0 +1,133 @@
+//! End-to-end integration tests spanning all crates through the facade:
+//! synthetic world → Tor → forum → scraper → geolocation, with the
+//! paper's shape claims as the oracle.
+
+use crowdtz::core::{GenericProfile, GeolocationPipeline};
+use crowdtz::forum::{ForumHost, ForumSpec, Scraper, SimulatedForum};
+use crowdtz::synth::PopulationSpec;
+use crowdtz::time::{CivilDateTime, RegionDb, Timestamp};
+use crowdtz::tor::TorNetwork;
+
+fn crawl_clock() -> Timestamp {
+    Timestamp::from_civil_utc(CivilDateTime::new(2017, 1, 15, 0, 0, 0).unwrap())
+}
+
+/// Simulate → publish → scrape → analyze, returning the report.
+fn scrape_and_analyze(spec: ForumSpec, seed: u64) -> crowdtz::core::GeolocationReport {
+    let forum = SimulatedForum::generate(&spec);
+    let mut network = TorNetwork::with_relays(50, seed);
+    let address = network
+        .publish(ForumHost::new(forum).into_hidden_service(seed))
+        .expect("publish");
+    let mut scraper = Scraper::new(network.connect(&address, seed).expect("connect"));
+    let scrape = scraper.calibrated_dump(crawl_clock()).expect("scrape");
+    GeolocationPipeline::with_generic(GenericProfile::reference())
+        .analyze(&scrape.utc_traces())
+        .expect("analyze")
+}
+
+#[test]
+fn crd_club_is_placed_in_russia() {
+    let report = scrape_and_analyze(ForumSpec::crd_club().scaled(0.4), 1);
+    assert_eq!(report.mixture().len(), 1, "{}", report.mixture());
+    let mean = report.mixture().dominant().unwrap().mean;
+    assert!((2.4..=4.6).contains(&mean), "mean {mean}");
+}
+
+#[test]
+fn idc_is_placed_in_italy() {
+    let report = scrape_and_analyze(ForumSpec::idc().scaled(0.8), 2);
+    let mean = report.mixture().dominant().unwrap().mean;
+    assert!((0.3..=2.3).contains(&mean), "mean {mean}");
+}
+
+#[test]
+fn dream_market_has_europe_and_america() {
+    let report = scrape_and_analyze(ForumSpec::dream_market().scaled(0.5), 3);
+    assert_eq!(report.mixture().len(), 2, "{}", report.mixture());
+    let comps = report.mixture().components();
+    // Larger component Europe, smaller America.
+    assert!((comps[0].mean - 1.0).abs() <= 2.0, "{}", report.mixture());
+    assert!((comps[1].mean + 6.0).abs() <= 2.0, "{}", report.mixture());
+}
+
+#[test]
+fn pedo_support_has_three_components_including_utc_minus_3() {
+    let report = scrape_and_analyze(ForumSpec::pedo_support(), 4);
+    assert_eq!(report.mixture().len(), 3, "{}", report.mixture());
+    let has_near = |z: f64, tol: f64| {
+        report
+            .mixture()
+            .components()
+            .iter()
+            .any(|c| (c.mean - z).abs() <= tol)
+    };
+    assert!(has_near(-7.5, 1.6), "{}", report.mixture());
+    assert!(has_near(-3.0, 1.5), "{}", report.mixture());
+    assert!(has_near(4.0, 1.5), "{}", report.mixture());
+}
+
+#[test]
+fn single_region_crowds_recover_home_zone_without_forums() {
+    let db = RegionDb::table1();
+    let pipeline = GeolocationPipeline::with_generic(GenericProfile::reference());
+    for (region, home) in [("japan", 9.0), ("united-kingdom", 0.0), ("new-york", -5.0)] {
+        let traces = PopulationSpec::new(db.require(&region.into()).unwrap().clone())
+            .users(60)
+            .posts_per_day(0.6)
+            .seed(11)
+            .generate();
+        let report = pipeline.analyze(&traces).expect("analyze");
+        let mean = report.mixture().dominant().unwrap().mean;
+        assert!(
+            (mean - home).abs() <= 1.5,
+            "{region}: mean {mean}, home {home}"
+        );
+    }
+}
+
+#[test]
+fn scraped_traces_equal_ground_truth_after_calibration() {
+    let spec = ForumSpec::idc()
+        .scaled(0.4)
+        .server_offset_secs(5 * 3_600 + 900);
+    let forum = SimulatedForum::generate(&spec);
+    let mut network = TorNetwork::with_relays(50, 9);
+    let address = network
+        .publish(ForumHost::new(forum.clone()).into_hidden_service(9))
+        .expect("publish");
+    let mut scraper = Scraper::new(network.connect(&address, 9).expect("connect"));
+    let scrape = scraper.calibrated_dump(crawl_clock()).expect("scrape");
+    assert_eq!(scrape.offset_secs(), Some(5 * 3_600 + 900));
+    assert_eq!(scrape.utc_traces(), forum.ground_truth());
+}
+
+#[test]
+fn quality_always_beats_shifted_baseline() {
+    for (spec, seed) in [
+        (ForumSpec::crd_club().scaled(0.3), 21),
+        (ForumSpec::majestic_garden().scaled(0.2), 22),
+    ] {
+        let report = scrape_and_analyze(spec, seed);
+        let baseline = report
+            .single_fit()
+            .baseline(report.histogram())
+            .expect("baseline");
+        assert!(
+            report.quality().average < baseline.average,
+            "fit {} vs baseline {}",
+            report.quality(),
+            baseline
+        );
+    }
+}
+
+#[test]
+fn facade_prelude_exposes_the_public_api() {
+    use crowdtz::prelude::*;
+    let _ = GenericProfile::reference();
+    let _: TzOffset = TzOffset::UTC;
+    let _ = RegionDb::table1();
+    let _ = Distribution24::uniform();
+    let _ = GaussianCurve::new(0.0, 2.5, 1.0);
+}

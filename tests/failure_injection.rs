@@ -1,0 +1,164 @@
+//! Failure-injection integration tests: bots, hidden timestamps, random
+//! delays, uncalibrated offsets, service takedowns, and degenerate crowds.
+
+use crowdtz::core::{CoreError, GenericProfile, GeolocationPipeline};
+use crowdtz::forum::{
+    CrowdComponent, ForumError, ForumHost, ForumSpec, Scraper, SimulatedForum, TimestampPolicy,
+};
+use crowdtz::synth::{generate_bot, BotSpec, PopulationSpec};
+use crowdtz::time::{CivilDateTime, RegionDb, Timestamp, TraceSet};
+use crowdtz::tor::{TorError, TorNetwork};
+
+fn crawl_clock() -> Timestamp {
+    Timestamp::from_civil_utc(CivilDateTime::new(2017, 1, 15, 0, 0, 0).unwrap())
+}
+
+fn italian_spec(users: usize) -> ForumSpec {
+    ForumSpec::new("F", vec![CrowdComponent::new("italy", 1.0)], users)
+        .seed(77)
+        .posts_per_user_per_day(0.5)
+}
+
+#[test]
+fn bot_heavy_crowd_still_geolocates() {
+    // A third of the crowd is bots; polishing must absorb them.
+    let db = RegionDb::table1();
+    let mut traces: TraceSet = PopulationSpec::new(db.require(&"france".into()).unwrap().clone())
+        .users(40)
+        .posts_per_day(0.6)
+        .seed(3)
+        .generate();
+    for b in 0..20u64 {
+        traces.insert(generate_bot(&format!("bot{b}"), &BotSpec::default(), b));
+    }
+    let report = GeolocationPipeline::with_generic(GenericProfile::reference())
+        .analyze(&traces)
+        .expect("analyze");
+    assert!(
+        report.flat_removed() >= 15,
+        "removed {}",
+        report.flat_removed()
+    );
+    let mean = report.mixture().dominant().unwrap().mean;
+    assert!((mean - 1.0).abs() <= 1.5, "mean {mean}");
+}
+
+#[test]
+fn uncalibrated_dump_of_shifted_server_misplaces_the_crowd() {
+    // Skipping calibration against a +6 h server displaces the crowd by
+    // six zones — exactly why §V calibrates first. A +6 h display clock
+    // moves the Italian evening peak (20 h UTC) to 02 h, which reads as a
+    // crowd living at UTC−5: timestamps *later* ⇒ placed *west*.
+    let spec = italian_spec(30).server_offset_secs(6 * 3_600);
+    let forum = SimulatedForum::generate(&spec);
+    let mut network = TorNetwork::with_relays(40, 5);
+    let address = network
+        .publish(ForumHost::new(forum).into_hidden_service(5))
+        .unwrap();
+    let mut scraper = Scraper::new(network.connect(&address, 5).unwrap());
+    let raw = scraper.dump().expect("dump");
+    let pipeline = GeolocationPipeline::with_generic(GenericProfile::reference());
+    let report = pipeline.analyze(&raw.utc_traces()).expect("analyze");
+    let mean = report.mixture().dominant().unwrap().mean;
+    assert!(
+        (mean + 5.0).abs() <= 2.0,
+        "expected misplacement near UTC-5, got {mean}"
+    );
+}
+
+#[test]
+fn hidden_timestamps_make_dump_useless_and_calibration_fail() {
+    let spec = italian_spec(10).policy(TimestampPolicy::Hidden);
+    let forum = SimulatedForum::generate(&spec);
+    let mut network = TorNetwork::with_relays(40, 6);
+    let address = network
+        .publish(ForumHost::new(forum).into_hidden_service(6))
+        .unwrap();
+    let mut scraper = Scraper::new(network.connect(&address, 6).unwrap());
+    assert!(matches!(
+        scraper.calibrate(crawl_clock()),
+        Err(ForumError::TimestampsHidden)
+    ));
+    let dump = scraper.dump().expect("dump still crawls");
+    assert_eq!(dump.server_traces().total_posts(), 0);
+    // An empty trace set is a degenerate crowd.
+    let result =
+        GeolocationPipeline::with_generic(GenericProfile::reference()).analyze(&dump.utc_traces());
+    assert!(matches!(result, Err(CoreError::EmptyCrowd)));
+}
+
+#[test]
+fn takedown_mid_session_surfaces_service_unavailable() {
+    let spec = italian_spec(5);
+    let forum = SimulatedForum::generate(&spec);
+    let mut network = TorNetwork::with_relays(40, 7);
+    let address = network
+        .publish(ForumHost::new(forum).into_hidden_service(7))
+        .unwrap();
+    network.take_down(&address);
+    match network.connect(&address, 1) {
+        Err(TorError::UnknownService { .. }) => {}
+        other => panic!("expected UnknownService, got {other:?}"),
+    }
+}
+
+#[test]
+fn tiny_tor_network_cannot_build_circuits() {
+    let mut network = TorNetwork::with_relays(2, 8);
+    let spec = italian_spec(3);
+    let forum = SimulatedForum::generate(&spec);
+    let result = network.publish(ForumHost::new(forum).into_hidden_service(8));
+    assert!(matches!(result, Err(TorError::NotEnoughRelays { .. })));
+}
+
+#[test]
+fn sub_threshold_crowd_is_empty() {
+    // Users with almost no posts never reach the 30-post threshold.
+    let db = RegionDb::table1();
+    let traces = PopulationSpec::new(db.require(&"italy".into()).unwrap().clone())
+        .users(20)
+        .posts_per_day(0.01)
+        .seed(4)
+        .generate();
+    let result = GeolocationPipeline::with_generic(GenericProfile::reference()).analyze(&traces);
+    assert!(matches!(result, Err(CoreError::EmptyCrowd)));
+}
+
+#[test]
+fn random_delay_of_hours_degrades_but_never_crashes() {
+    for delay in [3_600u32, 6 * 3_600, 12 * 3_600] {
+        let spec = italian_spec(25).policy(TimestampPolicy::DelayedUniform {
+            max_delay_secs: delay,
+        });
+        let forum = SimulatedForum::generate(&spec);
+        let mut network = TorNetwork::with_relays(40, u64::from(delay));
+        let address = network
+            .publish(ForumHost::new(forum).into_hidden_service(9))
+            .unwrap();
+        let mut scraper = Scraper::new(network.connect(&address, 9).unwrap());
+        let scrape = scraper.calibrated_dump(crawl_clock()).expect("scrape");
+        let report = GeolocationPipeline::with_generic(GenericProfile::reference())
+            .analyze(&scrape.utc_traces())
+            .expect("analyze");
+        assert!(report.users_classified() > 0);
+    }
+}
+
+#[test]
+fn monitor_mode_defeats_hidden_timestamps() {
+    let spec = italian_spec(25).policy(TimestampPolicy::Hidden);
+    let forum = SimulatedForum::generate(&spec);
+    let mut network = TorNetwork::with_relays(40, 10);
+    let address = network
+        .publish(ForumHost::new(forum).into_hidden_service(10))
+        .unwrap();
+    let mut monitor = Scraper::new(network.connect(&address, 10).unwrap()).into_monitor();
+    let from = Timestamp::from_civil_utc(CivilDateTime::new(2016, 1, 1, 0, 0, 0).unwrap());
+    let to = Timestamp::from_civil_utc(CivilDateTime::new(2017, 1, 1, 0, 0, 0).unwrap());
+    let observed = monitor.run(from, to, 3_600).expect("monitor");
+    let report = GeolocationPipeline::with_generic(GenericProfile::reference())
+        .analyze(&observed)
+        .expect("analyze");
+    let mean = report.mixture().dominant().unwrap().mean;
+    assert!((mean - 1.0).abs() <= 2.0, "mean {mean}");
+}
