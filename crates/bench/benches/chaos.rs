@@ -1,0 +1,22 @@
+//! Overhead of the resilient crawl path: full dump crawls at increasing
+//! injected fault rates. The 0% row is the baseline cost of the crawl
+//! itself; the 10% and 20% rows add retries, deterministic backoff
+//! bookkeeping, and automatic circuit rebuilds on top.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crowdtz_bench::chaotic_scraper;
+
+fn bench_chaotic_dump(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaotic_dump");
+    for pct in [0u32, 10, 20] {
+        let mut scraper = chaotic_scraper(10, f64::from(pct) / 100.0, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |bench, _| {
+            bench.iter(|| black_box(scraper.dump().expect("dump survives chaos")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaotic_dump);
+criterion_main!(benches);

@@ -10,8 +10,10 @@
 use crowdtz_core::{
     place_user, ActivityProfile, GenericProfile, PlacementHistogram, ProfileBuilder,
 };
+use crowdtz_forum::{CrowdComponent, ForumHost, ForumSpec, Scraper, SimulatedForum};
 use crowdtz_synth::PopulationSpec;
 use crowdtz_time::{RegionDb, TraceSet};
+use crowdtz_tor::{FaultPlan, FaultRates, TorNetwork};
 
 /// Builds a single-region crowd of `users` synthetic users.
 pub fn crowd(region: &str, users: usize, seed: u64) -> TraceSet {
@@ -39,9 +41,45 @@ pub fn placement_histogram(profiles: &[ActivityProfile]) -> PlacementHistogram {
     PlacementHistogram::from_placements(&placements)
 }
 
+/// Publishes a simulated Italian forum behind a (possibly chaotic) Tor
+/// network and returns a retrying scraper connected to it.
+///
+/// `fault_rate` is the total per-request fault probability, spread across
+/// all fault kinds with [`FaultRates::mixed`]; `0.0` leaves the network
+/// fault-free. The scraper keeps its default [`RetryPolicy`], so the
+/// timed region includes retries, backoff accounting, and circuit
+/// rebuilds — the overhead the chaos benchmarks measure.
+///
+/// [`RetryPolicy`]: crowdtz_forum::RetryPolicy
+pub fn chaotic_scraper(users: usize, fault_rate: f64, seed: u64) -> Scraper {
+    let spec = ForumSpec::new(
+        "Bench Forum",
+        vec![CrowdComponent::new("italy", 1.0)],
+        users,
+    )
+    .seed(seed);
+    let forum = SimulatedForum::generate(&spec);
+    let mut network = TorNetwork::with_relays(40, seed);
+    if fault_rate > 0.0 {
+        network.set_fault_plan(FaultPlan::new(seed, FaultRates::mixed(fault_rate)));
+    }
+    let address = network
+        .publish(ForumHost::new(forum).into_hidden_service(seed))
+        .expect("publish bench forum");
+    Scraper::new(network.connect(&address, seed).expect("connect"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn chaotic_scraper_completes_a_dump() {
+        let mut scraper = chaotic_scraper(5, 0.15, 7);
+        let report = scraper.dump().expect("dump survives chaos");
+        assert_eq!(report.coverage(), 1.0);
+        assert!(report.stats().faults_absorbed > 0);
+    }
 
     #[test]
     fn fixtures_build() {

@@ -22,6 +22,13 @@ pub enum CoreError {
         /// Slots required.
         needed: usize,
     },
+    /// A partial-dump analysis was given a coverage fraction outside
+    /// `(0, 1]` (a crawl that covered nothing cannot be analyzed, and one
+    /// cannot cover more than the whole forum).
+    InvalidCoverage {
+        /// The offending fraction.
+        coverage: f64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -36,6 +43,9 @@ impl fmt::Display for CoreError {
                 slots,
                 needed,
             } => write!(f, "user {user:?} has {slots} active slots, need {needed}"),
+            CoreError::InvalidCoverage { coverage } => {
+                write!(f, "coverage fraction {coverage} outside (0, 1]")
+            }
         }
     }
 }
@@ -72,5 +82,7 @@ mod tests {
             needed: 30,
         };
         assert!(e.to_string().contains("u1"));
+        let e = CoreError::InvalidCoverage { coverage: 1.5 };
+        assert!(e.to_string().contains("1.5"));
     }
 }

@@ -5,6 +5,7 @@ use std::fmt;
 use crowdtz_stats::{pearson, FitQuality, GaussianMixture, StatsError};
 use crowdtz_time::TraceSet;
 
+use crate::confidence::{bootstrap_components, BootstrapConfig, ComponentConfidence};
 use crate::crowd::CrowdProfile;
 use crate::error::CoreError;
 use crate::generic::GenericProfile;
@@ -74,6 +75,30 @@ impl GeolocationPipeline {
     /// * [`CoreError::EmptyCrowd`] when no user survives filtering.
     /// * [`CoreError::Stats`] when a numeric fit fails.
     pub fn analyze(&self, traces: &TraceSet) -> Result<GeolocationReport, CoreError> {
+        self.analyze_partial(traces, 1.0)
+    }
+
+    /// Runs the pipeline on the traces of a **partial** dump — one whose
+    /// crawl was interrupted and covered only a `coverage` fraction of the
+    /// forum's threads (`ScrapeReport::coverage()` in `crowdtz-forum`).
+    ///
+    /// The analysis itself is unchanged — placements and fits use whatever
+    /// posts the crawl gathered — but the report records the coverage and
+    /// [widens its confidence](GeolocationReport::component_confidence)
+    /// instead of silently pretending the dump was complete.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidCoverage`] when `coverage` is outside `(0, 1]`.
+    /// * Everything [`analyze`](GeolocationPipeline::analyze) can return.
+    pub fn analyze_partial(
+        &self,
+        traces: &TraceSet,
+        coverage: f64,
+    ) -> Result<GeolocationReport, CoreError> {
+        if !coverage.is_finite() || coverage <= 0.0 || coverage > 1.0 {
+            return Err(CoreError::InvalidCoverage { coverage });
+        }
         let profiles = ProfileBuilder::new()
             .min_posts(self.min_posts)
             .build(traces);
@@ -103,6 +128,7 @@ impl GeolocationPipeline {
             histogram,
             single,
             multi,
+            coverage,
         })
     }
 
@@ -142,6 +168,7 @@ pub struct GeolocationReport {
     histogram: PlacementHistogram,
     single: SingleRegionFit,
     multi: MultiRegionFit,
+    coverage: f64,
 }
 
 impl GeolocationReport {
@@ -195,6 +222,46 @@ impl GeolocationReport {
         self.multi.mixture()
     }
 
+    /// Fraction of the forum the crawl behind this analysis covered
+    /// (`1.0` unless the report came from
+    /// [`analyze_partial`](GeolocationPipeline::analyze_partial)).
+    pub fn coverage(&self) -> f64 {
+        self.coverage
+    }
+
+    /// True when the underlying dump was incomplete.
+    pub fn is_partial(&self) -> bool {
+        self.coverage < 1.0
+    }
+
+    /// Bootstrap confidence for each mixture component, widened for
+    /// coverage.
+    ///
+    /// The bootstrap resamples only the users the crawl actually saw; a
+    /// dump covering a fraction *c* of the forum's threads sampled roughly
+    /// *c* of the crowd, so the resampling standard error understates the
+    /// uncertainty about the **full** crowd by a factor of about √c. Each
+    /// component's `std_error` is therefore divided by √c — a complete
+    /// dump (`c = 1`) is returned unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting errors from
+    /// [`bootstrap_components`](crate::bootstrap_components).
+    pub fn component_confidence(
+        &self,
+        config: &BootstrapConfig,
+    ) -> Result<Vec<ComponentConfidence>, StatsError> {
+        let widen = 1.0 / self.coverage.sqrt();
+        Ok(bootstrap_components(&self.placements, config)?
+            .into_iter()
+            .map(|mut c| {
+                c.std_error *= widen;
+                c
+            })
+            .collect())
+    }
+
     /// Table II row for this crowd: mixture fit quality.
     pub fn quality(&self) -> FitQuality {
         self.multi.quality()
@@ -220,6 +287,14 @@ impl GeolocationReport {
             self.posts_classified(),
             self.flat_removed
         );
+        if self.is_partial() {
+            let _ = writeln!(
+                out,
+                "partial dump: {:.0}% of threads covered — confidence widened x{:.2}",
+                self.coverage * 100.0,
+                1.0 / self.coverage.sqrt()
+            );
+        }
         for (zone, weight) in self.multi.time_zones() {
             let _ = writeln!(
                 out,
@@ -242,6 +317,9 @@ impl fmt::Display for GeolocationReport {
             self.flat_removed,
             self.histogram.peak_zone()
         )?;
+        if self.is_partial() {
+            writeln!(f, "coverage: {:.0}% of threads", self.coverage * 100.0)?;
+        }
         write!(f, "mixture: {}", self.multi)
     }
 }
@@ -392,6 +470,61 @@ mod tests {
             .analyze(&traces)
             .unwrap();
         assert_eq!(report.mixture().len(), 1);
+    }
+
+    #[test]
+    fn invalid_coverage_is_rejected() {
+        let traces = crowd("italy", 20, 1);
+        let pipeline = GeolocationPipeline::default();
+        for bad in [0.0, -0.5, 1.01, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                pipeline.analyze_partial(&traces, bad),
+                Err(CoreError::InvalidCoverage { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn full_coverage_matches_plain_analyze() {
+        let traces = crowd("italy", 40, 8);
+        let pipeline = GeolocationPipeline::default();
+        let full = pipeline.analyze(&traces).unwrap();
+        assert_eq!(full.coverage(), 1.0);
+        assert!(!full.is_partial());
+        let explicit = pipeline.analyze_partial(&traces, 1.0).unwrap();
+        assert_eq!(
+            explicit.histogram().fractions(),
+            full.histogram().fractions()
+        );
+    }
+
+    #[test]
+    fn partial_coverage_widens_confidence() {
+        let traces = crowd("italy", 60, 8);
+        let pipeline = GeolocationPipeline::default();
+        let cfg = crate::BootstrapConfig {
+            iterations: 40,
+            ..crate::BootstrapConfig::default()
+        };
+        let full = pipeline.analyze(&traces).unwrap();
+        let partial = pipeline.analyze_partial(&traces, 0.25).unwrap();
+        assert!(partial.is_partial());
+        let tight = full.component_confidence(&cfg).unwrap();
+        let wide = partial.component_confidence(&cfg).unwrap();
+        assert_eq!(tight.len(), wide.len());
+        // Same placements, so the widening is exactly 1/sqrt(0.25) = 2.
+        for (t, w) in tight.iter().zip(&wide) {
+            assert!((w.std_error - 2.0 * t.std_error).abs() < 1e-9);
+            assert_eq!(t.mean, w.mean);
+        }
+        // The partial report says so, in both renderings.
+        assert!(
+            partial.render().contains("partial dump"),
+            "{}",
+            partial.render()
+        );
+        assert!(partial.to_string().contains("coverage"), "{partial}");
+        assert!(!full.render().contains("partial dump"));
     }
 
     #[test]

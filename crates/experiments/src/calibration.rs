@@ -43,7 +43,7 @@ pub fn run(config: &Config) -> ExperimentOutput {
         let report = scraper.calibrated_dump(crawl_time).expect("scrape");
         let measured = report.offset_secs().expect("calibrated");
         let exact = measured == offset;
-        let sound = report.utc_traces() == forum.ground_truth();
+        let sound = *report.utc_traces() == forum.ground_truth();
         recovered_all &= exact;
         dumps_match &= sound;
         out.line(format!(

@@ -35,6 +35,7 @@ mod error;
 mod host;
 mod model;
 mod protocol;
+pub mod retry;
 mod scrape;
 mod simulate;
 mod spec;
@@ -42,7 +43,14 @@ mod spec;
 pub use error::ForumError;
 pub use host::ForumHost;
 pub use model::{Post, PostId, Section, SectionAccess, ThreadId, ThreadInfo};
-pub use protocol::{Request, Response, ShownPost, TimestampPolicy};
-pub use scrape::{CalibrationReport, Monitor, ScrapeReport, Scraper};
+pub use protocol::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response, ShownPost,
+    TimestampPolicy,
+};
+pub use retry::{CrawlStats, RetryPolicy};
+pub use scrape::{
+    CalibrationReport, CrawlCheckpoint, CrawlInterrupted, Monitor, MonitorCheckpoint,
+    MonitorInterrupted, ScrapeReport, Scraper,
+};
 pub use simulate::SimulatedForum;
 pub use spec::{CrowdComponent, ForumSpec};

@@ -18,7 +18,9 @@ impl fmt::Display for ThreadId {
 
 /// Identifier of a post within a forum; ids are assigned in posting order,
 /// so they double as a monotone sequence number for the monitor mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PostId(pub u64);
 
 impl fmt::Display for PostId {

@@ -109,22 +109,22 @@ pub enum Response {
 }
 
 /// Encodes a request for the Tor channel.
-pub(crate) fn encode_request(req: &Request) -> Vec<u8> {
+pub fn encode_request(req: &Request) -> Vec<u8> {
     serde_json::to_vec(req).expect("requests always serialize")
 }
 
 /// Decodes a request on the host side.
-pub(crate) fn decode_request(bytes: &[u8]) -> Option<Request> {
+pub fn decode_request(bytes: &[u8]) -> Option<Request> {
     serde_json::from_slice(bytes).ok()
 }
 
 /// Encodes a response on the host side.
-pub(crate) fn encode_response(resp: &Response) -> Vec<u8> {
+pub fn encode_response(resp: &Response) -> Vec<u8> {
     serde_json::to_vec(resp).expect("responses always serialize")
 }
 
 /// Decodes a response on the scraper side.
-pub(crate) fn decode_response(bytes: &[u8]) -> Option<Response> {
+pub fn decode_response(bytes: &[u8]) -> Option<Response> {
     serde_json::from_slice(bytes).ok()
 }
 

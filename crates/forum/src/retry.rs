@@ -1,0 +1,316 @@
+//! Retry policy and the resilient transport shared by [`Scraper`] and
+//! [`Monitor`].
+//!
+//! The paper's crawls ran for weeks against flaky hidden services; a
+//! transport that gives up on the first collapsed circuit never finishes a
+//! dump. This module wraps an [`AnonymousChannel`] with bounded,
+//! deterministic retries:
+//!
+//! * **transient faults** ([`TorError::is_transient`]) — timeouts,
+//!   momentary service unavailability — are retried on the same circuit
+//!   after an exponential backoff;
+//! * **circuit loss** ([`TorError::needs_rebuild`]) — collapse or relay
+//!   churn — triggers an automatic [`AnonymousChannel::rebuild`] before
+//!   the retry;
+//! * **mangled responses** — truncated or corrupted bytes that fail to
+//!   decode — are retried like transients, since re-asking yields a fresh
+//!   (hopefully intact) copy;
+//! * everything else — host-sent protocol errors, unknown services —
+//!   is deterministic and fails immediately.
+//!
+//! Backoff is simulated, not slept: the waits accumulate on a millisecond
+//! counter in [`CrawlStats`] so tests and experiments stay instant while
+//! the schedule itself (exponential growth, seeded jitter) matches what a
+//! production crawler would do.
+//!
+//! [`Scraper`]: crate::Scraper
+//! [`Monitor`]: crate::Monitor
+//! [`TorError::is_transient`]: crowdtz_tor::TorError::is_transient
+//! [`TorError::needs_rebuild`]: crowdtz_tor::TorError::needs_rebuild
+//! [`AnonymousChannel::rebuild`]: crowdtz_tor::AnonymousChannel::rebuild
+
+use serde::{Deserialize, Serialize};
+
+use crowdtz_tor::AnonymousChannel;
+
+use crate::error::ForumError;
+use crate::protocol::{decode_response, encode_request, Request, Response};
+
+/// The decode-failure reason produced (and recognized as retryable) by
+/// [`ResilientChannel::ask`].
+pub(crate) const UNDECODABLE: &str = "undecodable response";
+
+/// Bounded-retry schedule with deterministic exponential backoff and
+/// seeded jitter.
+///
+/// The schedule for attempt *k* (1-based) waits
+/// `e/2 + jitter(0 ..= e/2)` milliseconds where
+/// `e = min(base_backoff_ms << (k-1), max_backoff_ms)` — the classic
+/// "equal jitter" variant. Jitter is drawn from a [SplitMix64] stream
+/// keyed by `jitter_seed`, so a given policy replays the exact same wait
+/// sequence on every run.
+///
+/// [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum number of attempts per request, including the first
+    /// (values below 1 behave as 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Cap on the exponential backoff, in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Seed of the jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: every fault surfaces immediately (the pre-chaos
+    /// behaviour).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+            jitter_seed: 0,
+        }
+    }
+
+    /// The simulated wait before retry number `attempt` (1-based), using
+    /// `draw` as the position in the jitter stream.
+    pub fn backoff_ms(&self, attempt: u32, draw: u64) -> u64 {
+        let shift = attempt.saturating_sub(1).min(63);
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.max_backoff_ms);
+        let half = exp / 2;
+        half + splitmix64(self.jitter_seed.wrapping_add(draw)) % (half + 1)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Five attempts, 500 ms base backoff, 60 s cap.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff_ms: 500,
+            max_backoff_ms: 60_000,
+            jitter_seed: 0x7A11_5EED,
+        }
+    }
+}
+
+/// Counters describing what a crawl survived: how hard the transport had
+/// to work to deliver the coverage a report claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CrawlStats {
+    /// Requests that eventually succeeded.
+    pub requests: u64,
+    /// Retry attempts issued (re-sends after a recoverable fault),
+    /// whether or not the request eventually succeeded.
+    pub retries_spent: u64,
+    /// Faults recovered from — errors on requests that *eventually*
+    /// succeeded. At most `retries_spent`.
+    pub faults_absorbed: u64,
+    /// Automatic circuit rebuilds after a collapse or relay churn.
+    pub circuit_rebuilds: u64,
+    /// Total simulated backoff wait, in milliseconds.
+    pub backoff_ms: u64,
+}
+
+/// What the retry loop may do about a failed round trip.
+enum Recovery {
+    /// Retry the same request on the standing circuit.
+    RetrySame,
+    /// Rebuild the circuit, then retry.
+    Rebuild,
+    /// Deterministic failure; retrying cannot help.
+    Fatal,
+}
+
+fn classify(err: &ForumError) -> Recovery {
+    match err {
+        ForumError::Transport(t) if t.needs_rebuild() => Recovery::Rebuild,
+        ForumError::Transport(t) if t.is_transient() => Recovery::RetrySame,
+        // Only `ResilientChannel::round_trip` produces this reason: the
+        // response bytes did not decode (truncation/corruption in flight).
+        ForumError::Protocol { reason } if reason == UNDECODABLE => Recovery::RetrySame,
+        _ => Recovery::Fatal,
+    }
+}
+
+/// An [`AnonymousChannel`] plus the retry loop: encodes requests, decodes
+/// responses, and absorbs recoverable faults per the [`RetryPolicy`].
+#[derive(Debug)]
+pub(crate) struct ResilientChannel {
+    channel: AnonymousChannel,
+    policy: RetryPolicy,
+    stats: CrawlStats,
+    draws: u64,
+}
+
+impl ResilientChannel {
+    pub(crate) fn new(channel: AnonymousChannel, policy: RetryPolicy) -> ResilientChannel {
+        ResilientChannel {
+            channel,
+            policy,
+            stats: CrawlStats::default(),
+            draws: 0,
+        }
+    }
+
+    pub(crate) fn address(&self) -> crowdtz_tor::OnionAddress {
+        self.channel.address()
+    }
+
+    pub(crate) fn stats(&self) -> CrawlStats {
+        self.stats
+    }
+
+    pub(crate) fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    pub(crate) fn set_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// One round trip: encode, send, decode. No retries.
+    fn round_trip(&mut self, payload: &[u8]) -> Result<Response, ForumError> {
+        let bytes = self.channel.request(payload)?;
+        decode_response(&bytes).ok_or_else(|| ForumError::Protocol {
+            reason: UNDECODABLE.into(),
+        })
+    }
+
+    /// Sends `req` and returns the decoded response, retrying recoverable
+    /// faults up to the policy's attempt budget.
+    ///
+    /// Host-sent [`Response::Error`] values are *successful* round trips
+    /// here — the host answered deterministically — and are left for the
+    /// caller to interpret.
+    pub(crate) fn ask(&mut self, req: &Request) -> Result<Response, ForumError> {
+        let payload = encode_request(req);
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut failures = 0u64;
+        for attempt in 1..=max_attempts {
+            match self.round_trip(&payload) {
+                Ok(resp) => {
+                    self.stats.requests += 1;
+                    self.stats.faults_absorbed += failures;
+                    return Ok(resp);
+                }
+                Err(err) => {
+                    let recovery = classify(&err);
+                    if matches!(recovery, Recovery::Fatal) || attempt == max_attempts {
+                        return Err(err);
+                    }
+                    if matches!(recovery, Recovery::Rebuild) {
+                        // A failed rebuild means the network itself is
+                        // gone; that is fatal regardless of budget.
+                        self.channel.rebuild()?;
+                        self.stats.circuit_rebuilds += 1;
+                    }
+                    failures += 1;
+                    self.draws += 1;
+                    self.stats.retries_spent += 1;
+                    self.stats.backoff_ms += self.policy.backoff_ms(attempt, self.draws);
+                }
+            }
+        }
+        unreachable!("loop returns on success, fatal error, or final attempt")
+    }
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtz_tor::TorError;
+
+    #[test]
+    fn none_policy_is_single_attempt() {
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff_ms: 100,
+            max_backoff_ms: 1_000,
+            jitter_seed: 9,
+        };
+        // Equal jitter: wait for attempt k lies in [e/2, e].
+        for (attempt, e) in [(1u32, 100u64), (2, 200), (3, 400), (4, 800), (5, 1_000)] {
+            let w = p.backoff_ms(attempt, 0);
+            assert!(
+                (e / 2..=e).contains(&w),
+                "attempt {attempt}: {w} vs cap {e}"
+            );
+        }
+        // Deep attempts stay at the cap even when the shift overflows.
+        let w = p.backoff_ms(200, 0);
+        assert!((500..=1_000).contains(&w));
+    }
+
+    #[test]
+    fn backoff_is_deterministic() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_ms(3, 17), p.backoff_ms(3, 17));
+        // Different draw positions almost surely differ.
+        assert_ne!(
+            (0..64).map(|d| p.backoff_ms(3, d)).sum::<u64>(),
+            64 * p.backoff_ms(3, 0)
+        );
+    }
+
+    #[test]
+    fn zero_backoff_policy_never_waits() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.backoff_ms(1, 0), 0);
+        assert_eq!(p.backoff_ms(7, 123), 0);
+    }
+
+    #[test]
+    fn classification_matches_error_taxonomy() {
+        let rebuild = ForumError::Transport(TorError::CircuitCollapsed {
+            address: "x.onion".into(),
+        });
+        assert!(matches!(classify(&rebuild), Recovery::Rebuild));
+        let transient = ForumError::Transport(TorError::RequestTimeout { waited_ms: 5 });
+        assert!(matches!(classify(&transient), Recovery::RetrySame));
+        let mangled = ForumError::Protocol {
+            reason: UNDECODABLE.into(),
+        };
+        assert!(matches!(classify(&mangled), Recovery::RetrySame));
+        let host_error = ForumError::Protocol {
+            reason: "no such thread".into(),
+        };
+        assert!(matches!(classify(&host_error), Recovery::Fatal));
+        let fatal = ForumError::Transport(TorError::UnknownService {
+            address: "x.onion".into(),
+        });
+        assert!(matches!(classify(&fatal), Recovery::Fatal));
+    }
+
+    #[test]
+    fn stats_serialize_round_trip() {
+        let s = CrawlStats {
+            requests: 10,
+            retries_spent: 3,
+            faults_absorbed: 2,
+            circuit_rebuilds: 1,
+            backoff_ms: 4_500,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<CrawlStats>(&json).unwrap(), s);
+    }
+}

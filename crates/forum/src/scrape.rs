@@ -1,13 +1,18 @@
-//! The scraper: dump crawls, clock calibration, and monitor mode.
+//! The scraper: dump crawls, clock calibration, monitor mode, and
+//! checkpoint/resume for crawls interrupted by transport failure.
 
+use std::borrow::Cow;
 use std::fmt;
+
+use serde::{Deserialize, Serialize};
 
 use crowdtz_time::{Timestamp, TraceSet};
 use crowdtz_tor::AnonymousChannel;
 
 use crate::error::ForumError;
 use crate::model::{PostId, ThreadId};
-use crate::protocol::{decode_response, encode_request, Request, Response};
+use crate::protocol::{Request, Response};
+use crate::retry::{CrawlStats, ResilientChannel, RetryPolicy};
 
 /// Result of the §V server-clock calibration: the measured offset between
 /// the forum's displayed time and the observer's UTC clock.
@@ -18,14 +23,22 @@ pub struct CalibrationReport {
 }
 
 /// The output of a dump crawl: per-user traces in *server* time, plus
-/// bookkeeping, plus (after calibration) the offset needed to normalize
-/// them to UTC.
+/// coverage bookkeeping, plus (after calibration) the offset needed to
+/// normalize them to UTC.
+///
+/// A report from an interrupted crawl
+/// ([`CrawlCheckpoint::partial_report`]) may cover only part of the forum;
+/// [`coverage`](ScrapeReport::coverage) says how much.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScrapeReport {
     server_traces: TraceSet,
     posts_seen: usize,
     hidden_posts: usize,
     offset_secs: Option<i64>,
+    threads_total: usize,
+    threads_completed: usize,
+    pages_crawled: usize,
+    stats: CrawlStats,
 }
 
 impl ScrapeReport {
@@ -49,6 +62,37 @@ impl ScrapeReport {
         self.offset_secs
     }
 
+    /// Threads the forum listed.
+    pub fn threads_total(&self) -> usize {
+        self.threads_total
+    }
+
+    /// Threads crawled to their last page.
+    pub fn threads_completed(&self) -> usize {
+        self.threads_completed
+    }
+
+    /// Thread pages fetched and decoded.
+    pub fn pages_crawled(&self) -> usize {
+        self.pages_crawled
+    }
+
+    /// Fraction of listed threads fully crawled, in `0.0..=1.0`
+    /// (`1.0` for a complete dump, and vacuously for an empty forum).
+    pub fn coverage(&self) -> f64 {
+        if self.threads_total == 0 {
+            1.0
+        } else {
+            self.threads_completed as f64 / self.threads_total as f64
+        }
+    }
+
+    /// Transport-level retry counters for the crawl that produced this
+    /// report.
+    pub fn stats(&self) -> CrawlStats {
+        self.stats
+    }
+
     /// Attaches a calibration result.
     #[must_use]
     pub fn with_offset(mut self, offset_secs: i64) -> ScrapeReport {
@@ -56,12 +100,21 @@ impl ScrapeReport {
         self
     }
 
-    /// Traces normalized to UTC by subtracting the calibrated offset
-    /// (identity when no calibration was attached).
-    pub fn utc_traces(&self) -> TraceSet {
+    /// Attaches transport statistics (used when building a report from a
+    /// checkpoint, which does not carry them).
+    #[must_use]
+    pub fn with_stats(mut self, stats: CrawlStats) -> ScrapeReport {
+        self.stats = stats;
+        self
+    }
+
+    /// Traces normalized to UTC by subtracting the calibrated offset.
+    /// Borrows the server traces when no shift is needed (no calibration
+    /// attached, or a zero offset) instead of copying them.
+    pub fn utc_traces(&self) -> Cow<'_, TraceSet> {
         match self.offset_secs {
-            Some(off) => self.server_traces.shifted_secs(-off),
-            None => self.server_traces.clone(),
+            Some(off) if off != 0 => Cow::Owned(self.server_traces.shifted_secs(-off)),
+            _ => Cow::Borrowed(&self.server_traces),
         }
     }
 }
@@ -70,12 +123,127 @@ impl fmt::Display for ScrapeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scrape: {} users, {} posts ({} hidden), offset {:?}",
+            "scrape: {} users, {} posts ({} hidden), {}/{} threads, offset {:?}",
             self.server_traces.len(),
             self.posts_seen,
             self.hidden_posts,
+            self.threads_completed,
+            self.threads_total,
             self.offset_secs
         )
+    }
+}
+
+/// Where an interrupted dump crawl stopped, and everything it had
+/// gathered so far.
+///
+/// Serializable: a crawler can persist the checkpoint, die, and resume in
+/// a fresh process with [`Scraper::resume_dump`] without re-fetching any
+/// page it already processed. Granularity is one thread page — a page
+/// either fully lands in the checkpoint or was never recorded, so a
+/// resumed crawl never double-counts posts.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CrawlCheckpoint {
+    threads: Vec<ThreadId>,
+    listed: bool,
+    thread_cursor: usize,
+    page_cursor: usize,
+    traces: TraceSet,
+    posts_seen: usize,
+    hidden_posts: usize,
+    pages_crawled: usize,
+}
+
+impl CrawlCheckpoint {
+    /// A checkpoint at the very start of a crawl (nothing listed, nothing
+    /// fetched). Passing it to [`Scraper::resume_dump`] performs a full
+    /// dump.
+    pub fn start() -> CrawlCheckpoint {
+        CrawlCheckpoint::default()
+    }
+
+    /// Threads the listing phase discovered (0 until listing completes).
+    pub fn threads_total(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Threads crawled to their last page.
+    pub fn threads_completed(&self) -> usize {
+        self.thread_cursor
+    }
+
+    /// Thread pages fetched and decoded so far.
+    pub fn pages_crawled(&self) -> usize {
+        self.pages_crawled
+    }
+
+    /// Posts recorded so far.
+    pub fn posts_seen(&self) -> usize {
+        self.posts_seen
+    }
+
+    /// True when the crawl this checkpoint describes had finished.
+    pub fn is_complete(&self) -> bool {
+        self.listed && self.thread_cursor >= self.threads.len()
+    }
+
+    /// A report over whatever the interrupted crawl managed to gather.
+    /// Its [`coverage`](ScrapeReport::coverage) reflects the missing
+    /// threads; transport stats are not part of the checkpoint — attach
+    /// them with [`ScrapeReport::with_stats`] if needed.
+    pub fn partial_report(&self) -> ScrapeReport {
+        ScrapeReport {
+            server_traces: self.traces.clone(),
+            posts_seen: self.posts_seen,
+            hidden_posts: self.hidden_posts,
+            offset_secs: None,
+            threads_total: self.threads.len(),
+            threads_completed: self.thread_cursor,
+            pages_crawled: self.pages_crawled,
+            stats: CrawlStats::default(),
+        }
+    }
+
+    fn into_report(self, stats: CrawlStats) -> ScrapeReport {
+        ScrapeReport {
+            threads_total: self.threads.len(),
+            threads_completed: self.thread_cursor,
+            pages_crawled: self.pages_crawled,
+            server_traces: self.traces,
+            posts_seen: self.posts_seen,
+            hidden_posts: self.hidden_posts,
+            offset_secs: None,
+            stats,
+        }
+    }
+}
+
+/// A dump crawl died mid-flight: the fault that exhausted the retry
+/// budget, plus a [`CrawlCheckpoint`] to resume from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrawlInterrupted {
+    /// The unrecovered fault.
+    pub error: ForumError,
+    /// Resume point covering everything gathered before the fault.
+    pub checkpoint: CrawlCheckpoint,
+}
+
+impl fmt::Display for CrawlInterrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "crawl interrupted after {}/{} threads ({} pages): {}",
+            self.checkpoint.threads_completed(),
+            self.checkpoint.threads_total(),
+            self.checkpoint.pages_crawled(),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for CrawlInterrupted {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
     }
 }
 
@@ -85,21 +253,46 @@ impl fmt::Display for ScrapeReport {
 /// write a post in the 'Welcome' or 'Spam' thread to calculate the offset
 /// between the server time and UTC. … once the offset from UTC is known we
 /// can collect the timestamps of the posts in a sound and consistent way."*
+///
+/// Transport faults are absorbed by a [`RetryPolicy`] (see
+/// [`crate::retry`]): transient errors retry with exponential backoff,
+/// collapsed circuits are rebuilt automatically, and undecodable responses
+/// are re-fetched. Faults that outlive the retry budget surface as errors;
+/// [`resume_dump`](Scraper::resume_dump) turns them into resumable
+/// checkpoints instead of losing the crawl.
 pub struct Scraper {
-    channel: AnonymousChannel,
+    link: ResilientChannel,
 }
 
 impl Scraper {
-    /// Creates a scraper over an established channel.
+    /// Creates a scraper over an established channel with the default
+    /// retry policy.
     pub fn new(channel: AnonymousChannel) -> Scraper {
-        Scraper { channel }
+        Scraper {
+            link: ResilientChannel::new(channel, RetryPolicy::default()),
+        }
+    }
+
+    /// Replaces the retry policy ([`RetryPolicy::none`] restores
+    /// fail-fast behaviour).
+    #[must_use]
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Scraper {
+        self.link.set_policy(policy);
+        self
+    }
+
+    /// The active retry policy.
+    pub fn policy(&self) -> RetryPolicy {
+        self.link.policy()
+    }
+
+    /// Transport-level counters accumulated by this scraper so far.
+    pub fn crawl_stats(&self) -> CrawlStats {
+        self.link.stats()
     }
 
     fn ask(&mut self, req: &Request) -> Result<Response, ForumError> {
-        let bytes = self.channel.request(&encode_request(req))?;
-        decode_response(&bytes).ok_or_else(|| ForumError::Protocol {
-            reason: "undecodable response".into(),
-        })
+        self.link.ask(req)
     }
 
     /// Lists all readable threads (walking every listing page).
@@ -165,45 +358,79 @@ impl Scraper {
     /// Crawls every readable thread and collects `(author, shown time)`
     /// into per-user traces (server time). Posts without timestamps are
     /// counted but not recorded.
+    ///
+    /// Equivalent to [`resume_dump`](Scraper::resume_dump) from
+    /// [`CrawlCheckpoint::start`], discarding the checkpoint on failure.
     pub fn dump(&mut self) -> Result<ScrapeReport, ForumError> {
-        let threads = self.list_threads()?;
-        let mut traces = TraceSet::new();
-        let mut posts_seen = 0usize;
-        let mut hidden = 0usize;
-        for t in threads {
-            let mut page = 0;
-            loop {
-                match self.ask(&Request::GetThread { thread: t.id, page })? {
-                    Response::ThreadPage { posts, pages } => {
-                        for p in posts {
-                            posts_seen += 1;
-                            match p.shown_time {
-                                Some(ts) => traces.record(&p.author, ts),
-                                None => hidden += 1,
-                            }
-                        }
-                        page += 1;
-                        if page >= pages {
-                            break;
-                        }
-                    }
-                    Response::Error { reason } => {
-                        return Err(ForumError::Protocol { reason });
-                    }
-                    _ => {
-                        return Err(ForumError::Protocol {
-                            reason: "unexpected response to GetThread".into(),
-                        })
-                    }
+        self.resume_dump(CrawlCheckpoint::start())
+            .map_err(|interrupted| interrupted.error)
+    }
+
+    /// Runs (or resumes) a dump crawl from `checkpoint`.
+    ///
+    /// On an unrecoverable fault the crawl stops and returns a
+    /// [`CrawlInterrupted`] carrying a fresh checkpoint; calling
+    /// `resume_dump` again with it continues exactly where the crawl
+    /// stopped, without re-fetching completed pages. An interrupted crawl
+    /// resumed to completion yields the same traces as an uninterrupted
+    /// one.
+    // The Err variant carries the full checkpoint by value — that payload
+    // is the whole point of the interruption contract, not an accident.
+    #[allow(clippy::result_large_err)]
+    pub fn resume_dump(
+        &mut self,
+        checkpoint: CrawlCheckpoint,
+    ) -> Result<ScrapeReport, CrawlInterrupted> {
+        let mut cp = checkpoint;
+        if !cp.listed {
+            match self.list_threads() {
+                Ok(threads) => {
+                    cp.threads = threads.into_iter().map(|t| t.id).collect();
+                    cp.listed = true;
+                }
+                Err(error) => {
+                    return Err(CrawlInterrupted {
+                        error,
+                        checkpoint: cp,
+                    })
                 }
             }
         }
-        Ok(ScrapeReport {
-            server_traces: traces,
-            posts_seen,
-            hidden_posts: hidden,
-            offset_secs: None,
-        })
+        while cp.thread_cursor < cp.threads.len() {
+            let thread = cp.threads[cp.thread_cursor];
+            let page = cp.page_cursor;
+            let interrupted = |error, checkpoint| CrawlInterrupted { error, checkpoint };
+            match self.ask(&Request::GetThread { thread, page }) {
+                Ok(Response::ThreadPage { posts, pages }) => {
+                    for p in posts {
+                        cp.posts_seen += 1;
+                        match p.shown_time {
+                            Some(ts) => cp.traces.record(&p.author, ts),
+                            None => cp.hidden_posts += 1,
+                        }
+                    }
+                    cp.pages_crawled += 1;
+                    cp.page_cursor += 1;
+                    if cp.page_cursor >= pages {
+                        cp.thread_cursor += 1;
+                        cp.page_cursor = 0;
+                    }
+                }
+                Ok(Response::Error { reason }) => {
+                    return Err(interrupted(ForumError::Protocol { reason }, cp));
+                }
+                Ok(_) => {
+                    return Err(interrupted(
+                        ForumError::Protocol {
+                            reason: "unexpected response to GetThread".into(),
+                        },
+                        cp,
+                    ));
+                }
+                Err(error) => return Err(interrupted(error, cp)),
+            }
+        }
+        Ok(cp.into_report(self.link.stats()))
     }
 
     /// Convenience: calibrate, then dump, returning UTC-normalized output.
@@ -216,10 +443,10 @@ impl Scraper {
     }
 
     /// Converts this scraper into a [`Monitor`] for forums that hide
-    /// timestamps.
+    /// timestamps. The retry policy and accumulated stats carry over.
     pub fn into_monitor(self) -> Monitor {
         Monitor {
-            channel: self.channel,
+            link: self.link,
             last_seen: PostId(0),
         }
     }
@@ -228,8 +455,65 @@ impl Scraper {
 impl fmt::Debug for Scraper {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Scraper")
-            .field("address", &self.channel.address())
+            .field("address", &self.link.address())
             .finish_non_exhaustive()
+    }
+}
+
+/// Where an interrupted monitoring session stopped.
+///
+/// Serializable for the same reason as [`CrawlCheckpoint`]: persist,
+/// restart, hand to [`Monitor::resume_run`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MonitorCheckpoint {
+    last_seen: PostId,
+    /// `None` until the initial fast-forward past the window start is
+    /// done; afterwards the next scheduled poll instant.
+    next_poll: Option<Timestamp>,
+    traces: TraceSet,
+}
+
+impl MonitorCheckpoint {
+    /// A checkpoint at the very start of a monitoring session.
+    pub fn start() -> MonitorCheckpoint {
+        MonitorCheckpoint::default()
+    }
+
+    /// The id of the newest post the session had seen.
+    pub fn last_seen(&self) -> PostId {
+        self.last_seen
+    }
+
+    /// Traces gathered before the interruption (observer UTC).
+    pub fn traces(&self) -> &TraceSet {
+        &self.traces
+    }
+}
+
+/// A monitoring session died mid-flight: the fault that exhausted the
+/// retry budget, plus a [`MonitorCheckpoint`] to resume from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorInterrupted {
+    /// The unrecovered fault.
+    pub error: ForumError,
+    /// Resume point covering every poll completed before the fault.
+    pub checkpoint: MonitorCheckpoint,
+}
+
+impl fmt::Display for MonitorInterrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "monitor interrupted ({} posts observed): {}",
+            self.checkpoint.traces.total_posts(),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for MonitorInterrupted {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
     }
 }
 
@@ -240,17 +524,30 @@ impl fmt::Debug for Scraper {
 /// timestamp them ourselves"* — the precision is bounded by the polling
 /// interval, which adds uniform noise of at most one interval.
 pub struct Monitor {
-    channel: AnonymousChannel,
+    link: ResilientChannel,
     last_seen: PostId,
 }
 
 impl Monitor {
-    /// Creates a monitor over an established channel.
+    /// Creates a monitor over an established channel with the default
+    /// retry policy.
     pub fn new(channel: AnonymousChannel) -> Monitor {
         Monitor {
-            channel,
+            link: ResilientChannel::new(channel, RetryPolicy::default()),
             last_seen: PostId(0),
         }
+    }
+
+    /// Replaces the retry policy.
+    #[must_use]
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Monitor {
+        self.link.set_policy(policy);
+        self
+    }
+
+    /// Transport-level counters accumulated by this monitor so far.
+    pub fn crawl_stats(&self) -> CrawlStats {
+        self.link.stats()
     }
 
     /// The id of the newest post seen so far.
@@ -265,22 +562,31 @@ impl Monitor {
         observer_now: Timestamp,
     ) -> Result<Vec<(String, Timestamp)>, ForumError> {
         let mut out = Vec::new();
+        self.poll_each(observer_now, |author, ts| out.push((author.to_owned(), ts)))?;
+        Ok(out)
+    }
+
+    /// One poll loop, invoking `sink` per new post as soon as the post is
+    /// consumed — so observations made before a mid-poll fault are not
+    /// lost (crucial for checkpointing: `last_seen` advances with
+    /// consumption).
+    fn poll_each(
+        &mut self,
+        observer_now: Timestamp,
+        mut sink: impl FnMut(&str, Timestamp),
+    ) -> Result<(), ForumError> {
         loop {
-            let bytes = self.channel.request(&encode_request(&Request::NewPosts {
+            match self.link.ask(&Request::NewPosts {
                 after: self.last_seen,
                 observer_now,
-            }))?;
-            let resp = decode_response(&bytes).ok_or_else(|| ForumError::Protocol {
-                reason: "undecodable response".into(),
-            })?;
-            match resp {
+            })? {
                 Response::Fresh { posts } => {
                     if posts.is_empty() {
-                        break;
+                        return Ok(());
                     }
                     for p in &posts {
                         self.last_seen = self.last_seen.max(p.id);
-                        out.push((p.author.clone(), observer_now));
+                        sink(&p.author, observer_now);
                     }
                 }
                 Response::Error { reason } => return Err(ForumError::Protocol { reason }),
@@ -291,50 +597,90 @@ impl Monitor {
                 }
             }
         }
-        Ok(out)
     }
 
     /// Runs the monitor from `from` to `to` polling every `interval_secs`,
     /// accumulating self-timestamped traces (already in observer UTC).
+    ///
+    /// Equivalent to [`resume_run`](Monitor::resume_run) from
+    /// [`MonitorCheckpoint::start`], discarding the checkpoint on failure.
     pub fn run(
         &mut self,
         from: Timestamp,
         to: Timestamp,
         interval_secs: i64,
     ) -> Result<TraceSet, ForumError> {
-        let interval = interval_secs.max(1);
-        let mut traces = TraceSet::new();
-        // Skip everything that predates the monitoring window.
-        let _ = self.poll_discard(from)?;
-        let mut t = from + interval;
-        let mut last_polled = from;
-        while t <= to {
-            for (author, ts) in self.poll(t)? {
-                traces.record(&author, ts);
-            }
-            last_polled = t;
-            t = t + interval;
-        }
-        // Final partial interval: poll once more at the window end so no
-        // post inside (last poll, to] is missed.
-        if last_polled < to {
-            for (author, ts) in self.poll(to)? {
-                traces.record(&author, ts);
-            }
-        }
-        Ok(traces)
+        self.resume_run(from, to, interval_secs, MonitorCheckpoint::start())
+            .map_err(|interrupted| interrupted.error)
     }
 
-    /// Polls at `observer_now` but discards the results (fast-forward).
-    fn poll_discard(&mut self, observer_now: Timestamp) -> Result<usize, ForumError> {
-        Ok(self.poll(observer_now)?.len())
+    /// Runs (or resumes) a monitoring session over the same window.
+    ///
+    /// On an unrecoverable fault, returns a [`MonitorInterrupted`]
+    /// carrying every observation already made; calling `resume_run`
+    /// again with the same window continues from the interrupted poll.
+    /// An interrupted session resumed to completion observes the same
+    /// traces as an uninterrupted one.
+    // As with `Scraper::resume_dump`: the Err variant carries the full
+    // checkpoint by value on purpose.
+    #[allow(clippy::result_large_err)]
+    pub fn resume_run(
+        &mut self,
+        from: Timestamp,
+        to: Timestamp,
+        interval_secs: i64,
+        checkpoint: MonitorCheckpoint,
+    ) -> Result<TraceSet, MonitorInterrupted> {
+        let interval = interval_secs.max(1);
+        let mut cp = checkpoint;
+        // Adopt the checkpoint's progress; never regress our own.
+        self.last_seen = self.last_seen.max(cp.last_seen);
+        let interrupted = |error, mut cp: MonitorCheckpoint, last_seen| {
+            cp.last_seen = last_seen;
+            Err(MonitorInterrupted {
+                error,
+                checkpoint: cp,
+            })
+        };
+        if cp.next_poll.is_none() {
+            // Skip everything that predates the monitoring window. Safe to
+            // redo on resume: discarded ids stay discarded.
+            if let Err(error) = self.poll_each(from, |_, _| {}) {
+                return interrupted(error, cp, self.last_seen);
+            }
+            cp.next_poll = Some(from + interval);
+        }
+        let mut t = cp.next_poll.unwrap_or(from + interval);
+        while t <= to {
+            let mut traces = std::mem::take(&mut cp.traces);
+            let poll = self.poll_each(t, |author, ts| traces.record(author, ts));
+            cp.traces = traces;
+            cp.next_poll = Some(t);
+            if let Err(error) = poll {
+                return interrupted(error, cp, self.last_seen);
+            }
+            t = t + interval;
+            cp.next_poll = Some(t);
+        }
+        // Final partial interval: poll once more at the window end so no
+        // post inside (last poll, to] is missed. `t - interval` is the
+        // last instant actually polled (or the window start).
+        if t - interval < to {
+            let mut traces = std::mem::take(&mut cp.traces);
+            let poll = self.poll_each(to, |author, ts| traces.record(author, ts));
+            cp.traces = traces;
+            if let Err(error) = poll {
+                return interrupted(error, cp, self.last_seen);
+            }
+        }
+        Ok(cp.traces)
     }
 }
 
 impl fmt::Debug for Monitor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Monitor")
-            .field("address", &self.channel.address())
+            .field("address", &self.link.address())
             .field("last_seen", &self.last_seen)
             .finish_non_exhaustive()
     }
@@ -348,7 +694,7 @@ mod tests {
     use crate::simulate::SimulatedForum;
     use crate::spec::{CrowdComponent, ForumSpec};
     use crowdtz_time::CivilDateTime;
-    use crowdtz_tor::TorNetwork;
+    use crowdtz_tor::{Fault, FaultPlan, FaultRates, TorNetwork};
 
     fn forum_spec(offset_secs: i64, policy: TimestampPolicy) -> ForumSpec {
         ForumSpec::new("Test Forum", vec![CrowdComponent::new("italy", 1.0)], 8)
@@ -358,12 +704,21 @@ mod tests {
     }
 
     fn connect(spec: &ForumSpec) -> (Scraper, SimulatedForum) {
+        let (scraper, forum, _) = connect_faulty(spec, FaultRates::none());
+        (scraper, forum)
+    }
+
+    fn connect_faulty(
+        spec: &ForumSpec,
+        rates: FaultRates,
+    ) -> (Scraper, SimulatedForum, TorNetwork) {
         let forum = SimulatedForum::generate(spec);
         let host = ForumHost::new(forum.clone()).page_size(25);
         let mut net = TorNetwork::with_relays(30, 5);
+        net.set_fault_plan(FaultPlan::new(9, rates));
         let addr = net.publish(host.into_hidden_service(1)).unwrap();
         let channel = net.connect(&addr, 2).unwrap();
-        (Scraper::new(channel), forum)
+        (Scraper::new(channel), forum, net)
     }
 
     fn end_of_2016() -> Timestamp {
@@ -394,14 +749,28 @@ mod tests {
         let report = scraper.calibrated_dump(end_of_2016()).unwrap();
         assert_eq!(report.posts_seen(), forum.post_count());
         assert_eq!(report.hidden_posts(), 0);
-        assert_eq!(report.utc_traces(), forum.ground_truth());
+        assert_eq!(*report.utc_traces(), forum.ground_truth());
+        assert_eq!(report.coverage(), 1.0);
+        assert_eq!(report.threads_completed(), report.threads_total());
+        assert!(report.pages_crawled() >= report.threads_total());
+    }
+
+    #[test]
+    fn utc_traces_borrows_when_unshifted() {
+        let (mut scraper, _) = connect(&forum_spec(0, TimestampPolicy::Visible));
+        let report = scraper.dump().unwrap();
+        assert!(matches!(report.utc_traces(), Cow::Borrowed(_)));
+        let report = report.with_offset(0);
+        assert!(matches!(report.utc_traces(), Cow::Borrowed(_)));
+        let report = report.with_offset(3_600);
+        assert!(matches!(report.utc_traces(), Cow::Owned(_)));
     }
 
     #[test]
     fn dump_without_calibration_is_shifted() {
         let (mut scraper, forum) = connect(&forum_spec(3_600, TimestampPolicy::Visible));
         let report = scraper.dump().unwrap();
-        assert_ne!(report.utc_traces(), forum.ground_truth());
+        assert_ne!(*report.utc_traces(), forum.ground_truth());
         assert_eq!(
             report.server_traces().shifted_secs(-3_600),
             forum.ground_truth()
@@ -415,6 +784,89 @@ mod tests {
         assert_eq!(report.hidden_posts(), forum.post_count());
         assert_eq!(report.server_traces().total_posts(), 0);
         assert!(report.to_string().contains("hidden"));
+    }
+
+    #[test]
+    fn dump_absorbs_faults_under_default_policy() {
+        let (mut scraper, forum, _) = connect_faulty(
+            &forum_spec(0, TimestampPolicy::Visible),
+            FaultRates::mixed(0.15),
+        );
+        let report = scraper.dump().unwrap();
+        assert_eq!(report.posts_seen(), forum.post_count());
+        assert_eq!(report.coverage(), 1.0);
+        let stats = report.stats();
+        assert!(stats.faults_absorbed > 0, "no faults hit at 15%?");
+        assert_eq!(stats.faults_absorbed, stats.retries_spent);
+        assert!(stats.backoff_ms > 0);
+    }
+
+    #[test]
+    fn interrupted_dump_resumes_to_identical_traces() {
+        // Reference run: no faults.
+        let (mut clean, _forum) = connect(&forum_spec(0, TimestampPolicy::Visible));
+        let reference = clean.dump().unwrap();
+
+        // Chaos run with a fail-fast policy: the first fault interrupts.
+        let (scraper, _, net) =
+            connect_faulty(&forum_spec(0, TimestampPolicy::Visible), FaultRates::none());
+        let mut scraper = scraper.retry_policy(RetryPolicy::none());
+        net.force_fault(Fault::Timeout);
+        let interrupted = scraper
+            .resume_dump(CrawlCheckpoint::start())
+            .expect_err("forced fault must interrupt a fail-fast crawl");
+        assert!(matches!(
+            interrupted.error,
+            ForumError::Transport(crowdtz_tor::TorError::RequestTimeout { .. })
+        ));
+        assert!(!interrupted.checkpoint.is_complete());
+        assert!(interrupted.to_string().contains("interrupted"));
+
+        // Serialize/deserialize the checkpoint (as a crawler restart would).
+        let blob = serde_json::to_string(&interrupted.checkpoint).unwrap();
+        let restored: CrawlCheckpoint = serde_json::from_str(&blob).unwrap();
+        assert_eq!(restored, interrupted.checkpoint);
+
+        // Resume: identical result, no double counting.
+        let resumed = scraper.resume_dump(restored).unwrap();
+        assert_eq!(resumed.posts_seen(), reference.posts_seen());
+        assert_eq!(resumed.server_traces(), reference.server_traces());
+        assert_eq!(resumed.coverage(), 1.0);
+    }
+
+    #[test]
+    fn partial_report_reflects_coverage() {
+        // Half of all requests time out; fail-fast, so the crawl keeps
+        // getting interrupted mid-flight and we resume it each time.
+        let rates = FaultRates {
+            timeout: 0.5,
+            ..FaultRates::none()
+        };
+        let (scraper, _, _net) = connect_faulty(&forum_spec(0, TimestampPolicy::Visible), rates);
+        let mut scraper = scraper.retry_policy(RetryPolicy::none());
+        let mut cp = CrawlCheckpoint::start();
+        let mut mid_crawl: Option<ScrapeReport> = None;
+        let mut tries = 0u32;
+        let full = loop {
+            tries += 1;
+            assert!(tries <= 10_000, "crawl makes no progress");
+            match scraper.resume_dump(cp) {
+                Ok(report) => break report,
+                Err(interrupted) => {
+                    let at = &interrupted.checkpoint;
+                    if at.threads_total() > 0 && !at.is_complete() {
+                        mid_crawl = Some(at.partial_report());
+                    }
+                    cp = interrupted.checkpoint;
+                }
+            }
+        };
+        let partial = mid_crawl.expect("no mid-crawl interruption at 50% timeouts");
+        assert_eq!(partial.threads_total(), full.threads_total());
+        assert!(partial.coverage() < 1.0);
+        assert!(partial.posts_seen() <= full.posts_seen());
+        assert_eq!(partial.offset_secs(), None);
+        assert_eq!(full.coverage(), 1.0);
     }
 
     #[test]
@@ -456,6 +908,58 @@ mod tests {
         assert!(!first.is_empty());
         assert!(again.is_empty(), "second poll must return nothing new");
         assert!(monitor.last_seen() > PostId(0));
+    }
+
+    #[test]
+    fn interrupted_monitor_resumes_to_identical_traces() {
+        let from = Timestamp::from_civil_utc(CivilDateTime::new(2016, 3, 1, 0, 0, 0).unwrap());
+        let to = Timestamp::from_civil_utc(CivilDateTime::new(2016, 3, 8, 0, 0, 0).unwrap());
+        let interval = 3_600;
+
+        let (scraper, _) = connect(&forum_spec(0, TimestampPolicy::Hidden));
+        let mut reference_monitor = scraper.into_monitor();
+        let reference = reference_monitor.run(from, to, interval).unwrap();
+
+        let (scraper, _, net) =
+            connect_faulty(&forum_spec(0, TimestampPolicy::Hidden), FaultRates::none());
+        let mut monitor = scraper.into_monitor().retry_policy(RetryPolicy::none());
+        net.force_fault(Fault::Timeout);
+        net.force_fault(Fault::Timeout);
+        let mut cp = MonitorCheckpoint::start();
+        let mut interruptions = 0u32;
+        let resumed = loop {
+            match monitor.resume_run(from, to, interval, cp) {
+                Ok(traces) => break traces,
+                Err(interrupted) => {
+                    interruptions += 1;
+                    assert!(interruptions <= 10, "monitor resume makes no progress");
+                    assert!(interrupted.to_string().contains("monitor interrupted"));
+                    // Round-trip the checkpoint as a restarted crawler would.
+                    let blob = serde_json::to_string(&interrupted.checkpoint).unwrap();
+                    cp = serde_json::from_str(&blob).unwrap();
+                }
+            }
+        };
+        assert!(interruptions >= 2, "both forced faults should interrupt");
+        assert_eq!(resumed, reference);
+    }
+
+    #[test]
+    fn monitor_retries_absorb_faults() {
+        let from = Timestamp::from_civil_utc(CivilDateTime::new(2016, 3, 1, 0, 0, 0).unwrap());
+        let to = Timestamp::from_civil_utc(CivilDateTime::new(2016, 3, 8, 0, 0, 0).unwrap());
+
+        let (scraper, _) = connect(&forum_spec(0, TimestampPolicy::Hidden));
+        let reference = scraper.into_monitor().run(from, to, 3_600).unwrap();
+
+        let (scraper, _, _net) = connect_faulty(
+            &forum_spec(0, TimestampPolicy::Hidden),
+            FaultRates::mixed(0.10),
+        );
+        let mut monitor = scraper.into_monitor();
+        let observed = monitor.run(from, to, 3_600).unwrap();
+        assert_eq!(observed, reference);
+        assert!(monitor.crawl_stats().faults_absorbed > 0);
     }
 
     #[test]

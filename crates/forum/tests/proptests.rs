@@ -3,10 +3,11 @@
 //! intervals.
 
 use crowdtz_forum::{
-    CrowdComponent, ForumHost, ForumSpec, Scraper, SimulatedForum, TimestampPolicy,
+    decode_request, decode_response, encode_response, CrowdComponent, ForumError, ForumHost,
+    ForumSpec, PostId, Response, RetryPolicy, Scraper, ShownPost, SimulatedForum, TimestampPolicy,
 };
 use crowdtz_time::{CivilDateTime, Timestamp};
-use crowdtz_tor::TorNetwork;
+use crowdtz_tor::{Fault, FaultPlan, TorNetwork};
 use proptest::prelude::*;
 
 fn crawl_clock() -> Timestamp {
@@ -43,7 +44,8 @@ proptest! {
         let mut scraper = connect(forum.clone(), page_size, seed);
         let report = scraper.calibrated_dump(crawl_clock()).unwrap();
         prop_assert_eq!(report.offset_secs(), Some(offset));
-        prop_assert_eq!(report.utc_traces(), forum.ground_truth());
+        let utc = report.utc_traces();
+        prop_assert_eq!(utc.as_ref(), &forum.ground_truth());
         prop_assert_eq!(report.posts_seen(), forum.post_count());
     }
 
@@ -94,6 +96,78 @@ proptest! {
             let shown = forum.shown_time(i).unwrap();
             let delta = shown - p.true_time();
             prop_assert!((0..i64::from(max_delay)).contains(&delta), "delta {delta}");
+        }
+    }
+
+    /// The wire decoders must survive arbitrary byte soup from a hostile
+    /// host: no panic, ever. A successful decode (possible only if the
+    /// soup happens to be valid JSON) must re-encode without panicking.
+    #[test]
+    fn decoders_survive_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        if let Some(resp) = decode_response(&bytes) {
+            let _ = encode_response(&resp);
+        }
+        let _ = decode_request(&bytes);
+    }
+
+    /// Truncating or corrupting genuinely valid response bytes at an
+    /// arbitrary point never panics the decoder — it yields `None` (which
+    /// the scraper surfaces as `ForumError::Protocol`) or, in the rare
+    /// case the mutation preserved JSON validity, a well-formed response.
+    #[test]
+    fn mutated_valid_responses_never_panic(
+        n_posts in 0usize..6,
+        cut in 0usize..1_000,
+        flip_pos in 0usize..1_000,
+        mask in 1u8..=255,
+        truncate in any::<bool>(),
+    ) {
+        let posts: Vec<ShownPost> = (0..n_posts)
+            .map(|i| ShownPost {
+                id: PostId(i as u64 + 1),
+                author: format!("user{i}"),
+                shown_time: (i % 2 == 0).then(|| crawl_clock() + i as i64),
+            })
+            .collect();
+        let mut bytes = encode_response(&Response::ThreadPage { posts, pages: 3 });
+        if truncate {
+            bytes.truncate(cut % bytes.len().max(1));
+        } else {
+            let pos = flip_pos % bytes.len().max(1);
+            if let Some(b) = bytes.get_mut(pos) {
+                *b ^= mask;
+            }
+        }
+        let _ = decode_response(&bytes);
+    }
+
+    /// End to end: a response mangled in flight surfaces from a fail-fast
+    /// scraper as `ForumError::Protocol` — never a panic and never a
+    /// misclassified transport error.
+    #[test]
+    fn mangled_wire_bytes_surface_as_protocol_error(
+        seed in 0u64..500,
+        corrupt in any::<bool>(),
+    ) {
+        let forum = SimulatedForum::generate(&spec(seed, 0, 3));
+        let host = ForumHost::new(forum);
+        let mut network = TorNetwork::with_relays(30, seed);
+        network.set_fault_plan(FaultPlan::quiet(seed));
+        let address = network.publish(host.into_hidden_service(seed)).unwrap();
+        let mut scraper = Scraper::new(network.connect(&address, seed).unwrap())
+            .retry_policy(RetryPolicy::none());
+        network.force_fault(if corrupt {
+            Fault::CorruptResponse
+        } else {
+            Fault::TruncateResponse
+        });
+        match scraper.list_threads() {
+            // A flipped byte can, very rarely, still be valid JSON.
+            Ok(_) => {}
+            Err(ForumError::Protocol { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
         }
     }
 

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::relay::RelayId;
+
 /// The error type returned by fallible operations in this crate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -35,6 +37,26 @@ pub enum TorError {
         /// The affected onion address.
         address: String,
     },
+    /// The channel's circuit pair was torn down mid-session (injected or
+    /// spontaneous). The channel stays unusable until the client rebuilds
+    /// it with [`AnonymousChannel::rebuild`](crate::AnonymousChannel::rebuild).
+    CircuitCollapsed {
+        /// The affected onion address.
+        address: String,
+    },
+    /// The request went unanswered and the client gave up waiting. The
+    /// circuit itself is still standing; retrying on the same channel is
+    /// sound.
+    RequestTimeout {
+        /// How long the client waited before giving up, in milliseconds.
+        waited_ms: u64,
+    },
+    /// A relay on the standing circuit left the consensus, invalidating
+    /// the circuit. A rebuild selects a fresh path without it.
+    RelayChurned {
+        /// The relay that disappeared.
+        relay: RelayId,
+    },
 }
 
 impl fmt::Display for TorError {
@@ -62,7 +84,36 @@ impl fmt::Display for TorError {
             TorError::ServiceUnavailable { address } => {
                 write!(f, "hidden service {address} is unavailable")
             }
+            TorError::CircuitCollapsed { address } => {
+                write!(f, "circuit to {address} collapsed; rebuild required")
+            }
+            TorError::RequestTimeout { waited_ms } => {
+                write!(f, "request timed out after {waited_ms} ms")
+            }
+            TorError::RelayChurned { relay } => {
+                write!(f, "relay {relay} left the consensus; circuit invalidated")
+            }
         }
+    }
+}
+
+impl TorError {
+    /// True for transient faults: retrying the same request over the same
+    /// channel is sound and may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            TorError::RequestTimeout { .. } | TorError::ServiceUnavailable { .. }
+        )
+    }
+
+    /// True when the standing circuit is gone and the channel must be
+    /// rebuilt before any retry can succeed.
+    pub fn needs_rebuild(&self) -> bool {
+        matches!(
+            self,
+            TorError::CircuitCollapsed { .. } | TorError::RelayChurned { .. }
+        )
     }
 }
 

@@ -1,0 +1,366 @@
+//! Deterministic fault injection for the simulated Tor transport.
+//!
+//! Real crawls of hidden services run for weeks over a medium that fails
+//! constantly: circuits collapse, relays fall out of the consensus,
+//! requests time out, and responses arrive truncated or corrupted. The
+//! paper's measurement campaign (§IV) survived all of that; for the
+//! reproduction to make the same robustness claims, the transport has to
+//! be able to produce the same weather on demand.
+//!
+//! A [`FaultPlan`] is a seeded schedule of per-request faults. Every
+//! round-trip on an [`AnonymousChannel`](crate::AnonymousChannel) whose
+//! network carries a plan consults it once; at most one fault fires per
+//! request, drawn from the configured [`FaultRates`]. The plan is
+//! deterministic in its seed, so any chaotic run — including the exact
+//! sequence of collapses and corrupted bytes — replays bit-for-bit.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One kind of injected transport fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// The circuit pair is torn down; the channel is unusable until the
+    /// client rebuilds it.
+    CircuitCollapse,
+    /// A relay on the client circuit leaves the consensus, invalidating
+    /// the standing circuit (rebuild required).
+    RelayChurn,
+    /// The request is dropped on the floor; the client gives up after a
+    /// timeout. The channel itself survives.
+    Timeout,
+    /// The response arrives, but cut short at an arbitrary byte.
+    TruncateResponse,
+    /// The response arrives with random bytes flipped.
+    CorruptResponse,
+    /// The service fails to answer this one request (e.g. its intro point
+    /// was momentarily overloaded); later requests may succeed.
+    ServiceHiccup,
+}
+
+impl Fault {
+    /// All fault kinds, in a fixed order (used for counters and sweeps).
+    pub const ALL: [Fault; 6] = [
+        Fault::CircuitCollapse,
+        Fault::RelayChurn,
+        Fault::Timeout,
+        Fault::TruncateResponse,
+        Fault::CorruptResponse,
+        Fault::ServiceHiccup,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Fault::CircuitCollapse => 0,
+            Fault::RelayChurn => 1,
+            Fault::Timeout => 2,
+            Fault::TruncateResponse => 3,
+            Fault::CorruptResponse => 4,
+            Fault::ServiceHiccup => 5,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Fault::CircuitCollapse => "circuit-collapse",
+            Fault::RelayChurn => "relay-churn",
+            Fault::Timeout => "timeout",
+            Fault::TruncateResponse => "truncate-response",
+            Fault::CorruptResponse => "corrupt-response",
+            Fault::ServiceHiccup => "service-hiccup",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Per-request probability of each fault kind. At most one fault fires
+/// per request, so the rates must sum to at most 1.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultRates {
+    /// Probability of [`Fault::CircuitCollapse`].
+    pub circuit_collapse: f64,
+    /// Probability of [`Fault::RelayChurn`].
+    pub relay_churn: f64,
+    /// Probability of [`Fault::Timeout`].
+    pub timeout: f64,
+    /// Probability of [`Fault::TruncateResponse`].
+    pub truncate_response: f64,
+    /// Probability of [`Fault::CorruptResponse`].
+    pub corrupt_response: f64,
+    /// Probability of [`Fault::ServiceHiccup`].
+    pub service_hiccup: f64,
+}
+
+impl FaultRates {
+    /// No faults at all.
+    pub fn none() -> FaultRates {
+        FaultRates::default()
+    }
+
+    /// Every fault kind at the same per-request probability. A `uniform(r)`
+    /// plan injects *some* fault on `6 r` of requests.
+    pub fn uniform(rate: f64) -> FaultRates {
+        FaultRates {
+            circuit_collapse: rate,
+            relay_churn: rate,
+            timeout: rate,
+            truncate_response: rate,
+            corrupt_response: rate,
+            service_hiccup: rate,
+        }
+    }
+
+    /// A mixed profile that injects a fault on roughly `total` of
+    /// requests, split across all kinds with transient faults (timeouts,
+    /// hiccups, mangled bytes) four times as likely as circuit-killing
+    /// ones — the proportion long Tor crawls actually see.
+    pub fn mixed(total: f64) -> FaultRates {
+        assert!((0.0..=1.0).contains(&total), "total rate must be in [0, 1]");
+        // 2 rare kinds at w, 4 common kinds at 4w: total = 18 w.
+        let w = total / 18.0;
+        FaultRates {
+            circuit_collapse: w,
+            relay_churn: w,
+            timeout: 4.0 * w,
+            truncate_response: 4.0 * w,
+            corrupt_response: 4.0 * w,
+            service_hiccup: 4.0 * w,
+        }
+    }
+
+    /// The probability that *some* fault fires on a request.
+    pub fn total(&self) -> f64 {
+        self.as_array().iter().sum()
+    }
+
+    fn as_array(&self) -> [f64; 6] {
+        [
+            self.circuit_collapse,
+            self.relay_churn,
+            self.timeout,
+            self.truncate_response,
+            self.corrupt_response,
+            self.service_hiccup,
+        ]
+    }
+}
+
+/// A seeded, deterministic schedule of transport faults.
+///
+/// Attach one to a [`TorNetwork`](crate::TorNetwork) via
+/// [`set_fault_plan`](crate::TorNetwork::set_fault_plan); every channel
+/// connected through that network then consults the shared plan on each
+/// request. Specific faults can also be queued unconditionally with
+/// [`force`](FaultPlan::force), which is how tests stage exact scenarios.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rng: StdRng,
+    rates: FaultRates,
+    forced: VecDeque<Fault>,
+    injected: [u64; 6],
+    requests: u64,
+}
+
+impl FaultPlan {
+    /// Creates a plan drawing faults at `rates`, deterministically from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is negative or the rates sum to more than 1.
+    pub fn new(seed: u64, rates: FaultRates) -> FaultPlan {
+        assert!(
+            rates.as_array().iter().all(|r| *r >= 0.0),
+            "fault rates must be non-negative"
+        );
+        assert!(
+            rates.total() <= 1.0 + 1e-12,
+            "fault rates sum to {} > 1",
+            rates.total()
+        );
+        FaultPlan {
+            rng: StdRng::seed_from_u64(seed ^ 0xFA_017),
+            rates,
+            forced: VecDeque::new(),
+            injected: [0; 6],
+            requests: 0,
+        }
+    }
+
+    /// A plan that never fires on its own (useful with [`force`][Self::force]).
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed, FaultRates::none())
+    }
+
+    /// The configured rates.
+    pub fn rates(&self) -> FaultRates {
+        self.rates
+    }
+
+    /// Queues `fault` to fire on the next request, ahead of any random
+    /// draws. Multiple forced faults fire in FIFO order.
+    pub fn force(&mut self, fault: Fault) {
+        self.forced.push_back(fault);
+    }
+
+    /// Draws the fault (if any) for the next request. Called by the
+    /// transport once per round-trip.
+    pub fn next_fault(&mut self) -> Option<Fault> {
+        self.requests += 1;
+        let fault = if let Some(forced) = self.forced.pop_front() {
+            Some(forced)
+        } else {
+            // Single draw against the cumulative distribution, so kinds
+            // are mutually exclusive per request.
+            let x: f64 = self.rng.gen();
+            let mut cumulative = 0.0;
+            let mut hit = None;
+            for (fault, rate) in Fault::ALL.iter().zip(self.rates.as_array()) {
+                cumulative += rate;
+                if x < cumulative {
+                    hit = Some(*fault);
+                    break;
+                }
+            }
+            hit
+        };
+        if let Some(f) = fault {
+            self.injected[f.index()] += 1;
+        }
+        fault
+    }
+
+    /// Truncates `bytes` at a plan-chosen point (strictly shorter than the
+    /// original whenever the response was non-empty).
+    pub fn truncate(&mut self, bytes: &mut Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        let keep = self.rng.gen_range(0..bytes.len());
+        bytes.truncate(keep);
+    }
+
+    /// Flips one to four random bytes of `bytes` (each XORed with a
+    /// non-zero mask, so the payload always changes).
+    pub fn corrupt(&mut self, bytes: &mut [u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        let flips = self.rng.gen_range(1..=4usize.min(bytes.len()));
+        for _ in 0..flips {
+            let pos = self.rng.gen_range(0..bytes.len());
+            let mask = self.rng.gen_range(1..=255u8);
+            bytes[pos] ^= mask;
+        }
+    }
+
+    /// How long a [`Fault::Timeout`] made the client wait, in ms.
+    pub fn timeout_ms(&mut self) -> u64 {
+        self.rng.gen_range(1_000..30_000)
+    }
+
+    /// Requests scheduled through this plan so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Faults of one kind injected so far.
+    pub fn injected_of(&self, fault: Fault) -> u64 {
+        self.injected[fault.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = FaultPlan::new(7, FaultRates::uniform(0.05));
+        let mut b = FaultPlan::new(7, FaultRates::uniform(0.05));
+        let draws_a: Vec<_> = (0..500).map(|_| a.next_fault()).collect();
+        let draws_b: Vec<_> = (0..500).map(|_| b.next_fault()).collect();
+        assert_eq!(draws_a, draws_b);
+        let mut c = FaultPlan::new(8, FaultRates::uniform(0.05));
+        let draws_c: Vec<_> = (0..500).map(|_| c.next_fault()).collect();
+        assert_ne!(draws_a, draws_c);
+    }
+
+    #[test]
+    fn quiet_plan_never_fires() {
+        let mut plan = FaultPlan::quiet(1);
+        assert!((0..1_000).all(|_| plan.next_fault().is_none()));
+        assert_eq!(plan.injected(), 0);
+        assert_eq!(plan.requests(), 1_000);
+    }
+
+    #[test]
+    fn forced_faults_fire_first_in_order() {
+        let mut plan = FaultPlan::quiet(1);
+        plan.force(Fault::Timeout);
+        plan.force(Fault::CircuitCollapse);
+        assert_eq!(plan.next_fault(), Some(Fault::Timeout));
+        assert_eq!(plan.next_fault(), Some(Fault::CircuitCollapse));
+        assert_eq!(plan.next_fault(), None);
+        assert_eq!(plan.injected_of(Fault::Timeout), 1);
+        assert_eq!(plan.injected_of(Fault::CircuitCollapse), 1);
+    }
+
+    #[test]
+    fn rates_hit_roughly_the_target_frequency() {
+        let mut plan = FaultPlan::new(3, FaultRates::mixed(0.2));
+        let n = 20_000;
+        let fired = (0..n).filter(|_| plan.next_fault().is_some()).count();
+        let rate = fired as f64 / f64::from(n);
+        assert!((0.17..0.23).contains(&rate), "observed rate {rate}");
+        // Transient kinds are configured 4x the circuit-killing ones.
+        let transient = plan.injected_of(Fault::Timeout);
+        let fatal = plan.injected_of(Fault::CircuitCollapse).max(1);
+        assert!(transient > fatal, "{transient} vs {fatal}");
+    }
+
+    #[test]
+    fn truncate_shortens_and_corrupt_changes() {
+        let mut plan = FaultPlan::quiet(5);
+        let original: Vec<u8> = (0..100).collect();
+        let mut t = original.clone();
+        plan.truncate(&mut t);
+        assert!(t.len() < original.len());
+        assert_eq!(&original[..t.len()], &t[..]);
+        let mut c = original.clone();
+        plan.corrupt(&mut c);
+        assert_eq!(c.len(), original.len());
+        assert_ne!(c, original);
+        // Degenerate inputs must not panic.
+        let mut empty: Vec<u8> = Vec::new();
+        plan.truncate(&mut empty);
+        plan.corrupt(&mut empty);
+        let mut one = vec![9u8];
+        plan.corrupt(&mut one);
+        assert_ne!(one, vec![9u8]);
+    }
+
+    #[test]
+    fn mixed_rates_sum_to_total() {
+        let rates = FaultRates::mixed(0.2);
+        assert!((rates.total() - 0.2).abs() < 1e-12);
+        assert!((FaultRates::uniform(0.01).total() - 0.06).abs() < 1e-12);
+        assert_eq!(FaultRates::none().total(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn overfull_rates_rejected() {
+        let _ = FaultPlan::new(1, FaultRates::uniform(0.2));
+    }
+}

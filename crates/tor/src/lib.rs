@@ -36,11 +36,13 @@
 mod address;
 mod circuit;
 mod error;
+mod fault;
 mod network;
 mod relay;
 
 pub use address::OnionAddress;
 pub use circuit::{Circuit, CircuitPosition};
 pub use error::TorError;
+pub use fault::{Fault, FaultPlan, FaultRates};
 pub use network::{AnonymousChannel, HiddenService, ServiceDescriptor, TorNetwork};
 pub use relay::{Relay, RelayFlags, RelayId};

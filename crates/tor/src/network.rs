@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -12,7 +13,11 @@ use serde::{Deserialize, Serialize};
 use crate::address::OnionAddress;
 use crate::circuit::Circuit;
 use crate::error::TorError;
+use crate::fault::{Fault, FaultPlan};
 use crate::relay::{Relay, RelayFlags, RelayId};
+
+/// A fault plan shared between the network and all channels built on it.
+type SharedFaultPlan = Arc<Mutex<FaultPlan>>;
 
 /// The handler a hidden service runs: a request/response function.
 type Handler = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
@@ -82,9 +87,10 @@ impl ServiceDescriptor {
 /// The simulated Tor network: a relay consensus, hidden-service
 /// directories, and the registry of running services.
 pub struct TorNetwork {
-    relays: Vec<Relay>,
+    relays: Arc<Vec<Relay>>,
     descriptors: HashMap<OnionAddress, ServiceDescriptor>,
     services: HashMap<OnionAddress, (Handler, Circuit)>,
+    fault_plan: Option<SharedFaultPlan>,
 }
 
 impl TorNetwork {
@@ -113,15 +119,48 @@ impl TorNetwork {
             })
             .collect();
         TorNetwork {
-            relays,
+            relays: Arc::new(relays),
             descriptors: HashMap::new(),
             services: HashMap::new(),
+            fault_plan: None,
         }
     }
 
     /// The consensus relay list.
     pub fn relays(&self) -> &[Relay] {
         &self.relays
+    }
+
+    /// Attaches a fault plan. Channels connected **after** this call share
+    /// the plan and consult it on every request; channels connected before
+    /// keep whatever plan (or none) was active at connect time.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(Arc::new(Mutex::new(plan)));
+    }
+
+    /// Detaches the fault plan for future connections.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault_plan = None;
+    }
+
+    /// Queues a specific fault on the attached plan (next request fires it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no plan is attached.
+    pub fn force_fault(&self, fault: Fault) {
+        self.fault_plan
+            .as_ref()
+            .expect("force_fault called with no fault plan attached")
+            .lock()
+            .force(fault);
+    }
+
+    /// Total faults injected by the attached plan, if any.
+    pub fn faults_injected(&self) -> u64 {
+        self.fault_plan
+            .as_ref()
+            .map_or(0, |plan| plan.lock().injected())
     }
 
     /// Number of published hidden services.
@@ -227,6 +266,11 @@ impl TorNetwork {
             introduction,
             handler: Arc::clone(handler),
             requests_served: 0,
+            relays: Arc::clone(&self.relays),
+            faults: self.fault_plan.clone(),
+            client_seed,
+            broken: false,
+            rebuilds: 0,
         })
     }
 }
@@ -253,6 +297,13 @@ pub struct AnonymousChannel {
     introduction: RelayId,
     handler: Handler,
     requests_served: u64,
+    /// Consensus snapshot, so the channel can rebuild its own circuit
+    /// without holding a reference back into the network.
+    relays: Arc<Vec<Relay>>,
+    faults: Option<SharedFaultPlan>,
+    client_seed: u64,
+    broken: bool,
+    rebuilds: u64,
 }
 
 impl AnonymousChannel {
@@ -286,16 +337,100 @@ impl AnonymousChannel {
         self.requests_served
     }
 
+    /// Whether the channel's circuit is currently down (collapse or relay
+    /// churn); requests fail until [`rebuild`](Self::rebuild) succeeds.
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    /// How many times this channel's client circuit has been rebuilt.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
     /// Sends a request through the circuit pair and returns the service's
     /// response.
     ///
     /// # Errors
     ///
-    /// Currently infallible in the simulation, but returns `Result` to
-    /// keep the contract of a network operation.
+    /// With no fault plan attached this is infallible. Under a plan, a
+    /// request can fail with [`TorError::CircuitCollapsed`],
+    /// [`TorError::RelayChurned`], [`TorError::RequestTimeout`], or
+    /// [`TorError::ServiceUnavailable`]; it can also *succeed* with
+    /// truncated or corrupted bytes, which only the application layer can
+    /// detect. A broken channel keeps failing with
+    /// [`TorError::CircuitCollapsed`] until [`rebuild`](Self::rebuild).
     pub fn request(&mut self, payload: &[u8]) -> Result<Vec<u8>, TorError> {
+        if self.broken {
+            return Err(TorError::CircuitCollapsed {
+                address: self.address.to_string(),
+            });
+        }
         self.requests_served += 1;
-        Ok((self.handler)(payload))
+        let fault = self
+            .faults
+            .as_ref()
+            .and_then(|plan| plan.lock().next_fault());
+        match fault {
+            None => Ok((self.handler)(payload)),
+            Some(Fault::CircuitCollapse) => {
+                self.broken = true;
+                Err(TorError::CircuitCollapsed {
+                    address: self.address.to_string(),
+                })
+            }
+            Some(Fault::RelayChurn) => {
+                self.broken = true;
+                Err(TorError::RelayChurned {
+                    relay: self.client_circuit.middle(),
+                })
+            }
+            Some(Fault::Timeout) => {
+                let waited_ms = self
+                    .faults
+                    .as_ref()
+                    .map_or(0, |plan| plan.lock().timeout_ms());
+                Err(TorError::RequestTimeout { waited_ms })
+            }
+            Some(Fault::ServiceHiccup) => Err(TorError::ServiceUnavailable {
+                address: self.address.to_string(),
+            }),
+            Some(Fault::TruncateResponse) => {
+                let mut response = (self.handler)(payload);
+                if let Some(plan) = self.faults.as_ref() {
+                    plan.lock().truncate(&mut response);
+                }
+                Ok(response)
+            }
+            Some(Fault::CorruptResponse) => {
+                let mut response = (self.handler)(payload);
+                if let Some(plan) = self.faults.as_ref() {
+                    plan.lock().corrupt(&mut response);
+                }
+                Ok(response)
+            }
+        }
+    }
+
+    /// Replaces the client circuit with a freshly selected one, clearing
+    /// the broken state after a collapse or relay churn. The new circuit
+    /// is deterministic in the client seed and the rebuild count, and the
+    /// rendezvous moves to the new circuit's exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TorError::NotEnoughRelays`] when the consensus snapshot
+    /// cannot supply a fresh three-hop circuit.
+    pub fn rebuild(&mut self) -> Result<(), TorError> {
+        let attempt = self.rebuilds + 1;
+        let mut rng =
+            StdRng::seed_from_u64(self.client_seed ^ 0xC11E57 ^ attempt.wrapping_mul(0x9E3779B1));
+        let client_circuit = Circuit::select(&mut rng, &self.relays, &[])?;
+        self.client_circuit = client_circuit;
+        self.rendezvous = client_circuit.exit();
+        self.rebuilds = attempt;
+        self.broken = false;
+        Ok(())
     }
 }
 
@@ -412,6 +547,133 @@ mod tests {
         let mut chb = net.connect(&b, 1).unwrap();
         assert_eq!(cha.request(b"x").unwrap(), b"echo:x");
         assert_eq!(chb.request(b"y").unwrap(), b"echo:y");
+    }
+
+    #[test]
+    fn quiet_fault_plan_changes_nothing() {
+        let mut net = TorNetwork::with_relays(30, 7);
+        net.set_fault_plan(FaultPlan::quiet(1));
+        let addr = net.publish(echo_service("forum")).unwrap();
+        let mut ch = net.connect(&addr, 99).unwrap();
+        for _ in 0..50 {
+            assert_eq!(ch.request(b"hi").unwrap(), b"echo:hi");
+        }
+        assert_eq!(net.faults_injected(), 0);
+        assert!(!ch.is_broken());
+    }
+
+    #[test]
+    fn circuit_collapse_breaks_channel_until_rebuild() {
+        let mut net = TorNetwork::with_relays(30, 7);
+        net.set_fault_plan(FaultPlan::quiet(1));
+        let addr = net.publish(echo_service("forum")).unwrap();
+        let mut ch = net.connect(&addr, 99).unwrap();
+        net.force_fault(Fault::CircuitCollapse);
+        assert!(matches!(
+            ch.request(b"hi"),
+            Err(TorError::CircuitCollapsed { .. })
+        ));
+        assert!(ch.is_broken());
+        // Still broken: the forced fault is spent, but no rebuild happened.
+        assert!(matches!(
+            ch.request(b"hi"),
+            Err(TorError::CircuitCollapsed { .. })
+        ));
+        let before = ch.client_circuit();
+        ch.rebuild().unwrap();
+        assert!(!ch.is_broken());
+        assert_ne!(ch.client_circuit(), before);
+        assert_eq!(ch.rendezvous(), ch.client_circuit().exit());
+        assert_eq!(ch.rebuilds(), 1);
+        assert_eq!(ch.request(b"hi").unwrap(), b"echo:hi");
+    }
+
+    #[test]
+    fn relay_churn_names_a_circuit_relay() {
+        let mut net = TorNetwork::with_relays(30, 7);
+        net.set_fault_plan(FaultPlan::quiet(1));
+        let addr = net.publish(echo_service("forum")).unwrap();
+        let mut ch = net.connect(&addr, 99).unwrap();
+        net.force_fault(Fault::RelayChurn);
+        let churned = match ch.request(b"hi") {
+            Err(TorError::RelayChurned { relay }) => relay,
+            other => panic!("expected RelayChurned, got {other:?}"),
+        };
+        assert!(ch.client_circuit().contains(churned));
+        assert!(ch.is_broken());
+        ch.rebuild().unwrap();
+        assert_eq!(ch.request(b"hi").unwrap(), b"echo:hi");
+    }
+
+    #[test]
+    fn timeout_and_hiccup_leave_circuit_standing() {
+        let mut net = TorNetwork::with_relays(30, 7);
+        net.set_fault_plan(FaultPlan::quiet(1));
+        let addr = net.publish(echo_service("forum")).unwrap();
+        let mut ch = net.connect(&addr, 99).unwrap();
+        net.force_fault(Fault::Timeout);
+        match ch.request(b"hi") {
+            Err(TorError::RequestTimeout { waited_ms }) => assert!(waited_ms >= 1_000),
+            other => panic!("expected RequestTimeout, got {other:?}"),
+        }
+        assert!(!ch.is_broken());
+        net.force_fault(Fault::ServiceHiccup);
+        assert!(matches!(
+            ch.request(b"hi"),
+            Err(TorError::ServiceUnavailable { .. })
+        ));
+        // No rebuild needed after transient faults.
+        assert_eq!(ch.request(b"hi").unwrap(), b"echo:hi");
+        assert_eq!(ch.rebuilds(), 0);
+    }
+
+    #[test]
+    fn truncation_and_corruption_mangle_but_succeed() {
+        let mut net = TorNetwork::with_relays(30, 7);
+        net.set_fault_plan(FaultPlan::quiet(1));
+        let addr = net.publish(echo_service("forum")).unwrap();
+        let mut ch = net.connect(&addr, 99).unwrap();
+        let clean = ch.request(b"payload").unwrap();
+        net.force_fault(Fault::TruncateResponse);
+        let truncated = ch.request(b"payload").unwrap();
+        assert!(truncated.len() < clean.len());
+        net.force_fault(Fault::CorruptResponse);
+        let corrupted = ch.request(b"payload").unwrap();
+        assert_eq!(corrupted.len(), clean.len());
+        assert_ne!(corrupted, clean);
+        assert_eq!(net.faults_injected(), 2);
+    }
+
+    #[test]
+    fn rebuilds_are_deterministic_per_seed() {
+        let mut net = TorNetwork::with_relays(50, 7);
+        net.set_fault_plan(FaultPlan::quiet(1));
+        let addr = net.publish(echo_service("forum")).unwrap();
+        let mut a = net.connect(&addr, 5).unwrap();
+        let mut b = net.connect(&addr, 5).unwrap();
+        a.rebuild().unwrap();
+        b.rebuild().unwrap();
+        assert_eq!(a.client_circuit(), b.client_circuit());
+        a.rebuild().unwrap();
+        assert_ne!(a.client_circuit(), b.client_circuit());
+    }
+
+    #[test]
+    fn error_classification_matches_recovery_contract() {
+        let timeout = TorError::RequestTimeout { waited_ms: 5 };
+        assert!(timeout.is_transient() && !timeout.needs_rebuild());
+        let collapse = TorError::CircuitCollapsed {
+            address: "x".into(),
+        };
+        assert!(collapse.needs_rebuild() && !collapse.is_transient());
+        let churn = TorError::RelayChurned {
+            relay: RelayId::new(1),
+        };
+        assert!(churn.needs_rebuild());
+        let gone = TorError::UnknownService {
+            address: "x".into(),
+        };
+        assert!(!gone.is_transient() && !gone.needs_rebuild());
     }
 
     #[test]

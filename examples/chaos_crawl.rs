@@ -1,0 +1,169 @@
+//! Chaos crawl: survive a faulty Tor network, resume an interrupted
+//! dump from a checkpoint, and analyze a partial dump honestly.
+//!
+//! ```text
+//! cargo run --example chaos_crawl              # 20% fault rate, seed 42
+//! cargo run --example chaos_crawl -- 35 7      # 35% fault rate, seed 7
+//! ```
+//!
+//! 1. Publish an Italian forum on a Tor substrate where a seeded
+//!    `FaultPlan` makes ~rate% of requests fail (circuit collapses,
+//!    relay churn, timeouts, truncated/corrupted responses, hiccups).
+//! 2. Crawl it with the default `RetryPolicy` — the dump completes
+//!    despite the chaos, and the report says what it absorbed.
+//! 3. Crank the fault rate past the retry budget, crawl with a tight
+//!    policy, and resume from the serialized checkpoint after every
+//!    interruption until the dump completes.
+//! 4. Run a mid-crawl partial dump through the pipeline: the report is
+//!    marked partial and its confidence widened by `1/√coverage`.
+
+use crowdtz::core::{GenericProfile, GeolocationPipeline};
+use crowdtz::forum::{
+    CrawlCheckpoint, CrowdComponent, ForumHost, ForumSpec, RetryPolicy, Scraper, SimulatedForum,
+};
+use crowdtz::time::{zone_label, CivilDateTime, Timestamp};
+use crowdtz::tor::{FaultPlan, FaultRates, TorNetwork};
+
+fn parse_args() -> Result<(f64, u64), String> {
+    let mut args = std::env::args().skip(1);
+    let rate_pct: u32 = match args.next() {
+        Some(v) => v
+            .parse()
+            .map_err(|e| format!("bad fault rate {v:?}: {e}"))?,
+        None => 20,
+    };
+    if rate_pct > 45 {
+        return Err(format!(
+            "fault rate {rate_pct}% out of range (0..=45): past ~45% mixed \
+             faults even generous retry budgets stop converging"
+        ));
+    }
+    let seed: u64 = match args.next() {
+        Some(v) => v.parse().map_err(|e| format!("bad seed {v:?}: {e}"))?,
+        None => 42,
+    };
+    if let Some(extra) = args.next() {
+        return Err(format!("unexpected argument {extra:?}"));
+    }
+    Ok((f64::from(rate_pct) / 100.0, seed))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (rate, seed) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("usage: chaos_crawl [fault_rate_pct] [seed]");
+            return Err(e.into());
+        }
+    };
+
+    // 1. An Italian forum (ground truth UTC+1) behind a faulty network.
+    let spec = ForumSpec::new("Chaos Club", vec![CrowdComponent::new("italy", 1.0)], 60).seed(seed);
+    let forum = SimulatedForum::generate(&spec);
+    let mut network = TorNetwork::with_relays(40, seed);
+    network.set_fault_plan(FaultPlan::new(seed, FaultRates::mixed(rate)));
+    let address = network.publish(ForumHost::new(forum).into_hidden_service(seed))?;
+    println!(
+        "published {address} on a network injecting ~{:.0}% mixed faults (seed {seed})\n",
+        rate * 100.0
+    );
+
+    // 2. A default-policy crawl absorbs the weather and (usually)
+    //    finishes in one go. Past ~30% the 5-attempt budget starts
+    //    losing requests — a legitimate outcome the resume phase below
+    //    exists to handle, so narrate it rather than abort.
+    let pipeline = GeolocationPipeline::with_generic(GenericProfile::reference());
+    let mut scraper =
+        Scraper::new(network.connect(&address, seed)?).retry_policy(RetryPolicy::default());
+    let crawl_clock = Timestamp::from_civil_utc(CivilDateTime::new(2017, 1, 10, 9, 0, 0)?);
+    let reference = match scraper.calibrated_dump(crawl_clock) {
+        Ok(report) => {
+            let stats = report.stats();
+            println!("{report}");
+            println!(
+                "coverage {:.0}%: {} faults absorbed, {} circuit rebuilds, {:.1} s simulated backoff\n",
+                report.coverage() * 100.0,
+                stats.faults_absorbed,
+                stats.circuit_rebuilds,
+                stats.backoff_ms as f64 / 1000.0,
+            );
+            let geo = pipeline.analyze_partial(&report.utc_traces(), report.coverage())?;
+            println!(
+                "geolocated (full dump): {} — partial: {}\n",
+                zone_label(geo.single_fit().time_zone()),
+                geo.is_partial(),
+            );
+            Some(report)
+        }
+        Err(err) => {
+            println!("default retry budget exhausted mid-crawl ({err}) —");
+            println!("this is exactly what checkpoint/resume is for:\n");
+            None
+        }
+    };
+
+    // 3. Past the retry budget: a tight policy at a nastier rate gets
+    //    interrupted, and each interruption hands back a checkpoint. We
+    //    serialize/deserialize it every time — the crawl would survive a
+    //    process restart the same way.
+    let storm = (rate * 1.5).min(0.45);
+    network.set_fault_plan(FaultPlan::new(seed ^ 0xBAD, FaultRates::mixed(storm)));
+    let tight = RetryPolicy {
+        max_attempts: 2,
+        base_backoff_ms: 250,
+        max_backoff_ms: 5_000,
+        jitter_seed: seed,
+    };
+    println!(
+        "storm: ~{:.0}% faults against a {}-attempt budget",
+        storm * 100.0,
+        tight.max_attempts
+    );
+    let mut resumer = Scraper::new(network.connect(&address, seed ^ 1)?).retry_policy(tight);
+    let mut checkpoint = CrawlCheckpoint::start();
+    let mut interruptions = 0u32;
+    let mut partial_shown = false;
+    let resumed = loop {
+        match resumer.resume_dump(checkpoint) {
+            Ok(done) => break done,
+            Err(interrupt) => {
+                interruptions += 1;
+                if interruptions <= 3 {
+                    println!("  {interrupt}");
+                } else if interruptions == 4 {
+                    println!("  …");
+                }
+
+                // 4. A mid-crawl snapshot flows through the pipeline as
+                //    an honestly-partial report.
+                let partial = interrupt.checkpoint.partial_report();
+                if !partial_shown && partial.coverage() > 0.2 {
+                    partial_shown = true;
+                    let geo =
+                        pipeline.analyze_partial(&partial.utc_traces(), partial.coverage())?;
+                    println!("\nmid-crawl analysis:\n{}\n", geo.render());
+                }
+
+                let persisted = serde_json::to_string(&interrupt.checkpoint)?;
+                checkpoint = serde_json::from_str(&persisted)?;
+            }
+        }
+    };
+    println!("\nresumed to completion after {interruptions} interruptions: {resumed}");
+    match reference {
+        Some(report) => println!(
+            "coverage {:.0}%, traces identical to the uninterrupted dump: {}",
+            resumed.coverage() * 100.0,
+            *resumed.utc_traces() == *report.server_traces(),
+        ),
+        None => {
+            let geo = pipeline.analyze_partial(&resumed.utc_traces(), resumed.coverage())?;
+            println!(
+                "coverage {:.0}%, geolocated despite the storm: {}",
+                resumed.coverage() * 100.0,
+                zone_label(geo.single_fit().time_zone()),
+            );
+        }
+    }
+    Ok(())
+}

@@ -99,7 +99,7 @@ fn scraped_traces_equal_ground_truth_after_calibration() {
     let mut scraper = Scraper::new(network.connect(&address, 9).expect("connect"));
     let scrape = scraper.calibrated_dump(crawl_clock()).expect("scrape");
     assert_eq!(scrape.offset_secs(), Some(5 * 3_600 + 900));
-    assert_eq!(scrape.utc_traces(), forum.ground_truth());
+    assert_eq!(*scrape.utc_traces(), forum.ground_truth());
 }
 
 #[test]

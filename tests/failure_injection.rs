@@ -3,11 +3,12 @@
 
 use crowdtz::core::{CoreError, GenericProfile, GeolocationPipeline};
 use crowdtz::forum::{
-    CrowdComponent, ForumError, ForumHost, ForumSpec, Scraper, SimulatedForum, TimestampPolicy,
+    CrawlCheckpoint, CrowdComponent, ForumError, ForumHost, ForumSpec, RetryPolicy, ScrapeReport,
+    Scraper, SimulatedForum, TimestampPolicy,
 };
 use crowdtz::synth::{generate_bot, BotSpec, PopulationSpec};
 use crowdtz::time::{CivilDateTime, RegionDb, Timestamp, TraceSet};
-use crowdtz::tor::{TorError, TorNetwork};
+use crowdtz::tor::{FaultPlan, FaultRates, TorError, TorNetwork};
 
 fn crawl_clock() -> Timestamp {
     Timestamp::from_civil_utc(CivilDateTime::new(2017, 1, 15, 0, 0, 0).unwrap())
@@ -142,6 +143,130 @@ fn random_delay_of_hours_degrades_but_never_crashes() {
             .expect("analyze");
         assert!(report.users_classified() > 0);
     }
+}
+
+/// Chaos knobs for CI: `CHAOS_SEED` picks the fault-plan seed and
+/// `CHAOS_RATE_PCT` the highest per-request fault rate the sweep reaches
+/// (both default when unset, so local runs need no setup).
+fn chaos_env(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Publishes an Italian forum on a chaotic network and returns a scraper
+/// with the default (retrying) policy.
+fn chaotic_scraper(rate: f64, seed: u64) -> Scraper {
+    let forum = SimulatedForum::generate(&italian_spec(30));
+    let mut network = TorNetwork::with_relays(40, seed);
+    network.set_fault_plan(FaultPlan::new(seed, FaultRates::mixed(rate)));
+    let address = network
+        .publish(ForumHost::new(forum).into_hidden_service(seed))
+        .unwrap();
+    Scraper::new(network.connect(&address, seed).unwrap())
+}
+
+#[test]
+fn chaos_sweep_retrying_scraper_still_geolocates() {
+    // Mixed collapse + churn + timeout + truncation + corruption +
+    // hiccups at per-request rates up to 20% (or CHAOS_RATE_PCT): the
+    // retrying scraper must complete every dump without a panic and the
+    // pipeline must still place the Italian crowd within ±2 h of UTC+1.
+    let seed = chaos_env("CHAOS_SEED", 11);
+    let max_pct = chaos_env("CHAOS_RATE_PCT", 20).min(100);
+    let pipeline = GeolocationPipeline::with_generic(GenericProfile::reference());
+    for pct in [5, 10, max_pct] {
+        let rate = pct as f64 / 100.0;
+        let mut scraper = chaotic_scraper(rate, seed);
+        let scrape = scraper.calibrated_dump(crawl_clock()).expect("dump");
+        assert_eq!(scrape.coverage(), 1.0, "incomplete at {pct}%");
+        if pct > 0 {
+            assert!(
+                scrape.stats().faults_absorbed > 0,
+                "no faults absorbed at {pct}%"
+            );
+        }
+        let report = pipeline.analyze(&scrape.utc_traces()).expect("analyze");
+        let mean = report.mixture().dominant().unwrap().mean;
+        assert!(
+            (mean - 1.0).abs() <= 2.0,
+            "at {pct}% faults the crowd landed at {mean}, expected ~UTC+1"
+        );
+    }
+}
+
+#[test]
+fn interrupted_crawl_resumes_and_analysis_reflects_coverage() {
+    // Reference: the same forum crawled over a fault-free network.
+    let forum = SimulatedForum::generate(&italian_spec(30));
+    let mut clean_net = TorNetwork::with_relays(40, 3);
+    let clean_addr = clean_net
+        .publish(ForumHost::new(forum.clone()).into_hidden_service(3))
+        .unwrap();
+    let reference = Scraper::new(clean_net.connect(&clean_addr, 3).unwrap())
+        .dump()
+        .expect("clean dump");
+
+    // Chaos run with a nearly-exhausted retry budget: two faults in a row
+    // (common at a 30% mixed rate) interrupt the crawl and we resume from
+    // the checkpoint, as a restarted crawler would. One retry is kept so a
+    // collapsed circuit can be rebuilt — with none, a broken channel could
+    // never recover and the crawl would wedge.
+    let mut network = TorNetwork::with_relays(40, 3);
+    network.set_fault_plan(FaultPlan::new(
+        chaos_env("CHAOS_SEED", 11),
+        FaultRates::mixed(0.3),
+    ));
+    let address = network
+        .publish(ForumHost::new(forum).into_hidden_service(3))
+        .unwrap();
+    let tight = RetryPolicy {
+        max_attempts: 2,
+        base_backoff_ms: 1,
+        max_backoff_ms: 1,
+        jitter_seed: 7,
+    };
+    let mut scraper = Scraper::new(network.connect(&address, 3).unwrap()).retry_policy(tight);
+    let mut checkpoint = CrawlCheckpoint::start();
+    let mut best_partial: Option<ScrapeReport> = None;
+    let mut interruptions = 0u32;
+    let resumed = loop {
+        match scraper.resume_dump(checkpoint) {
+            Ok(report) => break report,
+            Err(interrupted) => {
+                interruptions += 1;
+                assert!(interruptions <= 50_000, "crawl makes no progress");
+                if interrupted.checkpoint.threads_total() > 0
+                    && !interrupted.checkpoint.is_complete()
+                {
+                    best_partial = Some(interrupted.checkpoint.partial_report());
+                }
+                checkpoint = interrupted.checkpoint;
+            }
+        }
+    };
+    assert!(
+        interruptions > 0,
+        "30% faults never interrupted a fail-fast crawl"
+    );
+
+    // Deterministic resume: identical traces, nothing lost or duplicated.
+    assert_eq!(resumed.server_traces(), reference.server_traces());
+    assert_eq!(resumed.posts_seen(), reference.posts_seen());
+    assert_eq!(resumed.coverage(), 1.0);
+
+    // The pipeline accepts the partial dump and carries its coverage
+    // instead of pretending the dump was complete.
+    let partial = best_partial.expect("no mid-crawl checkpoint captured");
+    assert!(partial.coverage() < 1.0);
+    let pipeline = GeolocationPipeline::with_generic(GenericProfile::reference());
+    let report = pipeline
+        .analyze_partial(&partial.utc_traces(), partial.coverage())
+        .expect("partial analysis");
+    assert!(report.is_partial());
+    assert_eq!(report.coverage(), partial.coverage());
+    assert!(report.render().contains("partial dump"));
 }
 
 #[test]

@@ -1,0 +1,106 @@
+//! Vendored, offline stand-in for `crossbeam`.
+//!
+//! Only the scoped-thread entry point is provided, shimmed over
+//! `std::thread::scope` (stable since 1.63). The crossbeam API differs
+//! from std's in two ways this shim preserves: the spawn closure receives
+//! the scope as an argument (for nested spawns), and `scope` returns a
+//! `Result` (`Ok` unless the scope machinery itself fails, which the std
+//! backing cannot report — child panics surface through `join`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped threads (crossbeam `thread` module subset).
+pub mod thread {
+    use std::any::Any;
+
+    /// Boxed panic payload, as returned by `join` on a panicked thread.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle passed to spawn closures; spawned threads may borrow
+    /// from the enclosing `'env`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a scope.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        ///
+        /// # Errors
+        ///
+        /// Returns the boxed panic payload if the thread panicked.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let nested = Scope { inner: self.inner };
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&nested)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing spawns are allowed; all
+    /// spawned threads are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors crossbeam's signature; the std backing always yields `Ok`
+    /// (an unjoined child panic propagates as a panic instead).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .expect("scope failed");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7u32).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn child_panic_reported_via_join() {
+        let r = crate::thread::scope(|scope| scope.spawn(|_| panic!("boom")).join()).unwrap();
+        assert!(r.is_err());
+    }
+}

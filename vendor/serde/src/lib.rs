@@ -1,0 +1,502 @@
+//! Vendored, offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a serde look-alike that covers exactly what the crates here use:
+//! `#[derive(Serialize, Deserialize)]` on non-generic, attribute-free
+//! structs and enums, funneled through a JSON-like [`Value`] tree that
+//! `serde_json` (also vendored) prints and parses.
+//!
+//! Unlike real serde there is no `Serializer`/`Deserializer` abstraction:
+//! serialization always goes through [`Value`]. Every format in this
+//! workspace is JSON, so nothing is lost, and the derive macro stays small
+//! enough to audit.
+//!
+//! Representation conventions match serde's external tagging so that the
+//! JSON on the wire looks exactly like upstream's:
+//! * structs → objects with declaration-ordered fields;
+//! * newtype structs → the inner value;
+//! * tuple structs → arrays;
+//! * unit enum variants → `"Variant"`;
+//! * struct/tuple enum variants → `{"Variant": …}`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod value;
+
+pub use value::{Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Error produced when a [`Value`] cannot be turned back into a typed
+/// structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with a custom message.
+    pub fn custom(message: impl Into<String>) -> DeError {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Creates a "expected X, got Y" mismatch error.
+    pub fn mismatch(expected: &str, got: &Value) -> DeError {
+        DeError::custom(format!("expected {expected}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can render itself as a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree does not match the type's shape.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i64(i64::from(*self)))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, DeError> {
+                let n = value.as_i64().ok_or_else(|| DeError::mismatch("integer", value))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_ser_de_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_u64(u64::from(*self)))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, DeError> {
+                let n = value.as_u64().ok_or_else(|| DeError::mismatch("unsigned integer", value))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_ser_de_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_u64(*self as u64))
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<usize, DeError> {
+        let n = value
+            .as_u64()
+            .ok_or_else(|| DeError::mismatch("unsigned integer", value))?;
+        usize::try_from(n).map_err(|_| DeError::custom(format!("{n} out of range for usize")))
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_i64(*self as i64))
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(value: &Value) -> Result<isize, DeError> {
+        let n = value
+            .as_i64()
+            .ok_or_else(|| DeError::mismatch("integer", value))?;
+        isize::try_from(n).map_err(|_| DeError::custom(format!("{n} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<f64, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::mismatch("number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    #[allow(clippy::cast_possible_truncation)]
+    fn from_value(value: &Value) -> Result<f32, DeError> {
+        Ok(f64::from_value(value)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<bool, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<String, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<char, DeError> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::mismatch("single-character string", other)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<(), DeError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(DeError::mismatch("null", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference / container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Box<T>, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T> Serialize for Cow<'_, T>
+where
+    T: Serialize + Clone,
+{
+    fn to_value(&self) -> Value {
+        self.as_ref().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Option<T>, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Vec<T>, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<[T; N], DeError> {
+        let items = Vec::<T>::from_value(value)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, got {got}")))
+    }
+}
+
+macro_rules! impl_ser_de_tuple {
+    ($(($($idx:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<($($t,)+), DeError> {
+                match value {
+                    Value::Array(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(DeError::custom(format!(
+                                "expected {expected}-tuple, got array of {}", items.len()
+                            )));
+                        }
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::mismatch("array (tuple)", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.to_value() {
+        Value::String(s) => s,
+        Value::Number(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!(
+            "map key must serialize to a string-like value, got {}",
+            other.kind()
+        ),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for BTreeMap<K, V>
+where
+    K: Deserialize + Ord,
+    V: Deserialize,
+{
+    fn from_value(value: &Value) -> Result<BTreeMap<K, V>, DeError> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((K::from_value(&Value::String(k.clone()))?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::mismatch("object", other)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort for a deterministic wire form, matching BTreeMap output.
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(k), v.to_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<K, V> Deserialize for HashMap<K, V>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+{
+    fn from_value(value: &Value) -> Result<HashMap<K, V>, DeError> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((K::from_value(&Value::String(k.clone()))?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::mismatch("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Value, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::from_value(&42i64.to_value()).unwrap(), 42);
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u8>::from_value(&None::<u8>.to_value()).unwrap(),
+            None
+        );
+        assert_eq!(
+            Option::<u8>::from_value(&Some(3u8).to_value()).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn negative_i64_round_trip() {
+        let v = (-5i64).to_value();
+        assert_eq!(i64::from_value(&v).unwrap(), -5);
+        assert!(u64::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&xs.to_value()).unwrap(), xs);
+        let arr = [0.5f64; 4];
+        assert_eq!(<[f64; 4]>::from_value(&arr.to_value()).unwrap(), arr);
+        let tup = ((1u8, 2u8), (3u8, 4u8));
+        assert_eq!(
+            <((u8, u8), (u8, u8))>::from_value(&tup.to_value()).unwrap(),
+            tup
+        );
+        let mut map = BTreeMap::new();
+        map.insert("a".to_string(), 1i64);
+        assert_eq!(
+            BTreeMap::<String, i64>::from_value(&map.to_value()).unwrap(),
+            map
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        assert!(bool::from_value(&Value::Null).is_err());
+        assert!(Vec::<u8>::from_value(&Value::Bool(true)).is_err());
+        assert!(<[u8; 3]>::from_value(&vec![1u8, 2].to_value()).is_err());
+        assert!(u8::from_value(&300u32.to_value()).is_err());
+    }
+}

@@ -1,0 +1,355 @@
+//! The JSON-shaped value tree all (de)serialization funnels through.
+
+use std::fmt;
+
+use crate::DeError;
+
+/// A JSON number. Integers keep their exact signedness so full-range
+/// `u64` identifiers (e.g. relay fingerprints) survive a round trip.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer that does not fit in `i64`.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+}
+
+impl Number {
+    /// Wraps a signed integer.
+    pub fn from_i64(n: i64) -> Number {
+        Number::I64(n)
+    }
+
+    /// Wraps an unsigned integer, preferring the `I64` form when it fits
+    /// so `5u64` and `5i64` compare and print identically.
+    pub fn from_u64(n: u64) -> Number {
+        match i64::try_from(n) {
+            Ok(i) => Number::I64(i),
+            Err(_) => Number::U64(n),
+        }
+    }
+
+    /// Wraps a float.
+    pub fn from_f64(n: f64) -> Number {
+        Number::F64(n)
+    }
+
+    /// The value as `i64`, if exactly representable. Floats never coerce.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::I64(n) => Some(n),
+            Number::U64(n) => i64::try_from(n).ok(),
+            Number::F64(_) => None,
+        }
+    }
+
+    /// The value as `u64`, if exactly representable. Floats never coerce.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::I64(n) => u64::try_from(n).ok(),
+            Number::U64(n) => Some(n),
+            Number::F64(_) => None,
+        }
+    }
+
+    /// The value as `f64`. Integers coerce: JSON has one number type, and
+    /// `1.0f64` prints as `1` which reparses as an integer.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::I64(n) => Some(n as f64),
+            Number::U64(n) => Some(n as f64),
+            Number::F64(n) => Some(n),
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        match (self, other) {
+            (Number::F64(a), Number::F64(b)) => a == b,
+            (Number::F64(_), _) | (_, Number::F64(_)) => false,
+            _ => match (self.as_i64(), other.as_i64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => self.as_u64() == other.as_u64(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::I64(n) => write!(f, "{n}"),
+            Number::U64(n) => write!(f, "{n}"),
+            Number::F64(n) => {
+                if n.is_finite() {
+                    // `{}` on f64 already round-trips (shortest form), but
+                    // prints integral values without a fraction; that is
+                    // fine because `as_f64` accepts integer reparses.
+                    write!(f, "{n}")
+                } else {
+                    // JSON has no Inf/NaN; null matches serde_json's
+                    // lossy behaviour for non-finite floats.
+                    f.write_str("null")
+                }
+            }
+        }
+    }
+}
+
+/// A parsed or built JSON document.
+///
+/// Objects are ordered association lists, not maps: field order is
+/// declaration order, duplicates are kept as-is (first match wins on
+/// lookup), and printing is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// One-word description of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Builds an object from `(name, value)` pairs. Used by the derive.
+    pub fn object(fields: Vec<(String, Value)>) -> Value {
+        Value::Object(fields)
+    }
+
+    /// Looks up a field of an object; missing field or non-object is an
+    /// error (this model has no `#[serde(default)]`).
+    pub fn field(&self, name: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::custom(format!("missing field `{name}`"))),
+            other => Err(DeError::mismatch("object", other)),
+        }
+    }
+
+    /// Decomposes an externally-tagged enum value: either a bare string
+    /// (unit variant) or a single-entry object `{"Variant": payload}`.
+    pub fn variant(&self) -> Result<(&str, Option<&Value>), DeError> {
+        match self {
+            Value::String(name) => Ok((name, None)),
+            Value::Object(fields) if fields.len() == 1 => Ok((&fields[0].0, Some(&fields[0].1))),
+            other => Err(DeError::mismatch(
+                "enum (string or single-entry object)",
+                other,
+            )),
+        }
+    }
+
+    /// Indexes into a fixed-arity array (tuple struct / tuple variant).
+    pub fn tuple_elem(&self, index: usize, arity: usize) -> Result<&Value, DeError> {
+        match self {
+            Value::Array(items) if items.len() == arity => Ok(&items[index]),
+            Value::Array(items) => Err(DeError::custom(format!(
+                "expected array of length {arity}, got {}",
+                items.len()
+            ))),
+            other => Err(DeError::mismatch("array", other)),
+        }
+    }
+
+    /// The number as `i64`, when this is an integer number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, when this is a non-negative integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` (integers coerce).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The string slice, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+pub(crate) fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Value {
+    /// Writes the compact JSON form into `out`.
+    pub fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                use fmt::Write as _;
+                let _ = write!(out, "{n}");
+            }
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Writes the pretty (2-space indented) JSON form into `out`.
+    pub fn write_pretty(&self, out: &mut String, indent: usize) {
+        const STEP: usize = 2;
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&" ".repeat(indent + STEP));
+                    item.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+                out.push(']');
+            }
+            Value::Object(fields) if !fields.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&" ".repeat(indent + STEP));
+                    escape_into(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        f.write_str(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_equality_crosses_variants() {
+        assert_eq!(Number::from_i64(5), Number::from_u64(5));
+        assert_ne!(Number::from_i64(5), Number::from_f64(5.0));
+        assert_eq!(Number::from_u64(u64::MAX), Number::from_u64(u64::MAX));
+        assert_ne!(Number::from_i64(-1), Number::from_u64(u64::MAX));
+    }
+
+    #[test]
+    fn compact_printing_escapes() {
+        let v = Value::Object(vec![(
+            "k\"ey".to_string(),
+            Value::String("a\nb".to_string()),
+        )]);
+        assert_eq!(v.to_string(), r#"{"k\"ey":"a\nb"}"#);
+    }
+
+    #[test]
+    fn field_lookup() {
+        let v = Value::Object(vec![("a".into(), Value::Bool(true))]);
+        assert!(v.field("a").is_ok());
+        assert!(v.field("b").is_err());
+        assert!(Value::Null.field("a").is_err());
+    }
+
+    #[test]
+    fn variant_decomposition() {
+        let unit = Value::String("Visible".into());
+        assert_eq!(unit.variant().unwrap(), ("Visible", None));
+        let tagged = Value::Object(vec![("Hidden".into(), Value::Null)]);
+        let (name, payload) = tagged.variant().unwrap();
+        assert_eq!(name, "Hidden");
+        assert!(payload.is_some());
+        assert!(Value::Array(vec![]).variant().is_err());
+    }
+}

@@ -1,0 +1,490 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the vendored serde.
+//!
+//! The build environment has no crates.io access, so there is no `syn` or
+//! `quote`: the item definition is parsed directly off the `TokenStream`
+//! and the impls are generated as strings and re-parsed. That is viable
+//! because the supported surface is deliberately narrow — non-generic
+//! structs and enums with no `#[serde(...)]` attributes — which is all
+//! this workspace uses. Anything outside that surface produces a
+//! `compile_error!` pointing here rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree form) for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree form) for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("vendored serde_derive generated invalid Rust"),
+        Err(msg) => format!("::core::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error! emission failed"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    /// `{ name: Type, ... }` — (field name, type source text).
+    Named(Vec<(String, String)>),
+    /// `( Type, ... )` — type source texts.
+    Tuple(Vec<String>),
+    /// No fields at all.
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips attributes (`#[...]`, including expanded doc comments) and
+/// visibility (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(toks: &mut Tokens) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                // The bracket group of the attribute.
+                if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    toks.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                // Optional restriction: pub(crate), pub(super), ...
+                if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    toks.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(toks: &mut Tokens, what: &str) -> Result<String, String> {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!(
+            "vendored serde_derive: expected {what}, got {:?}",
+            other.map(|t| t.to_string())
+        )),
+    }
+}
+
+/// Collects tokens up to (not including) the next top-level `,`,
+/// tracking `<...>` depth so generic argument commas stay inside the
+/// type. Returns the collected source text, or `None` if nothing was
+/// collected (trailing comma / end of stream).
+fn collect_type(toks: &mut Tokens) -> Option<String> {
+    let mut depth: i32 = 0;
+    let mut collected: Vec<TokenTree> = Vec::new();
+    while let Some(tok) = toks.peek() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                ',' if depth == 0 => break,
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        collected.push(toks.next().unwrap());
+    }
+    // Consume the separating comma, if any.
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        toks.next();
+    }
+    if collected.is_empty() {
+        None
+    } else {
+        Some(collected.into_iter().collect::<TokenStream>().to_string())
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<(String, String)>, String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut toks, "field name")?;
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "vendored serde_derive: expected `:` after field `{name}`, got {:?}",
+                    other.map(|t| t.to_string())
+                ))
+            }
+        }
+        let ty = collect_type(&mut toks)
+            .ok_or_else(|| format!("vendored serde_derive: missing type for field `{name}`"))?;
+        fields.push((name, ty));
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        match collect_type(&mut toks) {
+            Some(ty) => fields.push(ty),
+            None => break,
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut toks, "variant name")?;
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                toks.next();
+                Fields::Named(parse_named_fields(inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                toks.next();
+                Fields::Tuple(parse_tuple_fields(inner)?)
+            }
+            _ => Fields::Unit,
+        };
+        // Explicit discriminants (`= expr`) don't affect the externally
+        // tagged wire form; skip the expression.
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            toks.next();
+            while let Some(tok) = toks.peek() {
+                if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                toks.next();
+            }
+        }
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kw = expect_ident(&mut toks, "`struct` or `enum`")?;
+    let name = expect_ident(&mut toks, "item name")?;
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive: generic type `{name}` is not supported"
+        ));
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(parse_tuple_fields(g.stream())?)
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => {
+                    return Err(format!(
+                        "vendored serde_derive: unexpected struct body {:?}",
+                        other.map(|t| t.to_string())
+                    ))
+                }
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!(
+                "vendored serde_derive: expected enum body, got {:?}",
+                other.map(|t| t.to_string())
+            )),
+        },
+        other => Err(format!(
+            "vendored serde_derive: expected `struct` or `enum`, got `{other}`"
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fields) => {
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|(f, _)| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::object(vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(tys) if tys.len() == 1 => {
+                    // Newtype struct: transparent, serializes as the inner value.
+                    "::serde::Serialize::to_value(&self.0)".to_string()
+                }
+                Fields::Tuple(tys) => {
+                    let entries: Vec<String> = (0..tys.len())
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::String(::std::string::String::from({vname:?}))"
+                        ),
+                        Fields::Named(fields) => {
+                            let binds: Vec<&str> = fields.iter().map(|(f, _)| f.as_str()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|(f, _)| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => \
+                                 ::serde::Value::object(vec![(\
+                                   ::std::string::String::from({vname:?}), \
+                                   ::serde::Value::object(vec![{entries}])\
+                                 )])",
+                                binds = binds.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                        Fields::Tuple(tys) => {
+                            let binds: Vec<String> =
+                                (0..tys.len()).map(|i| format!("f{i}")).collect();
+                            let payload = if tys.len() == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let entries: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => \
+                                 ::serde::Value::object(vec![(\
+                                   ::std::string::String::from({vname:?}), {payload}\
+                                 )])",
+                                binds = binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join(",\n")
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// `field_expr(ty, source)` → `<Ty as Deserialize>::from_value(source)?`
+fn de_expr(ty: &str, source: &str) -> String {
+    format!("<{ty} as ::serde::Deserialize>::from_value({source})?")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|(f, ty)| {
+                            format!("{f}: {}", de_expr(ty, &format!("value.field({f:?})?")))
+                        })
+                        .collect();
+                    format!(
+                        "::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Tuple(tys) if tys.len() == 1 => format!(
+                    "::std::result::Result::Ok({name}({}))",
+                    de_expr(&tys[0], "value")
+                ),
+                Fields::Tuple(tys) => {
+                    let arity = tys.len();
+                    let inits: Vec<String> = tys
+                        .iter()
+                        .enumerate()
+                        .map(|(i, ty)| de_expr(ty, &format!("value.tuple_elem({i}, {arity})?")))
+                        .collect();
+                    format!("::std::result::Result::Ok({name}({}))", inits.join(", "))
+                }
+                Fields::Unit => format!(
+                    "{{ <() as ::serde::Deserialize>::from_value(value)?; \
+                     ::std::result::Result::Ok({name}) }}"
+                ),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                       -> ::std::result::Result<{name}, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname})"
+                        ),
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|(f, ty)| {
+                                    format!(
+                                        "{f}: {}",
+                                        de_expr(ty, &format!("payload.field({f:?})?"))
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vname:?} => {{\n\
+                                     let payload = payload.ok_or_else(|| \
+                                       ::serde::DeError::custom(\
+                                         concat!(\"missing payload for variant `\", {vname:?}, \"`\")))?;\n\
+                                     ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                                 }}",
+                                inits = inits.join(", ")
+                            )
+                        }
+                        Fields::Tuple(tys) => {
+                            let inits: Vec<String> = if tys.len() == 1 {
+                                vec![de_expr(&tys[0], "payload")]
+                            } else {
+                                let arity = tys.len();
+                                tys.iter()
+                                    .enumerate()
+                                    .map(|(i, ty)| {
+                                        de_expr(ty, &format!("payload.tuple_elem({i}, {arity})?"))
+                                    })
+                                    .collect()
+                            };
+                            format!(
+                                "{vname:?} => {{\n\
+                                     let payload = payload.ok_or_else(|| \
+                                       ::serde::DeError::custom(\
+                                         concat!(\"missing payload for variant `\", {vname:?}, \"`\")))?;\n\
+                                     ::std::result::Result::Ok({name}::{vname}({inits}))\n\
+                                 }}",
+                                inits = inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                       -> ::std::result::Result<{name}, ::serde::DeError> {{\n\
+                         let (variant, payload) = value.variant()?;\n\
+                         match variant {{\n\
+                             {arms},\n\
+                             other => ::std::result::Result::Err(\
+                               ::serde::DeError::custom(\
+                                 format!(\"unknown variant `{{other}}`\")))\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join(",\n")
+            )
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Vendored, offline stand-in for `serde_json`.
+//!
+//! Bridges the vendored serde's [`Value`] tree to JSON text/bytes. The
+//! parser is a recursive-descent parser with a hard nesting cap; it is
+//! written to return [`Error`] on every malformed input — truncated,
+//! bit-flipped, or adversarial bytes must never panic, because the
+//! workspace's fault-injection tests feed it exactly that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parse;
+
+pub use serde::{Number, Value};
+
+use std::fmt;
+
+/// Error from parsing or (de)serializing JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Infallible in this model; the `Result` mirrors upstream's signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().write_compact(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to pretty-printed (2-space indented) JSON.
+///
+/// # Errors
+///
+/// Infallible in this model; the `Result` mirrors upstream's signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to compact JSON bytes.
+///
+/// # Errors
+///
+/// Infallible in this model; the `Result` mirrors upstream's signature.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a value from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parses a value from JSON bytes (must be UTF-8).
+///
+/// # Errors
+///
+/// Returns [`Error`] on invalid UTF-8, malformed JSON, or a shape
+/// mismatch with `T` — never panics, whatever the bytes.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Builds a [`Value`] literal. Supports the flat-object subset this
+/// workspace uses: `json!({"key": expr, ...})`, `json!(expr)`, and
+/// `json!(null)`. Values are any `serde::Serialize` expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $((
+                ::std::string::String::from($key),
+                ::serde::Serialize::to_value(&$val),
+            )),*
+        ])
+    };
+    ($other:expr) => { ::serde::Serialize::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_compact() {
+        let v: Value = from_str(r#"{"a":[1,2.5,-3],"b":null,"c":"x\n","d":true}"#).unwrap();
+        let s = to_string(&v).unwrap();
+        let v2: Value = from_str(&s).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn u64_precision_survives() {
+        let n = u64::MAX;
+        let s = to_string(&n).unwrap();
+        assert_eq!(s, "18446744073709551615");
+        let back: u64 = from_str(&s).unwrap();
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn integral_float_reparses() {
+        // `1.0f64` prints as `1`; deserializing f64 must accept it.
+        let s = to_string(&1.0f64).unwrap();
+        let back: f64 = from_str(&s).unwrap();
+        assert_eq!(back, 1.0);
+    }
+
+    #[test]
+    fn json_macro_flat_object() {
+        let v = json!({"forum": 3u32, "name": "abc", "x": 1.5f64});
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"forum":3,"name":"abc","x":1.5}"#
+        );
+        assert_eq!(json!(null), Value::Null);
+    }
+
+    #[test]
+    fn pretty_printing_shape() {
+        let v = json!({"a": 1u8});
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn from_slice_rejects_bad_utf8() {
+        assert!(from_slice::<Value>(&[0xFF, 0xFE, b'{']).is_err());
+    }
+}
