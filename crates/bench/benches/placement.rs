@@ -1,0 +1,71 @@
+//! Benchmarks of the placement engine against the naive per-call path,
+//! and of the parallel bootstrap — the hot loops the `PlacementEngine`
+//! and `bootstrap_components_threads` exist to accelerate.
+//!
+//! The acceptance bars (engine ≥ 5× naive at 10k users; bootstrap > 1.5×
+//! at 4 threads) are asserted machine-readably by the `bench` bin
+//! (`cargo run --release -p crowdtz-bench --bin bench`), which writes
+//! `BENCH_placement.json`; these criterion benches are the human-readable
+//! view of the same kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crowdtz_bench::synthetic_profiles;
+use crowdtz_core::{
+    bootstrap_components_threads, place_user, BootstrapConfig, GenericProfile, PlacementEngine,
+};
+
+fn bench_placement_kernel(c: &mut Criterion) {
+    let generic = GenericProfile::reference();
+    let engine = PlacementEngine::new(&generic);
+    let mut group = c.benchmark_group("placement");
+    for users in [1_000usize, 10_000, 100_000] {
+        let profs = synthetic_profiles(users, 40, 7);
+        // The naive path re-materializes all 24 zone profiles per user;
+        // at 100k users that is pure waiting, so it is sampled only up
+        // to 10k — the engine/naive ratio is size-independent anyway.
+        if users <= 10_000 {
+            group.bench_with_input(BenchmarkId::new("naive", users), &profs, |bench, p| {
+                bench.iter(|| {
+                    p.iter()
+                        .map(|p| place_user(black_box(p), &generic))
+                        .collect::<Vec<_>>()
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("engine", users), &profs, |bench, p| {
+            bench.iter(|| engine.place_all(black_box(p), 1))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("engine_4threads", users),
+            &profs,
+            |bench, p| bench.iter(|| engine.place_all(black_box(p), 4)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_bootstrap(c: &mut Criterion) {
+    let engine = PlacementEngine::new(&GenericProfile::reference());
+    let placements = engine.place_all(&synthetic_profiles(2_000, 40, 11), 4);
+    let config = BootstrapConfig {
+        iterations: 100,
+        ..BootstrapConfig::default()
+    };
+    let mut group = c.benchmark_group("bootstrap_100x2000");
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bench, &t| {
+                bench.iter(|| {
+                    bootstrap_components_threads(black_box(&placements), &config, t).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement_kernel, bench_parallel_bootstrap);
+criterion_main!(benches);

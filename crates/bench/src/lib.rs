@@ -12,8 +12,10 @@ use crowdtz_core::{
 };
 use crowdtz_forum::{CrowdComponent, ForumHost, ForumSpec, Scraper, SimulatedForum};
 use crowdtz_synth::PopulationSpec;
-use crowdtz_time::{RegionDb, TraceSet};
+use crowdtz_time::{RegionDb, Timestamp, TraceSet, TzOffset, UserTrace};
 use crowdtz_tor::{FaultPlan, FaultRates, TorNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Builds a single-region crowd of `users` synthetic users.
 pub fn crowd(region: &str, users: usize, seed: u64) -> TraceSet {
@@ -39,6 +41,50 @@ pub fn placement_histogram(profiles: &[ActivityProfile]) -> PlacementHistogram {
     let generic = GenericProfile::reference();
     let placements: Vec<_> = profiles.iter().map(|p| place_user(p, &generic)).collect();
     PlacementHistogram::from_placements(&placements)
+}
+
+/// Synthesizes `users` activity profiles spread round-robin across all 24
+/// time zones, sampling each user's post hours from the reference generic
+/// profile shifted to their zone.
+///
+/// This skips trace generation entirely (no population model, no per-post
+/// civil-time bookkeeping), which is what makes the 100k-user placement
+/// benchmarks affordable; the profiles still have the realistic diurnal
+/// shape placement pruning sees in practice.
+pub fn synthetic_profiles(users: usize, posts_per_user: usize, seed: u64) -> Vec<ActivityProfile> {
+    let generic = GenericProfile::reference();
+    // One integer cumulative table per zone for O(24) inverse sampling.
+    let tables: Vec<[u64; 24]> = (-11..=12)
+        .map(|k| {
+            let zone = generic.zone_profile(k);
+            let mut cum = [0u64; 24];
+            let mut acc = 0u64;
+            for (h, c) in cum.iter_mut().enumerate() {
+                acc += (zone.as_slice()[h] * 1e6) as u64 + 1;
+                *c = acc;
+            }
+            cum
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..users)
+        .map(|i| {
+            let table = &tables[i % tables.len()];
+            let total = table[23];
+            let posts: Vec<Timestamp> = (0..posts_per_user)
+                .map(|day| {
+                    let r = rng.gen_range(0..total);
+                    let hour = table.iter().position(|&c| r < c).unwrap();
+                    Timestamp::from_secs(day as i64 * 86_400 + hour as i64 * 3_600)
+                })
+                .collect();
+            ActivityProfile::from_trace_offset(
+                &UserTrace::new(format!("u{i:06}"), posts),
+                TzOffset::UTC,
+            )
+            .expect("synthetic trace is non-empty")
+        })
+        .collect()
 }
 
 /// Publishes a simulated Italian forum behind a (possibly chaotic) Tor
@@ -79,6 +125,15 @@ mod tests {
         let report = scraper.dump().expect("dump survives chaos");
         assert_eq!(report.coverage(), 1.0);
         assert!(report.stats().faults_absorbed > 0);
+    }
+
+    #[test]
+    fn synthetic_profiles_are_cheap_and_placeable() {
+        let profs = synthetic_profiles(48, 40, 1);
+        assert_eq!(profs.len(), 48);
+        assert!(profs.iter().all(|p| p.post_count() == 40));
+        let hist = placement_histogram(&profs);
+        assert_eq!(hist.users(), 48);
     }
 
     #[test]

@@ -57,12 +57,12 @@ fn circular_distance(a: f64, b: f64) -> f64 {
     d.min(24.0 - d)
 }
 
-/// Bootstraps the mixture fit over the classified users.
+/// Bootstraps the mixture fit over the classified users, using
+/// [`default_threads`](crate::default_threads) worker threads.
 ///
-/// Resamples the placements with replacement `iterations` times, refits a
-/// mixture with the reference component count each time, and matches each
-/// bootstrap component to the nearest reference component (circularly,
-/// within `match_radius`).
+/// See [`bootstrap_components_threads`] — the result is byte-identical
+/// for every thread count, so the machine-dependent default changes only
+/// the wall-clock, never the numbers.
 ///
 /// # Errors
 ///
@@ -71,6 +71,36 @@ fn circular_distance(a: f64, b: f64) -> f64 {
 pub fn bootstrap_components(
     placements: &[UserPlacement],
     config: &BootstrapConfig,
+) -> Result<Vec<ComponentConfidence>, StatsError> {
+    bootstrap_components_threads(placements, config, crate::engine::default_threads())
+}
+
+/// Bootstraps the mixture fit over the classified users on `threads`
+/// worker threads.
+///
+/// Resamples the placements with replacement `iterations` times, refits a
+/// mixture with the reference component count each time, and matches each
+/// bootstrap component to the nearest reference component (circularly,
+/// within `match_radius`).
+///
+/// # Determinism
+///
+/// Each resample draws from its own RNG seeded as
+/// `config.seed ^ resample_index`, resamples **indices** into the shared
+/// placement slice (no `UserPlacement` clones), and builds its histogram
+/// straight from the sampled zone indices. Per-resample results are
+/// reduced in resample order (contiguous chunks, concatenated in chunk
+/// order), so the output is byte-identical for any thread count,
+/// including 1.
+///
+/// # Errors
+///
+/// Propagates fitting errors; returns [`StatsError::NotEnoughData`] for an
+/// empty placement list.
+pub fn bootstrap_components_threads(
+    placements: &[UserPlacement],
+    config: &BootstrapConfig,
+    threads: usize,
 ) -> Result<Vec<ComponentConfidence>, StatsError> {
     if placements.is_empty() {
         return Err(StatsError::NotEnoughData { got: 0, needed: 1 });
@@ -85,27 +115,48 @@ pub fn bootstrap_components(
         .map(|c| (c.mean, c.weight))
         .collect();
 
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xB007);
-    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); k];
-    for _ in 0..config.iterations {
-        let resampled: Vec<UserPlacement> = (0..placements.len())
-            .map(|_| placements[rng.gen_range(0..placements.len())].clone())
-            .collect();
-        let hist = PlacementHistogram::from_placements(&resampled);
-        let Ok(fit) = MultiRegionFit::fit_k(&hist, k) else {
-            continue;
-        };
-        for c in fit.mixture().components() {
-            // Nearest reference component within the match radius.
-            if let Some((idx, _)) = ref_means
-                .iter()
-                .enumerate()
-                .map(|(i, (m, _))| (i, circular_distance(c.mean, *m)))
-                .filter(|(_, d)| *d <= config.match_radius)
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-            {
-                samples[idx].push(c.mean);
+    // Zone indices are extracted once; resampling only ever touches this
+    // flat byte array, never the heap-backed placement records.
+    let zone_indices: Vec<u8> = placements
+        .iter()
+        .map(|p| PlacementHistogram::index_of(p.zone_hours()) as u8)
+        .collect();
+    let users = zone_indices.len();
+
+    let resample_ids: Vec<u64> = (0..config.iterations as u64).collect();
+    let ref_means_view = &ref_means;
+    let zone_view = &zone_indices;
+    let per_resample: Vec<Vec<(usize, f64)>> =
+        crate::engine::chunked_map(&resample_ids, threads, move |&resample_index| {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ resample_index);
+            let mut counts = [0usize; crate::placement::ZONE_COUNT];
+            for _ in 0..users {
+                counts[zone_view[rng.gen_range(0..users)] as usize] += 1;
             }
+            let hist = PlacementHistogram::from_zone_counts(&counts);
+            let Ok(fit) = MultiRegionFit::fit_k(&hist, k) else {
+                return Vec::new();
+            };
+            fit.mixture()
+                .components()
+                .iter()
+                .filter_map(|c| {
+                    // Nearest reference component within the match radius.
+                    ref_means_view
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (m, _))| (i, circular_distance(c.mean, *m)))
+                        .filter(|(_, d)| *d <= config.match_radius)
+                        .min_by(|a, b| a.1.total_cmp(&b.1))
+                        .map(|(i, _)| (i, c.mean))
+                })
+                .collect()
+        });
+
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); k];
+    for matches in per_resample {
+        for (idx, mean) in matches {
+            samples[idx].push(mean);
         }
     }
 
@@ -203,6 +254,113 @@ mod tests {
     #[test]
     fn empty_errors() {
         assert!(bootstrap_components(&[], &BootstrapConfig::default()).is_err());
+    }
+
+    #[test]
+    fn byte_identical_across_thread_counts() {
+        let mut placements = gaussian_placements(2.0, 2.0, 50, "eu");
+        placements.extend(gaussian_placements(-7.0, 2.0, 30, "us"));
+        let cfg = BootstrapConfig {
+            iterations: 40,
+            seed: 5,
+            ..BootstrapConfig::default()
+        };
+        let base = bootstrap_components_threads(&placements, &cfg, 1).unwrap();
+        let base_json = serde_json::to_string(&base).unwrap();
+        for threads in [2usize, 4, 8] {
+            let other = bootstrap_components_threads(&placements, &cfg, threads).unwrap();
+            assert_eq!(
+                base_json,
+                serde_json::to_string(&other).unwrap(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    /// Regression: the index-resampling fast path must reproduce the old
+    /// clone-every-placement implementation exactly (same per-resample
+    /// seeds), both per-resample histogram and final summary.
+    #[test]
+    fn index_resampling_matches_clone_resampling() {
+        let mut placements = gaussian_placements(1.0, 2.0, 60, "eu");
+        placements.extend(gaussian_placements(8.0, 2.0, 35, "asia"));
+        let cfg = BootstrapConfig {
+            iterations: 25,
+            seed: 42,
+            ..BootstrapConfig::default()
+        };
+
+        // The old path: clone sampled placements, build the histogram from
+        // the cloned records, fit, match against the reference components.
+        let reference_hist = PlacementHistogram::from_placements(&placements);
+        let reference = MultiRegionFit::fit(&reference_hist, 4).unwrap();
+        let k = reference.mixture().len();
+        let ref_means: Vec<(f64, f64)> = reference
+            .mixture()
+            .components()
+            .iter()
+            .map(|c| (c.mean, c.weight))
+            .collect();
+        let mut samples: Vec<Vec<f64>> = vec![Vec::new(); k];
+        for resample_index in 0..cfg.iterations as u64 {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ resample_index);
+            let resampled: Vec<UserPlacement> = (0..placements.len())
+                .map(|_| placements[rng.gen_range(0..placements.len())].clone())
+                .collect();
+            let hist = PlacementHistogram::from_placements(&resampled);
+
+            // The index path must build the exact same histogram from the
+            // same draws without materializing any UserPlacement.
+            let mut rng2 = StdRng::seed_from_u64(cfg.seed ^ resample_index);
+            let mut counts = [0usize; crate::placement::ZONE_COUNT];
+            for _ in 0..placements.len() {
+                let idx = rng2.gen_range(0..placements.len());
+                counts[PlacementHistogram::index_of(placements[idx].zone_hours())] += 1;
+            }
+            assert_eq!(hist, PlacementHistogram::from_zone_counts(&counts));
+
+            let Ok(fit) = MultiRegionFit::fit_k(&hist, k) else {
+                continue;
+            };
+            for c in fit.mixture().components() {
+                if let Some((idx, _)) = ref_means
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (m, _))| (i, circular_distance(c.mean, *m)))
+                    .filter(|(_, d)| *d <= cfg.match_radius)
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                {
+                    samples[idx].push(c.mean);
+                }
+            }
+        }
+        let old_style: Vec<ComponentConfidence> = ref_means
+            .into_iter()
+            .enumerate()
+            .map(|(i, (mean, weight))| {
+                let n = samples[i].len();
+                let std_error = if n > 1 {
+                    let m = samples[i].iter().sum::<f64>() / n as f64;
+                    (samples[i].iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64).sqrt()
+                } else {
+                    f64::INFINITY
+                };
+                ComponentConfidence {
+                    mean,
+                    weight,
+                    std_error,
+                    support: n as f64 / cfg.iterations.max(1) as f64,
+                }
+            })
+            .collect();
+
+        for threads in [1usize, 4] {
+            assert_eq!(
+                old_style,
+                bootstrap_components_threads(&placements, &cfg, threads).unwrap(),
+                "{threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! The placement engine: precomputed zone-CDF kernels and deterministic
+//! work-splitting parallelism for the §IV.A hot path.
+//!
+//! [`place_user`](crate::place_user) re-materializes all 24 shifted zone
+//! profiles — and re-accumulates their cumulative sums — for *every* user.
+//! At the crowd sizes the ROADMAP targets (millions of users, multiplied
+//! across forums) that is the dominant cost of the whole method. The
+//! [`PlacementEngine`] precomputes, once per generic profile, the 24 zone
+//! profiles **and their CDFs** (plus the uniform CDF the §IV.C bot filter
+//! compares against), so placing a user is a branch-light CDF-difference
+//! kernel with zero heap allocation:
+//!
+//! 1. the user's CDF is accumulated once (not once per zone),
+//! 2. each zone costs one fused 24-element difference-and-pruning-bound
+//!    sweep (`circular_emd_lower_bound` in `crowdtz-stats`), and
+//! 3. the exact O(n) selection ([`circular_emd_cdf`]) runs only for zones
+//!    whose bound beats the best distance so far — and the scan visits
+//!    zones starting from the one peak-aligned with the user, so the best
+//!    is usually found first and nearly everything else is pruned.
+//!
+//! The pruning never changes the result: a zone is skipped only when even
+//! a *lower bound* on its distance is no better than the current best, and
+//! both the engine and [`place_user`](crate::place_user) evaluate the same
+//! shared [`circular_emd_cdf`] kernel, so placements are bit-identical.
+//!
+//! # Determinism under parallelism
+//!
+//! [`PlacementEngine::place_all`] fans users across scoped worker threads
+//! in **contiguous, order-stable chunks** and concatenates the per-chunk
+//! results in chunk order. Placement is a pure function of the profile, so
+//! the output vector is byte-identical for any thread count, including 1 —
+//! the invariant every parallel layer in this workspace maintains (see
+//! `DESIGN.md` §9).
+
+use crowdtz_stats::{circular_emd_cdf, circular_emd_of_cdf_diff, Distribution24, BINS};
+
+use crate::generic::GenericProfile;
+use crate::placement::{PlacementHistogram, UserPlacement, ZONE_COUNT};
+use crate::profile::ActivityProfile;
+
+/// Number of worker threads to use by default: the `CROWDTZ_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism (1 if that cannot be determined).
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("CROWDTZ_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `items` through `map` on up to `threads` scoped worker threads,
+/// preserving input order.
+///
+/// Items are split into contiguous chunks, one per thread; chunk results
+/// are concatenated in chunk order, so for a pure `map` the output is
+/// identical for every thread count. Used by placement, profile building,
+/// polishing, and the bootstrap.
+pub(crate) fn chunked_map<T, U, F>(items: &[T], threads: usize, map: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(map).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let map = &map;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move |_| chunk.iter().map(map).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for handle in handles {
+            out.extend(handle.join().expect("worker thread panicked"));
+        }
+        out
+    })
+    .expect("thread scope failed")
+}
+
+/// Precomputed placement state for one generic profile.
+///
+/// ```
+/// use crowdtz_core::{place_user, GenericProfile, PlacementEngine};
+/// # use crowdtz_core::ActivityProfile;
+/// use crowdtz_time::{Timestamp, TzOffset, UserTrace};
+///
+/// let engine = PlacementEngine::new(&GenericProfile::reference());
+/// let trace = UserTrace::new("u", (0..40).map(|i| Timestamp::from_secs(i * 90_000)).collect());
+/// let profile = ActivityProfile::from_trace_offset(&trace, TzOffset::UTC).unwrap();
+/// // Bit-identical to the naive per-call path.
+/// assert_eq!(engine.place(&profile), place_user(&profile, engine.generic()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlacementEngine {
+    generic: GenericProfile,
+    /// CDF of the zone profile at index `i` (zone `i − 11`, matching
+    /// [`PlacementHistogram::index_of`]).
+    zone_cdfs: [[f64; BINS]; ZONE_COUNT],
+    /// CDF of the uniform `1/24` profile, for the §IV.C flatness check.
+    uniform_cdf: [f64; BINS],
+}
+
+impl PlacementEngine {
+    /// Precomputes the 24 shifted zone profiles and their CDFs.
+    pub fn new(generic: &GenericProfile) -> PlacementEngine {
+        let mut zone_cdfs = [[0.0; BINS]; ZONE_COUNT];
+        for (i, cdf) in zone_cdfs.iter_mut().enumerate() {
+            *cdf = generic.zone_profile(PlacementHistogram::zone_of(i)).cdf();
+        }
+        PlacementEngine {
+            generic: generic.clone(),
+            zone_cdfs,
+            uniform_cdf: Distribution24::uniform().cdf(),
+        }
+    }
+
+    /// The generic profile the engine was built from.
+    pub fn generic(&self) -> &GenericProfile {
+        &self.generic
+    }
+
+    /// Places a precomputed user CDF: the EMD-closest zone and its
+    /// distance. This is the innermost kernel — no allocation, no
+    /// re-sorting of the precomputed side.
+    ///
+    /// Two phases. First, one fused sweep per zone computes the CDF
+    /// differences together with the pruning lower bound
+    /// `Σ|d[h] − d[h+12]| ≤ EMD`. Then zones are exact-evaluated in
+    /// ascending-bound order, stopping as soon as the smallest remaining
+    /// bound proves no unvisited zone can win — on typical diurnal
+    /// profiles that leaves ~2 of the 24 zones reaching the exact O(n)
+    /// selection. The result is exactly the naive ascending scan's: on
+    /// equal distances the smallest zone index wins regardless of visit
+    /// order, and a zone is skipped only when its lower bound shows it
+    /// cannot beat (or tie-with-a-smaller-index) the best.
+    pub fn place_cdf(&self, user_cdf: &[f64; BINS]) -> (i32, f64) {
+        let mut all_diffs = [[0.0_f64; BINS]; ZONE_COUNT];
+        let mut bounds = [0.0_f64; ZONE_COUNT];
+        for (i, zone_cdf) in self.zone_cdfs.iter().enumerate() {
+            let diffs = &mut all_diffs[i];
+            let mut bound = 0.0;
+            for h in 0..BINS / 2 {
+                let lo = user_cdf[h] - zone_cdf[h];
+                let hi = user_cdf[h + BINS / 2] - zone_cdf[h + BINS / 2];
+                diffs[h] = lo;
+                diffs[h + BINS / 2] = hi;
+                bound += (lo - hi).abs();
+            }
+            bounds[i] = bound;
+        }
+        let mut visited = [false; ZONE_COUNT];
+        let mut best_idx = usize::MAX;
+        let mut best_emd = f64::INFINITY;
+        loop {
+            // Unvisited zone with the smallest bound; strict < keeps the
+            // smallest index on ties.
+            let mut i = usize::MAX;
+            let mut min_bound = f64::INFINITY;
+            for (j, &b) in bounds.iter().enumerate() {
+                if !visited[j] && b < min_bound {
+                    min_bound = b;
+                    i = j;
+                }
+            }
+            if i == usize::MAX || min_bound > best_emd {
+                break;
+            }
+            visited[i] = true;
+            // An equal-bound zone with a larger index can at best tie,
+            // and ties go to the smaller index — skip the exact pass.
+            if min_bound >= best_emd && i > best_idx {
+                continue;
+            }
+            let d = circular_emd_of_cdf_diff(&all_diffs[i]);
+            if d < best_emd || (d == best_emd && i < best_idx) {
+                best_emd = d;
+                best_idx = i;
+            }
+        }
+        (PlacementHistogram::zone_of(best_idx), best_emd)
+    }
+
+    /// Places a bare hourly distribution (UTC hours), like
+    /// [`place_distribution`](crate::place_distribution) but against the
+    /// precomputed zone CDFs.
+    pub fn place_distribution(&self, distribution: &Distribution24) -> (i32, f64) {
+        self.place_cdf(&distribution.cdf())
+    }
+
+    /// Places one user — bit-identical to
+    /// [`place_user`](crate::place_user) with the same generic profile.
+    pub fn place(&self, profile: &ActivityProfile) -> UserPlacement {
+        let (zone, emd) = self.place_cdf(&profile.distribution().cdf());
+        UserPlacement::new(profile.user(), zone, emd)
+    }
+
+    /// Places every profile, fanning the work across `threads` scoped
+    /// worker threads with order-stable chunked reduction. The result is
+    /// byte-identical for any thread count.
+    pub fn place_all(&self, profiles: &[ActivityProfile], threads: usize) -> Vec<UserPlacement> {
+        chunked_map(profiles, threads, |p| self.place(p))
+    }
+
+    /// The §IV.C flatness test: whether `distribution` is circular-EMD
+    /// closer to the uniform `1/24` profile than to every zone profile.
+    ///
+    /// Decision-identical to the naive check in [`crate::polish`] (both
+    /// sides evaluate the shared [`circular_emd_cdf`] kernel), but the
+    /// uniform CDF is precomputed and the zone scan reuses the pruned
+    /// placement kernel.
+    pub fn is_flat(&self, distribution: &Distribution24) -> bool {
+        let user_cdf = distribution.cdf();
+        let to_uniform = circular_emd_cdf(&user_cdf, &self.uniform_cdf);
+        let (_, best_zone_emd) = self.place_cdf(&user_cdf);
+        to_uniform < best_zone_emd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::place_user;
+    use crowdtz_time::{Timestamp, TzOffset, UserTrace};
+
+    fn profile_from_hours(name: &str, weights: &[(u8, usize)]) -> ActivityProfile {
+        let mut posts = Vec::new();
+        let mut day = 0i64;
+        for &(hour, times) in weights {
+            for _ in 0..times {
+                posts.push(Timestamp::from_secs(day * 86_400 + i64::from(hour) * 3_600));
+                day += 1;
+            }
+        }
+        ActivityProfile::from_trace_offset(&UserTrace::new(name, posts), TzOffset::UTC).unwrap()
+    }
+
+    #[test]
+    fn engine_matches_naive_place_user() {
+        let generic = GenericProfile::reference();
+        let engine = PlacementEngine::new(&generic);
+        let shapes: Vec<ActivityProfile> = vec![
+            profile_from_hours("a", &[(21, 10), (20, 6), (9, 3)]),
+            profile_from_hours("b", &[(3, 8), (4, 8), (15, 2)]),
+            profile_from_hours("c", &[(0, 5), (23, 5), (12, 5)]),
+            profile_from_hours("flatish", &(0..24).map(|h| (h, 2)).collect::<Vec<_>>()),
+        ];
+        for p in &shapes {
+            let naive = place_user(p, &generic);
+            let fast = engine.place(p);
+            assert_eq!(naive, fast, "user {}", p.user());
+        }
+    }
+
+    #[test]
+    fn place_all_is_order_stable_across_thread_counts() {
+        let generic = GenericProfile::reference();
+        let engine = PlacementEngine::new(&generic);
+        let profiles: Vec<ActivityProfile> = (0..37)
+            .map(|i| {
+                profile_from_hours(
+                    &format!("u{i:03}"),
+                    &[((i % 24) as u8, 8), (((i * 7) % 24) as u8, 4)],
+                )
+            })
+            .collect();
+        let one = engine.place_all(&profiles, 1);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(
+                one,
+                engine.place_all(&profiles, threads),
+                "{threads} threads"
+            );
+        }
+        // Order matches input order.
+        for (p, placed) in profiles.iter().zip(&one) {
+            assert_eq!(p.user(), placed.user());
+        }
+    }
+
+    #[test]
+    fn is_flat_matches_naive_comparison() {
+        let generic = GenericProfile::reference();
+        let engine = PlacementEngine::new(&generic);
+        let uniform = Distribution24::uniform();
+        for dist in [
+            Distribution24::uniform(),
+            Distribution24::delta(21).mix(&uniform, 0.3),
+            uniform.mix(&Distribution24::delta(13), 0.05),
+            generic.zone_profile(3),
+        ] {
+            let naive_best = (-11..=12)
+                .map(|k| crowdtz_stats::circular_emd(&dist, &generic.zone_profile(k)))
+                .fold(f64::INFINITY, f64::min);
+            let naive_flat = crowdtz_stats::circular_emd(&dist, &uniform) < naive_best;
+            assert_eq!(engine.is_flat(&dist), naive_flat);
+        }
+    }
+
+    #[test]
+    fn empty_input_and_single_thread_edge_cases() {
+        let engine = PlacementEngine::new(&GenericProfile::reference());
+        assert!(engine.place_all(&[], 4).is_empty());
+        let one = vec![profile_from_hours("solo", &[(21, 9)])];
+        assert_eq!(engine.place_all(&one, 16).len(), 1);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn chunked_map_preserves_order() {
+        let items: Vec<usize> = (0..101).collect();
+        let doubled = chunked_map(&items, 7, |&i| i * 2);
+        assert_eq!(doubled, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+    }
+}

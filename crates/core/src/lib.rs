@@ -51,6 +51,7 @@
 
 mod confidence;
 mod crowd;
+mod engine;
 mod error;
 mod generic;
 pub mod hemisphere;
@@ -60,8 +61,11 @@ pub mod polish;
 mod profile;
 mod single;
 
-pub use confidence::{bootstrap_components, BootstrapConfig, ComponentConfidence};
+pub use confidence::{
+    bootstrap_components, bootstrap_components_threads, BootstrapConfig, ComponentConfidence,
+};
 pub use crowd::CrowdProfile;
+pub use engine::{default_threads, PlacementEngine};
 pub use error::CoreError;
 pub use generic::GenericProfile;
 pub use pipeline::{GeolocationPipeline, GeolocationReport};

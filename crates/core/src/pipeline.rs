@@ -5,11 +5,12 @@ use std::fmt;
 use crowdtz_stats::{pearson, FitQuality, GaussianMixture, StatsError};
 use crowdtz_time::TraceSet;
 
-use crate::confidence::{bootstrap_components, BootstrapConfig, ComponentConfidence};
+use crate::confidence::{bootstrap_components_threads, BootstrapConfig, ComponentConfidence};
 use crate::crowd::CrowdProfile;
+use crate::engine::{default_threads, PlacementEngine};
 use crate::error::CoreError;
 use crate::generic::GenericProfile;
-use crate::placement::{place_user, PlacementHistogram, UserPlacement};
+use crate::placement::{PlacementHistogram, UserPlacement};
 use crate::polish;
 use crate::profile::{ActivityProfile, ProfileBuilder};
 use crate::single::{MultiRegionFit, SingleRegionFit};
@@ -20,12 +21,19 @@ use crate::single::{MultiRegionFit, SingleRegionFit};
 /// §V: build per-user profiles from UTC-normalized post times, drop
 /// sub-threshold and flat users, place the rest by EMD, then uncover the
 /// crowd's regions with a Gaussian-mixture fit.
+///
+/// Profile building, polishing, and placement run through a
+/// [`PlacementEngine`] on a configurable number of worker threads
+/// ([`GeolocationPipeline::threads`]); every parallel stage uses
+/// order-stable chunked reduction, so reports are byte-identical for any
+/// thread count.
 #[derive(Debug, Clone)]
 pub struct GeolocationPipeline {
     generic: GenericProfile,
     min_posts: usize,
     polish: bool,
     max_components: usize,
+    threads: Option<usize>,
 }
 
 impl GeolocationPipeline {
@@ -38,6 +46,7 @@ impl GeolocationPipeline {
             min_posts: 30,
             polish: true,
             max_components: 4,
+            threads: None,
         }
     }
 
@@ -60,6 +69,24 @@ impl GeolocationPipeline {
     pub fn max_components(mut self, max_components: usize) -> GeolocationPipeline {
         self.max_components = max_components.max(1);
         self
+    }
+
+    /// Sets the number of worker threads for profile building, polishing,
+    /// placement, and the report's bootstrap (clamped to ≥ 1).
+    ///
+    /// When not set, [`default_threads`] applies: the `CROWDTZ_THREADS`
+    /// environment variable, falling back to the machine's available
+    /// parallelism. The thread count never changes the numbers — only the
+    /// wall-clock.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> GeolocationPipeline {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The worker-thread count the pipeline will use.
+    pub fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(default_threads)
     }
 
     /// The generic profile in use.
@@ -101,9 +128,36 @@ impl GeolocationPipeline {
         }
         let profiles = ProfileBuilder::new()
             .min_posts(self.min_posts)
-            .build(traces);
+            .build_threads(traces, self.effective_threads());
+        self.analyze_profiles(profiles, coverage)
+    }
+
+    /// Runs polish → place → fit over prebuilt activity profiles — the
+    /// tail of [`analyze_partial`](GeolocationPipeline::analyze_partial),
+    /// exposed for callers that synthesize or cache profiles directly
+    /// (e.g. the 100k-user scale demo).
+    ///
+    /// All per-user stages run through one [`PlacementEngine`] on
+    /// [`effective_threads`](GeolocationPipeline::effective_threads)
+    /// workers.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidCoverage`] when `coverage` is outside `(0, 1]`.
+    /// * [`CoreError::EmptyCrowd`] when no profile survives polishing.
+    /// * [`CoreError::Stats`] when a numeric fit fails.
+    pub fn analyze_profiles(
+        &self,
+        profiles: Vec<ActivityProfile>,
+        coverage: f64,
+    ) -> Result<GeolocationReport, CoreError> {
+        if !coverage.is_finite() || coverage <= 0.0 || coverage > 1.0 {
+            return Err(CoreError::InvalidCoverage { coverage });
+        }
+        let threads = self.effective_threads();
+        let engine = PlacementEngine::new(&self.generic);
         let (profiles, flat_removed) = if self.polish {
-            let outcome = polish::split_flat_profiles(profiles, &self.generic);
+            let outcome = polish::split_flat_profiles_with(profiles, &engine, threads);
             let removed = outcome.flat.len();
             (outcome.kept, removed)
         } else {
@@ -113,10 +167,7 @@ impl GeolocationPipeline {
             return Err(CoreError::EmptyCrowd);
         }
         let crowd = CrowdProfile::aggregate(&profiles)?;
-        let placements: Vec<UserPlacement> = profiles
-            .iter()
-            .map(|p| place_user(p, &self.generic))
-            .collect();
+        let placements: Vec<UserPlacement> = engine.place_all(&profiles, threads);
         let histogram = PlacementHistogram::from_placements(&placements);
         let single = SingleRegionFit::fit(&histogram)?;
         let multi = MultiRegionFit::fit(&histogram, self.max_components)?;
@@ -129,6 +180,7 @@ impl GeolocationPipeline {
             single,
             multi,
             coverage,
+            threads,
         })
     }
 
@@ -169,6 +221,7 @@ pub struct GeolocationReport {
     single: SingleRegionFit,
     multi: MultiRegionFit,
     coverage: f64,
+    threads: usize,
 }
 
 impl GeolocationReport {
@@ -234,6 +287,13 @@ impl GeolocationReport {
         self.coverage < 1.0
     }
 
+    /// The worker-thread count the analysis ran with (and the bootstrap
+    /// in [`component_confidence`](GeolocationReport::component_confidence)
+    /// will use). Informational — the numbers are thread-count-invariant.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Bootstrap confidence for each mixture component, widened for
     /// coverage.
     ///
@@ -253,13 +313,15 @@ impl GeolocationReport {
         config: &BootstrapConfig,
     ) -> Result<Vec<ComponentConfidence>, StatsError> {
         let widen = 1.0 / self.coverage.sqrt();
-        Ok(bootstrap_components(&self.placements, config)?
-            .into_iter()
-            .map(|mut c| {
-                c.std_error *= widen;
-                c
-            })
-            .collect())
+        Ok(
+            bootstrap_components_threads(&self.placements, config, self.threads)?
+                .into_iter()
+                .map(|mut c| {
+                    c.std_error *= widen;
+                    c
+                })
+                .collect(),
+        )
     }
 
     /// Table II row for this crowd: mixture fit quality.

@@ -148,6 +148,25 @@ impl PlacementHistogram {
         }
     }
 
+    /// Builds the histogram directly from per-zone-index counts (index
+    /// `i` ↔ zone `i − 11`, as in [`PlacementHistogram::index_of`]).
+    ///
+    /// Float-identical to [`PlacementHistogram::from_placements`] over a
+    /// placement multiset with the same counts: integer counts are exact
+    /// in `f64` and the normalizing division is the same. The bootstrap
+    /// uses this to resample by zone index without materializing
+    /// intermediate `Vec<UserPlacement>`s.
+    pub fn from_zone_counts(counts: &[usize; ZONE_COUNT]) -> PlacementHistogram {
+        let users: usize = counts.iter().sum();
+        let mut fractions = [0.0_f64; ZONE_COUNT];
+        if users > 0 {
+            for (dst, &c) in fractions.iter_mut().zip(counts.iter()) {
+                *dst = c as f64 / users as f64;
+            }
+        }
+        PlacementHistogram { fractions, users }
+    }
+
     /// The array index of a zone offset (−11 → 0 … +12 → 23).
     pub fn index_of(zone_hours: i32) -> usize {
         (zone_hours + 11).rem_euclid(ZONE_COUNT as i32) as usize

@@ -5,8 +5,7 @@
 //! of 1/24 … than to a timezone profile. We apply this procedure in an
 //! iterative way."*
 
-use crowdtz_stats::{circular_emd, Distribution24};
-
+use crate::engine::{chunked_map, PlacementEngine};
 use crate::generic::GenericProfile;
 use crate::profile::ActivityProfile;
 
@@ -27,17 +26,26 @@ pub fn split_flat_profiles(
     profiles: Vec<ActivityProfile>,
     generic: &GenericProfile,
 ) -> PolishOutcome {
-    let uniform = Distribution24::uniform();
-    let zone_profiles: Vec<Distribution24> = (-11..=12).map(|k| generic.zone_profile(k)).collect();
+    split_flat_profiles_with(profiles, &PlacementEngine::new(generic), 1)
+}
+
+/// [`split_flat_profiles`] over a prebuilt [`PlacementEngine`], fanning
+/// the per-profile EMD checks across `threads` worker threads.
+///
+/// The engine's precomputed uniform and zone CDFs replace the per-call
+/// profile materialization; the flat/kept decision is identical (both
+/// paths evaluate the shared `circular_emd_cdf` kernel), and the two
+/// output vectors preserve input order regardless of thread count.
+pub fn split_flat_profiles_with(
+    profiles: Vec<ActivityProfile>,
+    engine: &PlacementEngine,
+    threads: usize,
+) -> PolishOutcome {
+    let flags: Vec<bool> = chunked_map(&profiles, threads, |p| engine.is_flat(p.distribution()));
     let mut kept = Vec::new();
     let mut flat = Vec::new();
-    for p in profiles {
-        let to_uniform = circular_emd(p.distribution(), &uniform);
-        let best_zone = zone_profiles
-            .iter()
-            .map(|zp| circular_emd(p.distribution(), zp))
-            .fold(f64::INFINITY, f64::min);
-        if to_uniform < best_zone {
+    for (p, is_flat) in profiles.into_iter().zip(flags) {
+        if is_flat {
             flat.push(p);
         } else {
             kept.push(p);

@@ -189,16 +189,28 @@ impl ProfileBuilder {
 
     /// Builds the profiles of all sufficiently active users.
     pub fn build(&self, traces: &TraceSet) -> Vec<ActivityProfile> {
-        traces
+        self.build_threads(traces, 1)
+    }
+
+    /// [`ProfileBuilder::build`] fanned across `threads` worker threads.
+    ///
+    /// Traces are split into contiguous chunks in the trace set's (sorted)
+    /// iteration order and per-chunk results are concatenated in chunk
+    /// order, so the output is identical for every thread count.
+    pub fn build_threads(&self, traces: &TraceSet, threads: usize) -> Vec<ActivityProfile> {
+        let eligible: Vec<&UserTrace> = traces
             .iter()
             .filter(|t| t.len() >= self.min_posts)
-            .filter_map(|t| match &self.local {
-                Some((zone, holidays)) => {
-                    ActivityProfile::from_trace_local(t, *zone, holidays.as_ref())
-                }
-                None => ActivityProfile::from_trace_offset(t, self.offset),
-            })
-            .collect()
+            .collect();
+        crate::engine::chunked_map(&eligible, threads, |t| match &self.local {
+            Some((zone, holidays)) => {
+                ActivityProfile::from_trace_local(t, *zone, holidays.as_ref())
+            }
+            None => ActivityProfile::from_trace_offset(t, self.offset),
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 }
 

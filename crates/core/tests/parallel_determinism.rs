@@ -1,0 +1,104 @@
+//! Determinism under parallelism, end to end: the pipeline and the
+//! bootstrap must produce **byte-identical** results (same JSON
+//! serialization) for any worker-thread count.
+//!
+//! CI runs this file under `CROWDTZ_THREADS=1` and `CROWDTZ_THREADS=4`
+//! (see `.github/workflows/ci.yml`); the env-default test below ties the
+//! knob to the explicit `threads(n)` path.
+
+use crowdtz_core::{BootstrapConfig, GeolocationPipeline, GeolocationReport};
+use crowdtz_synth::PopulationSpec;
+use crowdtz_time::{RegionDb, TraceSet};
+
+/// A two-region crowd (Japan UTC+9 and Brazil UTC−3) so the mixture,
+/// polish, and bootstrap paths all have real work to do.
+fn two_region_crowd() -> TraceSet {
+    let db = RegionDb::extended();
+    let mut traces = PopulationSpec::new(db.get(&"japan".into()).unwrap().clone())
+        .users(40)
+        .seed(3)
+        .posts_per_day(0.5)
+        .generate();
+    let brazil = PopulationSpec::new(db.get(&"brazil".into()).unwrap().clone())
+        .users(40)
+        .seed(4)
+        .posts_per_day(0.5)
+        .generate();
+    for t in brazil.iter() {
+        traces.insert(t.clone());
+    }
+    traces
+}
+
+/// Serializes every numeric product of a report: placements, histogram,
+/// and both fits. Any cross-thread divergence — ordering, accumulation,
+/// tie-breaking — shows up as a string mismatch.
+fn report_json(report: &GeolocationReport) -> String {
+    serde_json::to_string(&(
+        report.placements(),
+        report.histogram(),
+        report.single_fit(),
+        report.multi_fit(),
+    ))
+    .unwrap()
+}
+
+#[test]
+fn pipeline_reports_byte_identical_across_thread_counts() {
+    let traces = two_region_crowd();
+    let baseline = GeolocationPipeline::default()
+        .threads(1)
+        .analyze(&traces)
+        .unwrap();
+    let baseline_json = report_json(&baseline);
+    for threads in [2, 8] {
+        let report = GeolocationPipeline::default()
+            .threads(threads)
+            .analyze(&traces)
+            .unwrap();
+        assert_eq!(
+            baseline_json,
+            report_json(&report),
+            "pipeline diverged at {threads} threads"
+        );
+        assert_eq!(report.threads(), threads);
+    }
+}
+
+#[test]
+fn bootstrap_confidence_byte_identical_across_thread_counts() {
+    let traces = two_region_crowd();
+    let config = BootstrapConfig {
+        iterations: 50,
+        ..BootstrapConfig::default()
+    };
+    let confidence_json = |threads: usize| {
+        let report = GeolocationPipeline::default()
+            .threads(threads)
+            .analyze(&traces)
+            .unwrap();
+        serde_json::to_string(&report.component_confidence(&config).unwrap()).unwrap()
+    };
+    let baseline = confidence_json(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            baseline,
+            confidence_json(threads),
+            "bootstrap diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn env_default_thread_count_changes_nothing() {
+    // Whatever CROWDTZ_THREADS (or the machine's parallelism) resolves to,
+    // the default-threaded pipeline must match the single-threaded one.
+    let traces = two_region_crowd();
+    let default_report = GeolocationPipeline::default().analyze(&traces).unwrap();
+    let sequential = GeolocationPipeline::default()
+        .threads(1)
+        .analyze(&traces)
+        .unwrap();
+    assert_eq!(report_json(&default_report), report_json(&sequential));
+    assert_eq!(default_report.threads(), crowdtz_core::default_threads());
+}

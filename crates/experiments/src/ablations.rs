@@ -7,8 +7,8 @@
 //! * the paper's 30-post activity threshold vs lower thresholds.
 
 use crowdtz_core::{
-    place_user, ActivityProfile, GenericProfile, GeolocationPipeline, PlacementHistogram,
-    ProfileBuilder, UserPlacement,
+    default_threads, ActivityProfile, GenericProfile, GeolocationPipeline, PlacementEngine,
+    PlacementHistogram, ProfileBuilder, UserPlacement,
 };
 use crowdtz_stats::{em, linear_emd, select_components, EmConfig, SelectionCriterion};
 use crowdtz_synth::{generate_bot, BotSpec, PopulationSpec};
@@ -49,9 +49,11 @@ fn emd_ablation(out: &mut ExperimentOutput, db: &RegionDb, users: usize, seed: u
     let profs = profiles(&traces);
     let home = 9.0;
 
-    let circ_err: f64 = profs
+    let engine = PlacementEngine::new(&generic);
+    let circ_err: f64 = engine
+        .place_all(&profs, default_threads())
         .iter()
-        .map(|p| (f64::from(place_user(p, &generic).zone_hours()) - home).abs())
+        .map(|placed| (f64::from(placed.zone_hours()) - home).abs())
         .sum::<f64>()
         / profs.len() as f64;
 
@@ -91,11 +93,11 @@ fn sigma_and_criterion_ablation(
     seed: u64,
 ) {
     let generic = GenericProfile::reference();
+    let engine = PlacementEngine::new(&generic);
     let mut placements: Vec<UserPlacement> = Vec::new();
     for (region, n) in [("germany", users * 2 / 3), ("us-central", users / 3)] {
-        for p in profiles(&crowd(db, region, n, seed ^ region.len() as u64)) {
-            placements.push(place_user(&p, &generic));
-        }
+        let profs = profiles(&crowd(db, region, n, seed ^ region.len() as u64));
+        placements.extend(engine.place_all(&profs, default_threads()));
     }
     let hist = PlacementHistogram::from_placements(&placements);
     let counts = hist.counts();

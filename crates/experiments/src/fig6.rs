@@ -2,7 +2,7 @@
 //! Gaussian mixture model (§IV.B).
 
 use crowdtz_core::{
-    place_distribution, place_user, MultiRegionFit, PlacementHistogram, UserPlacement,
+    default_threads, MultiRegionFit, PlacementEngine, PlacementHistogram, UserPlacement,
 };
 use crowdtz_stats::render_overlay;
 
@@ -24,13 +24,14 @@ fn part_a(out: &mut ExperimentOutput, shared: &SharedDataset) {
     const TARGETS: [i32; 3] = [0, -7, 9];
     const MALAYSIA_OFFSET: i32 = 8;
     let profiles = shared.region_profiles_utc(&"malaysia".into());
+    let engine = PlacementEngine::new(shared.generic());
     let mut placements = Vec::new();
     for (i, p) in profiles.iter().enumerate() {
         for &target in &TARGETS {
             // A user with identical local behaviour at `target` has the
             // Malaysian UTC profile rotated by (8 − target).
             let shifted = p.distribution().shifted(MALAYSIA_OFFSET - target);
-            let (zone, emd) = place_distribution(&shifted, shared.generic());
+            let (zone, emd) = engine.place_distribution(&shifted);
             placements.push(UserPlacement::new(format!("rep{i}@{target}"), zone, emd));
         }
     }
@@ -68,11 +69,11 @@ fn part_a(out: &mut ExperimentOutput, shared: &SharedDataset) {
 /// Malaysia (UTC+8).
 fn part_b(out: &mut ExperimentOutput, shared: &SharedDataset) {
     const REGIONS: [(&str, i32); 3] = [("illinois", -6), ("germany", 1), ("malaysia", 8)];
+    let engine = PlacementEngine::new(shared.generic());
     let mut placements = Vec::new();
     for (region, _) in REGIONS {
-        for p in shared.region_profiles_utc(&region.into()) {
-            placements.push(place_user(&p, shared.generic()));
-        }
+        let profiles = shared.region_profiles_utc(&region.into());
+        placements.extend(engine.place_all(&profiles, default_threads()));
     }
     let histogram = PlacementHistogram::from_placements(&placements);
     let fit = MultiRegionFit::fit(&histogram, 5).expect("fit 6b");

@@ -1,7 +1,7 @@
 //! Figures 3–5 — EMD placement of single-country Twitter crowds, with the
 //! Gaussian curve fit of §IV.A.
 
-use crowdtz_core::{place_user, PlacementHistogram, SingleRegionFit};
+use crowdtz_core::{default_threads, PlacementEngine, PlacementHistogram, SingleRegionFit};
 use crowdtz_stats::render_overlay;
 use crowdtz_time::RegionId;
 
@@ -40,10 +40,8 @@ pub fn place_and_fit(
     region: &RegionId,
 ) -> (PlacementHistogram, SingleRegionFit) {
     let profiles = shared.region_profiles_utc(region);
-    let placements: Vec<_> = profiles
-        .iter()
-        .map(|p| place_user(p, shared.generic()))
-        .collect();
+    let engine = PlacementEngine::new(shared.generic());
+    let placements = engine.place_all(&profiles, default_threads());
     let histogram = PlacementHistogram::from_placements(&placements);
     let fit = SingleRegionFit::fit(&histogram).expect("placement histogram is fittable");
     (histogram, fit)

@@ -111,13 +111,14 @@ pub fn run(config: &Config) -> ExperimentOutput {
 }
 
 fn synthetic_a_quality(shared: &SharedDataset) -> FitQuality {
-    use crowdtz_core::{place_distribution, MultiRegionFit, UserPlacement};
+    use crowdtz_core::{MultiRegionFit, PlacementEngine, UserPlacement};
+    let engine = PlacementEngine::new(shared.generic());
     let profiles = shared.region_profiles_utc(&"malaysia".into());
     let mut placements = Vec::new();
     for (i, p) in profiles.iter().enumerate() {
         for target in [0, -7, 9] {
             let shifted = p.distribution().shifted(8 - target);
-            let (zone, emd) = place_distribution(&shifted, shared.generic());
+            let (zone, emd) = engine.place_distribution(&shifted);
             placements.push(UserPlacement::new(format!("a{i}@{target}"), zone, emd));
         }
     }
@@ -128,12 +129,12 @@ fn synthetic_a_quality(shared: &SharedDataset) -> FitQuality {
 }
 
 fn synthetic_b_quality(shared: &SharedDataset) -> FitQuality {
-    use crowdtz_core::{place_user, MultiRegionFit};
+    use crowdtz_core::{default_threads, MultiRegionFit, PlacementEngine};
+    let engine = PlacementEngine::new(shared.generic());
     let mut placements = Vec::new();
     for region in ["illinois", "germany", "malaysia"] {
-        for p in shared.region_profiles_utc(&region.into()) {
-            placements.push(place_user(&p, shared.generic()));
-        }
+        let profiles = shared.region_profiles_utc(&region.into());
+        placements.extend(engine.place_all(&profiles, default_threads()));
     }
     let hist = PlacementHistogram::from_placements(&placements);
     MultiRegionFit::fit(&hist, 5)

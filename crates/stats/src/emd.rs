@@ -46,17 +46,86 @@ pub fn linear_emd(p: &Distribution24, q: &Distribution24) -> f64 {
 /// assert_eq!(circular_emd(&a, &b), 1.0);
 /// ```
 pub fn circular_emd(p: &Distribution24, q: &Distribution24) -> f64 {
-    let mut diffs = [0.0_f64; BINS];
-    let mut acc = 0.0;
-    for (h, d) in diffs.iter_mut().enumerate() {
-        acc += p.get(h) - q.get(h);
-        *d = acc;
+    circular_emd_cdf(&p.cdf(), &q.cdf())
+}
+
+/// [`linear_emd`] evaluated on precomputed CDFs (see
+/// [`Distribution24::cdf`]): `Σ_h |CDF_p(h) − CDF_q(h)|`.
+///
+/// The allocation-free form of the kernel: callers that compare one
+/// distribution against many can compute each CDF once and reuse it.
+pub fn linear_emd_cdf(p_cdf: &[f64; BINS], q_cdf: &[f64; BINS]) -> f64 {
+    let mut acc = 0.0_f64;
+    for h in 0..BINS {
+        acc += (p_cdf[h] - q_cdf[h]).abs();
     }
-    diffs.sort_by(f64::total_cmp);
-    // Median of an even-length array: either middle element is optimal for
-    // the L1 objective; take the lower.
-    let median = diffs[BINS / 2 - 1];
-    diffs.iter().map(|d| (d - median).abs()).sum()
+    acc
+}
+
+/// [`circular_emd`] evaluated on precomputed CDFs (see
+/// [`Distribution24::cdf`]).
+///
+/// This is the hot-path form of the kernel: the placement engine in
+/// `crowdtz-core` precomputes the 24 zone-profile CDFs once and calls this
+/// per user, and [`circular_emd`] itself is a thin wrapper over it — both
+/// paths therefore produce bit-identical distances. The median of the CDF
+/// differences is found by `select_nth_unstable` (O(n), no full sort) on a
+/// fixed stack array; nothing here allocates.
+pub fn circular_emd_cdf(p_cdf: &[f64; BINS], q_cdf: &[f64; BINS]) -> f64 {
+    let mut diffs = [0.0_f64; BINS];
+    for h in 0..BINS {
+        diffs[h] = p_cdf[h] - q_cdf[h];
+    }
+    circular_emd_of_cdf_diff(&diffs)
+}
+
+/// `min_c Σ_h |d[h] − c|` for a circular CDF-difference array — the shared
+/// tail of every circular-EMD path.
+///
+/// The optimal `c` is the median, and at the median the objective telescopes
+/// to *(sum of the 12 largest diffs) − (sum of the 12 smallest)*, so only a
+/// half-partition (`select_nth_unstable`, O(n)) is needed — no full sort and
+/// no explicit median subtraction.
+pub fn circular_emd_of_cdf_diff(diffs: &[f64; BINS]) -> f64 {
+    let mut scratch = *diffs;
+    let (lower, mid, upper) = scratch.select_nth_unstable_by(BINS / 2 - 1, f64::total_cmp);
+    let lower_sum = lower.iter().sum::<f64>() + *mid;
+    let upper_sum: f64 = upper.iter().sum();
+    upper_sum - lower_sum
+}
+
+/// A cheap lower bound on [`circular_emd_of_cdf_diff`]: pairing the hours
+/// `(h, h+12)` and summing `|d[h] − d[h+12]|`.
+///
+/// For every pair, `|a − b| ≤ |a − c| + |b − c|` for any `c`, so summing
+/// over the 12 disjoint pairs bounds `min_c Σ_h |d[h] − c|` from below.
+/// The placement engine uses it to skip the exact selection for zones that
+/// cannot beat the current best — the argmin is unaffected because a zone
+/// is skipped only when even its lower bound is no better.
+pub fn circular_emd_lower_bound(diffs: &[f64; BINS]) -> f64 {
+    let mut acc = 0.0;
+    for h in 0..BINS / 2 {
+        acc += (diffs[h] - diffs[h + BINS / 2]).abs();
+    }
+    acc
+}
+
+/// Writes `CDF_{p shifted by s}(h) − CDF_q(h)` into `diffs` without
+/// materializing the shifted distribution.
+///
+/// The CDF of `p.shifted(s)` is a rotation of `p`'s CDF with a two-piece
+/// additive fix-up: with `a = (−s) mod 24`,
+/// `CDF_{p_s}(h) = CDF_p((h + a) mod 24) − CDF_p(a − 1) + [h + a ≥ 24]`,
+/// where the bracket adds the full mass (1 after normalization, the total
+/// in general) once the rotated index wraps past the end of the day.
+fn shifted_cdf_diff(p_cdf: &[f64; BINS], q_cdf: &[f64; BINS], shift: i32, diffs: &mut [f64; BINS]) {
+    let a = (-shift).rem_euclid(BINS as i32) as usize;
+    let pre = if a == 0 { 0.0 } else { p_cdf[a - 1] };
+    let total = p_cdf[BINS - 1];
+    for (h, d) in diffs.iter_mut().enumerate() {
+        let wrap = if h + a >= BINS { total } else { 0.0 };
+        *d = p_cdf[(h + a) % BINS] - pre + wrap - q_cdf[h];
+    }
 }
 
 /// The minimum linear EMD over all 24 circular shifts of `p`, together with
@@ -67,9 +136,16 @@ pub fn circular_emd(p: &Distribution24, q: &Distribution24) -> f64 {
 /// profiles being shifts of a single generic profile, evaluating the user
 /// against all 24 shifted profiles is exactly this computation.
 pub fn min_shift_emd(p: &Distribution24, q: &Distribution24) -> (i32, f64) {
+    // Both CDFs are computed once; each shift is evaluated by rotating the
+    // CDF difference in place instead of materializing `p.shifted(shift)`
+    // and re-accumulating its cumulative sums 24 times.
+    let p_cdf = p.cdf();
+    let q_cdf = q.cdf();
+    let mut diffs = [0.0_f64; BINS];
     let mut best = (0, f64::INFINITY);
     for shift in 0..BINS as i32 {
-        let d = linear_emd(&p.shifted(shift), q);
+        shifted_cdf_diff(&p_cdf, &q_cdf, shift, &mut diffs);
+        let d = diffs.iter().map(|d| d.abs()).sum();
         if d < best.1 {
             best = (shift, d);
         }
@@ -87,9 +163,15 @@ pub fn min_shift_emd(p: &Distribution24, q: &Distribution24) -> (i32, f64) {
 /// hemisphere test (§V.F): a residual minimized at `shift = +1` indicates a
 /// northern-hemisphere DST pattern, at `shift = −1` a southern one.
 pub fn shift_alignment(p: &Distribution24, q: &Distribution24) -> (i32, f64) {
+    // Same in-place rotation as [`min_shift_emd`], with the circular
+    // (median-subtracted) objective.
+    let p_cdf = p.cdf();
+    let q_cdf = q.cdf();
+    let mut diffs = [0.0_f64; BINS];
     let mut best = (0, f64::INFINITY);
     for shift in 0..BINS as i32 {
-        let d = circular_emd(&p.shifted(shift), q);
+        shifted_cdf_diff(&p_cdf, &q_cdf, shift, &mut diffs);
+        let d = circular_emd_of_cdf_diff(&diffs);
         if d < best.1 {
             best = (shift, d);
         }
@@ -171,6 +253,76 @@ mod tests {
         for h in 1..24 {
             let dh = circular_emd(&u, &delta(h));
             assert!((d0 - dh).abs() < 1e-9, "hour {h}: {d0} vs {dh}");
+        }
+    }
+
+    #[test]
+    fn cdf_kernels_match_distribution_kernels_exactly() {
+        let a = delta(3).mix(&Distribution24::uniform(), 0.37);
+        let b = delta(19)
+            .mix(&delta(7), 0.4)
+            .mix(&Distribution24::uniform(), 0.1);
+        let (ac, bc) = (a.cdf(), b.cdf());
+        // Bit-identical: circular_emd is defined in terms of the CDF kernel.
+        assert_eq!(circular_emd(&a, &b), circular_emd_cdf(&ac, &bc));
+        // linear_emd accumulates the running difference directly, so the
+        // two paths agree only up to rounding.
+        assert!((linear_emd(&a, &b) - linear_emd_cdf(&ac, &bc)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_place_shifted_diff_matches_materialized_shift() {
+        let p = delta(3)
+            .mix(&delta(14), 0.45)
+            .mix(&Distribution24::uniform(), 0.2);
+        let q = delta(20).mix(&Distribution24::uniform(), 0.3);
+        let (pc, qc) = (p.cdf(), q.cdf());
+        let mut diffs = [0.0_f64; BINS];
+        for shift in 0..BINS as i32 {
+            shifted_cdf_diff(&pc, &qc, shift, &mut diffs);
+            let lin: f64 = diffs.iter().map(|d| d.abs()).sum();
+            assert!(
+                (lin - linear_emd(&p.shifted(shift), &q)).abs() < 1e-12,
+                "linear, shift {shift}"
+            );
+            let circ = circular_emd_of_cdf_diff(&diffs);
+            assert!(
+                (circ - circular_emd(&p.shifted(shift), &q)).abs() < 1e-12,
+                "circular, shift {shift}"
+            );
+        }
+    }
+
+    #[test]
+    fn half_sum_form_equals_median_form() {
+        // The partitioned form must agree with the textbook median form.
+        let p = delta(5).mix(&Distribution24::uniform(), 0.3);
+        let q = delta(17).mix(&delta(2), 0.25);
+        let (pc, qc) = (p.cdf(), q.cdf());
+        let mut diffs = [0.0_f64; BINS];
+        for h in 0..BINS {
+            diffs[h] = pc[h] - qc[h];
+        }
+        let mut sorted = diffs;
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[BINS / 2 - 1];
+        let via_median: f64 = diffs.iter().map(|d| (d - median).abs()).sum();
+        assert!((circular_emd_of_cdf_diff(&diffs) - via_median).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_exact_emd() {
+        for (a, b) in [(0u8, 12u8), (3, 4), (23, 0), (7, 7)] {
+            let p = delta(a).mix(&Distribution24::uniform(), 0.4);
+            let q = delta(b).mix(&Distribution24::uniform(), 0.15);
+            let (pc, qc) = (p.cdf(), q.cdf());
+            let mut diffs = [0.0_f64; BINS];
+            for h in 0..BINS {
+                diffs[h] = pc[h] - qc[h];
+            }
+            let bound = circular_emd_lower_bound(&diffs);
+            let exact = circular_emd_of_cdf_diff(&diffs);
+            assert!(bound <= exact + 1e-12, "bound {bound} > exact {exact}");
         }
     }
 
