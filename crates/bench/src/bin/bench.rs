@@ -1,23 +1,32 @@
 //! Benchmark telemetry: times the placement engine against the naive
-//! per-call path and the bootstrap across thread counts, then writes the
-//! numbers to `BENCH_placement.json` for CI and the ROADMAP to track.
+//! per-call path, the bootstrap across thread counts, and the streaming
+//! pipeline against full re-analysis, then writes the numbers to
+//! `BENCH_placement.json` and `BENCH_streaming.json` for CI and the
+//! ROADMAP to track.
 //!
 //! ```text
-//! cargo run --release -p crowdtz-bench --bin bench [users] [out.json]
+//! cargo run --release -p crowdtz-bench --bin bench \
+//!     [users] [out.json] [streaming_users] [streaming_out.json]
 //! ```
 //!
-//! Defaults: 10 000 users, `BENCH_placement.json` in the working
-//! directory. The JSON carries users/sec for each placement path,
+//! Defaults: 10 000 placement users to `BENCH_placement.json`, 100 000
+//! streaming users to `BENCH_streaming.json`, in the working directory.
+//! The placement JSON carries users/sec for each placement path,
 //! resamples/sec for each bootstrap thread count, and the two headline
-//! ratios (engine vs naive, 4-thread vs 1-thread bootstrap).
+//! ratios (engine vs naive, 4-thread vs 1-thread bootstrap); both
+//! record the requested *and* effective worker counts, since
+//! [`clamped_threads`] caps workers at the host's parallelism. The
+//! streaming JSON compares a full batch re-analysis against an
+//! incremental snapshot with ~1% dirty users.
 
 use std::time::Instant;
 
-use crowdtz_bench::synthetic_profiles;
+use crowdtz_bench::{synthetic_profiles, synthetic_traces};
 use crowdtz_core::{
-    bootstrap_components_threads, default_threads, place_user, BootstrapConfig, GenericProfile,
-    PlacementEngine,
+    bootstrap_components_threads, clamped_threads, default_threads, place_user, BootstrapConfig,
+    GenericProfile, GeolocationPipeline, PlacementEngine, StreamingPipeline,
 };
+use crowdtz_time::Timestamp;
 
 /// Best-of-`runs` wall-clock seconds for `work`.
 fn time_best<T>(runs: usize, mut work: impl FnMut() -> T) -> f64 {
@@ -37,6 +46,11 @@ fn main() {
         .map(|a| a.parse().expect("users must be an integer"))
         .unwrap_or(10_000);
     let out_path = args.next().unwrap_or_else(|| "BENCH_placement.json".into());
+    let streaming_users: usize = args
+        .next()
+        .map(|a| a.parse().expect("streaming_users must be an integer"))
+        .unwrap_or(100_000);
+    let streaming_out = args.next().unwrap_or_else(|| "BENCH_streaming.json".into());
     let runs = 5;
     let threads = default_threads();
 
@@ -79,6 +93,7 @@ fn main() {
         "engine_users_per_sec": users as f64 / engine_s,
         "parallel_users_per_sec": users as f64 / parallel_s,
         "parallel_threads": threads,
+        "parallel_threads_effective": clamped_threads(threads),
         "engine_speedup_vs_naive": naive_s / engine_s,
         "parallel_speedup_vs_naive": naive_s / parallel_s,
     });
@@ -86,9 +101,14 @@ fn main() {
         .iter()
         .map(|&(t, s)| (t.to_string(), iterations as f64 / s))
         .collect();
+    let effective_threads: std::collections::BTreeMap<String, usize> = boot_s
+        .iter()
+        .map(|&(t, _)| (t.to_string(), clamped_threads(t)))
+        .collect();
     let bootstrap = serde_json::json!({
         "iterations": iterations,
         "resamples_per_sec": resamples_per_sec,
+        "effective_threads": effective_threads,
         "speedup_4_threads_vs_1": boot_1 / boot_4,
     });
     let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -122,5 +142,65 @@ fn main() {
                 "WARNING: bootstrap 4-thread speedup {boot_speedup:.2}x is below the 1.5x bar"
             );
         }
+    }
+
+    streaming_bench(streaming_users, threads, host_cpus, &streaming_out);
+}
+
+/// Full batch re-analysis vs incremental streaming snapshot with ~1%
+/// dirty users, written to `BENCH_streaming.json`.
+fn streaming_bench(users: usize, threads: usize, host_cpus: usize, out_path: &str) {
+    let posts_per_user = 40;
+    eprintln!("synthesizing {users} streaming traces…");
+    let traces = synthetic_traces(users, posts_per_user, 11);
+    let pipeline = || GeolocationPipeline::default().threads(threads);
+
+    let runs = 3;
+    eprintln!("timing full re-analysis (best of {runs})…");
+    let full_s = time_best(runs, || pipeline().analyze(&traces).expect("batch analyze"));
+
+    // Prime the streaming engine with the whole crowd, then time only the
+    // between-rounds work: ingest a ~1% dirty set and snapshot.
+    let mut streaming = StreamingPipeline::new(pipeline());
+    streaming.ingest_set(&traces);
+    streaming.snapshot().expect("priming snapshot");
+    // Zero dirty users: the floor of any snapshot (collect + aggregate +
+    // fit-cache hit).
+    let cached_s = time_best(runs, || streaming.snapshot().expect("cached snapshot"));
+    let dirty = (users / 100).max(1);
+    eprintln!("timing incremental snapshots ({dirty} dirty users/round, best of {runs})…");
+    let mut round: i64 = 0;
+    let incr_s = time_best(runs, || {
+        round += 1;
+        for i in 0..dirty {
+            let user = format!("u{:06}", (i * 97 + round as usize * 31) % users);
+            let ts =
+                Timestamp::from_secs(posts_per_user as i64 * 86_400 + round * 3_600 + i as i64);
+            streaming.ingest(&user, &[ts]);
+        }
+        streaming.snapshot().expect("incremental snapshot")
+    });
+
+    let speedup = full_s / incr_s;
+    let report = serde_json::json!({
+        "users": users,
+        "posts_per_user": posts_per_user,
+        "dirty_users_per_round": dirty,
+        "threads": threads,
+        "threads_effective": clamped_threads(threads),
+        "host_cpus": host_cpus,
+        "full_reanalyze_secs": full_s,
+        "cached_snapshot_secs": cached_s,
+        "incremental_snapshot_secs": incr_s,
+        "full_users_per_sec": users as f64 / full_s,
+        "incremental_users_per_sec": users as f64 / incr_s,
+        "incremental_speedup_vs_full": speedup,
+    });
+    let json = serde_json::to_string_pretty(&report).expect("serialize streaming report");
+    std::fs::write(out_path, format!("{json}\n")).expect("write streaming telemetry");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+    if speedup < 10.0 {
+        eprintln!("WARNING: incremental speedup {speedup:.2}x is below the 10x bar");
     }
 }

@@ -126,38 +126,41 @@ pub fn bootstrap_components_threads(
     let resample_ids: Vec<u64> = (0..config.iterations as u64).collect();
     let ref_means_view = &ref_means;
     let zone_view = &zone_indices;
-    let per_resample: Vec<Vec<(usize, f64)>> =
-        crate::engine::chunked_map(&resample_ids, threads, move |&resample_index| {
+    // Each worker reuses one zone-count scratch buffer and appends its
+    // matches to one flat output vector — no per-resample allocations.
+    // Output order is (resample order, component order), exactly the
+    // order the old per-resample Vec-of-Vecs reduction produced, so the
+    // summary below is byte-identical.
+    let matches: Vec<(usize, f64)> = crate::engine::chunked_map_with(
+        &resample_ids,
+        threads,
+        || [0usize; crate::placement::ZONE_COUNT],
+        move |counts, &resample_index, out| {
             let mut rng = StdRng::seed_from_u64(config.seed ^ resample_index);
-            let mut counts = [0usize; crate::placement::ZONE_COUNT];
+            counts.fill(0);
             for _ in 0..users {
                 counts[zone_view[rng.gen_range(0..users)] as usize] += 1;
             }
-            let hist = PlacementHistogram::from_zone_counts(&counts);
+            let hist = PlacementHistogram::from_zone_counts(counts);
             let Ok(fit) = MultiRegionFit::fit_k(&hist, k) else {
-                return Vec::new();
+                return;
             };
-            fit.mixture()
-                .components()
-                .iter()
-                .filter_map(|c| {
-                    // Nearest reference component within the match radius.
-                    ref_means_view
-                        .iter()
-                        .enumerate()
-                        .map(|(i, (m, _))| (i, circular_distance(c.mean, *m)))
-                        .filter(|(_, d)| *d <= config.match_radius)
-                        .min_by(|a, b| a.1.total_cmp(&b.1))
-                        .map(|(i, _)| (i, c.mean))
-                })
-                .collect()
-        });
+            out.extend(fit.mixture().components().iter().filter_map(|c| {
+                // Nearest reference component within the match radius.
+                ref_means_view
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (m, _))| (i, circular_distance(c.mean, *m)))
+                    .filter(|(_, d)| *d <= config.match_radius)
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .map(|(i, _)| (i, c.mean))
+            }));
+        },
+    );
 
     let mut samples: Vec<Vec<f64>> = vec![Vec::new(); k];
-    for matches in per_resample {
-        for (idx, mean) in matches {
-            samples[idx].push(mean);
-        }
+    for (idx, mean) in matches {
+        samples[idx].push(mean);
     }
 
     Ok(ref_means

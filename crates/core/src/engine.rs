@@ -54,6 +54,23 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Clamps a requested worker count to the machine's available parallelism
+/// (and to at least 1).
+///
+/// Oversubscribing CPU-bound workers never helps and measurably hurts on
+/// small hosts (a 1-CPU container running "4 threads" pays spawn and
+/// scheduling cost for zero parallelism — the 0.92× bootstrap regression in
+/// `BENCH_placement.json`). Results are unaffected: every parallel path in
+/// this workspace is byte-identical for any thread count (DESIGN.md §9),
+/// so the clamp is purely a performance guard. Benches record both the
+/// requested and the effective (clamped) count.
+pub fn clamped_threads(requested: usize) -> usize {
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    requested.max(1).min(available)
+}
+
 /// Maps `items` through `map` on up to `threads` scoped worker threads,
 /// preserving input order.
 ///
@@ -67,7 +84,7 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let threads = threads.max(1).min(items.len().max(1));
+    let threads = clamped_threads(threads).min(items.len().max(1));
     if threads == 1 {
         return items.iter().map(map).collect();
     }
@@ -77,6 +94,63 @@ where
         let handles: Vec<_> = items
             .chunks(chunk_len)
             .map(|chunk| scope.spawn(move |_| chunk.iter().map(map).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for handle in handles {
+            out.extend(handle.join().expect("worker thread panicked"));
+        }
+        out
+    })
+    .expect("thread scope failed")
+}
+
+/// Like [`chunked_map`], but each worker thread carries a reusable scratch
+/// value built by `init`, and each item may emit any number of outputs by
+/// appending to the worker's output vector.
+///
+/// Output order is (chunk order, item order within the chunk, append order
+/// within the item) — i.e. exactly the order a sequential
+/// `for item in items { fill(&mut scratch, item, &mut out) }` loop would
+/// produce — so for a pure `fill` the result is byte-identical for every
+/// thread count. Used where a per-item allocation would dominate (the
+/// bootstrap's resample buffers, profile slot scratch).
+pub(crate) fn chunked_map_with<T, U, S, I, F>(
+    items: &[T],
+    threads: usize,
+    init: I,
+    fill: F,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T, &mut Vec<U>) + Sync,
+{
+    let threads = clamped_threads(threads).min(items.len().max(1));
+    if threads == 1 {
+        let mut scratch = init();
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            fill(&mut scratch, item, &mut out);
+        }
+        return out;
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let init = &init;
+    let fill = &fill;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    let mut scratch = init();
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for item in chunk {
+                        fill(&mut scratch, item, &mut out);
+                    }
+                    out
+                })
+            })
             .collect();
         let mut out = Vec::with_capacity(items.len());
         for handle in handles {
@@ -324,5 +398,46 @@ mod tests {
         let items: Vec<usize> = (0..101).collect();
         let doubled = chunked_map(&items, 7, |&i| i * 2);
         assert_eq!(doubled, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clamped_threads_bounds() {
+        assert_eq!(clamped_threads(0), 1);
+        assert!(clamped_threads(1) == 1);
+        let available = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(clamped_threads(10_000), available);
+    }
+
+    #[test]
+    fn chunked_map_with_matches_sequential_multi_output() {
+        let items: Vec<usize> = (0..53).collect();
+        // Each item emits `i % 3` outputs through a reused scratch buffer.
+        let run = |threads| {
+            chunked_map_with(
+                &items,
+                threads,
+                Vec::<usize>::new,
+                |scratch, &i, out: &mut Vec<usize>| {
+                    scratch.clear();
+                    scratch.extend((0..i % 3).map(|j| i * 10 + j));
+                    out.extend_from_slice(scratch);
+                },
+            )
+        };
+        let one = run(1);
+        for threads in [2, 5, 64] {
+            assert_eq!(one, run(threads), "{threads} threads");
+        }
+        assert!(chunked_map_with(
+            &[] as &[usize],
+            4,
+            || (),
+            |_, _, out: &mut Vec<usize>| {
+                out.push(0);
+            }
+        )
+        .is_empty());
     }
 }

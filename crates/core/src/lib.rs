@@ -25,6 +25,10 @@
 //!    opposite seasonal shifts in the northern and southern hemispheres.
 //! 9. **The full pipeline** (§V): [`GeolocationPipeline`] — polish,
 //!    place, fit, report, with the Table II quality metrics.
+//! 10. **Streaming re-analysis** (§V's monitoring scenario):
+//!     [`StreamingPipeline`] — delta ingestion over per-user integer
+//!     accumulators, dirty-user re-placement, cached/warm-started refits;
+//!     snapshots byte-identical to the batch pipeline.
 //!
 //! # Quickstart
 //!
@@ -60,12 +64,13 @@ mod placement;
 pub mod polish;
 mod profile;
 mod single;
+mod streaming;
 
 pub use confidence::{
     bootstrap_components, bootstrap_components_threads, BootstrapConfig, ComponentConfidence,
 };
 pub use crowd::CrowdProfile;
-pub use engine::{default_threads, PlacementEngine};
+pub use engine::{clamped_threads, default_threads, PlacementEngine};
 pub use error::CoreError;
 pub use generic::GenericProfile;
 pub use pipeline::{GeolocationPipeline, GeolocationReport};
@@ -74,3 +79,4 @@ pub use placement::{
 };
 pub use profile::{ActivityProfile, ProfileBuilder};
 pub use single::{MultiRegionFit, SingleRegionFit, SIGMA_INIT};
+pub use streaming::{RefitMode, StreamingPipeline};

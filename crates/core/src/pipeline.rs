@@ -1,6 +1,7 @@
 //! The end-to-end geolocation pipeline — §V's experimental procedure.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crowdtz_stats::{pearson, FitQuality, GaussianMixture, StatsError};
 use crowdtz_time::TraceSet;
@@ -94,6 +95,21 @@ impl GeolocationPipeline {
         &self.generic
     }
 
+    /// The configured active-user threshold.
+    pub fn min_posts_threshold(&self) -> usize {
+        self.min_posts
+    }
+
+    /// Whether the flat-profile filter is enabled.
+    pub fn polish_enabled(&self) -> bool {
+        self.polish
+    }
+
+    /// The configured maximum mixture size.
+    pub fn max_components_limit(&self) -> usize {
+        self.max_components
+    }
+
     /// Runs the pipeline on a crowd's traces (timestamps already
     /// UTC-normalized, e.g. by scraper calibration).
     ///
@@ -172,10 +188,10 @@ impl GeolocationPipeline {
         let single = SingleRegionFit::fit(&histogram)?;
         let multi = MultiRegionFit::fit(&histogram, self.max_components)?;
         Ok(GeolocationReport {
-            profiles,
+            profiles: Arc::new(profiles),
             flat_removed,
             crowd,
-            placements,
+            placements: Arc::new(placements),
             histogram,
             single,
             multi,
@@ -211,12 +227,21 @@ impl Default for GeolocationPipeline {
 }
 
 /// Everything the pipeline learned about a crowd.
-#[derive(Debug, Clone)]
+///
+/// Serializable — the streaming identity tests compare incremental and
+/// batch reports byte-for-byte through `serde_json`.
+///
+/// The per-user vectors are behind [`Arc`]: a report is an immutable
+/// snapshot, so the streaming pipeline can hand out successive reports
+/// that share their unchanged profile/placement storage instead of deep-
+/// copying ~n users per snapshot. (An `Arc` serializes exactly like its
+/// contents, so the byte-identity guarantee is unaffected.)
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct GeolocationReport {
-    profiles: Vec<ActivityProfile>,
+    profiles: Arc<Vec<ActivityProfile>>,
     flat_removed: usize,
     crowd: CrowdProfile,
-    placements: Vec<UserPlacement>,
+    placements: Arc<Vec<UserPlacement>>,
     histogram: PlacementHistogram,
     single: SingleRegionFit,
     multi: MultiRegionFit,
@@ -225,6 +250,33 @@ pub struct GeolocationReport {
 }
 
 impl GeolocationReport {
+    /// Assembles a report from precomputed parts — used by the streaming
+    /// pipeline, whose snapshots must be byte-identical to batch reports.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        profiles: Arc<Vec<ActivityProfile>>,
+        flat_removed: usize,
+        crowd: CrowdProfile,
+        placements: Arc<Vec<UserPlacement>>,
+        histogram: PlacementHistogram,
+        single: SingleRegionFit,
+        multi: MultiRegionFit,
+        coverage: f64,
+        threads: usize,
+    ) -> GeolocationReport {
+        GeolocationReport {
+            profiles,
+            flat_removed,
+            crowd,
+            placements,
+            histogram,
+            single,
+            multi,
+            coverage,
+            threads,
+        }
+    }
+
     /// The per-user profiles that entered the analysis.
     pub fn profiles(&self) -> &[ActivityProfile] {
         &self.profiles

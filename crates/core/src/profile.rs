@@ -1,6 +1,5 @@
 //! User activity profiles — Eq. 1 of the paper.
 
-use std::collections::BTreeSet;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -33,6 +32,7 @@ impl ActivityProfile {
             trace,
             |ts| (ts.day_in_offset(offset), ts.hour_in_offset(offset)),
             None,
+            &mut Vec::new(),
         )
     }
 
@@ -53,15 +53,22 @@ impl ActivityProfile {
                 (local.date().days_since_epoch(), local.hour())
             },
             holidays.map(|h| (zone, h)),
+            &mut Vec::new(),
         )
     }
 
+    /// The build kernel behind both constructors. `scratch` collects the
+    /// (day, hour) keys and is sort+dedup'd in place — callers on hot
+    /// paths reuse one buffer across users instead of growing a fresh
+    /// `BTreeSet` per trace (node allocation per post dominated the old
+    /// profile-build cost).
     fn build(
         trace: &UserTrace,
         slot: impl Fn(Timestamp) -> (i64, u8),
         holiday_filter: Option<(Zone, &HolidayCalendar)>,
+        scratch: &mut Vec<(i64, u8)>,
     ) -> Option<ActivityProfile> {
-        let mut slots: BTreeSet<(i64, u8)> = BTreeSet::new();
+        scratch.clear();
         let mut posts = 0usize;
         for &ts in trace.posts() {
             if let Some((zone, calendar)) = &holiday_filter {
@@ -70,18 +77,37 @@ impl ActivityProfile {
                 }
             }
             posts += 1;
-            slots.insert(slot(ts));
+            scratch.push(slot(ts));
         }
-        if slots.is_empty() {
+        scratch.sort_unstable();
+        scratch.dedup();
+        if scratch.is_empty() {
             return None;
         }
-        let hist: Histogram24 = slots.iter().map(|&(_, h)| h).collect();
+        let hist: Histogram24 = scratch.iter().map(|&(_, h)| h).collect();
         Some(ActivityProfile {
             user: trace.id().to_owned(),
             distribution: hist.normalized().ok()?,
-            active_slots: slots.len(),
+            active_slots: scratch.len(),
             post_count: posts,
         })
+    }
+
+    /// Assembles a profile from already-computed parts — the streaming
+    /// accumulators maintain slot counts incrementally and must produce
+    /// profiles bit-identical to the batch constructors.
+    pub(crate) fn from_parts(
+        user: String,
+        distribution: Distribution24,
+        active_slots: usize,
+        post_count: usize,
+    ) -> ActivityProfile {
+        ActivityProfile {
+            user,
+            distribution,
+            active_slots,
+            post_count,
+        }
     }
 
     /// The user's pseudonym.
@@ -202,15 +228,32 @@ impl ProfileBuilder {
             .iter()
             .filter(|t| t.len() >= self.min_posts)
             .collect();
-        crate::engine::chunked_map(&eligible, threads, |t| match &self.local {
-            Some((zone, holidays)) => {
-                ActivityProfile::from_trace_local(t, *zone, holidays.as_ref())
-            }
-            None => ActivityProfile::from_trace_offset(t, self.offset),
+        crate::engine::chunked_map_with(&eligible, threads, Vec::new, |scratch, t, out| {
+            let profile = match &self.local {
+                Some((zone, holidays)) => {
+                    let (zone, holidays) = (*zone, holidays.as_ref());
+                    ActivityProfile::build(
+                        t,
+                        |ts| {
+                            let local = zone.to_local(ts);
+                            (local.date().days_since_epoch(), local.hour())
+                        },
+                        holidays.map(|h| (zone, h)),
+                        scratch,
+                    )
+                }
+                None => {
+                    let offset = self.offset;
+                    ActivityProfile::build(
+                        t,
+                        |ts| (ts.day_in_offset(offset), ts.hour_in_offset(offset)),
+                        None,
+                        scratch,
+                    )
+                }
+            };
+            out.extend(profile);
         })
-        .into_iter()
-        .flatten()
-        .collect()
     }
 }
 

@@ -1,0 +1,696 @@
+//! Incremental (streaming) crowd geolocation — re-analysis cost
+//! proportional to *what changed*, not to crowd size.
+//!
+//! [`GeolocationPipeline::analyze`] is a batch pass: every snapshot
+//! re-deduplicates every user's (day, hour) slots, rebuilds every profile,
+//! re-places the whole crowd and refits the mixture from cold — even when
+//! only a handful of users posted since the last crawl round. The
+//! [`StreamingPipeline`] keeps per-user **integer accumulators** instead:
+//!
+//! * each user's active slots are a sorted vector of `day·24 + hour` keys
+//!   plus a 24-bin count of active slots per hour, so
+//!   [`ingest`](StreamingPipeline::ingest) is a pure delta update that
+//!   never re-scans history;
+//! * a **dirty set** records which users' profiles actually changed, and
+//!   only those are re-profiled and re-placed (through one long-lived
+//!   [`PlacementEngine`], whose precomputed zone CDFs are reused across
+//!   snapshots);
+//! * the placement histogram is maintained as integer zone counts,
+//!   updated by subtracting a re-placed user's old zone and adding the
+//!   new one;
+//! * the mixture refit is cached on the zone counts and, in
+//!   [`RefitMode::WarmStart`], warm-started from the previous snapshot's
+//!   components instead of quantile/peak re-initialization.
+//!
+//! # The identity guarantee
+//!
+//! In the default [`RefitMode::Exact`],
+//! [`snapshot`](StreamingPipeline::snapshot) is **byte-identical**
+//! (serialized through `serde_json`) to a from-scratch
+//! [`GeolocationPipeline::analyze`] over the same cumulative traces, for
+//! any thread count. Three choices make that exact rather than
+//! approximate:
+//!
+//! 1. All per-user state is integral (slot keys, hour counts, post
+//!    counts), so delta updates commute with batching exactly.
+//! 2. The crowd profile is **re-summed at snapshot time** from the cached
+//!    per-user distributions in user-id order — an O(24·n) pass — rather
+//!    than delta-updated in `f64`, because float addition is not
+//!    associative and a running sum would drift away from the batch
+//!    result. The expensive per-user work (EMD placement) stays
+//!    incremental; only the cheap reduction is repeated.
+//! 3. The zone-count histogram goes through
+//!    [`PlacementHistogram::from_zone_counts`], which is float-identical
+//!    to `from_placements`, and the fits are pure functions of that
+//!    histogram (cold fits in `Exact` mode, reused outright when the zone
+//!    counts did not change).
+//!
+//! [`RefitMode::WarmStart`] trades the fit-level guarantee for speed: EM
+//! is seeded from the previous components
+//! ([`MultiRegionFit::fit_warm`]), falling back to a cold fit when the
+//! histogram's L1 shift since the last fit exceeds the configured
+//! threshold. Everything upstream of the fit (profiles, placements,
+//! histogram) remains exact.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use crowdtz_stats::{Histogram24, BINS};
+use crowdtz_time::{Timestamp, TraceSet, TzOffset, UserTrace};
+
+use crate::crowd::CrowdProfile;
+use crate::engine::{chunked_map, PlacementEngine};
+use crate::error::CoreError;
+use crate::pipeline::{GeolocationPipeline, GeolocationReport};
+use crate::placement::{PlacementHistogram, UserPlacement, ZONE_COUNT};
+use crate::profile::ActivityProfile;
+use crate::single::{MultiRegionFit, SingleRegionFit};
+
+/// How [`StreamingPipeline::snapshot`] refits the mixture when the
+/// placement histogram changed since the last snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RefitMode {
+    /// Cold quantile/peak-initialized EM, exactly as the batch pipeline
+    /// runs it. Snapshots are byte-identical to
+    /// [`GeolocationPipeline::analyze`]. This is the default: on a 24-bin
+    /// histogram a cold fit is cheap, so exactness costs little.
+    Exact,
+    /// EM warm-started from the previous snapshot's components
+    /// ([`MultiRegionFit::fit_warm`]). Falls back to a cold fit when the
+    /// histogram's L1 distance to the last-fitted histogram exceeds
+    /// `max_shift` (the previous components then say little about the new
+    /// crowd), or when no previous fit exists.
+    WarmStart {
+        /// Maximum `Σ|Δfraction|` before the warm start is abandoned for
+        /// a cold fit; [`RefitMode::warm`] uses `0.1`.
+        max_shift: f64,
+    },
+}
+
+impl RefitMode {
+    /// [`RefitMode::WarmStart`] with the default `max_shift` of `0.1`
+    /// (10% of the crowd re-placed since the last fit).
+    pub fn warm() -> RefitMode {
+        RefitMode::WarmStart { max_shift: 0.1 }
+    }
+}
+
+/// Per-user integer accumulator: everything needed to rebuild the user's
+/// [`ActivityProfile`] without touching raw history again.
+#[derive(Debug, Clone, Default)]
+struct UserAccumulator {
+    /// Sorted, deduplicated `day·24 + hour` keys of active slots (UTC).
+    slots: Vec<i64>,
+    /// Number of active slots per hour of day — the integer pre-image of
+    /// the profile's distribution.
+    hour_counts: [u32; BINS],
+    /// Raw post count, duplicates included (the eligibility threshold
+    /// counts posts, not slots).
+    posts: usize,
+    /// The user's analysis as of the last refresh; `None` when the user
+    /// is below the activity threshold.
+    analysis: Option<UserAnalysis>,
+}
+
+/// The per-user outputs the batch pipeline would have produced.
+#[derive(Debug, Clone)]
+struct UserAnalysis {
+    profile: ActivityProfile,
+    /// §IV.C flatness flag (always `false` when polishing is disabled).
+    flat: bool,
+    /// Placement, computed only for kept (non-flat) users.
+    placement: Option<UserPlacement>,
+}
+
+impl UserAnalysis {
+    fn kept(&self) -> bool {
+        !self.flat
+    }
+}
+
+/// The last mixture fit, keyed by the exact zone counts it was computed
+/// from: identical counts → identical histogram → the cached fit *is* the
+/// refit, bit for bit.
+#[derive(Debug, Clone)]
+struct FitCache {
+    zone_counts: [usize; ZONE_COUNT],
+    fractions: [f64; ZONE_COUNT],
+    single: SingleRegionFit,
+    multi: MultiRegionFit,
+}
+
+/// Incremental version of [`GeolocationPipeline`]: ingest post deltas as
+/// they arrive, snapshot on demand.
+///
+/// ```
+/// use crowdtz_core::{GeolocationPipeline, StreamingPipeline};
+/// use crowdtz_time::Timestamp;
+///
+/// let pipeline = GeolocationPipeline::default().min_posts(1).threads(1);
+/// let mut stream = StreamingPipeline::new(pipeline.clone());
+/// let mut traces = crowdtz_time::TraceSet::new();
+/// for day in 0..40i64 {
+///     let post = Timestamp::from_secs(day * 86_400 + 20 * 3_600);
+///     stream.ingest("u", &[post]);        // delta update
+///     traces.record("u", post);           // cumulative mirror
+/// }
+/// let incremental = stream.snapshot().unwrap();
+/// let batch = pipeline.analyze(&traces).unwrap();
+/// assert_eq!(
+///     serde_json::to_string(&incremental).unwrap(),
+///     serde_json::to_string(&batch).unwrap(),
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingPipeline {
+    pipeline: GeolocationPipeline,
+    engine: PlacementEngine,
+    refit: RefitMode,
+    users: BTreeMap<String, UserAccumulator>,
+    dirty: BTreeSet<String>,
+    /// Kept users' profiles in user-id order — exactly the vector the
+    /// batch pipeline would build, patched in place per dirty user and
+    /// shared with every snapshot through its [`Arc`]. `Arc::make_mut`
+    /// keeps the patch O(dirty) while no snapshot is alive, and falls
+    /// back to one copy-on-write clone when one is.
+    kept_profiles: Arc<Vec<ActivityProfile>>,
+    /// Kept users' placements, parallel to `kept_profiles`.
+    kept_placements: Arc<Vec<UserPlacement>>,
+    /// Users whose analysis is `Some` (at or above the activity
+    /// threshold); `eligible − kept` is the flat-removed count.
+    eligible: usize,
+    /// Kept users per zone index — the integer pre-image of the placement
+    /// histogram, maintained by subtract-old / add-new on re-placement.
+    zone_counts: [usize; ZONE_COUNT],
+    fit_cache: Option<FitCache>,
+}
+
+impl StreamingPipeline {
+    /// Wraps a configured batch pipeline. The pipeline's generic profile,
+    /// activity threshold, polishing flag, component cap, and thread
+    /// count all carry over; the placement engine is built once and
+    /// reused across every refresh.
+    pub fn new(pipeline: GeolocationPipeline) -> StreamingPipeline {
+        let engine = PlacementEngine::new(pipeline.generic());
+        StreamingPipeline {
+            pipeline,
+            engine,
+            refit: RefitMode::Exact,
+            users: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            kept_profiles: Arc::new(Vec::new()),
+            kept_placements: Arc::new(Vec::new()),
+            eligible: 0,
+            zone_counts: [0; ZONE_COUNT],
+            fit_cache: None,
+        }
+    }
+
+    /// Sets the refit policy (default [`RefitMode::Exact`]).
+    #[must_use]
+    pub fn refit_mode(mut self, refit: RefitMode) -> StreamingPipeline {
+        self.refit = refit;
+        self
+    }
+
+    /// The wrapped batch pipeline configuration.
+    pub fn pipeline(&self) -> &GeolocationPipeline {
+        &self.pipeline
+    }
+
+    /// Number of users ever ingested.
+    pub fn users_tracked(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Users whose profiles changed since the last refresh — the work the
+    /// next [`snapshot`](StreamingPipeline::snapshot) will actually do.
+    pub fn dirty_users(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Total posts ingested across all users (duplicates included).
+    pub fn posts_ingested(&self) -> usize {
+        self.users.values().map(|a| a.posts).sum()
+    }
+
+    /// Ingests new posts for one user — a pure delta update.
+    ///
+    /// Timestamps are read in UTC (the anonymous-crowd convention the
+    /// batch pipeline uses); duplicates and out-of-order arrivals are
+    /// fine, and re-ingesting a timestamp whose (day, hour) slot is
+    /// already active only bumps the post count — exactly what the batch
+    /// rebuild would conclude. Empty deltas are ignored.
+    ///
+    /// Cost: `O(k log k + s)` for `k` new posts against `s` existing
+    /// slots, independent of crowd size and of total history length.
+    pub fn ingest(&mut self, user: &str, posts: &[Timestamp]) {
+        if posts.is_empty() {
+            return;
+        }
+        let acc = self.users.entry(user.to_owned()).or_default();
+        acc.posts += posts.len();
+        let mut keys: Vec<i64> = posts
+            .iter()
+            .map(|ts| {
+                ts.day_in_offset(TzOffset::UTC) * 24 + i64::from(ts.hour_in_offset(TzOffset::UTC))
+            })
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.retain(|k| acc.slots.binary_search(k).is_err());
+        if !keys.is_empty() {
+            for &k in &keys {
+                acc.hour_counts[k.rem_euclid(24) as usize] += 1;
+            }
+            // Merge the two sorted runs in one pass.
+            let mut merged = Vec::with_capacity(acc.slots.len() + keys.len());
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < acc.slots.len() && j < keys.len() {
+                if acc.slots[i] < keys[j] {
+                    merged.push(acc.slots[i]);
+                    i += 1;
+                } else {
+                    merged.push(keys[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&acc.slots[i..]);
+            merged.extend_from_slice(&keys[j..]);
+            acc.slots = merged;
+        }
+        // Any non-empty delta changes the profile (at minimum its post
+        // count), so the user must be re-analyzed.
+        self.dirty.insert(user.to_owned());
+    }
+
+    /// Ingests a whole trace as one delta (convenience for replaying
+    /// per-user deltas such as [`TraceSet::delta_from`]).
+    pub fn ingest_trace(&mut self, trace: &UserTrace) {
+        self.ingest(trace.id(), trace.posts());
+    }
+
+    /// Ingests every trace of a set (e.g. a first full crawl before
+    /// incremental monitoring takes over).
+    pub fn ingest_set(&mut self, traces: &TraceSet) {
+        for trace in traces {
+            self.ingest_trace(trace);
+        }
+    }
+
+    /// Re-analyzes exactly the dirty users: rebuild each profile from its
+    /// accumulator, re-run the flatness check, re-place, and patch the
+    /// zone counts and the shared kept vectors. Fanned across the
+    /// pipeline's worker threads in user-id order (the dirty set is
+    /// sorted), so the per-user results — and therefore every snapshot —
+    /// are thread-count-invariant.
+    fn refresh(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let dirty: Vec<String> = std::mem::take(&mut self.dirty).into_iter().collect();
+        let min_posts = self.pipeline.min_posts_threshold();
+        let polish = self.pipeline.polish_enabled();
+        let engine = &self.engine;
+        let work: Vec<(&String, &UserAccumulator)> =
+            dirty.iter().map(|id| (id, &self.users[id])).collect();
+        let analyses: Vec<Option<UserAnalysis>> =
+            chunked_map(&work, self.pipeline.effective_threads(), |&(id, acc)| {
+                Self::analyze_user(id, acc, min_posts, polish, engine)
+            });
+        let profiles = Arc::make_mut(&mut self.kept_profiles);
+        let placements = Arc::make_mut(&mut self.kept_placements);
+        for (id, analysis) in dirty.into_iter().zip(analyses) {
+            let acc = self.users.get_mut(&id).expect("dirty user exists");
+            let old = acc.analysis.take();
+            if let Some(p) = old.as_ref().and_then(|a| a.placement.as_ref()) {
+                self.zone_counts[PlacementHistogram::index_of(p.zone_hours())] -= 1;
+            }
+            if let Some(p) = analysis.as_ref().and_then(|a| a.placement.as_ref()) {
+                self.zone_counts[PlacementHistogram::index_of(p.zone_hours())] += 1;
+            }
+            self.eligible -= usize::from(old.is_some());
+            self.eligible += usize::from(analysis.is_some());
+            // Patch the kept vectors at the user's id-ordered position.
+            // Dirty users that stay kept (the steady state) are replaced
+            // in place; membership changes shift the tail, and the
+            // initial bulk ingest arrives in ascending id order, so every
+            // insert is an append.
+            let old_kept = old.as_ref().is_some_and(UserAnalysis::kept);
+            let new_kept = analysis.as_ref().is_some_and(UserAnalysis::kept);
+            let pos = profiles.binary_search_by(|p| p.user().cmp(&id));
+            match (old_kept, new_kept) {
+                (_, true) => {
+                    let a = analysis.as_ref().expect("kept analysis exists");
+                    let profile = a.profile.clone();
+                    let placement = a.placement.clone().expect("kept users are placed");
+                    match pos {
+                        Ok(i) => {
+                            debug_assert!(old_kept);
+                            profiles[i] = profile;
+                            placements[i] = placement;
+                        }
+                        Err(i) => {
+                            debug_assert!(!old_kept);
+                            profiles.insert(i, profile);
+                            placements.insert(i, placement);
+                        }
+                    }
+                }
+                (true, false) => {
+                    let i = pos.expect("kept user is in the kept vectors");
+                    profiles.remove(i);
+                    placements.remove(i);
+                }
+                (false, false) => {}
+            }
+            acc.analysis = analysis;
+        }
+    }
+
+    /// One user's profile → flatness → placement, replicating the batch
+    /// stages float-for-float from the integer accumulator.
+    fn analyze_user(
+        id: &str,
+        acc: &UserAccumulator,
+        min_posts: usize,
+        polish: bool,
+        engine: &PlacementEngine,
+    ) -> Option<UserAnalysis> {
+        if acc.posts < min_posts || acc.slots.is_empty() {
+            return None;
+        }
+        let mut bins = [0.0_f64; BINS];
+        for (dst, &c) in bins.iter_mut().zip(acc.hour_counts.iter()) {
+            *dst = f64::from(c);
+        }
+        let distribution = Histogram24::from_bins(bins).normalized().ok()?;
+        let profile =
+            ActivityProfile::from_parts(id.to_owned(), distribution, acc.slots.len(), acc.posts);
+        let flat = polish && engine.is_flat(profile.distribution());
+        let placement = if flat {
+            None
+        } else {
+            Some(engine.place(&profile))
+        };
+        Some(UserAnalysis {
+            profile,
+            flat,
+            placement,
+        })
+    }
+
+    /// Produces the current [`GeolocationReport`], doing work proportional
+    /// to the dirty set (plus one cheap O(24·n) reduction). The report
+    /// shares the kept profile/placement vectors with the engine via
+    /// `Arc` — assembling it copies nothing per user, and holding an old
+    /// report costs at most one copy-on-write clone at the next refresh.
+    ///
+    /// In [`RefitMode::Exact`] the report is byte-identical to
+    /// [`GeolocationPipeline::analyze`] over the cumulative traces.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptyCrowd`] when no user survives the filters.
+    /// * [`CoreError::Stats`] when a fit fails.
+    pub fn snapshot(&mut self) -> Result<GeolocationReport, CoreError> {
+        self.snapshot_with_coverage(1.0)
+    }
+
+    /// [`snapshot`](StreamingPipeline::snapshot) for a crawl that covered
+    /// only a `coverage` fraction of the forum — the streaming analogue of
+    /// [`GeolocationPipeline::analyze_partial`].
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidCoverage`] when `coverage` is outside `(0, 1]`.
+    /// * Everything [`snapshot`](StreamingPipeline::snapshot) can return.
+    pub fn snapshot_with_coverage(
+        &mut self,
+        coverage: f64,
+    ) -> Result<GeolocationReport, CoreError> {
+        if !coverage.is_finite() || coverage <= 0.0 || coverage > 1.0 {
+            return Err(CoreError::InvalidCoverage { coverage });
+        }
+        self.refresh();
+        if self.kept_profiles.is_empty() {
+            return Err(CoreError::EmptyCrowd);
+        }
+        let flat_removed = self.eligible - self.kept_profiles.len();
+        // Re-summed (not delta-updated) in user-id order: f64 addition is
+        // not associative, and the batch pipeline sums in exactly this
+        // order — see the module docs' identity guarantee.
+        let crowd = CrowdProfile::aggregate(&self.kept_profiles)?;
+        let histogram = PlacementHistogram::from_zone_counts(&self.zone_counts);
+        let (single, multi) = self.refit(&histogram)?;
+        Ok(GeolocationReport::from_parts(
+            Arc::clone(&self.kept_profiles),
+            flat_removed,
+            crowd,
+            Arc::clone(&self.kept_placements),
+            histogram,
+            single,
+            multi,
+            coverage,
+            self.pipeline.effective_threads(),
+        ))
+    }
+
+    /// The fit stage: cache hit when the zone counts are unchanged (the
+    /// fits are pure functions of the histogram), otherwise cold or
+    /// warm-started per [`RefitMode`].
+    fn refit(
+        &mut self,
+        histogram: &PlacementHistogram,
+    ) -> Result<(SingleRegionFit, MultiRegionFit), CoreError> {
+        if let Some(cache) = &self.fit_cache {
+            if cache.zone_counts == self.zone_counts {
+                return Ok((cache.single.clone(), cache.multi.clone()));
+            }
+        }
+        let max_components = self.pipeline.max_components_limit();
+        let single = SingleRegionFit::fit(histogram)?;
+        let multi = match (self.refit, &self.fit_cache) {
+            (RefitMode::WarmStart { max_shift }, Some(cache))
+                if l1_shift(&cache.fractions, histogram.fractions()) <= max_shift =>
+            {
+                MultiRegionFit::fit_warm(histogram, max_components, cache.multi.mixture())?
+            }
+            _ => MultiRegionFit::fit(histogram, max_components)?,
+        };
+        self.fit_cache = Some(FitCache {
+            zone_counts: self.zone_counts,
+            fractions: *histogram.fractions(),
+            single: single.clone(),
+            multi: multi.clone(),
+        });
+        Ok((single, multi))
+    }
+}
+
+/// `Σ|a − b|` over the 24 zone fractions.
+fn l1_shift(a: &[f64; ZONE_COUNT], b: &[f64; ZONE_COUNT]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdtz_synth::PopulationSpec;
+    use crowdtz_time::RegionDb;
+
+    fn crowd(region: &str, users: usize, seed: u64) -> TraceSet {
+        let db = RegionDb::extended();
+        PopulationSpec::new(db.get(&region.into()).unwrap().clone())
+            .users(users)
+            .seed(seed)
+            .posts_per_day(0.5)
+            .generate()
+    }
+
+    fn report_json(r: &GeolocationReport) -> String {
+        serde_json::to_string(r).unwrap()
+    }
+
+    #[test]
+    fn one_shot_ingest_matches_batch() {
+        let traces = crowd("japan", 40, 7);
+        let pipeline = GeolocationPipeline::default().threads(1);
+        let mut stream = StreamingPipeline::new(pipeline.clone());
+        stream.ingest_set(&traces);
+        let inc = stream.snapshot().unwrap();
+        let batch = pipeline.analyze(&traces).unwrap();
+        assert_eq!(report_json(&inc), report_json(&batch));
+    }
+
+    #[test]
+    fn incremental_rounds_match_batch_at_each_round() {
+        // Split each user's history into 3 windows and ingest round by
+        // round; after every round the snapshot must equal a from-scratch
+        // batch analysis of the cumulative traces.
+        let traces = crowd("italy", 30, 5);
+        let pipeline = GeolocationPipeline::default().min_posts(10).threads(2);
+        let mut stream = StreamingPipeline::new(pipeline.clone());
+        let mut cumulative = TraceSet::new();
+        for round in 0..3usize {
+            for t in traces.iter() {
+                let posts = t.posts();
+                let chunk = &posts[posts.len() * round / 3..posts.len() * (round + 1) / 3];
+                stream.ingest(t.id(), chunk);
+                for &p in chunk {
+                    cumulative.record(t.id(), p);
+                }
+            }
+            let inc = stream.snapshot().unwrap();
+            let batch = pipeline.analyze(&cumulative).unwrap();
+            assert_eq!(report_json(&inc), report_json(&batch), "round {round}");
+        }
+        assert_eq!(cumulative.total_posts(), traces.total_posts());
+    }
+
+    #[test]
+    fn dirty_set_shrinks_to_what_changed() {
+        let traces = crowd("france", 20, 9);
+        let mut stream = StreamingPipeline::new(GeolocationPipeline::default().threads(1));
+        stream.ingest_set(&traces);
+        assert_eq!(stream.dirty_users(), stream.users_tracked());
+        stream.snapshot().unwrap();
+        assert_eq!(stream.dirty_users(), 0);
+        // Touch one user → exactly one dirty.
+        let id = traces.iter().next().unwrap().id().to_owned();
+        stream.ingest(&id, &[Timestamp::from_secs(123_456_789)]);
+        assert_eq!(stream.dirty_users(), 1);
+        stream.snapshot().unwrap();
+        assert_eq!(stream.dirty_users(), 0);
+    }
+
+    #[test]
+    fn duplicate_and_unordered_ingest_is_idempotent_on_slots() {
+        let pipeline = GeolocationPipeline::default().min_posts(1).threads(1);
+        let mut stream = StreamingPipeline::new(pipeline.clone());
+        let t0 = Timestamp::from_secs(1_450_000_000);
+        // Same slot three times, across two deltas, out of order.
+        stream.ingest("u", &[t0 + 100, t0]);
+        stream.ingest("u", &[t0 + 50]);
+        let mut traces = TraceSet::new();
+        for &ts in &[t0 + 100, t0, t0 + 50] {
+            traces.record("u", ts);
+        }
+        let inc = stream.snapshot().unwrap();
+        let batch = pipeline.analyze(&traces).unwrap();
+        assert_eq!(report_json(&inc), report_json(&batch));
+        assert_eq!(inc.profiles()[0].active_slots(), 1);
+        assert_eq!(inc.profiles()[0].post_count(), 3);
+    }
+
+    #[test]
+    fn empty_delta_is_ignored_and_empty_crowd_errors() {
+        let mut stream = StreamingPipeline::new(GeolocationPipeline::default());
+        stream.ingest("ghost", &[]);
+        assert_eq!(stream.users_tracked(), 0);
+        assert!(matches!(stream.snapshot(), Err(CoreError::EmptyCrowd)));
+        // A sub-threshold user is tracked but not classified.
+        stream.ingest("quiet", &[Timestamp::from_secs(0)]);
+        assert_eq!(stream.users_tracked(), 1);
+        assert!(matches!(stream.snapshot(), Err(CoreError::EmptyCrowd)));
+    }
+
+    #[test]
+    fn invalid_coverage_is_rejected() {
+        let mut stream = StreamingPipeline::new(GeolocationPipeline::default());
+        for bad in [0.0, -1.0, 1.5, f64::NAN] {
+            assert!(matches!(
+                stream.snapshot_with_coverage(bad),
+                Err(CoreError::InvalidCoverage { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn partial_coverage_matches_batch_partial() {
+        let traces = crowd("japan", 30, 3);
+        let pipeline = GeolocationPipeline::default().threads(1);
+        let mut stream = StreamingPipeline::new(pipeline.clone());
+        stream.ingest_set(&traces);
+        let inc = stream.snapshot_with_coverage(0.5).unwrap();
+        let batch = pipeline.analyze_partial(&traces, 0.5).unwrap();
+        assert_eq!(report_json(&inc), report_json(&batch));
+        assert!(inc.is_partial());
+    }
+
+    #[test]
+    fn unchanged_crowd_reuses_the_fit_cache() {
+        let traces = crowd("malaysia", 30, 11);
+        let mut stream = StreamingPipeline::new(GeolocationPipeline::default().threads(1));
+        stream.ingest_set(&traces);
+        let a = stream.snapshot().unwrap();
+        // No ingest between snapshots: zone counts unchanged, cache hit.
+        let b = stream.snapshot().unwrap();
+        assert_eq!(report_json(&a), report_json(&b));
+    }
+
+    #[test]
+    fn warm_start_stays_close_to_exact() {
+        let traces = crowd("japan", 60, 13);
+        let pipeline = GeolocationPipeline::default().threads(1);
+        let mut exact = StreamingPipeline::new(pipeline.clone());
+        let mut warm = StreamingPipeline::new(pipeline.clone()).refit_mode(RefitMode::warm());
+        // Prime both with most of the crowd, then trickle the rest.
+        let all: Vec<&UserTrace> = traces.iter().collect();
+        for t in &all[..50] {
+            exact.ingest_trace(t);
+            warm.ingest_trace(t);
+        }
+        exact.snapshot().unwrap();
+        warm.snapshot().unwrap();
+        for t in &all[50..] {
+            exact.ingest_trace(t);
+            warm.ingest_trace(t);
+        }
+        let e = exact.snapshot().unwrap();
+        let w = warm.snapshot().unwrap();
+        // Everything upstream of the fit is still exact.
+        assert_eq!(
+            serde_json::to_string(e.placements()).unwrap(),
+            serde_json::to_string(w.placements()).unwrap()
+        );
+        assert_eq!(e.histogram().fractions(), w.histogram().fractions());
+        // The warm-started mixture lands on the same region.
+        let em = e.mixture().dominant().unwrap().mean;
+        let wm = w.mixture().dominant().unwrap().mean;
+        assert!((em - wm).abs() < 0.2, "exact {em} warm {wm}");
+    }
+
+    #[test]
+    fn warm_start_falls_back_to_cold_on_large_shift() {
+        let pipeline = GeolocationPipeline::default().threads(1);
+        let mut warm = StreamingPipeline::new(pipeline.clone())
+            .refit_mode(RefitMode::WarmStart { max_shift: 0.05 });
+        warm.ingest_set(&crowd("japan", 40, 17));
+        warm.snapshot().unwrap();
+        // A whole second crowd arrives: the histogram shifts far beyond
+        // max_shift, so the refit must run cold — and therefore match the
+        // exact-mode snapshot bit for bit.
+        let second = crowd("brazil", 40, 19);
+        warm.ingest_set(&second);
+        let mut exact = StreamingPipeline::new(pipeline);
+        exact.ingest_set(&crowd("japan", 40, 17));
+        exact.ingest_set(&second);
+        assert_eq!(
+            report_json(&warm.snapshot().unwrap()),
+            report_json(&exact.snapshot().unwrap())
+        );
+    }
+
+    #[test]
+    fn accessors_report_progress() {
+        let mut stream = StreamingPipeline::new(GeolocationPipeline::default().min_posts(1));
+        assert_eq!(stream.users_tracked(), 0);
+        assert_eq!(stream.posts_ingested(), 0);
+        stream.ingest("a", &[Timestamp::from_secs(0), Timestamp::from_secs(3_600)]);
+        assert_eq!(stream.users_tracked(), 1);
+        assert_eq!(stream.posts_ingested(), 2);
+        assert_eq!(stream.dirty_users(), 1);
+        assert!(stream.pipeline().min_posts_threshold() == 1);
+    }
+}

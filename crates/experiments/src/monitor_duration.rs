@@ -6,8 +6,14 @@
 //! experiment quantifies that: monitor the same hidden forum for windows
 //! of 1 week to a full year and report how many users become classifiable
 //! and how accurate the placement is.
+//!
+//! The monitor feeds a [`StreamingPipeline`] between rounds: each window
+//! streams only its *new* observations into the engine, and the report is
+//! an incremental snapshot — byte-identical to re-analyzing the
+//! accumulated traces from scratch, but touching only the users that
+//! actually posted in the round.
 
-use crowdtz_core::{GenericProfile, GeolocationPipeline};
+use crowdtz_core::{GenericProfile, GeolocationPipeline, StreamingPipeline};
 use crowdtz_forum::SimulatedForum;
 use crowdtz_forum::{CrowdComponent, ForumHost, ForumSpec, Scraper, TimestampPolicy};
 use crowdtz_time::{CivilDateTime, Timestamp};
@@ -33,15 +39,24 @@ pub fn run(config: &Config) -> ExperimentOutput {
         .publish(ForumHost::new(forum).into_hidden_service(config.seed))
         .expect("publish");
     let pipeline = GeolocationPipeline::with_generic(GenericProfile::reference());
+    let mut streaming = StreamingPipeline::new(pipeline);
+
+    // One monitor for the whole year: each round observes only the posts
+    // since the previous round's end and streams them into the engine.
+    let monitor_channel = network
+        .connect(&address, config.seed ^ 0x40D)
+        .expect("connect");
+    let mut monitor = Scraper::new(monitor_channel).into_monitor();
 
     let start = Timestamp::from_civil_utc(CivilDateTime::new(2016, 1, 1, 0, 0, 0).expect("valid"));
+    let mut previous_end = start;
     let mut classified_series = Vec::new();
     out.line(format!(
         "crowd: {users} Italian users at 0.5 posts/day; 30-minute polls"
     ));
     out.line(format!(
-        "{:<10} {:>6} {:>12} {:>14}",
-        "window", "posts", "classified", "dominant zone"
+        "{:<10} {:>6} {:>6} {:>12} {:>14}",
+        "window", "posts", "dirty", "classified", "dominant zone"
     ));
     for (label, days) in [
         ("1 week", 7i64),
@@ -50,18 +65,19 @@ pub fn run(config: &Config) -> ExperimentOutput {
         ("6 months", 182),
         ("12 months", 365),
     ] {
-        let monitor_channel = network
-            .connect(&address, config.seed ^ days as u64)
-            .expect("connect");
-        let mut monitor = Scraper::new(monitor_channel).into_monitor();
         let to = start + days * 86_400;
-        let observed = monitor.run(start, to, 1_800).expect("monitor");
-        match pipeline.analyze(&observed) {
+        monitor
+            .run_each(previous_end, to, 1_800, |author, ts| {
+                streaming.ingest(author, &[ts]);
+            })
+            .expect("monitor");
+        previous_end = to;
+        let (posts, dirty) = (streaming.posts_ingested(), streaming.dirty_users());
+        match streaming.snapshot() {
             Ok(report) => {
                 let mean = report.mixture().dominant().map(|c| c.mean).unwrap_or(99.0);
                 out.line(format!(
-                    "{label:<10} {:>6} {:>12} {:>+14.2}",
-                    observed.total_posts(),
+                    "{label:<10} {posts:>6} {dirty:>6} {:>12} {:>+14.2}",
                     report.users_classified(),
                     mean
                 ));
@@ -69,10 +85,8 @@ pub fn run(config: &Config) -> ExperimentOutput {
             }
             Err(_) => {
                 out.line(format!(
-                    "{label:<10} {:>6} {:>12} {:>14}",
-                    observed.total_posts(),
-                    0,
-                    "—"
+                    "{label:<10} {posts:>6} {dirty:>6} {:>12} {:>14}",
+                    0, "—"
                 ));
                 classified_series.push((days, 0, f64::NAN));
             }

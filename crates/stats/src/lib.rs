@@ -46,6 +46,7 @@ pub use error::StatsError;
 pub use fitmetrics::FitQuality;
 pub use gaussian::{fit_gaussian, GaussianCurve};
 pub use gmm::{
-    em, select_components, EmConfig, GaussianComponent, GaussianMixture, SelectionCriterion,
+    em, em_warm, select_components, EmConfig, GaussianComponent, GaussianMixture,
+    SelectionCriterion,
 };
 pub use pearson::{pearson, pearson_matrix};

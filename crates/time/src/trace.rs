@@ -85,6 +85,40 @@ impl UserTrace {
                 .collect(),
         }
     }
+
+    /// The posts present in `self` but not in `baseline`, as a multiset
+    /// difference: a timestamp appearing `n` times here and `m < n` times
+    /// in the baseline is emitted `n − m` times.
+    ///
+    /// This is the exact "what arrived since the last crawl" delta the
+    /// streaming pipeline ingests — duplicates are first-class because
+    /// multiple posts within one second are real forum events, and a plain
+    /// set difference would drop them. Both traces are already sorted, so
+    /// the walk is a single two-pointer pass.
+    #[must_use]
+    pub fn delta_from(&self, baseline: &UserTrace) -> Vec<Timestamp> {
+        let mut out = Vec::new();
+        let old = baseline.posts();
+        let mut j = 0usize;
+        for &t in &self.posts {
+            if j < old.len() && old[j] <= t {
+                if old[j] == t {
+                    j += 1; // matched one baseline occurrence
+                    continue;
+                }
+                // Baseline has a post we don't — skip past it.
+                while j < old.len() && old[j] < t {
+                    j += 1;
+                }
+                if j < old.len() && old[j] == t {
+                    j += 1;
+                    continue;
+                }
+            }
+            out.push(t);
+        }
+        out
+    }
 }
 
 impl fmt::Display for UserTrace {
@@ -183,6 +217,28 @@ impl TraceSet {
         }
         out
     }
+
+    /// Per-user post deltas relative to `baseline` (typically an earlier
+    /// crawl of the same forum), in user-id order: each entry is a user
+    /// with at least one new post, paired with exactly the posts
+    /// [`UserTrace::delta_from`] reports. Users absent from the baseline
+    /// contribute their whole trace.
+    ///
+    /// Feeding every `(user, posts)` pair of this delta into a streaming
+    /// ingester that already saw `baseline` reproduces `self` exactly.
+    pub fn delta_from(&self, baseline: &TraceSet) -> Vec<(&str, Vec<Timestamp>)> {
+        let mut out = Vec::new();
+        for trace in self.traces.values() {
+            let fresh = match baseline.get(trace.id()) {
+                Some(old) => trace.delta_from(old),
+                None => trace.posts().to_vec(),
+            };
+            if !fresh.is_empty() {
+                out.push((trace.id(), fresh));
+            }
+        }
+        out
+    }
 }
 
 impl FromIterator<UserTrace> for TraceSet {
@@ -244,6 +300,89 @@ mod tests {
         let t = UserTrace::new("u", vec![ts(10), ts(20), ts(30)]);
         let mid = t.between(ts(10), ts(30));
         assert_eq!(mid.posts(), &[ts(10), ts(20)]);
+    }
+
+    #[test]
+    fn between_empty_range_and_out_of_range() {
+        let t = UserTrace::new("u", vec![ts(10), ts(20), ts(30)]);
+        // from == to: half-open range is empty.
+        assert!(t.between(ts(20), ts(20)).is_empty());
+        // Inverted range is empty, not a panic.
+        assert!(t.between(ts(30), ts(10)).is_empty());
+        // Entirely outside the trace.
+        assert!(t.between(ts(100), ts(200)).is_empty());
+        // Empty trace stays empty and keeps the id.
+        let e = UserTrace::new("u", vec![]);
+        let sub = e.between(ts(0), ts(100));
+        assert!(sub.is_empty());
+        assert_eq!(sub.id(), "u");
+    }
+
+    #[test]
+    fn push_unsorted_sequence_ends_sorted() {
+        let mut t = UserTrace::new("u", vec![]);
+        for s in [50, 10, 40, 10, 30, 0, 50] {
+            t.push(ts(s));
+        }
+        assert_eq!(
+            t.posts(),
+            &[ts(0), ts(10), ts(10), ts(30), ts(40), ts(50), ts(50)]
+        );
+    }
+
+    #[test]
+    fn push_duplicates_are_kept() {
+        let mut t = UserTrace::new("u", vec![ts(10)]);
+        t.push(ts(10));
+        t.push(ts(10));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.posts(), &[ts(10), ts(10), ts(10)]);
+        // between() sees every duplicate occurrence.
+        assert_eq!(t.between(ts(10), ts(11)).len(), 3);
+    }
+
+    #[test]
+    fn delta_from_is_a_multiset_difference() {
+        let old = UserTrace::new("u", vec![ts(10), ts(10), ts(20)]);
+        let new = UserTrace::new("u", vec![ts(10), ts(10), ts(10), ts(20), ts(30)]);
+        // One extra ts(10) occurrence and the new ts(30).
+        assert_eq!(new.delta_from(&old), vec![ts(10), ts(30)]);
+        // Nothing new → empty delta.
+        assert!(old.delta_from(&old).is_empty());
+        // Against an empty baseline the delta is the whole trace.
+        let empty = UserTrace::new("u", vec![]);
+        assert_eq!(new.delta_from(&empty), new.posts().to_vec());
+        // Baseline-only posts (a retracted crawl) are simply not emitted.
+        assert!(empty.delta_from(&old).is_empty());
+        // Baseline posts interleaved between new ones don't mask them.
+        let o = UserTrace::new("u", vec![ts(15), ts(25)]);
+        let n = UserTrace::new("u", vec![ts(10), ts(15), ts(20), ts(25), ts(30)]);
+        assert_eq!(n.delta_from(&o), vec![ts(10), ts(20), ts(30)]);
+    }
+
+    #[test]
+    fn traceset_delta_replays_into_equality() {
+        let mut old = TraceSet::new();
+        old.insert(UserTrace::new("a", vec![ts(1), ts(2)]));
+        old.insert(UserTrace::new("b", vec![ts(5)]));
+        let mut new = old.clone();
+        new.record("a", ts(3));
+        new.record("c", ts(7));
+        new.record("c", ts(7)); // duplicate second
+        let delta = new.delta_from(&old);
+        assert_eq!(
+            delta,
+            vec![("a", vec![ts(3)]), ("c", vec![ts(7), ts(7)])],
+            "id order, empty deltas skipped"
+        );
+        // Replaying the delta onto the baseline reproduces the new set.
+        let mut replay = old.clone();
+        for (user, posts) in &delta {
+            for &p in posts {
+                replay.record(user, p);
+            }
+        }
+        assert_eq!(replay, new);
     }
 
     #[test]

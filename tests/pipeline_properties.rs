@@ -1,10 +1,15 @@
 //! Cross-crate property tests: invariants of the full pipeline under
 //! randomized worlds.
 
-use crowdtz::core::{place_distribution, GenericProfile, GeolocationPipeline, PlacementHistogram};
+use crowdtz::core::{
+    place_distribution, GenericProfile, GeolocationPipeline, PlacementHistogram, StreamingPipeline,
+};
 use crowdtz::synth::PopulationSpec;
 use crowdtz::time::{HolidayCalendar, Region, RegionDb, TzOffset, Zone};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
@@ -92,5 +97,49 @@ proptest! {
             prop_assert!((-13.0..=14.0).contains(&c.mean), "mean {}", c.mean);
             prop_assert!(c.sigma > 0.0);
         }
+    }
+
+    /// Streaming ingestion is order- and chunking-independent: splitting
+    /// every user's posts into arbitrary chunks and feeding them in an
+    /// arbitrary interleaving yields a snapshot byte-identical to the
+    /// one-shot batch analysis of the same traces.
+    #[test]
+    fn streaming_ingest_is_chunk_order_invariant(
+        seed in 0u64..200,
+        chunks in 1usize..=4,
+        shuffle_seed in 0u64..1_000,
+    ) {
+        let db = RegionDb::table1();
+        let traces = PopulationSpec::new(db.require(&"france".into()).unwrap().clone())
+            .users(20)
+            .posts_per_day(0.7)
+            .seed(seed)
+            .generate();
+
+        // Split each user's posts into `chunks` index-slices, then feed
+        // the (user, slice) pieces in a shuffled order.
+        let mut pieces = Vec::new();
+        for trace in traces.iter() {
+            let posts = trace.posts();
+            for c in 0..chunks {
+                let piece = &posts[posts.len() * c / chunks..posts.len() * (c + 1) / chunks];
+                if !piece.is_empty() {
+                    pieces.push((trace.id(), piece));
+                }
+            }
+        }
+        pieces.shuffle(&mut StdRng::seed_from_u64(shuffle_seed));
+
+        let pipeline = || GeolocationPipeline::with_generic(GenericProfile::reference());
+        let mut streaming = StreamingPipeline::new(pipeline());
+        for (user, piece) in pieces {
+            streaming.ingest(user, piece);
+        }
+        let snapshot = streaming.snapshot().expect("snapshot");
+        let batch = pipeline().analyze(&traces).expect("analyze");
+        prop_assert_eq!(
+            serde_json::to_string(&snapshot).unwrap(),
+            serde_json::to_string(&batch).unwrap()
+        );
     }
 }

@@ -267,6 +267,18 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+impl<T: ?Sized + Serialize> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(value: &Value) -> Result<std::sync::Arc<T>, DeError> {
+        T::from_value(value).map(std::sync::Arc::new)
+    }
+}
+
 impl<T> Serialize for Cow<'_, T>
 where
     T: Serialize + Clone,
