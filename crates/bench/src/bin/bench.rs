@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! cargo run --release -p crowdtz-bench --bin bench \
-//!     [users] [out.json] [streaming_users] [streaming_out.json]
+//!     [users] [out.json] [streaming_users] [streaming_out.json] \
+//!     [--obs-out obs.json]
 //! ```
 //!
 //! Defaults: 10 000 placement users to `BENCH_placement.json`, 100 000
@@ -40,7 +41,26 @@ fn time_best<T>(runs: usize, mut work: impl FnMut() -> T) -> f64 {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut positional = Vec::new();
+    let mut obs_out: Option<String> = None;
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        if arg == "--obs-out" {
+            obs_out = Some(raw.next().expect("--obs-out needs a path"));
+        } else {
+            positional.push(arg);
+        }
+    }
+    // Same opt-in rule as `repro`: the instrumented layers see an observer
+    // only when a report or stderr echo was asked for.
+    let observer = if obs_out.is_some() || std::env::var_os("CROWDTZ_LOG").is_some() {
+        let obs = crowdtz_obs::Observer::from_env();
+        crowdtz_obs::install_global(std::sync::Arc::clone(&obs));
+        Some(obs)
+    } else {
+        None
+    };
+    let mut args = positional.into_iter();
     let users: usize = args
         .next()
         .map(|a| a.parse().expect("users must be an integer"))
@@ -145,6 +165,13 @@ fn main() {
     }
 
     streaming_bench(streaming_users, threads, host_cpus, &streaming_out);
+
+    if let (Some(obs), Some(path)) = (&observer, &obs_out) {
+        let report = obs.run_report("bench");
+        let json = serde_json::to_string_pretty(&report).expect("serialize run report");
+        std::fs::write(path, format!("{json}\n")).expect("write observability report");
+        eprintln!("wrote observability report to {path}");
+    }
 }
 
 /// Full batch re-analysis vs incremental streaming snapshot with ~1%

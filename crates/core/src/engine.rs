@@ -38,6 +38,10 @@ use crate::generic::GenericProfile;
 use crate::placement::{PlacementHistogram, UserPlacement, ZONE_COUNT};
 use crate::profile::ActivityProfile;
 
+/// Bucket bounds for the `placement.exact_evals_per_user` histogram:
+/// zones per user that reached the exact EMD evaluation (of 24 total).
+pub(crate) const EXACT_EVAL_BOUNDS: &[u64] = &[1, 2, 3, 4, 6, 8, 12, 24];
+
 /// Number of worker threads to use by default: the `CROWDTZ_THREADS`
 /// environment variable when set to a positive integer, otherwise the
 /// machine's available parallelism (1 if that cannot be determined).
@@ -218,6 +222,16 @@ impl PlacementEngine {
     /// order, and a zone is skipped only when its lower bound shows it
     /// cannot beat (or tie-with-a-smaller-index) the best.
     pub fn place_cdf(&self, user_cdf: &[f64; BINS]) -> (i32, f64) {
+        let (zone, emd, _) = self.place_cdf_counted(user_cdf);
+        (zone, emd)
+    }
+
+    /// Like [`place_cdf`](Self::place_cdf), additionally returning how many
+    /// zones reached the exact EMD evaluation — the remaining
+    /// `24 − count` were pruned by the lower bound. Placement itself is
+    /// unchanged; the count feeds the observability layer's pruning stats.
+    pub fn place_cdf_counted(&self, user_cdf: &[f64; BINS]) -> (i32, f64, u32) {
+        let mut exact_evals = 0u32;
         let mut all_diffs = [[0.0_f64; BINS]; ZONE_COUNT];
         let mut bounds = [0.0_f64; ZONE_COUNT];
         for (i, zone_cdf) in self.zone_cdfs.iter().enumerate() {
@@ -256,12 +270,13 @@ impl PlacementEngine {
                 continue;
             }
             let d = circular_emd_of_cdf_diff(&all_diffs[i]);
+            exact_evals += 1;
             if d < best_emd || (d == best_emd && i < best_idx) {
                 best_emd = d;
                 best_idx = i;
             }
         }
-        (PlacementHistogram::zone_of(best_idx), best_emd)
+        (PlacementHistogram::zone_of(best_idx), best_emd, exact_evals)
     }
 
     /// Places a bare hourly distribution (UTC hours), like
@@ -283,6 +298,33 @@ impl PlacementEngine {
     /// byte-identical for any thread count.
     pub fn place_all(&self, profiles: &[ActivityProfile], threads: usize) -> Vec<UserPlacement> {
         chunked_map(profiles, threads, |p| self.place(p))
+    }
+
+    /// Like [`place_all`](Self::place_all), additionally recording pruning
+    /// statistics into `obs`: counters `placement.users` and
+    /// `placement.exact_evals`, and the per-user histogram
+    /// `placement.exact_evals_per_user`. Metric updates are commutative
+    /// atomic adds, so totals are identical for any thread count, and the
+    /// returned placements are byte-identical to [`place_all`].
+    pub fn place_all_observed(
+        &self,
+        profiles: &[ActivityProfile],
+        threads: usize,
+        obs: Option<&crowdtz_obs::Observer>,
+    ) -> Vec<UserPlacement> {
+        let Some(obs) = obs else {
+            return self.place_all(profiles, threads);
+        };
+        let users = obs.counter("placement.users");
+        let exact = obs.counter("placement.exact_evals");
+        let per_user = obs.histogram("placement.exact_evals_per_user", EXACT_EVAL_BOUNDS);
+        chunked_map(profiles, threads, |p| {
+            let (zone, emd, evals) = self.place_cdf_counted(&p.distribution().cdf());
+            users.inc();
+            exact.add(u64::from(evals));
+            per_user.observe(u64::from(evals));
+            UserPlacement::new(p.user(), zone, emd)
+        })
     }
 
     /// The §IV.C flatness test: whether `distribution` is circular-EMD

@@ -320,6 +320,49 @@ mod tests {
     }
 
     #[test]
+    fn equator_adjacent_fixed_zones_abstain() {
+        // Zones in the equatorial band (UTC−1..UTC+1) rarely observe DST;
+        // the classifier must abstain rather than infer a hemisphere from
+        // the offset alone, and the unshifted comparison must win.
+        for off in [-1i32, 0, 1] {
+            let zone = Zone::fixed(TzOffset::from_hours(off).unwrap());
+            let verdict =
+                classify_user(&seasonal_user(zone), &HemisphereConfig::default()).unwrap();
+            assert_eq!(
+                verdict.hemisphere,
+                Hemisphere::Unknown,
+                "offset {off}: {verdict}"
+            );
+            assert!(
+                verdict.d_unshifted <= verdict.d_forward.min(verdict.d_backward),
+                "offset {off}: {verdict}"
+            );
+        }
+    }
+
+    #[test]
+    fn mirrored_dst_rule_flips_the_verdict_symmetrically() {
+        // Swapping a rule's transitions moves the DST period to the other
+        // side of the year: the user's winter and summer UTC profiles
+        // trade places, so the verdict flips and the two shifted distances
+        // swap. The core-season windows (Nov–Jan / May–Sep) sit strictly
+        // inside both rules' DST and standard periods, so the symmetry is
+        // exact, not approximate.
+        let off = TzOffset::from_hours(0).unwrap();
+        let eu = DstRule::eu();
+        let mirror = DstRule::new(eu.end(), eu.start(), eu.shift_secs());
+        assert!(mirror.is_southern());
+        let config = HemisphereConfig::default();
+        let north = classify_user(&seasonal_user(Zone::with_dst(off, eu)), &config).unwrap();
+        let south = classify_user(&seasonal_user(Zone::with_dst(off, mirror)), &config).unwrap();
+        assert_eq!(north.hemisphere, Hemisphere::Northern, "{north}");
+        assert_eq!(south.hemisphere, Hemisphere::Southern, "{south}");
+        assert!((north.d_forward - south.d_backward).abs() < 1e-12);
+        assert!((north.d_backward - south.d_forward).abs() < 1e-12);
+        assert!((north.d_unshifted - south.d_unshifted).abs() < 1e-12);
+    }
+
+    #[test]
     fn seasonal_split_excludes_transition_months() {
         let ts =
             |m: u8| Timestamp::from_civil_utc(CivilDateTime::new(2016, m, 15, 12, 0, 0).unwrap());

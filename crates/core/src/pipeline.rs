@@ -35,6 +35,7 @@ pub struct GeolocationPipeline {
     polish: bool,
     max_components: usize,
     threads: Option<usize>,
+    observer: Option<Arc<crowdtz_obs::Observer>>,
 }
 
 impl GeolocationPipeline {
@@ -48,6 +49,7 @@ impl GeolocationPipeline {
             polish: true,
             max_components: 4,
             threads: None,
+            observer: None,
         }
     }
 
@@ -83,6 +85,26 @@ impl GeolocationPipeline {
     pub fn threads(mut self, threads: usize) -> GeolocationPipeline {
         self.threads = Some(threads.max(1));
         self
+    }
+
+    /// Attaches an observer: every analysis records stage spans
+    /// (`pipeline.profiles` / `pipeline.polish` / `pipeline.placement` /
+    /// `pipeline.fit`), placed-user counters, and the placement engine's
+    /// pruning statistics into it.
+    ///
+    /// Observation is strictly out-of-band — reports are byte-identical
+    /// with or without an observer (asserted by `tests/obs_invariants.rs`).
+    /// When no observer is attached, the pipeline falls back to the
+    /// process-global one ([`crowdtz_obs::install_global`]), if any.
+    #[must_use]
+    pub fn observer(mut self, observer: Arc<crowdtz_obs::Observer>) -> GeolocationPipeline {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The observer in effect: the attached one, else the process global.
+    pub(crate) fn obs(&self) -> Option<Arc<crowdtz_obs::Observer>> {
+        self.observer.clone().or_else(crowdtz_obs::global)
     }
 
     /// The worker-thread count the pipeline will use.
@@ -142,9 +164,13 @@ impl GeolocationPipeline {
         if !coverage.is_finite() || coverage <= 0.0 || coverage > 1.0 {
             return Err(CoreError::InvalidCoverage { coverage });
         }
-        let profiles = ProfileBuilder::new()
-            .min_posts(self.min_posts)
-            .build_threads(traces, self.effective_threads());
+        let obs = self.obs();
+        let profiles = {
+            let _s = crowdtz_obs::span!(obs, "pipeline.profiles");
+            ProfileBuilder::new()
+                .min_posts(self.min_posts)
+                .build_threads(traces, self.effective_threads())
+        };
         self.analyze_profiles(profiles, coverage)
     }
 
@@ -171,8 +197,10 @@ impl GeolocationPipeline {
             return Err(CoreError::InvalidCoverage { coverage });
         }
         let threads = self.effective_threads();
+        let obs = self.obs();
         let engine = PlacementEngine::new(&self.generic);
         let (profiles, flat_removed) = if self.polish {
+            let _s = crowdtz_obs::span!(obs, "pipeline.polish");
             let outcome = polish::split_flat_profiles_with(profiles, &engine, threads);
             let removed = outcome.flat.len();
             (outcome.kept, removed)
@@ -183,10 +211,25 @@ impl GeolocationPipeline {
             return Err(CoreError::EmptyCrowd);
         }
         let crowd = CrowdProfile::aggregate(&profiles)?;
-        let placements: Vec<UserPlacement> = engine.place_all(&profiles, threads);
+        let placements: Vec<UserPlacement> = {
+            let _s = crowdtz_obs::span!(obs, "pipeline.placement");
+            engine.place_all_observed(&profiles, threads, obs.as_deref())
+        };
         let histogram = PlacementHistogram::from_placements(&placements);
-        let single = SingleRegionFit::fit(&histogram)?;
-        let multi = MultiRegionFit::fit(&histogram, self.max_components)?;
+        let (single, multi) = {
+            let _s = crowdtz_obs::span!(obs, "pipeline.fit");
+            (
+                SingleRegionFit::fit(&histogram)?,
+                MultiRegionFit::fit(&histogram, self.max_components)?,
+            )
+        };
+        if let Some(obs) = &obs {
+            obs.counter("pipeline.users_placed")
+                .add(placements.len() as u64);
+            obs.counter("pipeline.flat_removed")
+                .add(flat_removed as u64);
+            obs.counter("pipeline.analyses").inc();
+        }
         Ok(GeolocationReport {
             profiles: Arc::new(profiles),
             flat_removed,

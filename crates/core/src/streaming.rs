@@ -128,6 +128,33 @@ impl UserAnalysis {
     }
 }
 
+/// Observability handles, created once at construction so the per-post
+/// ingest path pays one atomic add, not a registry lookup.
+#[derive(Debug, Clone)]
+struct StreamObs {
+    observer: Arc<crowdtz_obs::Observer>,
+    /// `streaming.posts_ingested`: posts across all deltas.
+    posts: crowdtz_obs::Counter,
+    /// `streaming.deltas`: ingest calls with a non-empty delta.
+    deltas: crowdtz_obs::Counter,
+    /// `streaming.dirty`: dirty-set size entering the last refresh.
+    dirty: crowdtz_obs::Gauge,
+    /// `streaming.snapshots`: snapshots taken.
+    snapshots: crowdtz_obs::Counter,
+}
+
+impl StreamObs {
+    fn new(observer: Arc<crowdtz_obs::Observer>) -> StreamObs {
+        StreamObs {
+            posts: observer.counter("streaming.posts_ingested"),
+            deltas: observer.counter("streaming.deltas"),
+            dirty: observer.gauge("streaming.dirty"),
+            snapshots: observer.counter("streaming.snapshots"),
+            observer,
+        }
+    }
+}
+
 /// The last mixture fit, keyed by the exact zone counts it was computed
 /// from: identical counts → identical histogram → the cached fit *is* the
 /// refit, bit for bit.
@@ -183,6 +210,7 @@ pub struct StreamingPipeline {
     /// histogram, maintained by subtract-old / add-new on re-placement.
     zone_counts: [usize; ZONE_COUNT],
     fit_cache: Option<FitCache>,
+    obs: Option<StreamObs>,
 }
 
 impl StreamingPipeline {
@@ -192,9 +220,11 @@ impl StreamingPipeline {
     /// reused across every refresh.
     pub fn new(pipeline: GeolocationPipeline) -> StreamingPipeline {
         let engine = PlacementEngine::new(pipeline.generic());
+        let obs = pipeline.obs().map(StreamObs::new);
         StreamingPipeline {
             pipeline,
             engine,
+            obs,
             refit: RefitMode::Exact,
             users: BTreeMap::new(),
             dirty: BTreeSet::new(),
@@ -247,6 +277,10 @@ impl StreamingPipeline {
     pub fn ingest(&mut self, user: &str, posts: &[Timestamp]) {
         if posts.is_empty() {
             return;
+        }
+        if let Some(obs) = &self.obs {
+            obs.posts.add(posts.len() as u64);
+            obs.deltas.inc();
         }
         let acc = self.users.entry(user.to_owned()).or_default();
         acc.posts += posts.len();
@@ -305,9 +339,16 @@ impl StreamingPipeline {
     /// sorted), so the per-user results — and therefore every snapshot —
     /// are thread-count-invariant.
     fn refresh(&mut self) {
+        if let Some(obs) = &self.obs {
+            obs.dirty.set(self.dirty.len() as f64);
+        }
         if self.dirty.is_empty() {
             return;
         }
+        // Clone the Arc into a local so the span guard does not hold a
+        // borrow of `self` across the mutable refresh work below.
+        let observer = self.obs.as_ref().map(|o| Arc::clone(&o.observer));
+        let _s = crowdtz_obs::span!(observer, "streaming.refresh");
         let dirty: Vec<String> = std::mem::take(&mut self.dirty).into_iter().collect();
         let min_posts = self.pipeline.min_posts_threshold();
         let polish = self.pipeline.polish_enabled();
@@ -431,6 +472,11 @@ impl StreamingPipeline {
     ) -> Result<GeolocationReport, CoreError> {
         if !coverage.is_finite() || coverage <= 0.0 || coverage > 1.0 {
             return Err(CoreError::InvalidCoverage { coverage });
+        }
+        let observer = self.obs.as_ref().map(|o| Arc::clone(&o.observer));
+        let _s = crowdtz_obs::span!(observer, "streaming.snapshot");
+        if let Some(obs) = &self.obs {
+            obs.snapshots.inc();
         }
         self.refresh();
         if self.kept_profiles.is_empty() {

@@ -1,0 +1,204 @@
+//! Observability is strictly out-of-band: attaching an observer never
+//! changes a single byte of analysis output, and the metrics it records
+//! satisfy exact invariants against the reports they describe — at every
+//! worker-thread count.
+
+use std::sync::Arc;
+
+use crowdtz_core::{GeolocationPipeline, GeolocationReport, StreamingPipeline};
+use crowdtz_obs::Observer;
+use crowdtz_synth::PopulationSpec;
+use crowdtz_time::{RegionDb, TraceSet};
+
+/// A two-region crowd (Japan UTC+9 and Brazil UTC−3) so polish, the
+/// mixture fit, and placement pruning all have real work to do.
+fn two_region_crowd() -> TraceSet {
+    let db = RegionDb::extended();
+    let mut traces = PopulationSpec::new(db.get(&"japan".into()).unwrap().clone())
+        .users(40)
+        .seed(3)
+        .posts_per_day(0.5)
+        .generate();
+    let brazil = PopulationSpec::new(db.get(&"brazil".into()).unwrap().clone())
+        .users(40)
+        .seed(4)
+        .posts_per_day(0.5)
+        .generate();
+    for t in brazil.iter() {
+        traces.insert(t.clone());
+    }
+    traces
+}
+
+fn full_json(report: &GeolocationReport) -> String {
+    serde_json::to_string(report).unwrap()
+}
+
+#[test]
+fn observer_never_changes_batch_output() {
+    let traces = two_region_crowd();
+    for threads in [1usize, 2, 8] {
+        let plain = GeolocationPipeline::default()
+            .threads(threads)
+            .analyze(&traces)
+            .unwrap();
+        let observed = GeolocationPipeline::default()
+            .threads(threads)
+            .observer(Observer::from_env())
+            .analyze(&traces)
+            .unwrap();
+        assert_eq!(
+            full_json(&plain),
+            full_json(&observed),
+            "observer changed batch output at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn observer_never_changes_streaming_output() {
+    let traces = two_region_crowd();
+    for threads in [1usize, 2, 8] {
+        let snapshot = |observer: Option<Arc<Observer>>| {
+            let mut pipeline = GeolocationPipeline::default().threads(threads);
+            if let Some(obs) = observer {
+                pipeline = pipeline.observer(obs);
+            }
+            let mut streaming = StreamingPipeline::new(pipeline);
+            streaming.ingest_set(&traces);
+            full_json(&streaming.snapshot().unwrap())
+        };
+        assert_eq!(
+            snapshot(None),
+            snapshot(Some(Observer::from_env())),
+            "observer changed streaming output at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn placed_user_counter_matches_report() {
+    let traces = two_region_crowd();
+    let observer = Observer::from_env();
+    let report = GeolocationPipeline::default()
+        .observer(Arc::clone(&observer))
+        .analyze(&traces)
+        .unwrap();
+    let metrics = observer.snapshot();
+    assert_eq!(
+        metrics.counters["pipeline.users_placed"],
+        report.users_classified() as u64
+    );
+    assert_eq!(
+        metrics.counters["placement.users"],
+        report.users_classified() as u64
+    );
+    assert_eq!(metrics.counters["pipeline.analyses"], 1);
+    assert_eq!(
+        metrics.counters["pipeline.flat_removed"],
+        report.flat_removed() as u64
+    );
+}
+
+#[test]
+fn pruning_histogram_counts_every_user_and_at_most_24_evals_each() {
+    let traces = two_region_crowd();
+    let observer = Observer::from_env();
+    let report = GeolocationPipeline::default()
+        .observer(Arc::clone(&observer))
+        .analyze(&traces)
+        .unwrap();
+    let metrics = observer.snapshot();
+    let hist = &metrics.histograms["placement.exact_evals_per_user"];
+    let users = report.users_classified() as u64;
+    // One histogram observation per placed user.
+    assert_eq!(hist.count, users);
+    assert_eq!(hist.buckets.iter().sum::<u64>(), users);
+    // Every user costs at least one and at most 24 exact EMD evaluations.
+    assert!(hist.sum >= users);
+    assert!(
+        hist.sum <= 24 * users,
+        "pruning bound violated: {}",
+        hist.sum
+    );
+    assert_eq!(hist.sum, metrics.counters["placement.exact_evals"]);
+}
+
+#[test]
+fn streaming_dirty_gauge_tracks_delta_size() {
+    let traces = two_region_crowd();
+    let observer = Observer::from_env();
+    let mut streaming =
+        StreamingPipeline::new(GeolocationPipeline::default().observer(Arc::clone(&observer)));
+    streaming.ingest_set(&traces);
+    streaming.snapshot().unwrap();
+    // Everything was dirty on the priming snapshot.
+    let total_users = traces.iter().count() as f64;
+    assert_eq!(observer.snapshot().gauges["streaming.dirty"], total_users);
+
+    // Touch exactly three users; the next refresh must gauge exactly 3.
+    let ids: Vec<String> = traces.iter().take(3).map(|t| t.id().to_string()).collect();
+    for (i, id) in ids.iter().enumerate() {
+        streaming.ingest(
+            id,
+            &[crowdtz_time::Timestamp::from_secs(
+                86_400 * (i as i64 + 400),
+            )],
+        );
+    }
+    streaming.snapshot().unwrap();
+    let metrics = observer.snapshot();
+    assert_eq!(metrics.gauges["streaming.dirty"], 3.0);
+    assert_eq!(metrics.counters["streaming.snapshots"], 2);
+    // `ingest_set` ingests one delta per trace, plus the three touches.
+    assert_eq!(
+        metrics.counters["streaming.deltas"],
+        total_users as u64 + ids.len() as u64
+    );
+}
+
+#[test]
+fn metric_snapshots_are_identical_across_thread_counts() {
+    let traces = two_region_crowd();
+    let metrics_json = |threads: usize| {
+        let observer = Observer::from_env();
+        GeolocationPipeline::default()
+            .threads(threads)
+            .observer(Arc::clone(&observer))
+            .analyze(&traces)
+            .unwrap();
+        serde_json::to_string(&observer.snapshot()).unwrap()
+    };
+    let baseline = metrics_json(1);
+    for threads in [2usize, 8] {
+        assert_eq!(
+            baseline,
+            metrics_json(threads),
+            "metrics diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn stage_timings_cover_every_pipeline_stage() {
+    let traces = two_region_crowd();
+    let observer = Observer::from_env();
+    GeolocationPipeline::default()
+        .observer(Arc::clone(&observer))
+        .analyze(&traces)
+        .unwrap();
+    let stages = observer.stage_timings();
+    for expected in [
+        "pipeline.profiles",
+        "pipeline.polish",
+        "pipeline.placement",
+        "pipeline.fit",
+    ] {
+        let stage = stages
+            .iter()
+            .find(|s| s.name == expected)
+            .unwrap_or_else(|| panic!("missing stage {expected}"));
+        assert_eq!(stage.calls, 1);
+        assert!(stage.total_ns > 0, "zero wall time for {expected}");
+    }
+}

@@ -8,6 +8,7 @@
 //! repro --list               # list experiment ids
 //! repro --sequential         # disable the parallel runner
 //! repro --json               # machine-readable output
+//! repro --obs-out obs.json   # write an observability run report
 //! repro export crd-club      # dump a simulated forum's scraped traces as JSON
 //! repro analyze spec.json    # geolocate a custom ForumSpec (JSON file)
 //! ```
@@ -22,6 +23,7 @@ struct Args {
     list: bool,
     sequential: bool,
     json: bool,
+    obs_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +37,7 @@ fn parse_arg_list(raw: impl IntoIterator<Item = String>) -> Result<Args, String>
         list: false,
         sequential: false,
         json: false,
+        obs_out: None,
     };
     let mut iter = raw.into_iter();
     while let Some(arg) = iter.next() {
@@ -57,9 +60,13 @@ fn parse_arg_list(raw: impl IntoIterator<Item = String>) -> Result<Args, String>
             "--list" => args.list = true,
             "--sequential" => args.sequential = true,
             "--json" => args.json = true,
+            "--obs-out" => {
+                args.obs_out = Some(iter.next().ok_or("--obs-out needs a path")?);
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: repro [ids…] [--scale F] [--seed N] [--list] [--sequential] [--json]"
+                    "usage: repro [ids…] [--scale F] [--seed N] [--list] [--sequential] [--json] \
+                     [--obs-out PATH]"
                         .to_owned(),
                 )
             }
@@ -177,6 +184,15 @@ fn analyze_custom(path: &str, config: &Config) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes the observer's run report — stage wall times, metric snapshot,
+/// and recent trace events — as pretty JSON to `path`.
+fn write_obs_report(observer: &crowdtz_obs::Observer, path: &str) -> Result<(), String> {
+    let report = observer.run_report("repro");
+    let json = serde_json::to_string_pretty(&report)
+        .map_err(|e| format!("cannot serialize run report: {e}"))?;
+    std::fs::write(path, format!("{json}\n")).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -185,6 +201,35 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Observability is opt-in: the observer exists (and the instrumented
+    // layers pick it up via the global hook) only when a report is
+    // requested or CROWDTZ_LOG asks for stderr echo. Default runs carry
+    // no recording overhead at all.
+    let observer = if args.obs_out.is_some() || std::env::var_os("CROWDTZ_LOG").is_some() {
+        let obs = crowdtz_obs::Observer::from_env();
+        crowdtz_obs::install_global(std::sync::Arc::clone(&obs));
+        Some(obs)
+    } else {
+        None
+    };
+    let code = run(&args);
+    if let (Some(obs), Some(path)) = (&observer, &args.obs_out) {
+        match write_obs_report(obs, path) {
+            Ok(()) => {
+                if !args.json {
+                    eprintln!("wrote observability report to {path}");
+                }
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    code
+}
+
+fn run(args: &Args) -> ExitCode {
     if args.ids.first().map(String::as_str) == Some("analyze") {
         let Some(path) = args.ids.get(1) else {
             eprintln!("usage: repro analyze <forum-spec.json>");
@@ -289,6 +334,14 @@ mod tests {
         assert_eq!(a.config, Config::default());
         assert!(a.ids.is_empty());
         assert!(!a.list && !a.sequential && !a.json);
+        assert!(a.obs_out.is_none());
+    }
+
+    #[test]
+    fn obs_out_takes_a_path() {
+        let a = parse(&["--obs-out", "obs.json"]).unwrap();
+        assert_eq!(a.obs_out.as_deref(), Some("obs.json"));
+        assert!(parse(&["--obs-out"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Golden snapshot of the reproduction harness: a fixed-seed, small-scale
+//! run of three representative experiments must stay byte-identical to
+//! the committed fixture. Any change to the synthetic world, the
+//! measurement path, or the JSON rendering shows up as a diff here —
+//! intentional changes regenerate the fixture with
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p crowdtz-experiments --test golden_report
+//! ```
+
+use crowdtz_experiments::{find_experiment, Config, ExperimentOutput};
+
+/// One single-crowd placement, one multi-region mixture, one metrics
+/// table — a cross-section of the pipeline, small enough to run in a
+/// normal test pass.
+const IDS: [&str; 3] = ["fig1", "fig3", "table2"];
+
+/// Path relative to the crate root (the test's working directory).
+const GOLDEN: &str = "tests/golden/repro_scale005_seed2016.json";
+
+/// Renders exactly what `repro fig1 fig3 table2 --scale 0.05 --seed 2016
+/// --json` prints (plus the trailing newline a file carries).
+fn render() -> String {
+    let config = Config {
+        scale: 0.05,
+        seed: 2016,
+    };
+    let outputs: Vec<ExperimentOutput> = IDS
+        .iter()
+        .map(|id| {
+            let (_, _, run) = find_experiment(id).expect("golden id is registered");
+            run(&config)
+        })
+        .collect();
+    let checks: usize = outputs.iter().map(|o| o.findings.len()).sum();
+    let mismatches: usize = outputs
+        .iter()
+        .map(|o| o.findings.iter().filter(|f| !f.ok).count())
+        .sum();
+    let doc = serde_json::json!({
+        "scale": config.scale,
+        "seed": config.seed,
+        "experiments": outputs,
+        "checks": checks,
+        "mismatches": mismatches,
+    });
+    let json = serde_json::to_string_pretty(&doc).expect("serializable");
+    format!("{json}\n")
+}
+
+#[test]
+fn golden_report_is_byte_identical() {
+    let rendered = render();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &rendered).expect("write golden fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {GOLDEN}: {e}\n\
+             regenerate with UPDATE_GOLDEN=1 cargo test -p crowdtz-experiments --test golden_report"
+        )
+    });
+    assert_eq!(
+        golden, rendered,
+        "repro output drifted from the committed golden fixture; if the \
+         change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_run_reports_no_mismatches() {
+    // The fixture itself must describe a healthy run: every shape check
+    // of the three experiments passing at the golden scale and seed.
+    let golden = std::fs::read_to_string(GOLDEN).expect("golden fixture exists");
+    let doc: serde_json::Value = serde_json::from_str(&golden).expect("fixture parses");
+    let field = |name: &str| doc.field(name).expect("field present").as_u64().unwrap();
+    assert_eq!(field("mismatches"), 0, "golden fixture records failures");
+    assert!(field("checks") > 0);
+}

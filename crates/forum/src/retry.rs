@@ -29,6 +29,8 @@
 //! [`TorError::needs_rebuild`]: crowdtz_tor::TorError::needs_rebuild
 //! [`AnonymousChannel::rebuild`]: crowdtz_tor::AnonymousChannel::rebuild
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crowdtz_tor::AnonymousChannel;
@@ -140,6 +142,36 @@ fn classify(err: &ForumError) -> Recovery {
     }
 }
 
+/// Observability counters mirroring [`CrawlStats`], created once per
+/// channel so the retry loop pays one atomic add per event.
+#[derive(Debug, Clone)]
+pub(crate) struct RetryObs {
+    observer: Arc<crowdtz_obs::Observer>,
+    /// `scrape.requests`
+    requests: crowdtz_obs::Counter,
+    /// `scrape.retries`
+    retries: crowdtz_obs::Counter,
+    /// `scrape.faults_absorbed`
+    faults_absorbed: crowdtz_obs::Counter,
+    /// `scrape.circuit_rebuilds`
+    rebuilds: crowdtz_obs::Counter,
+    /// `scrape.backoff_ms`
+    backoff_ms: crowdtz_obs::Counter,
+}
+
+impl RetryObs {
+    fn new(observer: Arc<crowdtz_obs::Observer>) -> RetryObs {
+        RetryObs {
+            requests: observer.counter("scrape.requests"),
+            retries: observer.counter("scrape.retries"),
+            faults_absorbed: observer.counter("scrape.faults_absorbed"),
+            rebuilds: observer.counter("scrape.circuit_rebuilds"),
+            backoff_ms: observer.counter("scrape.backoff_ms"),
+            observer,
+        }
+    }
+}
+
 /// An [`AnonymousChannel`] plus the retry loop: encodes requests, decodes
 /// responses, and absorbs recoverable faults per the [`RetryPolicy`].
 #[derive(Debug)]
@@ -148,6 +180,7 @@ pub(crate) struct ResilientChannel {
     policy: RetryPolicy,
     stats: CrawlStats,
     draws: u64,
+    obs: Option<RetryObs>,
 }
 
 impl ResilientChannel {
@@ -157,7 +190,18 @@ impl ResilientChannel {
             policy,
             stats: CrawlStats::default(),
             draws: 0,
+            obs: crowdtz_obs::global().map(RetryObs::new),
         }
+    }
+
+    /// Attaches an observer, replacing the global fallback (if any).
+    pub(crate) fn set_observer(&mut self, observer: Arc<crowdtz_obs::Observer>) {
+        self.obs = Some(RetryObs::new(observer));
+    }
+
+    /// The observer the channel records into, for scraper-level spans.
+    pub(crate) fn observer(&self) -> Option<Arc<crowdtz_obs::Observer>> {
+        self.obs.as_ref().map(|o| Arc::clone(&o.observer))
     }
 
     pub(crate) fn address(&self) -> crowdtz_tor::OnionAddress {
@@ -199,6 +243,10 @@ impl ResilientChannel {
                 Ok(resp) => {
                     self.stats.requests += 1;
                     self.stats.faults_absorbed += failures;
+                    if let Some(obs) = &self.obs {
+                        obs.requests.inc();
+                        obs.faults_absorbed.add(failures);
+                    }
                     return Ok(resp);
                 }
                 Err(err) => {
@@ -211,11 +259,19 @@ impl ResilientChannel {
                         // gone; that is fatal regardless of budget.
                         self.channel.rebuild()?;
                         self.stats.circuit_rebuilds += 1;
+                        if let Some(obs) = &self.obs {
+                            obs.rebuilds.inc();
+                        }
                     }
                     failures += 1;
                     self.draws += 1;
                     self.stats.retries_spent += 1;
-                    self.stats.backoff_ms += self.policy.backoff_ms(attempt, self.draws);
+                    let wait = self.policy.backoff_ms(attempt, self.draws);
+                    self.stats.backoff_ms += wait;
+                    if let Some(obs) = &self.obs {
+                        obs.retries.inc();
+                        obs.backoff_ms.add(wait);
+                    }
                 }
             }
         }

@@ -281,6 +281,16 @@ impl Scraper {
         self
     }
 
+    /// Attaches an observer: the transport records retry/backoff counters
+    /// (`scrape.*`) and dumps record spans, resume counts, and a coverage
+    /// gauge into it. Without one, the process-global observer (if
+    /// installed) is used. Carries over to [`into_monitor`](Scraper::into_monitor).
+    #[must_use]
+    pub fn observer(mut self, observer: std::sync::Arc<crowdtz_obs::Observer>) -> Scraper {
+        self.link.set_observer(observer);
+        self
+    }
+
     /// The active retry policy.
     pub fn policy(&self) -> RetryPolicy {
         self.link.policy()
@@ -381,6 +391,15 @@ impl Scraper {
         &mut self,
         checkpoint: CrawlCheckpoint,
     ) -> Result<ScrapeReport, CrawlInterrupted> {
+        let observer = self.link.observer();
+        let _s = crowdtz_obs::span!(observer, "scrape.dump");
+        if let Some(obs) = &observer {
+            // A checkpoint with any recorded progress means this call is a
+            // resume of an interrupted crawl, not a fresh dump.
+            if checkpoint.listed || checkpoint.pages_crawled > 0 {
+                obs.counter("scrape.resumes").inc();
+            }
+        }
         let mut cp = checkpoint;
         if !cp.listed {
             match self.list_threads() {
@@ -430,7 +449,12 @@ impl Scraper {
                 Err(error) => return Err(interrupted(error, cp)),
             }
         }
-        Ok(cp.into_report(self.link.stats()))
+        let report = cp.into_report(self.link.stats());
+        if let Some(obs) = &observer {
+            obs.counter("scrape.dumps").inc();
+            obs.gauge("scrape.coverage").set(report.coverage());
+        }
+        Ok(report)
     }
 
     /// Convenience: calibrate, then dump, returning UTC-normalized output.
@@ -545,6 +569,16 @@ impl Monitor {
         self
     }
 
+    /// Attaches an observer: polls and self-timestamped posts are counted
+    /// (`monitor.polls` / `monitor.posts`), sessions resumed from a
+    /// checkpoint bump `monitor.resumes`, and the transport records its
+    /// `scrape.*` retry counters into the same observer.
+    #[must_use]
+    pub fn observer(mut self, observer: std::sync::Arc<crowdtz_obs::Observer>) -> Monitor {
+        self.link.set_observer(observer);
+        self
+    }
+
     /// Transport-level counters accumulated by this monitor so far.
     pub fn crawl_stats(&self) -> CrawlStats {
         self.link.stats()
@@ -575,6 +609,21 @@ impl Monitor {
         observer_now: Timestamp,
         mut sink: impl FnMut(&str, Timestamp),
     ) -> Result<(), ForumError> {
+        let mut seen = 0u64;
+        let result = self.poll_each_inner(observer_now, &mut sink, &mut seen);
+        if let Some(obs) = self.link.observer() {
+            obs.counter("monitor.polls").inc();
+            obs.counter("monitor.posts").add(seen);
+        }
+        result
+    }
+
+    fn poll_each_inner(
+        &mut self,
+        observer_now: Timestamp,
+        sink: &mut impl FnMut(&str, Timestamp),
+        seen: &mut u64,
+    ) -> Result<(), ForumError> {
         loop {
             match self.link.ask(&Request::NewPosts {
                 after: self.last_seen,
@@ -586,6 +635,7 @@ impl Monitor {
                     }
                     for p in &posts {
                         self.last_seen = self.last_seen.max(p.id);
+                        *seen += 1;
                         sink(&p.author, observer_now);
                     }
                 }
@@ -667,6 +717,13 @@ impl Monitor {
         checkpoint: MonitorCheckpoint,
     ) -> Result<TraceSet, MonitorInterrupted> {
         let interval = interval_secs.max(1);
+        let observer = self.link.observer();
+        let _s = crowdtz_obs::span!(observer, "monitor.run");
+        if let Some(obs) = &observer {
+            if checkpoint.last_seen > PostId(0) || checkpoint.next_poll.is_some() {
+                obs.counter("monitor.resumes").inc();
+            }
+        }
         let mut cp = checkpoint;
         // Adopt the checkpoint's progress; never regress our own.
         self.last_seen = self.last_seen.max(cp.last_seen);
@@ -834,6 +891,54 @@ mod tests {
         assert!(stats.faults_absorbed > 0, "no faults hit at 15%?");
         assert_eq!(stats.faults_absorbed, stats.retries_spent);
         assert!(stats.backoff_ms > 0);
+    }
+
+    #[test]
+    fn observer_records_faults_retries_and_coverage() {
+        use std::sync::Arc;
+        // Same setup as `connect_faulty`, but with an explicit observer
+        // attached to both the network (fault counters) and the scraper
+        // (retry counters) before the channel is built.
+        let spec = forum_spec(0, TimestampPolicy::Visible);
+        let forum = SimulatedForum::generate(&spec);
+        let host = ForumHost::new(forum).page_size(25);
+        let mut net = TorNetwork::with_relays(30, 5);
+        let observer = crowdtz_obs::Observer::from_env();
+        net.set_observer(Arc::clone(&observer));
+        net.set_fault_plan(FaultPlan::new(9, FaultRates::mixed(0.15)));
+        let addr = net.publish(host.into_hidden_service(1)).unwrap();
+        let mut scraper =
+            Scraper::new(net.connect(&addr, 2).unwrap()).observer(Arc::clone(&observer));
+
+        let report = scraper.dump().unwrap();
+        assert_eq!(report.coverage(), 1.0);
+
+        let metrics = observer.snapshot();
+        let stats = report.stats();
+        // The observer saw exactly what the crawl stats recorded.
+        assert_eq!(metrics.counters["scrape.requests"], stats.requests);
+        assert_eq!(metrics.counters["scrape.retries"], stats.retries_spent);
+        assert_eq!(
+            metrics.counters["scrape.faults_absorbed"],
+            stats.faults_absorbed
+        );
+        assert_eq!(metrics.counters["scrape.backoff_ms"], stats.backoff_ms);
+        assert!(
+            metrics.counters["scrape.faults_absorbed"] > 0,
+            "15% rate hit nothing?"
+        );
+        // Every fault the plan injected landed in a per-kind counter.
+        assert_eq!(
+            metrics.counters["tor.fault.injected"],
+            net.faults_injected()
+        );
+        let per_kind: u64 = Fault::ALL
+            .iter()
+            .map(|f| metrics.counters[&format!("tor.fault.{f}")])
+            .sum();
+        assert_eq!(per_kind, metrics.counters["tor.fault.injected"]);
+        assert_eq!(metrics.counters["scrape.dumps"], 1);
+        assert_eq!(metrics.gauges["scrape.coverage"], 1.0);
     }
 
     #[test]

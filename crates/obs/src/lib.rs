@@ -1,0 +1,176 @@
+//! `crowdtz-obs` — observability for the crowdtz pipeline.
+//!
+//! Zero external dependencies beyond the vendored `serde`. Three pieces:
+//!
+//! - a lock-cheap [`MetricsRegistry`] (counters, gauges, fixed-bucket
+//!   histograms) whose handles are atomic and safe to update from
+//!   `chunked_map` workers;
+//! - span-style stage tracing ([`Observer::span`] / the [`span!`] macro)
+//!   with monotonic timing, parent/child nesting, and a bounded ring of
+//!   completed-span events;
+//! - a [`RunReport`] folding stage timings + the metrics snapshot into one
+//!   JSON artifact for CI.
+//!
+//! # Determinism contract
+//!
+//! Observation is strictly out-of-band: no analysis code path reads a
+//! metric or span back, so enabling an observer cannot change any report
+//! byte. Counters and histograms are built from commutative atomic adds,
+//! so their totals are identical for any `CROWDTZ_THREADS` value.
+//!
+//! # Logging
+//!
+//! Metrics and spans are always recorded; the `CROWDTZ_LOG` environment
+//! variable (`off`/`error`/`info`/`debug`, default `off`) only controls
+//! what is echoed to stderr. Default runs are silent.
+//!
+//! # Wiring
+//!
+//! Library types take an observer explicitly (e.g.
+//! `GeolocationPipeline::observer(...)`). Binaries that want whole-process
+//! coverage install one global via [`install_global`]; instrumented types
+//! with no explicit observer fall back to it at construction time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod metrics;
+mod report;
+mod trace;
+
+use std::sync::{Arc, OnceLock};
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use report::RunReport;
+pub use trace::{Span, StageTiming, TraceEvent};
+
+/// How much the observer echoes to stderr. Recording is unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Nothing is echoed (the default).
+    Off,
+    /// Only errors.
+    Error,
+    /// Errors and one-line run summaries.
+    Info,
+    /// Everything, including per-span timings.
+    Debug,
+}
+
+impl LogLevel {
+    /// Parse a `CROWDTZ_LOG` value; unknown strings mean [`LogLevel::Off`].
+    pub fn parse(s: &str) -> LogLevel {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => LogLevel::Error,
+            "info" => LogLevel::Info,
+            "debug" | "trace" => LogLevel::Debug,
+            _ => LogLevel::Off,
+        }
+    }
+
+    /// Read the level from the `CROWDTZ_LOG` environment variable.
+    pub fn from_env() -> LogLevel {
+        std::env::var("CROWDTZ_LOG")
+            .map(|v| LogLevel::parse(&v))
+            .unwrap_or(LogLevel::Off)
+    }
+}
+
+/// The facade every instrumented layer talks to: a metrics registry plus a
+/// tracer, with a stderr log level. Cheap to share via `Arc`.
+#[derive(Debug)]
+pub struct Observer {
+    level: LogLevel,
+    registry: MetricsRegistry,
+    tracer: trace::Tracer,
+}
+
+impl Observer {
+    /// New observer with the log level taken from `CROWDTZ_LOG`.
+    pub fn from_env() -> Arc<Observer> {
+        Observer::with_level(LogLevel::from_env())
+    }
+
+    /// New observer with an explicit log level.
+    pub fn with_level(level: LogLevel) -> Arc<Observer> {
+        Arc::new(Observer {
+            level,
+            registry: MetricsRegistry::new(),
+            tracer: trace::Tracer::new(),
+        })
+    }
+
+    /// The stderr log level.
+    pub fn level(&self) -> LogLevel {
+        self.level
+    }
+
+    /// Open a traced stage; the returned guard records timing on drop.
+    pub fn span(&self, name: &str) -> Span<'_> {
+        self.tracer.enter(name, self.level)
+    }
+
+    /// Get or create a counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(name)
+    }
+
+    /// Get or create a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.registry.gauge(name)
+    }
+
+    /// Get or create a histogram with upper-inclusive `bounds`.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        self.registry.histogram(name, bounds)
+    }
+
+    /// Capture the current value of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Aggregated per-stage wall times, sorted by stage name.
+    pub fn stage_timings(&self) -> Vec<StageTiming> {
+        self.tracer.stage_timings()
+    }
+
+    /// The retained tail of completed-span events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.tracer.events()
+    }
+
+    /// Fold stage timings, metrics, and events into a [`RunReport`].
+    pub fn run_report(&self, label: &str) -> RunReport {
+        RunReport {
+            label: label.to_string(),
+            stages: self.stage_timings(),
+            metrics: self.snapshot(),
+            events: self.events(),
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Arc<Observer>> = OnceLock::new();
+
+/// Install the process-global observer used as a fallback by instrumented
+/// types constructed without an explicit one. First install wins; returns
+/// `false` if one was already installed.
+pub fn install_global(obs: Arc<Observer>) -> bool {
+    GLOBAL.set(obs).is_ok()
+}
+
+/// The process-global observer, if one was installed.
+pub fn global() -> Option<Arc<Observer>> {
+    GLOBAL.get().cloned()
+}
+
+/// Open a span on an `Option<Arc<Observer>>` place expression, yielding an
+/// `Option<Span>` guard: `let _s = span!(self.observer, "placement");`
+/// No-op (and allocation-free) when the option is `None`.
+#[macro_export]
+macro_rules! span {
+    ($obs:expr, $name:expr) => {
+        $obs.as_ref().map(|o| o.span($name))
+    };
+}

@@ -1,0 +1,22 @@
+//! The run-level observability artifact emitted by the `repro` and bench
+//! binaries via `--obs-out`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::MetricsSnapshot;
+use crate::trace::{StageTiming, TraceEvent};
+
+/// Everything one run observed, folded into a single serializable artifact:
+/// aggregated stage timings, the full metrics snapshot, and the tail of the
+/// span event ring. CI uploads this next to the BENCH jsons.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Tool that produced the report (e.g. `"repro"`, `"bench"`).
+    pub label: String,
+    /// Aggregated per-stage wall times, sorted by stage name.
+    pub stages: Vec<StageTiming>,
+    /// Metrics at report time.
+    pub metrics: MetricsSnapshot,
+    /// Most recent completed-span events (bounded ring; oldest dropped).
+    pub events: Vec<TraceEvent>,
+}

@@ -1,0 +1,157 @@
+//! Span-style stage tracing: monotonic timing, parent/child nesting, and a
+//! bounded ring buffer of completed-span events.
+//!
+//! A [`Span`] is an RAII guard created by `Observer::span` (usually via the
+//! `span!` macro). Entry records the current nesting context; drop records
+//! the duration into both the per-stage aggregate table and the event ring.
+//! Nesting is tracked on one shared stack, so parent attribution is exact
+//! for single-threaded pipelines and advisory when spans from concurrent
+//! workers interleave — aggregate timings stay correct either way.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::LogLevel;
+
+/// Maximum retained completed-span events; the oldest are dropped first.
+const RING_CAPACITY: usize = 1024;
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One completed span occurrence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Stage name passed to `span!`.
+    pub name: String,
+    /// Name of the enclosing span at entry; empty at top level.
+    pub parent: String,
+    /// Nesting depth at entry (0 = top level).
+    pub depth: u32,
+    /// Offset of span entry from observer creation, in nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration, in nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// Aggregated wall time for one stage name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name.
+    pub name: String,
+    /// Number of completed spans with this name.
+    pub calls: u64,
+    /// Total wall time across those spans, in nanoseconds.
+    pub total_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct TraceState {
+    stack: Vec<String>,
+    events: VecDeque<TraceEvent>,
+    /// name -> (calls, total_ns)
+    stages: BTreeMap<String, (u64, u64)>,
+}
+
+#[derive(Debug)]
+pub(crate) struct Tracer {
+    epoch: Instant,
+    state: Mutex<TraceState>,
+}
+
+impl Tracer {
+    pub(crate) fn new() -> Self {
+        Tracer {
+            epoch: Instant::now(),
+            state: Mutex::new(TraceState::default()),
+        }
+    }
+
+    pub(crate) fn enter(&self, name: &str, level: LogLevel) -> Span<'_> {
+        let start = Instant::now();
+        let (parent, depth) = {
+            let mut st = relock(&self.state);
+            let parent = st.stack.last().cloned().unwrap_or_default();
+            let depth = st.stack.len() as u32;
+            st.stack.push(name.to_string());
+            (parent, depth)
+        };
+        Span {
+            tracer: self,
+            name: name.to_string(),
+            parent,
+            depth,
+            start,
+            log: level >= LogLevel::Debug,
+        }
+    }
+
+    fn exit(&self, span: &Span<'_>) {
+        let duration_ns = span.start.elapsed().as_nanos() as u64;
+        let start_ns = span.start.saturating_duration_since(self.epoch).as_nanos() as u64;
+        let mut st = relock(&self.state);
+        // Remove the most recent occurrence of this name; concurrent spans
+        // may drop out of LIFO order, so we don't assume it is at the top.
+        if let Some(pos) = st.stack.iter().rposition(|n| n == &span.name) {
+            st.stack.remove(pos);
+        }
+        if st.events.len() == RING_CAPACITY {
+            st.events.pop_front();
+        }
+        st.events.push_back(TraceEvent {
+            name: span.name.clone(),
+            parent: span.parent.clone(),
+            depth: span.depth,
+            start_ns,
+            duration_ns,
+        });
+        let entry = st.stages.entry(span.name.clone()).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += duration_ns;
+        if span.log {
+            let indent = "  ".repeat(span.depth as usize);
+            eprintln!(
+                "[crowdtz] {indent}{}: {:.3} ms",
+                span.name,
+                duration_ns as f64 / 1e6
+            );
+        }
+    }
+
+    pub(crate) fn stage_timings(&self) -> Vec<StageTiming> {
+        relock(&self.state)
+            .stages
+            .iter()
+            .map(|(name, &(calls, total_ns))| StageTiming {
+                name: name.clone(),
+                calls,
+                total_ns,
+            })
+            .collect()
+    }
+
+    pub(crate) fn events(&self) -> Vec<TraceEvent> {
+        relock(&self.state).events.iter().cloned().collect()
+    }
+}
+
+/// RAII guard for one traced stage; records its duration on drop.
+#[derive(Debug)]
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    name: String,
+    parent: String,
+    depth: u32,
+    start: Instant,
+    log: bool,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.tracer.exit(self);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the metrics registry: snapshot merge is associative
+//! and commutative, and counter/histogram totals are invariant to how the
+//! same increments are split across worker threads (1/2/8) — the contract
+//! `chunked_map` instrumentation relies on.
+
+use crowdtz_obs::{MetricsRegistry, MetricsSnapshot, Observer, RunReport};
+use proptest::prelude::*;
+
+const NAMES: [&str; 3] = ["alpha", "beta", "gamma"];
+const BOUNDS: [u64; 3] = [1, 4, 16];
+
+/// Decode one packed op: kind (counter/gauge/histogram), name, amount.
+fn decode(op: u64) -> (u64, &'static str, u64) {
+    let kind = op % 3;
+    let name = NAMES[(op / 3 % 3) as usize];
+    let amount = op / 9 % 64;
+    (kind, name, amount)
+}
+
+fn apply_ops(reg: &MetricsRegistry, ops: &[u64]) {
+    for &op in ops {
+        let (kind, name, amount) = decode(op);
+        match kind {
+            0 => reg.counter(name).add(amount),
+            1 => reg.gauge(name).set(amount as f64),
+            _ => reg.histogram(name, &BOUNDS).observe(amount),
+        }
+    }
+}
+
+fn snapshot_of(ops: &[u64]) -> MetricsSnapshot {
+    let reg = MetricsRegistry::new();
+    apply_ops(&reg, ops);
+    reg.snapshot()
+}
+
+fn merged(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// Counter adds and histogram observations only — the op mix workers are
+/// allowed to issue concurrently (gauges are single-writer in practice).
+fn worker_ops() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..576, 0..200)
+        .prop_map(|v| v.into_iter().filter(|op| op % 3 != 1).collect())
+}
+
+proptest! {
+    /// merge(merge(a, b), c) == merge(a, merge(b, c)).
+    #[test]
+    fn merge_associative(
+        a in proptest::collection::vec(0u64..576, 0..120),
+        b in proptest::collection::vec(0u64..576, 0..120),
+        c in proptest::collection::vec(0u64..576, 0..120),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let left = merged(&merged(&sa, &sb), &sc);
+        let right = merged(&sa, &merged(&sb, &sc));
+        prop_assert_eq!(left, right);
+    }
+
+    /// merge(a, b) == merge(b, a).
+    #[test]
+    fn merge_commutative(
+        a in proptest::collection::vec(0u64..576, 0..120),
+        b in proptest::collection::vec(0u64..576, 0..120),
+    ) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        prop_assert_eq!(merged(&sa, &sb), merged(&sb, &sa));
+    }
+
+    /// The same counter/histogram increments split across 1, 2, or 8
+    /// threads produce byte-identical snapshots.
+    #[test]
+    fn snapshot_thread_invariant(ops in worker_ops()) {
+        let mut snaps = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let reg = MetricsRegistry::new();
+            // Pre-create every handle so workers never race handle creation.
+            for name in NAMES {
+                reg.counter(name);
+                reg.histogram(name, &BOUNDS);
+            }
+            let chunk = ops.len().div_ceil(threads).max(1);
+            std::thread::scope(|scope| {
+                for part in ops.chunks(chunk) {
+                    scope.spawn(|| apply_ops(&reg, part));
+                }
+            });
+            snaps.push(reg.snapshot());
+        }
+        prop_assert_eq!(&snaps[0], &snaps[1]);
+        prop_assert_eq!(&snaps[0], &snaps[2]);
+    }
+
+    /// Snapshots survive a JSON round trip unchanged.
+    #[test]
+    fn snapshot_serde_round_trip(ops in proptest::collection::vec(0u64..576, 0..120)) {
+        let snap = snapshot_of(&ops);
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("parse");
+        prop_assert_eq!(snap, back);
+    }
+}
+
+#[test]
+fn run_report_serde_round_trip() {
+    let obs = Observer::with_level(crowdtz_obs::LogLevel::Off);
+    {
+        let _outer = obs.span("outer");
+        let _inner = obs.span("inner");
+        obs.counter("n").add(3);
+        obs.gauge("g").set(2.5);
+        obs.histogram("h", &BOUNDS).observe(5);
+    }
+    let report = obs.run_report("test");
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    let back: RunReport = serde_json::from_str(&json).expect("parse");
+    assert_eq!(report, back);
+    assert_eq!(back.label, "test");
+    assert_eq!(back.stages.len(), 2);
+    assert_eq!(back.events.len(), 2);
+    // Inner span completed first and carries its parent.
+    assert_eq!(back.events[0].name, "inner");
+    assert_eq!(back.events[0].parent, "outer");
+    assert_eq!(back.events[0].depth, 1);
+    assert_eq!(back.events[1].parent, "");
+    assert_eq!(back.metrics.counters["n"], 3);
+}
+
+#[test]
+fn nested_span_timings_aggregate() {
+    let obs = Observer::with_level(crowdtz_obs::LogLevel::Off);
+    for _ in 0..3 {
+        let _s = obs.span("stage");
+    }
+    let stages = obs.stage_timings();
+    assert_eq!(stages.len(), 1);
+    assert_eq!(stages[0].calls, 3);
+}

@@ -307,6 +307,49 @@ mod tests {
     }
 
     #[test]
+    fn spring_forward_skipped_hour_is_already_dst() {
+        // EU clocks jump 02:00 → 03:00 on 2016-03-27: the 02:xx wall hour
+        // does not exist. The rule is indexed by local *standard* time,
+        // where that hour does exist and falls at/after the transition
+        // instant — so the whole skipped hour already reports DST.
+        let eu = DstRule::eu();
+        assert!(!eu.is_dst_at(CivilDateTime::new(2016, 3, 27, 1, 59, 59).unwrap()));
+        assert!(eu.is_dst_at(CivilDateTime::new(2016, 3, 27, 2, 0, 0).unwrap()));
+        assert!(eu.is_dst_at(CivilDateTime::new(2016, 3, 27, 2, 30, 0).unwrap()));
+        assert!(eu.is_dst_at(CivilDateTime::new(2016, 3, 27, 2, 59, 59).unwrap()));
+        assert!(eu.is_dst_at(CivilDateTime::new(2016, 3, 27, 3, 0, 0).unwrap()));
+    }
+
+    #[test]
+    fn fall_back_repeated_hour_has_one_answer_in_standard_time() {
+        // EU falls back on 2016-10-30: the 02:xx wall hour occurs twice.
+        // Standard time is monotonic, so each instant classifies exactly
+        // once — DST right up to the boundary, standard from it on.
+        let eu = DstRule::eu();
+        assert!(eu.is_dst_at(CivilDateTime::new(2016, 10, 30, 2, 59, 59).unwrap()));
+        assert!(!eu.is_dst_at(CivilDateTime::new(2016, 10, 30, 3, 0, 0).unwrap()));
+        // Same shape for the US rule (2016-11-06 at 02:00).
+        let us = DstRule::us();
+        assert!(us.is_dst_at(CivilDateTime::new(2016, 11, 6, 1, 59, 59).unwrap()));
+        assert!(!us.is_dst_at(CivilDateTime::new(2016, 11, 6, 2, 0, 0).unwrap()));
+    }
+
+    #[test]
+    fn southern_schedule_spans_new_year_at_exact_boundaries() {
+        let py = DstRule::paraguay();
+        assert!(py.is_southern());
+        // 2016: starts first Sunday of October = Oct 2, 00:00.
+        assert!(!py.is_dst_at(CivilDateTime::new(2016, 10, 1, 23, 59, 59).unwrap()));
+        assert!(py.is_dst_at(CivilDateTime::new(2016, 10, 2, 0, 0, 0).unwrap()));
+        // Ends fourth Sunday of March = Mar 27, 00:00.
+        assert!(py.is_dst_at(CivilDateTime::new(2016, 3, 26, 23, 59, 59).unwrap()));
+        assert!(!py.is_dst_at(CivilDateTime::new(2016, 3, 27, 0, 0, 0).unwrap()));
+        // The DST period runs straight through the new year.
+        assert!(py.is_dst_at(CivilDateTime::new(2016, 12, 31, 23, 59, 59).unwrap()));
+        assert!(py.is_dst_at(CivilDateTime::new(2016, 1, 1, 0, 0, 0).unwrap()));
+    }
+
+    #[test]
     fn shift_and_accessors() {
         let eu = DstRule::eu();
         assert_eq!(eu.shift_secs(), 3_600);

@@ -19,6 +19,31 @@ use crate::relay::{Relay, RelayFlags, RelayId};
 /// A fault plan shared between the network and all channels built on it.
 type SharedFaultPlan = Arc<Mutex<FaultPlan>>;
 
+/// Observability handles for fault injection, cloned into every channel
+/// built on the network. Counts are recorded out-of-band: no simulation
+/// path reads them back, so attaching an observer never changes behaviour.
+#[derive(Debug, Clone)]
+struct FaultObs {
+    injected: crowdtz_obs::Counter,
+    by_kind: [crowdtz_obs::Counter; 6],
+}
+
+impl FaultObs {
+    fn new(observer: &crowdtz_obs::Observer) -> FaultObs {
+        FaultObs {
+            injected: observer.counter("tor.fault.injected"),
+            by_kind: Fault::ALL.map(|f| observer.counter(&format!("tor.fault.{f}"))),
+        }
+    }
+
+    fn record(&self, fault: Fault) {
+        self.injected.inc();
+        if let Some(idx) = Fault::ALL.iter().position(|f| *f == fault) {
+            self.by_kind[idx].inc();
+        }
+    }
+}
+
 /// The handler a hidden service runs: a request/response function.
 type Handler = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
 
@@ -91,6 +116,7 @@ pub struct TorNetwork {
     descriptors: HashMap<OnionAddress, ServiceDescriptor>,
     services: HashMap<OnionAddress, (Handler, Circuit)>,
     fault_plan: Option<SharedFaultPlan>,
+    obs: Option<FaultObs>,
 }
 
 impl TorNetwork {
@@ -123,7 +149,16 @@ impl TorNetwork {
             descriptors: HashMap::new(),
             services: HashMap::new(),
             fault_plan: None,
+            obs: crowdtz_obs::global().map(|g| FaultObs::new(&g)),
         }
+    }
+
+    /// Attaches an observer whose `tor.fault.*` counters record every
+    /// injected fault. Channels connected after this call carry the
+    /// handles; the globally installed observer (if any) is picked up
+    /// automatically at construction.
+    pub fn set_observer(&mut self, observer: Arc<crowdtz_obs::Observer>) {
+        self.obs = Some(FaultObs::new(&observer));
     }
 
     /// The consensus relay list.
@@ -268,6 +303,7 @@ impl TorNetwork {
             requests_served: 0,
             relays: Arc::clone(&self.relays),
             faults: self.fault_plan.clone(),
+            obs: self.obs.clone(),
             client_seed,
             broken: false,
             rebuilds: 0,
@@ -301,6 +337,7 @@ pub struct AnonymousChannel {
     /// without holding a reference back into the network.
     relays: Arc<Vec<Relay>>,
     faults: Option<SharedFaultPlan>,
+    obs: Option<FaultObs>,
     client_seed: u64,
     broken: bool,
     rebuilds: u64,
@@ -371,6 +408,9 @@ impl AnonymousChannel {
             .faults
             .as_ref()
             .and_then(|plan| plan.lock().next_fault());
+        if let (Some(obs), Some(f)) = (&self.obs, fault) {
+            obs.record(f);
+        }
         match fault {
             None => Ok((self.handler)(payload)),
             Some(Fault::CircuitCollapse) => {
