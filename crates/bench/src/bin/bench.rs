@@ -1,17 +1,21 @@
 //! Benchmark telemetry: times the placement engine against the naive
-//! per-call path, the bootstrap across thread counts, and the streaming
-//! pipeline against full re-analysis, then writes the numbers to
-//! `BENCH_placement.json` and `BENCH_streaming.json` for CI and the
+//! per-call path, the bootstrap across thread counts, the streaming
+//! pipeline against full re-analysis, and the sharded ingest across
+//! shard counts, then writes the numbers to `BENCH_placement.json`,
+//! `BENCH_streaming.json`, and `BENCH_sharding.json` for CI and the
 //! ROADMAP to track.
 //!
 //! ```text
 //! cargo run --release -p crowdtz-bench --bin bench \
 //!     [users] [out.json] [streaming_users] [streaming_out.json] \
-//!     [--obs-out obs.json]
+//!     [sharding_out.json] [--obs-out obs.json]
 //! ```
 //!
 //! Defaults: 10 000 placement users to `BENCH_placement.json`, 100 000
-//! streaming users to `BENCH_streaming.json`, in the working directory.
+//! streaming users to `BENCH_streaming.json` and `BENCH_sharding.json`,
+//! in the working directory. The sharding JSON records ingest posts/sec
+//! at 1, 4, and 16 shards plus the placement cache's measured hit rate
+//! on a low-post crowd (colliding profiles) and a 40-post contrast.
 //! The placement JSON carries users/sec for each placement path,
 //! resamples/sec for each bootstrap thread count, and the two headline
 //! ratios (engine vs naive, 4-thread vs 1-thread bootstrap); both
@@ -71,6 +75,7 @@ fn main() {
         .map(|a| a.parse().expect("streaming_users must be an integer"))
         .unwrap_or(100_000);
     let streaming_out = args.next().unwrap_or_else(|| "BENCH_streaming.json".into());
+    let sharding_out = args.next().unwrap_or_else(|| "BENCH_sharding.json".into());
     let runs = 5;
     let threads = default_threads();
 
@@ -165,6 +170,7 @@ fn main() {
     }
 
     streaming_bench(streaming_users, threads, host_cpus, &streaming_out);
+    sharding_bench(streaming_users, threads, host_cpus, &sharding_out);
 
     if let (Some(obs), Some(path)) = (&observer, &obs_out) {
         let report = obs.run_report("bench");
@@ -229,5 +235,73 @@ fn streaming_bench(users: usize, threads: usize, host_cpus: usize, out_path: &st
     eprintln!("wrote {out_path}");
     if speedup < 10.0 {
         eprintln!("WARNING: incremental speedup {speedup:.2}x is below the 10x bar");
+    }
+}
+
+/// Ingest throughput across shard counts plus the placement cache's
+/// measured hit rate, written to `BENCH_sharding.json`.
+fn sharding_bench(users: usize, threads: usize, host_cpus: usize, out_path: &str) {
+    let posts_per_user = 40;
+    eprintln!("synthesizing {users} sharding traces…");
+    let traces = synthetic_traces(users, posts_per_user, 17);
+    let total_posts = (users * posts_per_user) as f64;
+
+    let runs = 3;
+    let mut ingest_posts_per_sec = std::collections::BTreeMap::new();
+    for shards in [1usize, 4, 16] {
+        eprintln!("timing ingest at {shards} shards (best of {runs})…");
+        let s = time_best(runs, || {
+            let mut streaming = StreamingPipeline::new(
+                GeolocationPipeline::default()
+                    .threads(threads)
+                    .shards(shards),
+            );
+            streaming.ingest_set(&traces);
+            streaming
+        });
+        ingest_posts_per_sec.insert(shards.to_string(), total_posts / s);
+    }
+
+    // Cache hit rate on a low-post crowd: with 2 posts per user the
+    // quantized profile CDFs collide heavily, so most users resolve from
+    // the cache. The 40-post crowd is the contrast — near-unique profiles,
+    // near-zero hit rate.
+    let hit_rate = |posts: usize| {
+        let sparse = synthetic_traces(users.min(20_000), posts, 23);
+        let mut streaming =
+            StreamingPipeline::new(GeolocationPipeline::default().threads(threads).min_posts(1));
+        streaming.ingest_set(&sparse);
+        streaming.snapshot().expect("sharding snapshot");
+        let (hits, misses) = streaming.cache_stats();
+        (hits, misses, hits as f64 / (hits + misses).max(1) as f64)
+    };
+    eprintln!("measuring cache hit rates…");
+    let (low_hits, low_misses, low_rate) = hit_rate(2);
+    let (high_hits, high_misses, high_rate) = hit_rate(posts_per_user);
+
+    let report = serde_json::json!({
+        "users": users,
+        "posts_per_user": posts_per_user,
+        "threads": threads,
+        "threads_effective": clamped_threads(threads),
+        "host_cpus": host_cpus,
+        "ingest_posts_per_sec": ingest_posts_per_sec,
+        "cache": serde_json::json!({
+            "low_posts_per_user": 2,
+            "low_hits": low_hits,
+            "low_misses": low_misses,
+            "low_hit_rate": low_rate,
+            "high_posts_per_user": posts_per_user,
+            "high_hits": high_hits,
+            "high_misses": high_misses,
+            "high_hit_rate": high_rate,
+        }),
+    });
+    let json = serde_json::to_string_pretty(&report).expect("serialize sharding report");
+    std::fs::write(out_path, format!("{json}\n")).expect("write sharding telemetry");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+    if low_rate < 0.5 {
+        eprintln!("WARNING: low-post cache hit rate {low_rate:.2} — expected most users cached");
     }
 }

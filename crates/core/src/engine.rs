@@ -32,6 +32,8 @@
 //! the invariant every parallel layer in this workspace maintains (see
 //! `DESIGN.md` §9).
 
+use std::collections::HashMap;
+
 use crowdtz_stats::{circular_emd_cdf, circular_emd_of_cdf_diff, Distribution24, BINS};
 
 use crate::generic::GenericProfile;
@@ -39,8 +41,86 @@ use crate::placement::{PlacementHistogram, UserPlacement, ZONE_COUNT};
 use crate::profile::ActivityProfile;
 
 /// Bucket bounds for the `placement.exact_evals_per_user` histogram:
-/// zones per user that reached the exact EMD evaluation (of 24 total).
+/// zones per evaluated profile that reached the exact EMD evaluation (of
+/// 24 total). With the placement cache on, one observation is recorded
+/// per cache **miss** — hits skip the scan entirely.
 pub(crate) const EXACT_EVAL_BOUNDS: &[u64] = &[1, 2, 3, 4, 6, 8, 12, 24];
+
+/// Cache key for a polished-profile CDF: the 24 cumulative values
+/// quantized at full `f64` precision via [`f64::to_bits`]. Two profiles
+/// collide only when their CDFs are bit-identical — exactly the case
+/// where placement, EMD, and the flatness verdict are guaranteed equal —
+/// so a hit can never change a result. (Low-post-count profiles hit
+/// constantly: a user with k active slots has a small finite set of
+/// possible CDFs.)
+type CdfKey = [u64; BINS];
+
+fn cdf_key(cdf: &[f64; BINS]) -> CdfKey {
+    std::array::from_fn(|i| cdf[i].to_bits())
+}
+
+/// Everything placement derives from one CDF: the EMD-closest zone, its
+/// distance, and the §IV.C flatness verdict. A pure function of the CDF
+/// (given the engine's generic profile), which is what makes it safe to
+/// cache and to reuse across users.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ResolvedCdf {
+    /// UTC offset (hours) of the EMD-closest zone.
+    pub(crate) zone: i32,
+    /// Circular EMD to that zone.
+    pub(crate) emd: f64,
+    /// Whether the profile is closer to uniform than to every zone.
+    pub(crate) flat: bool,
+}
+
+/// CDF-keyed placement cache: quantized CDF → [`ResolvedCdf`].
+///
+/// The cache is probed and filled **sequentially** (inside
+/// [`PlacementEngine::resolve_cdfs`]) while only the missed computations
+/// fan out across worker threads, so hit/miss counts — and therefore the
+/// observability metrics — are identical for every thread count and
+/// every shard count, preserving the workspace-wide determinism
+/// invariant. Insertion stops at `capacity` entries (new keys are still
+/// computed and *counted* as misses, just not stored), bounding memory on
+/// adversarial high-cardinality crowds.
+#[derive(Debug, Clone)]
+pub(crate) struct PlacementCache {
+    map: HashMap<CdfKey, ResolvedCdf>,
+    capacity: usize,
+    enabled: bool,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlacementCache {
+    /// Entries before insertion stops. Each entry is ~0.25 KiB, so the
+    /// bound caps the cache near 256 MiB — far above any realistic
+    /// distinct-profile count, but finite.
+    const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// An empty cache; when `enabled` is false every lookup misses and
+    /// nothing is stored (used to prove cache-on == cache-off).
+    pub(crate) fn new(enabled: bool) -> PlacementCache {
+        PlacementCache {
+            map: HashMap::new(),
+            capacity: Self::DEFAULT_CAPACITY,
+            enabled,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Lifetime `(hits, misses)` counts.
+    pub(crate) fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Distinct CDFs currently stored.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+}
 
 /// Number of worker threads to use by default: the `CROWDTZ_THREADS`
 /// environment variable when set to a positive integer, otherwise the
@@ -327,6 +407,116 @@ impl PlacementEngine {
         })
     }
 
+    /// Fully resolves one CDF: placement, EMD, and flatness, plus the
+    /// number of zones that reached the exact EMD evaluation.
+    fn resolve_one(&self, cdf: &[f64; BINS]) -> (ResolvedCdf, u32) {
+        let (zone, emd, evals) = self.place_cdf_counted(cdf);
+        let to_uniform = circular_emd_cdf(cdf, &self.uniform_cdf);
+        (
+            ResolvedCdf {
+                zone,
+                emd,
+                flat: to_uniform < emd,
+            },
+            evals,
+        )
+    }
+
+    /// Resolves a batch of user CDFs through the placement cache:
+    /// placement + EMD + flatness per CDF, computing the exact zone scan
+    /// only for CDFs the cache has never seen.
+    ///
+    /// Three deterministic phases:
+    ///
+    /// 1. **Sequential probe** in input order: hits are answered from the
+    ///    cache; the *first* occurrence of each unseen key joins the miss
+    ///    list (later duplicates in the same batch wait for it).
+    /// 2. **Parallel compute** of the unique misses via [`chunked_map`] —
+    ///    the expensive part, order-stable by construction.
+    /// 3. **Sequential insert + fill**: misses enter the cache (up to its
+    ///    capacity) and every output slot is assembled in input order.
+    ///
+    /// Because the probe is sequential, hit/miss counts are a pure
+    /// function of the input sequence — identical for every thread
+    /// count — and because a key hit only ever returns a value computed
+    /// by [`resolve_one`](Self::resolve_one) on a bit-identical CDF, the
+    /// returned resolutions are byte-identical to a cache-off run.
+    ///
+    /// Observability (when `obs` is attached): counters
+    /// `placement.cache_hits`, `placement.cache_misses`,
+    /// `placement.exact_evals`, and one `placement.exact_evals_per_user`
+    /// histogram observation per miss.
+    pub(crate) fn resolve_cdfs(
+        &self,
+        cdfs: &[[f64; BINS]],
+        cache: &mut PlacementCache,
+        threads: usize,
+        obs: Option<&crowdtz_obs::Observer>,
+    ) -> Vec<ResolvedCdf> {
+        let mut hits = 0u64;
+        let (resolved, computed) = if cache.enabled {
+            // Phase 1: sequential probe; dedup unseen keys within the batch.
+            let mut out: Vec<Option<ResolvedCdf>> = Vec::with_capacity(cdfs.len());
+            let mut miss_index: HashMap<CdfKey, usize> = HashMap::new();
+            let mut miss_cdfs: Vec<[f64; BINS]> = Vec::new();
+            for cdf in cdfs {
+                let key = cdf_key(cdf);
+                if let Some(&entry) = cache.map.get(&key) {
+                    hits += 1;
+                    out.push(Some(entry));
+                } else {
+                    match miss_index.entry(key) {
+                        // In-batch duplicate of a pending miss: served by
+                        // the one computation, so it counts as a hit —
+                        // `hits + misses == resolutions`, always.
+                        std::collections::hash_map::Entry::Occupied(_) => hits += 1,
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            slot.insert(miss_cdfs.len());
+                            miss_cdfs.push(*cdf);
+                        }
+                    }
+                    out.push(None);
+                }
+            }
+            // Phase 2: compute unique misses in parallel.
+            let computed: Vec<(ResolvedCdf, u32)> =
+                chunked_map(&miss_cdfs, threads, |cdf| self.resolve_one(cdf));
+            // Phase 3: insert, then fill the waiting slots in input order.
+            for (cdf, &(entry, _)) in miss_cdfs.iter().zip(&computed) {
+                if cache.map.len() < cache.capacity {
+                    cache.map.insert(cdf_key(cdf), entry);
+                }
+            }
+            let resolved = out
+                .into_iter()
+                .zip(cdfs)
+                .map(|(slot, cdf)| slot.unwrap_or_else(|| computed[miss_index[&cdf_key(cdf)]].0))
+                .collect();
+            (resolved, computed)
+        } else {
+            // Cache disabled: every CDF is computed (and counted as a
+            // miss), with no dedup — the exact pre-cache cost model.
+            let computed: Vec<(ResolvedCdf, u32)> =
+                chunked_map(cdfs, threads, |cdf| self.resolve_one(cdf));
+            let resolved = computed.iter().map(|&(entry, _)| entry).collect();
+            (resolved, computed)
+        };
+        let misses = computed.len() as u64;
+        cache.hits += hits;
+        cache.misses += misses;
+        if let Some(obs) = obs {
+            obs.counter("placement.cache_hits").add(hits);
+            obs.counter("placement.cache_misses").add(misses);
+            let exact = obs.counter("placement.exact_evals");
+            let per_miss = obs.histogram("placement.exact_evals_per_user", EXACT_EVAL_BOUNDS);
+            for &(_, evals) in &computed {
+                exact.add(u64::from(evals));
+                per_miss.observe(u64::from(evals));
+            }
+        }
+        resolved
+    }
+
     /// The §IV.C flatness test: whether `distribution` is circular-EMD
     /// closer to the uniform `1/24` profile than to every zone profile.
     ///
@@ -433,6 +623,71 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn resolve_cdfs_matches_uncached_and_counts_hits() {
+        let engine = PlacementEngine::new(&GenericProfile::reference());
+        let profiles = [
+            profile_from_hours("a", &[(21, 10), (20, 6), (9, 3)]),
+            profile_from_hours("b", &[(3, 8), (4, 8), (15, 2)]),
+            profile_from_hours("flatish", &(0..24).map(|h| (h, 2)).collect::<Vec<_>>()),
+        ];
+        // Repeat each CDF: a twice (in-batch duplicate), b twice across
+        // calls, flatish once.
+        let cdfs: Vec<[f64; BINS]> = [0usize, 0, 1, 2]
+            .iter()
+            .map(|&i| profiles[i].distribution().cdf())
+            .collect();
+        let mut on = PlacementCache::new(true);
+        let mut off = PlacementCache::new(false);
+        for threads in [1usize, 4] {
+            let cached = engine.resolve_cdfs(&cdfs, &mut on, threads, None);
+            let plain = engine.resolve_cdfs(&cdfs, &mut off, threads, None);
+            for (c, p) in cached.iter().zip(&plain) {
+                assert_eq!(c.zone, p.zone);
+                assert_eq!(c.emd.to_bits(), p.emd.to_bits());
+                assert_eq!(c.flat, p.flat);
+            }
+            // And both agree with the direct kernels.
+            for (c, i) in cached.iter().zip([0usize, 0, 1, 2]) {
+                let cdf = profiles[i].distribution().cdf();
+                let (z, e) = engine.place_cdf(&cdf);
+                assert_eq!(c.zone, z);
+                assert_eq!(c.emd.to_bits(), e.to_bits());
+                assert_eq!(c.flat, engine.is_flat(profiles[i].distribution()));
+            }
+        }
+        // Call 1: 3 unique misses + 1 in-batch duplicate hit. Call 2
+        // (threads=4): all 4 are map hits.
+        assert_eq!(on.stats(), (5, 3));
+        assert_eq!(on.len(), 3);
+        // Disabled: everything is a miss, nothing is stored.
+        assert_eq!(off.stats(), (0, 8));
+        assert_eq!(off.len(), 0);
+    }
+
+    #[test]
+    fn cache_capacity_bounds_insertion_but_not_results() {
+        let engine = PlacementEngine::new(&GenericProfile::reference());
+        let mut cache = PlacementCache::new(true);
+        cache.capacity = 1;
+        let cdfs: Vec<[f64; BINS]> = (0..4)
+            .map(|i| {
+                profile_from_hours(&format!("u{i}"), &[((i * 5 % 24) as u8, 9), (2, 3)])
+                    .distribution()
+                    .cdf()
+            })
+            .collect();
+        let first = engine.resolve_cdfs(&cdfs, &mut cache, 1, None);
+        assert_eq!(cache.len(), 1, "insertion stops at capacity");
+        let second = engine.resolve_cdfs(&cdfs, &mut cache, 1, None);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.zone, b.zone);
+            assert_eq!(a.emd.to_bits(), b.emd.to_bits());
+        }
+        // Second call: one hit (the stored entry), three re-computed.
+        assert_eq!(cache.stats(), (1, 7));
     }
 
     #[test]

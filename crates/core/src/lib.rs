@@ -26,9 +26,13 @@
 //! 9. **The full pipeline** (§V): [`GeolocationPipeline`] — polish,
 //!    place, fit, report, with the Table II quality metrics.
 //! 10. **Streaming re-analysis** (§V's monitoring scenario):
-//!     [`StreamingPipeline`] — delta ingestion over per-user integer
-//!     accumulators, dirty-user re-placement, cached/warm-started refits;
-//!     snapshots byte-identical to the batch pipeline.
+//!     [`StreamingPipeline`] — delta ingestion over hash-partitioned
+//!     shards of per-user integer accumulators, dirty-user re-placement
+//!     through a CDF-keyed placement cache, cached/warm-started refits.
+//!     Batch analysis *is* this engine (one ingest, one snapshot), so
+//!     snapshots are byte-identical to [`GeolocationPipeline::analyze`]
+//!     by construction — at every shard count, thread count, and with
+//!     the cache on or off.
 //!
 //! # Quickstart
 //!
@@ -63,6 +67,7 @@ mod pipeline;
 mod placement;
 pub mod polish;
 mod profile;
+mod shard;
 mod single;
 mod streaming;
 
@@ -78,5 +83,6 @@ pub use placement::{
     place_distribution, place_user, PlacementHistogram, UserPlacement, ZONE_COUNT,
 };
 pub use profile::{ActivityProfile, ProfileBuilder};
+pub use shard::default_shards;
 pub use single::{MultiRegionFit, SingleRegionFit, SIGMA_INIT};
 pub use streaming::{RefitMode, StreamingPipeline};

@@ -6,15 +6,18 @@ use std::sync::Arc;
 use crowdtz_stats::{pearson, FitQuality, GaussianMixture, StatsError};
 use crowdtz_time::TraceSet;
 
+use crowdtz_stats::BINS;
+
 use crate::confidence::{bootstrap_components_threads, BootstrapConfig, ComponentConfidence};
 use crate::crowd::CrowdProfile;
-use crate::engine::{default_threads, PlacementEngine};
+use crate::engine::{chunked_map, default_threads, PlacementCache, PlacementEngine};
 use crate::error::CoreError;
 use crate::generic::GenericProfile;
 use crate::placement::{PlacementHistogram, UserPlacement};
-use crate::polish;
-use crate::profile::{ActivityProfile, ProfileBuilder};
+use crate::profile::ActivityProfile;
+use crate::shard::default_shards;
 use crate::single::{MultiRegionFit, SingleRegionFit};
+use crate::streaming::StreamingPipeline;
 
 /// The full crowd-geolocation pipeline: profile → polish → place → fit.
 ///
@@ -23,11 +26,15 @@ use crate::single::{MultiRegionFit, SingleRegionFit};
 /// sub-threshold and flat users, place the rest by EMD, then uncover the
 /// crowd's regions with a Gaussian-mixture fit.
 ///
-/// Profile building, polishing, and placement run through a
-/// [`PlacementEngine`] on a configurable number of worker threads
-/// ([`GeolocationPipeline::threads`]); every parallel stage uses
-/// order-stable chunked reduction, so reports are byte-identical for any
-/// thread count.
+/// [`analyze`](GeolocationPipeline::analyze) is implemented as
+/// "ingest-then-snapshot" on a fresh [`StreamingPipeline`]: traces are
+/// routed into hash-partitioned accumulator shards
+/// ([`GeolocationPipeline::shards`]), profiles resolve through a
+/// CDF-keyed placement cache
+/// ([`GeolocationPipeline::placement_cache`]), and a single snapshot
+/// produces the report. Every parallel stage uses order-stable chunked
+/// reduction on [`GeolocationPipeline::threads`] workers, so reports are
+/// byte-identical for any thread count — and any shard count.
 #[derive(Debug, Clone)]
 pub struct GeolocationPipeline {
     generic: GenericProfile,
@@ -35,6 +42,8 @@ pub struct GeolocationPipeline {
     polish: bool,
     max_components: usize,
     threads: Option<usize>,
+    shards: Option<usize>,
+    placement_cache: bool,
     observer: Option<Arc<crowdtz_obs::Observer>>,
 }
 
@@ -49,6 +58,8 @@ impl GeolocationPipeline {
             polish: true,
             max_components: 4,
             threads: None,
+            shards: None,
+            placement_cache: true,
             observer: None,
         }
     }
@@ -87,10 +98,40 @@ impl GeolocationPipeline {
         self
     }
 
+    /// Sets the number of hash shards the analysis engine partitions its
+    /// per-user accumulators into (clamped to ≥ 1).
+    ///
+    /// When not set, [`default_shards`] applies: the `CROWDTZ_SHARDS`
+    /// environment variable, falling back to 8. The shard count shapes
+    /// only *where* state lives and how bulk ingestion parallelizes —
+    /// analysis output is byte-identical for every shard count (asserted
+    /// by `tests/sharding_determinism.rs`).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> GeolocationPipeline {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// Enables/disables the CDF-keyed placement cache (default: enabled).
+    ///
+    /// The cache maps a profile's full-precision CDF bits to its resolved
+    /// zone, EMD, and flatness verdict, so repeated profile shapes —
+    /// common at low post counts — skip the exact EMD scan. Results are
+    /// byte-identical either way; disabling it exists for benchmarking
+    /// and for the cache-on == cache-off determinism tests.
+    #[must_use]
+    pub fn placement_cache(mut self, enabled: bool) -> GeolocationPipeline {
+        self.placement_cache = enabled;
+        self
+    }
+
     /// Attaches an observer: every analysis records stage spans
-    /// (`pipeline.profiles` / `pipeline.polish` / `pipeline.placement` /
-    /// `pipeline.fit`), placed-user counters, and the placement engine's
-    /// pruning statistics into it.
+    /// (`pipeline.ingest` plus the streaming engine's
+    /// `streaming.refresh` / `streaming.snapshot` / `streaming.fit`;
+    /// `pipeline.placement` / `pipeline.polish` / `pipeline.fit` for
+    /// [`analyze_profiles`](GeolocationPipeline::analyze_profiles)),
+    /// placed-user counters, and the placement engine's pruning and
+    /// cache statistics into it.
     ///
     /// Observation is strictly out-of-band — reports are byte-identical
     /// with or without an observer (asserted by `tests/obs_invariants.rs`).
@@ -110,6 +151,16 @@ impl GeolocationPipeline {
     /// The worker-thread count the pipeline will use.
     pub fn effective_threads(&self) -> usize {
         self.threads.unwrap_or_else(default_threads)
+    }
+
+    /// The shard count the analysis engine will use.
+    pub fn effective_shards(&self) -> usize {
+        self.shards.unwrap_or_else(default_shards)
+    }
+
+    /// Whether the CDF-keyed placement cache is enabled.
+    pub fn placement_cache_enabled(&self) -> bool {
+        self.placement_cache
     }
 
     /// The generic profile in use.
@@ -164,22 +215,37 @@ impl GeolocationPipeline {
         if !coverage.is_finite() || coverage <= 0.0 || coverage > 1.0 {
             return Err(CoreError::InvalidCoverage { coverage });
         }
+        // Batch analysis *is* streaming-once: ingest everything into a
+        // fresh sharded engine, snapshot once. One implementation of
+        // profile building, polishing, and placement for both paths —
+        // the streaming identity guarantee (streaming.rs module docs) is
+        // what used to keep two copies in lockstep.
         let obs = self.obs();
-        let profiles = {
-            let _s = crowdtz_obs::span!(obs, "pipeline.profiles");
-            ProfileBuilder::new()
-                .min_posts(self.min_posts)
-                .build_threads(traces, self.effective_threads())
-        };
-        self.analyze_profiles(profiles, coverage)
+        let mut engine = StreamingPipeline::new(self.clone());
+        {
+            let _s = crowdtz_obs::span!(obs, "pipeline.ingest");
+            engine.ingest_set(traces);
+        }
+        let report = engine.snapshot_with_coverage(coverage)?;
+        if let Some(obs) = &obs {
+            obs.counter("pipeline.users_placed")
+                .add(report.users_classified() as u64);
+            obs.counter("pipeline.flat_removed")
+                .add(report.flat_removed() as u64);
+            obs.counter("pipeline.analyses").inc();
+        }
+        Ok(report)
     }
 
-    /// Runs polish → place → fit over prebuilt activity profiles — the
-    /// tail of [`analyze_partial`](GeolocationPipeline::analyze_partial),
+    /// Runs polish → place → fit over prebuilt activity profiles —
     /// exposed for callers that synthesize or cache profiles directly
-    /// (e.g. the 100k-user scale demo).
+    /// (e.g. the 100k-user scale demo) and therefore bypass trace
+    /// ingestion.
     ///
-    /// All per-user stages run through one [`PlacementEngine`] on
+    /// Per-user CDFs resolve through the same cache-backed placement
+    /// kernel the streaming engine uses
+    /// ([`GeolocationPipeline::placement_cache`] applies here too, with a
+    /// per-call cache), on
     /// [`effective_threads`](GeolocationPipeline::effective_threads)
     /// workers.
     ///
@@ -199,22 +265,32 @@ impl GeolocationPipeline {
         let threads = self.effective_threads();
         let obs = self.obs();
         let engine = PlacementEngine::new(&self.generic);
-        let (profiles, flat_removed) = if self.polish {
+        let mut cache = PlacementCache::new(self.placement_cache);
+        let resolved = {
+            let _s = crowdtz_obs::span!(obs, "pipeline.placement");
+            let cdfs: Vec<[f64; BINS]> =
+                chunked_map(&profiles, threads, |p| p.distribution().cdf());
+            engine.resolve_cdfs(&cdfs, &mut cache, threads, obs.as_deref())
+        };
+        let (profiles, placements, flat_removed) = {
             let _s = crowdtz_obs::span!(obs, "pipeline.polish");
-            let outcome = polish::split_flat_profiles_with(profiles, &engine, threads);
-            let removed = outcome.flat.len();
-            (outcome.kept, removed)
-        } else {
-            (profiles, 0)
+            let mut kept = Vec::with_capacity(profiles.len());
+            let mut placements = Vec::with_capacity(profiles.len());
+            let mut flat_removed = 0usize;
+            for (profile, r) in profiles.into_iter().zip(resolved) {
+                if self.polish && r.flat {
+                    flat_removed += 1;
+                } else {
+                    placements.push(UserPlacement::new(profile.user(), r.zone, r.emd));
+                    kept.push(profile);
+                }
+            }
+            (kept, placements, flat_removed)
         };
         if profiles.is_empty() {
             return Err(CoreError::EmptyCrowd);
         }
         let crowd = CrowdProfile::aggregate(&profiles)?;
-        let placements: Vec<UserPlacement> = {
-            let _s = crowdtz_obs::span!(obs, "pipeline.placement");
-            engine.place_all_observed(&profiles, threads, obs.as_deref())
-        };
         let histogram = PlacementHistogram::from_placements(&placements);
         let (single, multi) = {
             let _s = crowdtz_obs::span!(obs, "pipeline.fit");
@@ -224,6 +300,7 @@ impl GeolocationPipeline {
             )
         };
         if let Some(obs) = &obs {
+            obs.counter("placement.users").add(placements.len() as u64);
             obs.counter("pipeline.users_placed")
                 .add(placements.len() as u64);
             obs.counter("pipeline.flat_removed")

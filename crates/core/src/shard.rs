@@ -1,0 +1,398 @@
+//! Hash-partitioned accumulator shards — the storage layer of the
+//! streaming engine.
+//!
+//! [`StreamingPipeline`](crate::StreamingPipeline) used to keep every
+//! user in one `BTreeMap`, which serializes ingestion: a bulk delta (a
+//! full crawl round, a monitor poll batch) touches users all over the id
+//! space, but every insert goes through the same map. A [`ShardSet`]
+//! splits the crowd into N disjoint shards by a stable hash of the user
+//! id, so a batch of deltas can be **routed once and applied
+//! concurrently** — each worker owns whole shards, no locks, no shared
+//! mutable state.
+//!
+//! # Determinism
+//!
+//! Sharding never changes a byte of analysis output, for any shard count
+//! and any thread count:
+//!
+//! * Routing is a pure function of the user id ([FNV-1a] over the id
+//!   bytes, reduced modulo the shard count), so the same user always
+//!   lands in the same shard.
+//! * A batch is partitioned **in arrival order**: deltas for the same
+//!   user stay in their original relative order inside that user's
+//!   shard. Deltas for *different* users commute — each accumulator is
+//!   independent — so applying shards concurrently is observationally
+//!   identical to the serial loop.
+//! * The dirty set is drained in **globally sorted user-id order**
+//!   ([`ShardSet::take_dirty_sorted`]), exactly the order the unsharded
+//!   engine's single `BTreeSet` produced. Everything downstream
+//!   (profile rebuild, placement, report assembly) therefore sees the
+//!   same users in the same order regardless of the shard count.
+//!
+//! `tests/sharding_determinism.rs` asserts the resulting snapshots are
+//! byte-identical across shard counts {1, 4, 16} × threads {1, 2, 8}.
+//!
+//! [FNV-1a]: http://www.isthe.com/chongo/tech/comp/fnv/
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crowdtz_stats::BINS;
+use crowdtz_time::{Timestamp, TzOffset};
+
+use crate::engine::clamped_threads;
+use crate::placement::UserPlacement;
+use crate::profile::ActivityProfile;
+
+/// Number of shards to use by default: the `CROWDTZ_SHARDS` environment
+/// variable when set to a positive integer, otherwise 8.
+///
+/// Unlike the thread count, the default is a fixed constant rather than
+/// the machine's parallelism: the shard count shapes gauge names and
+/// bench output, and a machine-dependent default would make runs harder
+/// to compare. (The *results* are shard-count-invariant either way.)
+pub fn default_shards() -> usize {
+    if let Ok(v) = std::env::var("CROWDTZ_SHARDS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    8
+}
+
+/// 64-bit FNV-1a over the user id — stable across platforms and runs
+/// (unlike `std`'s randomized `DefaultHasher`), cheap, and well mixed on
+/// short ASCII ids.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Per-user integer accumulator: everything needed to rebuild the user's
+/// [`ActivityProfile`] without touching raw history again.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct UserAccumulator {
+    /// Sorted, deduplicated `day·24 + hour` keys of active slots (UTC).
+    pub(crate) slots: Vec<i64>,
+    /// Number of active slots per hour of day — the integer pre-image of
+    /// the profile's distribution.
+    pub(crate) hour_counts: [u32; BINS],
+    /// Raw post count, duplicates included (the eligibility threshold
+    /// counts posts, not slots).
+    pub(crate) posts: usize,
+    /// The user's analysis as of the last refresh; `None` when the user
+    /// is below the activity threshold.
+    pub(crate) analysis: Option<UserAnalysis>,
+}
+
+impl UserAccumulator {
+    /// Absorbs one delta of posts — a pure integer update. Duplicates and
+    /// out-of-order arrivals are fine; a timestamp whose (day, hour) slot
+    /// is already active only bumps the post count.
+    pub(crate) fn absorb(&mut self, posts: &[Timestamp]) {
+        self.posts += posts.len();
+        let mut keys: Vec<i64> = posts
+            .iter()
+            .map(|ts| {
+                ts.day_in_offset(TzOffset::UTC) * 24 + i64::from(ts.hour_in_offset(TzOffset::UTC))
+            })
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.retain(|k| self.slots.binary_search(k).is_err());
+        if keys.is_empty() {
+            return;
+        }
+        for &k in &keys {
+            self.hour_counts[k.rem_euclid(24) as usize] += 1;
+        }
+        // Merge the two sorted runs in one pass.
+        let mut merged = Vec::with_capacity(self.slots.len() + keys.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.slots.len() && j < keys.len() {
+            if self.slots[i] < keys[j] {
+                merged.push(self.slots[i]);
+                i += 1;
+            } else {
+                merged.push(keys[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.slots[i..]);
+        merged.extend_from_slice(&keys[j..]);
+        self.slots = merged;
+    }
+}
+
+/// The per-user outputs the batch pipeline would have produced.
+#[derive(Debug, Clone)]
+pub(crate) struct UserAnalysis {
+    pub(crate) profile: ActivityProfile,
+    /// §IV.C flatness flag (always `false` when polishing is disabled).
+    pub(crate) flat: bool,
+    /// Placement, computed only for kept (non-flat) users.
+    pub(crate) placement: Option<UserPlacement>,
+}
+
+impl UserAnalysis {
+    pub(crate) fn kept(&self) -> bool {
+        !self.flat
+    }
+}
+
+/// One hash partition of the crowd: its users plus the dirty ids whose
+/// profiles changed since the last refresh.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    users: BTreeMap<String, UserAccumulator>,
+    dirty: BTreeSet<String>,
+}
+
+impl Shard {
+    /// Applies one delta to this shard's slice of the crowd. Empty deltas
+    /// are ignored (they would not change the profile).
+    fn ingest(&mut self, user: &str, posts: &[Timestamp]) {
+        if posts.is_empty() {
+            return;
+        }
+        self.users.entry(user.to_owned()).or_default().absorb(posts);
+        // Any non-empty delta changes the profile (at minimum its post
+        // count), so the user must be re-analyzed.
+        self.dirty.insert(user.to_owned());
+    }
+}
+
+/// N hash-partitioned shards of per-user accumulators with per-shard
+/// dirty sets. See the module docs for the determinism argument.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardSet {
+    shards: Vec<Shard>,
+}
+
+impl ShardSet {
+    /// A set of `shards` empty shards (at least 1).
+    pub(crate) fn new(shards: usize) -> ShardSet {
+        ShardSet {
+            shards: vec![Shard::default(); shards.max(1)],
+        }
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a user routes to — a pure function of the id.
+    pub(crate) fn shard_of(&self, user: &str) -> usize {
+        (fnv1a(user.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// The user's accumulator, if ever ingested.
+    pub(crate) fn acc(&self, user: &str) -> Option<&UserAccumulator> {
+        self.shards[self.shard_of(user)].users.get(user)
+    }
+
+    /// Mutable access to the user's accumulator.
+    pub(crate) fn acc_mut(&mut self, user: &str) -> Option<&mut UserAccumulator> {
+        let shard = self.shard_of(user);
+        self.shards[shard].users.get_mut(user)
+    }
+
+    /// Routes and applies a single delta.
+    pub(crate) fn ingest(&mut self, user: &str, posts: &[Timestamp]) {
+        let shard = self.shard_of(user);
+        self.shards[shard].ingest(user, posts);
+    }
+
+    /// Routes a batch of deltas to their shards (in arrival order), then
+    /// applies the shards concurrently on up to `threads` workers — each
+    /// worker owns a contiguous run of whole shards, so no two threads
+    /// ever touch the same accumulator.
+    pub(crate) fn ingest_batch(&mut self, deltas: &[(&str, &[Timestamp])], threads: usize) {
+        let mut routed: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, (user, _)) in deltas.iter().enumerate() {
+            routed[self.shard_of(user)].push(i);
+        }
+        let threads = clamped_threads(threads).min(self.shards.len());
+        if threads == 1 {
+            for (shard, idxs) in self.shards.iter_mut().zip(&routed) {
+                for &i in idxs {
+                    let (user, posts) = deltas[i];
+                    shard.ingest(user, posts);
+                }
+            }
+            return;
+        }
+        let mut work: Vec<(&mut Shard, Vec<usize>)> = self.shards.iter_mut().zip(routed).collect();
+        let chunk_len = work.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for chunk in work.chunks_mut(chunk_len) {
+                scope.spawn(move |_| {
+                    for (shard, idxs) in chunk.iter_mut() {
+                        for &i in idxs.iter() {
+                            let (user, posts) = deltas[i];
+                            shard.ingest(user, posts);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("thread scope failed");
+    }
+
+    /// Drains every shard's dirty set into one globally id-sorted vector —
+    /// the merge point where sharding disappears: downstream refresh work
+    /// sees exactly the order a single `BTreeSet` would have produced.
+    pub(crate) fn take_dirty_sorted(&mut self) -> Vec<String> {
+        let mut dirty: Vec<String> = self
+            .shards
+            .iter_mut()
+            .flat_map(|s| std::mem::take(&mut s.dirty))
+            .collect();
+        // Each shard's run is already sorted; one global sort merges them.
+        dirty.sort_unstable();
+        dirty
+    }
+
+    /// Total dirty users across all shards.
+    pub(crate) fn dirty_len(&self) -> usize {
+        self.shards.iter().map(|s| s.dirty.len()).sum()
+    }
+
+    /// Total users ever ingested.
+    pub(crate) fn users_tracked(&self) -> usize {
+        self.shards.iter().map(|s| s.users.len()).sum()
+    }
+
+    /// Total posts ingested (duplicates included).
+    pub(crate) fn posts_ingested(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| s.users.values())
+            .map(|a| a.posts)
+            .sum()
+    }
+
+    /// Users per shard, in shard-index order — the occupancy the
+    /// observability layer gauges.
+    pub(crate) fn occupancy(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.users.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(slot: i64) -> Timestamp {
+        Timestamp::from_secs(slot * 3_600)
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let set = ShardSet::new(7);
+        for user in ["alice", "bob", "u000042", "日本"] {
+            let s = set.shard_of(user);
+            assert!(s < 7);
+            assert_eq!(s, set.shard_of(user), "routing must be deterministic");
+        }
+        // One shard routes everything to index 0.
+        let one = ShardSet::new(1);
+        assert_eq!(one.shard_of("anyone"), 0);
+    }
+
+    #[test]
+    fn fnv_spreads_sequential_ids() {
+        // Sequential ids (the synthetic-population shape) must not pile
+        // into one shard.
+        let set = ShardSet::new(8);
+        let mut counts = [0usize; 8];
+        for i in 0..800 {
+            counts[set.shard_of(&format!("u{i:06}"))] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "shard {i} is empty over 800 sequential ids");
+            assert!(c < 400, "shard {i} holds {c} of 800 ids");
+        }
+    }
+
+    #[test]
+    fn batch_ingest_matches_serial_ingest() {
+        let deltas: Vec<(String, Vec<Timestamp>)> = (0..40)
+            .map(|i| {
+                (
+                    format!("u{:02}", i % 13),
+                    (0..3).map(|j| ts(i * 5 + j)).collect(),
+                )
+            })
+            .collect();
+        let borrowed: Vec<(&str, &[Timestamp])> = deltas
+            .iter()
+            .map(|(u, p)| (u.as_str(), p.as_slice()))
+            .collect();
+        let mut serial = ShardSet::new(4);
+        for &(user, posts) in &borrowed {
+            serial.ingest(user, posts);
+        }
+        for threads in [1usize, 2, 8] {
+            let mut batched = ShardSet::new(4);
+            batched.ingest_batch(&borrowed, threads);
+            assert_eq!(batched.users_tracked(), serial.users_tracked());
+            assert_eq!(batched.posts_ingested(), serial.posts_ingested());
+            assert_eq!(batched.take_dirty_sorted(), {
+                let mut s = serial.clone();
+                s.take_dirty_sorted()
+            });
+            for user in (0..13).map(|i| format!("u{i:02}")) {
+                let a = batched.acc(&user).expect("user ingested");
+                let b = serial.acc(&user).expect("user ingested");
+                assert_eq!(a.slots, b.slots);
+                assert_eq!(a.hour_counts, b.hour_counts);
+                assert_eq!(a.posts, b.posts);
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_drain_is_globally_sorted_for_any_shard_count() {
+        for shards in [1usize, 4, 16] {
+            let mut set = ShardSet::new(shards);
+            // Deliberately unsorted arrival order.
+            for user in ["zeta", "alpha", "mike", "beta", "zeta"] {
+                set.ingest(user, &[ts(1)]);
+            }
+            assert_eq!(set.dirty_len(), 4);
+            let drained = set.take_dirty_sorted();
+            assert_eq!(drained, ["alpha", "beta", "mike", "zeta"]);
+            assert_eq!(set.dirty_len(), 0, "drain must clear every shard");
+        }
+    }
+
+    #[test]
+    fn accumulator_absorb_is_idempotent_on_slots() {
+        let mut acc = UserAccumulator::default();
+        acc.absorb(&[ts(5), ts(5), ts(2)]);
+        acc.absorb(&[ts(5)]);
+        assert_eq!(acc.slots, vec![2, 5]);
+        assert_eq!(acc.posts, 4);
+        assert_eq!(acc.hour_counts[2], 1);
+        assert_eq!(acc.hour_counts[5], 1);
+    }
+
+    #[test]
+    fn empty_delta_is_ignored() {
+        let mut set = ShardSet::new(3);
+        set.ingest("ghost", &[]);
+        assert_eq!(set.users_tracked(), 0);
+        assert_eq!(set.dirty_len(), 0);
+    }
+
+    #[test]
+    fn default_shards_is_positive() {
+        assert!(default_shards() >= 1);
+    }
+}

@@ -1,20 +1,26 @@
 //! Incremental (streaming) crowd geolocation — re-analysis cost
 //! proportional to *what changed*, not to crowd size.
 //!
-//! [`GeolocationPipeline::analyze`] is a batch pass: every snapshot
-//! re-deduplicates every user's (day, hour) slots, rebuilds every profile,
-//! re-places the whole crowd and refits the mixture from cold — even when
-//! only a handful of users posted since the last crawl round. The
-//! [`StreamingPipeline`] keeps per-user **integer accumulators** instead:
+//! The [`StreamingPipeline`] is the workspace's one analysis engine:
+//! [`GeolocationPipeline::analyze`] is now literally "ingest everything
+//! into a fresh streaming engine, snapshot once", so the batch and
+//! incremental paths cannot drift apart. Internally it keeps per-user
+//! **integer accumulators** partitioned across hash shards:
 //!
 //! * each user's active slots are a sorted vector of `day·24 + hour` keys
 //!   plus a 24-bin count of active slots per hour, so
 //!   [`ingest`](StreamingPipeline::ingest) is a pure delta update that
 //!   never re-scans history;
-//! * a **dirty set** records which users' profiles actually changed, and
-//!   only those are re-profiled and re-placed (through one long-lived
-//!   [`PlacementEngine`], whose precomputed zone CDFs are reused across
-//!   snapshots);
+//! * accumulators live in a [`ShardSet`] — N shards keyed by a stable
+//!   hash of the user id, each with its own dirty set — so bulk deltas
+//!   ([`ingest_set`](StreamingPipeline::ingest_set),
+//!   [`ingest_posts`](StreamingPipeline::ingest_posts)) are routed once
+//!   and applied **concurrently**, one worker per run of shards, with no
+//!   locks (see `shard.rs` for the determinism argument);
+//! * only dirty users are re-profiled, and their CDFs go through a
+//!   **placement cache** (quantized CDF → zone + EMD + flatness) on the
+//!   long-lived [`PlacementEngine`], so a profile shape seen before —
+//!   common at low post counts — skips the exact EMD scan entirely;
 //! * the placement histogram is maintained as integer zone counts,
 //!   updated by subtracting a re-placed user's old zone and adding the
 //!   new one;
@@ -26,20 +32,23 @@
 //!
 //! In the default [`RefitMode::Exact`],
 //! [`snapshot`](StreamingPipeline::snapshot) is **byte-identical**
-//! (serialized through `serde_json`) to a from-scratch
-//! [`GeolocationPipeline::analyze`] over the same cumulative traces, for
-//! any thread count. Three choices make that exact rather than
-//! approximate:
+//! (serialized through `serde_json`) to a from-scratch analysis of the
+//! same cumulative traces, for any thread count, any shard count, and
+//! with the placement cache on or off. Four choices make that exact
+//! rather than approximate:
 //!
 //! 1. All per-user state is integral (slot keys, hour counts, post
-//!    counts), so delta updates commute with batching exactly.
-//! 2. The crowd profile is **re-summed at snapshot time** from the cached
+//!    counts), so delta updates commute with batching exactly, and
+//!    shards merge at refresh time by draining dirty ids in globally
+//!    sorted order — the order a single map would have produced.
+//! 2. The placement cache is probed sequentially and keyed on the
+//!    full-precision CDF bits, so a hit returns a value computed from a
+//!    bit-identical input (and hit/miss counts are thread-invariant).
+//! 3. The crowd profile is **re-summed at snapshot time** from the cached
 //!    per-user distributions in user-id order — an O(24·n) pass — rather
 //!    than delta-updated in `f64`, because float addition is not
-//!    associative and a running sum would drift away from the batch
-//!    result. The expensive per-user work (EMD placement) stays
-//!    incremental; only the cheap reduction is repeated.
-//! 3. The zone-count histogram goes through
+//!    associative and a running sum would drift.
+//! 4. The zone-count histogram goes through
 //!    [`PlacementHistogram::from_zone_counts`], which is float-identical
 //!    to `from_placements`, and the fits are pure functions of that
 //!    histogram (cold fits in `Exact` mode, reused outright when the zone
@@ -52,18 +61,18 @@
 //! threshold. Everything upstream of the fit (profiles, placements,
 //! histogram) remains exact.
 
-use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use crowdtz_stats::{Histogram24, BINS};
-use crowdtz_time::{Timestamp, TraceSet, TzOffset, UserTrace};
+use crowdtz_stats::{Distribution24, Histogram24, BINS};
+use crowdtz_time::{Timestamp, TraceSet, UserTrace};
 
 use crate::crowd::CrowdProfile;
-use crate::engine::{chunked_map, PlacementEngine};
+use crate::engine::{chunked_map, PlacementCache, PlacementEngine};
 use crate::error::CoreError;
 use crate::pipeline::{GeolocationPipeline, GeolocationReport};
 use crate::placement::{PlacementHistogram, UserPlacement, ZONE_COUNT};
 use crate::profile::ActivityProfile;
+use crate::shard::{ShardSet, UserAccumulator, UserAnalysis};
 use crate::single::{MultiRegionFit, SingleRegionFit};
 
 /// How [`StreamingPipeline::snapshot`] refits the mixture when the
@@ -95,39 +104,6 @@ impl RefitMode {
     }
 }
 
-/// Per-user integer accumulator: everything needed to rebuild the user's
-/// [`ActivityProfile`] without touching raw history again.
-#[derive(Debug, Clone, Default)]
-struct UserAccumulator {
-    /// Sorted, deduplicated `day·24 + hour` keys of active slots (UTC).
-    slots: Vec<i64>,
-    /// Number of active slots per hour of day — the integer pre-image of
-    /// the profile's distribution.
-    hour_counts: [u32; BINS],
-    /// Raw post count, duplicates included (the eligibility threshold
-    /// counts posts, not slots).
-    posts: usize,
-    /// The user's analysis as of the last refresh; `None` when the user
-    /// is below the activity threshold.
-    analysis: Option<UserAnalysis>,
-}
-
-/// The per-user outputs the batch pipeline would have produced.
-#[derive(Debug, Clone)]
-struct UserAnalysis {
-    profile: ActivityProfile,
-    /// §IV.C flatness flag (always `false` when polishing is disabled).
-    flat: bool,
-    /// Placement, computed only for kept (non-flat) users.
-    placement: Option<UserPlacement>,
-}
-
-impl UserAnalysis {
-    fn kept(&self) -> bool {
-        !self.flat
-    }
-}
-
 /// Observability handles, created once at construction so the per-post
 /// ingest path pays one atomic add, not a registry lookup.
 #[derive(Debug, Clone)]
@@ -135,7 +111,7 @@ struct StreamObs {
     observer: Arc<crowdtz_obs::Observer>,
     /// `streaming.posts_ingested`: posts across all deltas.
     posts: crowdtz_obs::Counter,
-    /// `streaming.deltas`: ingest calls with a non-empty delta.
+    /// `streaming.deltas`: ingested non-empty deltas.
     deltas: crowdtz_obs::Counter,
     /// `streaming.dirty`: dirty-set size entering the last refresh.
     dirty: crowdtz_obs::Gauge,
@@ -193,8 +169,12 @@ pub struct StreamingPipeline {
     pipeline: GeolocationPipeline,
     engine: PlacementEngine,
     refit: RefitMode,
-    users: BTreeMap<String, UserAccumulator>,
-    dirty: BTreeSet<String>,
+    /// Hash-partitioned per-user accumulators + dirty sets
+    /// ([`GeolocationPipeline::shards`] sets the partition count).
+    shards: ShardSet,
+    /// CDF-keyed placement cache, persistent across refreshes
+    /// ([`GeolocationPipeline::placement_cache`] toggles it).
+    cache: PlacementCache,
     /// Kept users' profiles in user-id order — exactly the vector the
     /// batch pipeline would build, patched in place per dirty user and
     /// shared with every snapshot through its [`Arc`]. `Arc::make_mut`
@@ -215,19 +195,21 @@ pub struct StreamingPipeline {
 
 impl StreamingPipeline {
     /// Wraps a configured batch pipeline. The pipeline's generic profile,
-    /// activity threshold, polishing flag, component cap, and thread
-    /// count all carry over; the placement engine is built once and
-    /// reused across every refresh.
+    /// activity threshold, polishing flag, component cap, thread count,
+    /// shard count, and placement-cache toggle all carry over; the
+    /// placement engine is built once and reused across every refresh.
     pub fn new(pipeline: GeolocationPipeline) -> StreamingPipeline {
         let engine = PlacementEngine::new(pipeline.generic());
         let obs = pipeline.obs().map(StreamObs::new);
+        let shards = ShardSet::new(pipeline.effective_shards());
+        let cache = PlacementCache::new(pipeline.placement_cache_enabled());
         StreamingPipeline {
             pipeline,
             engine,
             obs,
+            shards,
+            cache,
             refit: RefitMode::Exact,
-            users: BTreeMap::new(),
-            dirty: BTreeSet::new(),
             kept_profiles: Arc::new(Vec::new()),
             kept_placements: Arc::new(Vec::new()),
             eligible: 0,
@@ -250,18 +232,34 @@ impl StreamingPipeline {
 
     /// Number of users ever ingested.
     pub fn users_tracked(&self) -> usize {
-        self.users.len()
+        self.shards.users_tracked()
     }
 
     /// Users whose profiles changed since the last refresh — the work the
     /// next [`snapshot`](StreamingPipeline::snapshot) will actually do.
     pub fn dirty_users(&self) -> usize {
-        self.dirty.len()
+        self.shards.dirty_len()
     }
 
     /// Total posts ingested across all users (duplicates included).
     pub fn posts_ingested(&self) -> usize {
-        self.users.values().map(|a| a.posts).sum()
+        self.shards.posts_ingested()
+    }
+
+    /// Number of hash shards the accumulator store is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.shard_count()
+    }
+
+    /// Users per shard, in shard-index order.
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shards.occupancy()
+    }
+
+    /// Lifetime placement-cache `(hits, misses)`. With the cache disabled
+    /// every resolution counts as a miss.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
     }
 
     /// Ingests new posts for one user — a pure delta update.
@@ -282,40 +280,7 @@ impl StreamingPipeline {
             obs.posts.add(posts.len() as u64);
             obs.deltas.inc();
         }
-        let acc = self.users.entry(user.to_owned()).or_default();
-        acc.posts += posts.len();
-        let mut keys: Vec<i64> = posts
-            .iter()
-            .map(|ts| {
-                ts.day_in_offset(TzOffset::UTC) * 24 + i64::from(ts.hour_in_offset(TzOffset::UTC))
-            })
-            .collect();
-        keys.sort_unstable();
-        keys.dedup();
-        keys.retain(|k| acc.slots.binary_search(k).is_err());
-        if !keys.is_empty() {
-            for &k in &keys {
-                acc.hour_counts[k.rem_euclid(24) as usize] += 1;
-            }
-            // Merge the two sorted runs in one pass.
-            let mut merged = Vec::with_capacity(acc.slots.len() + keys.len());
-            let (mut i, mut j) = (0usize, 0usize);
-            while i < acc.slots.len() && j < keys.len() {
-                if acc.slots[i] < keys[j] {
-                    merged.push(acc.slots[i]);
-                    i += 1;
-                } else {
-                    merged.push(keys[j]);
-                    j += 1;
-                }
-            }
-            merged.extend_from_slice(&acc.slots[i..]);
-            merged.extend_from_slice(&keys[j..]);
-            acc.slots = merged;
-        }
-        // Any non-empty delta changes the profile (at minimum its post
-        // count), so the user must be re-analyzed.
-        self.dirty.insert(user.to_owned());
+        self.shards.ingest(user, posts);
     }
 
     /// Ingests a whole trace as one delta (convenience for replaying
@@ -325,44 +290,118 @@ impl StreamingPipeline {
     }
 
     /// Ingests every trace of a set (e.g. a first full crawl before
-    /// incremental monitoring takes over).
+    /// incremental monitoring takes over) — one delta per non-empty
+    /// trace, routed to the shards once and applied concurrently on the
+    /// pipeline's worker threads.
     pub fn ingest_set(&mut self, traces: &TraceSet) {
-        for trace in traces {
-            self.ingest_trace(trace);
-        }
+        let deltas: Vec<(&str, &[Timestamp])> = traces
+            .iter()
+            .map(|t| (t.id(), t.posts()))
+            .filter(|(_, p)| !p.is_empty())
+            .collect();
+        self.ingest_deltas(&deltas);
     }
 
-    /// Re-analyzes exactly the dirty users: rebuild each profile from its
-    /// accumulator, re-run the flatness check, re-place, and patch the
-    /// zone counts and the shared kept vectors. Fanned across the
-    /// pipeline's worker threads in user-id order (the dirty set is
-    /// sorted), so the per-user results — and therefore every snapshot —
-    /// are thread-count-invariant.
+    /// Ingests a batch of single-post observations — the shape a forum
+    /// monitor poll produces (`Monitor::run_batched` in `crowdtz-forum`).
+    /// Each `(author, timestamp)` pair counts as one delta, exactly as if
+    /// [`ingest`](StreamingPipeline::ingest) had been called per
+    /// observation in order, but the batch is routed to the shards once
+    /// and applied concurrently.
+    pub fn ingest_posts(&mut self, posts: &[(String, Timestamp)]) {
+        let deltas: Vec<(&str, &[Timestamp])> = posts
+            .iter()
+            .map(|(user, ts)| (user.as_str(), std::slice::from_ref(ts)))
+            .collect();
+        self.ingest_deltas(&deltas);
+    }
+
+    /// Shared bulk-ingest path: count the batch once (totals are
+    /// order-free), then let the shard set apply it in parallel.
+    fn ingest_deltas(&mut self, deltas: &[(&str, &[Timestamp])]) {
+        if deltas.is_empty() {
+            return;
+        }
+        if let Some(obs) = &self.obs {
+            let posts: usize = deltas.iter().map(|(_, p)| p.len()).sum();
+            obs.posts.add(posts as u64);
+            obs.deltas.add(deltas.len() as u64);
+        }
+        self.shards
+            .ingest_batch(deltas, self.pipeline.effective_threads());
+    }
+
+    /// Re-analyzes exactly the dirty users: drain every shard's dirty set
+    /// in globally sorted id order, rebuild the changed profiles in
+    /// parallel, resolve their CDFs through the placement cache (parallel
+    /// exact scans for the misses only), and patch the zone counts and
+    /// the shared kept vectors sequentially. Chunking is order-stable and
+    /// the cache probe is sequential, so the per-user results — and
+    /// therefore every snapshot — are invariant to both the thread count
+    /// and the shard count.
     fn refresh(&mut self) {
         if let Some(obs) = &self.obs {
-            obs.dirty.set(self.dirty.len() as f64);
+            obs.dirty.set(self.shards.dirty_len() as f64);
         }
-        if self.dirty.is_empty() {
+        if self.shards.dirty_len() == 0 {
             return;
         }
         // Clone the Arc into a local so the span guard does not hold a
         // borrow of `self` across the mutable refresh work below.
         let observer = self.obs.as_ref().map(|o| Arc::clone(&o.observer));
         let _s = crowdtz_obs::span!(observer, "streaming.refresh");
-        let dirty: Vec<String> = std::mem::take(&mut self.dirty).into_iter().collect();
+        let dirty: Vec<String> = self.shards.take_dirty_sorted();
         let min_posts = self.pipeline.min_posts_threshold();
         let polish = self.pipeline.polish_enabled();
-        let engine = &self.engine;
-        let work: Vec<(&String, &UserAccumulator)> =
-            dirty.iter().map(|id| (id, &self.users[id])).collect();
-        let analyses: Vec<Option<UserAnalysis>> =
-            chunked_map(&work, self.pipeline.effective_threads(), |&(id, acc)| {
-                Self::analyze_user(id, acc, min_posts, polish, engine)
-            });
+        let threads = self.pipeline.effective_threads();
+        // Phase 1 (parallel, pure): rebuild each dirty user's distribution
+        // and CDF from its integer accumulator.
+        let prepared: Vec<Option<(Distribution24, [f64; BINS])>> = {
+            let work: Vec<&UserAccumulator> = dirty
+                .iter()
+                .map(|id| self.shards.acc(id).expect("dirty user exists"))
+                .collect();
+            chunked_map(&work, threads, |&acc| Self::prepare_user(acc, min_posts))
+        };
+        // Phase 2: resolve the eligible CDFs through the placement cache
+        // (sequential probe, parallel compute of the misses).
+        let cdfs: Vec<[f64; BINS]> = prepared
+            .iter()
+            .filter_map(|p| p.as_ref().map(|&(_, cdf)| cdf))
+            .collect();
+        let resolved =
+            self.engine
+                .resolve_cdfs(&cdfs, &mut self.cache, threads, observer.as_deref());
+        // Phase 3 (sequential): assemble analyses and patch shared state.
+        let mut resolutions = resolved.into_iter();
+        let mut placed = 0u64;
         let profiles = Arc::make_mut(&mut self.kept_profiles);
         let placements = Arc::make_mut(&mut self.kept_placements);
-        for (id, analysis) in dirty.into_iter().zip(analyses) {
-            let acc = self.users.get_mut(&id).expect("dirty user exists");
+        for (id, prep) in dirty.into_iter().zip(prepared) {
+            let acc = self.shards.acc_mut(&id).expect("dirty user exists");
+            let analysis = prep.map(|(distribution, _)| {
+                let r = resolutions
+                    .next()
+                    .expect("one resolution per eligible user");
+                let profile = ActivityProfile::from_parts(
+                    id.clone(),
+                    distribution,
+                    acc.slots.len(),
+                    acc.posts,
+                );
+                let flat = polish && r.flat;
+                let placement = if flat {
+                    None
+                } else {
+                    Some(UserPlacement::new(profile.user(), r.zone, r.emd))
+                };
+                UserAnalysis {
+                    profile,
+                    flat,
+                    placement,
+                }
+            });
+            placed += u64::from(analysis.as_ref().is_some_and(UserAnalysis::kept));
             let old = acc.analysis.take();
             if let Some(p) = old.as_ref().and_then(|a| a.placement.as_ref()) {
                 self.zone_counts[PlacementHistogram::index_of(p.zone_hours())] -= 1;
@@ -405,19 +444,28 @@ impl StreamingPipeline {
                 }
                 (false, false) => {}
             }
+            let acc = self.shards.acc_mut(&id).expect("dirty user exists");
             acc.analysis = analysis;
+        }
+        if let Some(obs) = &self.obs {
+            obs.observer.counter("placement.users").add(placed);
+            // Shard occupancy, as of this refresh.
+            for (i, n) in self.shards.occupancy().into_iter().enumerate() {
+                obs.observer
+                    .gauge(&format!("shard.{i:02}.users"))
+                    .set(n as f64);
+            }
         }
     }
 
-    /// One user's profile → flatness → placement, replicating the batch
-    /// stages float-for-float from the integer accumulator.
-    fn analyze_user(
-        id: &str,
+    /// One user's distribution + CDF from the integer accumulator —
+    /// `None` below the activity threshold. Pure, so it fans out across
+    /// worker threads; the flatness/placement decision happens in the
+    /// cache-backed resolve step.
+    fn prepare_user(
         acc: &UserAccumulator,
         min_posts: usize,
-        polish: bool,
-        engine: &PlacementEngine,
-    ) -> Option<UserAnalysis> {
+    ) -> Option<(Distribution24, [f64; BINS])> {
         if acc.posts < min_posts || acc.slots.is_empty() {
             return None;
         }
@@ -426,19 +474,8 @@ impl StreamingPipeline {
             *dst = f64::from(c);
         }
         let distribution = Histogram24::from_bins(bins).normalized().ok()?;
-        let profile =
-            ActivityProfile::from_parts(id.to_owned(), distribution, acc.slots.len(), acc.posts);
-        let flat = polish && engine.is_flat(profile.distribution());
-        let placement = if flat {
-            None
-        } else {
-            Some(engine.place(&profile))
-        };
-        Some(UserAnalysis {
-            profile,
-            flat,
-            placement,
-        })
+        let cdf = distribution.cdf();
+        Some((distribution, cdf))
     }
 
     /// Produces the current [`GeolocationReport`], doing work proportional
@@ -484,11 +521,14 @@ impl StreamingPipeline {
         }
         let flat_removed = self.eligible - self.kept_profiles.len();
         // Re-summed (not delta-updated) in user-id order: f64 addition is
-        // not associative, and the batch pipeline sums in exactly this
-        // order — see the module docs' identity guarantee.
+        // not associative, and the identity guarantee requires summing in
+        // exactly this order — see the module docs.
         let crowd = CrowdProfile::aggregate(&self.kept_profiles)?;
         let histogram = PlacementHistogram::from_zone_counts(&self.zone_counts);
-        let (single, multi) = self.refit(&histogram)?;
+        let (single, multi) = {
+            let _f = crowdtz_obs::span!(observer, "streaming.fit");
+            self.refit(&histogram)?
+        };
         Ok(GeolocationReport::from_parts(
             Arc::clone(&self.kept_profiles),
             flat_removed,
@@ -738,5 +778,85 @@ mod tests {
         assert_eq!(stream.posts_ingested(), 2);
         assert_eq!(stream.dirty_users(), 1);
         assert!(stream.pipeline().min_posts_threshold() == 1);
+    }
+
+    #[test]
+    fn shard_configuration_carries_over_and_never_changes_output() {
+        let traces = crowd("france", 25, 21);
+        let baseline = {
+            let mut s = StreamingPipeline::new(GeolocationPipeline::default().shards(1).threads(2));
+            s.ingest_set(&traces);
+            report_json(&s.snapshot().unwrap())
+        };
+        for shards in [4usize, 16] {
+            let mut s =
+                StreamingPipeline::new(GeolocationPipeline::default().shards(shards).threads(2));
+            assert_eq!(s.shard_count(), shards);
+            s.ingest_set(&traces);
+            assert_eq!(s.shard_occupancy().len(), shards);
+            assert_eq!(
+                s.shard_occupancy().iter().sum::<usize>(),
+                s.users_tracked(),
+                "occupancy must partition the crowd"
+            );
+            assert_eq!(
+                report_json(&s.snapshot().unwrap()),
+                baseline,
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn ingest_posts_matches_per_observation_ingest() {
+        let traces = crowd("italy", 15, 23);
+        let mut batch: Vec<(String, Timestamp)> = Vec::new();
+        for t in traces.iter() {
+            for &p in t.posts() {
+                batch.push((t.id().to_owned(), p));
+            }
+        }
+        let pipeline = GeolocationPipeline::default().min_posts(10).threads(2);
+        let mut batched = StreamingPipeline::new(pipeline.clone());
+        batched.ingest_posts(&batch);
+        let mut serial = StreamingPipeline::new(pipeline);
+        for (user, ts) in &batch {
+            serial.ingest(user, std::slice::from_ref(ts));
+        }
+        assert_eq!(batched.posts_ingested(), serial.posts_ingested());
+        assert_eq!(
+            report_json(&batched.snapshot().unwrap()),
+            report_json(&serial.snapshot().unwrap())
+        );
+    }
+
+    #[test]
+    fn placement_cache_hits_on_repeated_profiles() {
+        // Every user posts at the same two slots → one distinct CDF.
+        let pipeline = GeolocationPipeline::default().min_posts(1).threads(1);
+        let mut stream = StreamingPipeline::new(pipeline.clone());
+        let mut traces = TraceSet::new();
+        let posts = [
+            Timestamp::from_secs(20 * 3_600),
+            Timestamp::from_secs(86_400 + 21 * 3_600),
+        ];
+        for i in 0..30 {
+            let id = format!("u{i:02}");
+            stream.ingest(&id, &posts);
+            for &p in &posts {
+                traces.record(&id, p);
+            }
+        }
+        let inc = stream.snapshot().unwrap();
+        let (hits, misses) = stream.cache_stats();
+        assert_eq!(misses, 1, "one distinct profile shape");
+        assert_eq!(hits, 29);
+        // The cache never changes a byte: cache-off matches exactly.
+        let off = {
+            let mut s = StreamingPipeline::new(pipeline.placement_cache(false));
+            s.ingest_set(&traces);
+            s.snapshot().unwrap()
+        };
+        assert_eq!(report_json(&inc), report_json(&off));
     }
 }

@@ -101,7 +101,7 @@ fn placed_user_counter_matches_report() {
 }
 
 #[test]
-fn pruning_histogram_counts_every_user_and_at_most_24_evals_each() {
+fn pruning_histogram_counts_every_cache_miss_and_at_most_24_evals_each() {
     let traces = two_region_crowd();
     let observer = Observer::from_env();
     let report = GeolocationPipeline::default()
@@ -110,18 +110,66 @@ fn pruning_histogram_counts_every_user_and_at_most_24_evals_each() {
         .unwrap();
     let metrics = observer.snapshot();
     let hist = &metrics.histograms["placement.exact_evals_per_user"];
-    let users = report.users_classified() as u64;
-    // One histogram observation per placed user.
-    assert_eq!(hist.count, users);
-    assert_eq!(hist.buckets.iter().sum::<u64>(), users);
-    // Every user costs at least one and at most 24 exact EMD evaluations.
-    assert!(hist.sum >= users);
+    let hits = metrics.counters["placement.cache_hits"];
+    let misses = metrics.counters["placement.cache_misses"];
+    // Every eligible (above-threshold) user resolved exactly once: as a
+    // cache hit or as a miss that ran the exact scan.
+    let eligible = (report.users_classified() + report.flat_removed()) as u64;
+    assert_eq!(hits + misses, eligible);
+    // One histogram observation per miss — hits skip the scan entirely.
+    assert_eq!(hist.count, misses);
+    assert_eq!(hist.buckets.iter().sum::<u64>(), misses);
+    // Every evaluated profile costs at least one and at most 24 exact
+    // EMD evaluations.
+    assert!(hist.sum >= misses);
     assert!(
-        hist.sum <= 24 * users,
+        hist.sum <= 24 * misses,
         "pruning bound violated: {}",
         hist.sum
     );
     assert_eq!(hist.sum, metrics.counters["placement.exact_evals"]);
+}
+
+#[test]
+fn placement_cache_hits_appear_on_repeated_profiles() {
+    // A low-post crowd where every user shares one profile shape: the
+    // first resolution misses, the rest hit.
+    let observer = Observer::from_env();
+    let mut streaming = StreamingPipeline::new(
+        GeolocationPipeline::default()
+            .min_posts(1)
+            .observer(Arc::clone(&observer)),
+    );
+    let posts = [
+        crowdtz_time::Timestamp::from_secs(20 * 3_600),
+        crowdtz_time::Timestamp::from_secs(86_400 + 20 * 3_600),
+    ];
+    for i in 0..25 {
+        streaming.ingest(&format!("u{i:02}"), &posts);
+    }
+    streaming.snapshot().unwrap();
+    let metrics = observer.snapshot();
+    assert_eq!(metrics.counters["placement.cache_misses"], 1);
+    assert_eq!(metrics.counters["placement.cache_hits"], 24);
+    assert_eq!(streaming.cache_stats(), (24, 1));
+}
+
+#[test]
+fn shard_occupancy_gauges_partition_the_crowd() {
+    let traces = two_region_crowd();
+    let observer = Observer::from_env();
+    let mut streaming = StreamingPipeline::new(
+        GeolocationPipeline::default()
+            .shards(4)
+            .observer(Arc::clone(&observer)),
+    );
+    streaming.ingest_set(&traces);
+    streaming.snapshot().unwrap();
+    let metrics = observer.snapshot();
+    let total: f64 = (0..4)
+        .map(|i| metrics.gauges[&format!("shard.{i:02}.users")])
+        .sum();
+    assert_eq!(total, traces.iter().count() as f64);
 }
 
 #[test]
@@ -181,6 +229,8 @@ fn metric_snapshots_are_identical_across_thread_counts() {
 
 #[test]
 fn stage_timings_cover_every_pipeline_stage() {
+    // Batch analyze is ingest-then-snapshot on the sharded engine, so
+    // its stage spans are the streaming engine's plus the ingest span.
     let traces = two_region_crowd();
     let observer = Observer::from_env();
     GeolocationPipeline::default()
@@ -189,11 +239,31 @@ fn stage_timings_cover_every_pipeline_stage() {
         .unwrap();
     let stages = observer.stage_timings();
     for expected in [
-        "pipeline.profiles",
-        "pipeline.polish",
-        "pipeline.placement",
-        "pipeline.fit",
+        "pipeline.ingest",
+        "streaming.refresh",
+        "streaming.snapshot",
+        "streaming.fit",
     ] {
+        let stage = stages
+            .iter()
+            .find(|s| s.name == expected)
+            .unwrap_or_else(|| panic!("missing stage {expected}"));
+        assert_eq!(stage.calls, 1);
+        assert!(stage.total_ns > 0, "zero wall time for {expected}");
+    }
+}
+
+#[test]
+fn stage_timings_cover_every_profile_analysis_stage() {
+    let traces = two_region_crowd();
+    let profiles = crowdtz_core::ProfileBuilder::new().build(&traces);
+    let observer = Observer::from_env();
+    GeolocationPipeline::default()
+        .observer(Arc::clone(&observer))
+        .analyze_profiles(profiles, 1.0)
+        .unwrap();
+    let stages = observer.stage_timings();
+    for expected in ["pipeline.placement", "pipeline.polish", "pipeline.fit"] {
         let stage = stages
             .iter()
             .find(|s| s.name == expected)

@@ -7,11 +7,12 @@
 //! of 1 week to a full year and report how many users become classifiable
 //! and how accurate the placement is.
 //!
-//! The monitor feeds a [`StreamingPipeline`] between rounds: each window
-//! streams only its *new* observations into the engine, and the report is
-//! an incremental snapshot — byte-identical to re-analyzing the
-//! accumulated traces from scratch, but touching only the users that
-//! actually posted in the round.
+//! The monitor feeds a [`StreamingPipeline`] between rounds: each poll's
+//! batch of *new* observations is routed across the engine's accumulator
+//! shards in one concurrent pass, and the report is an incremental
+//! snapshot — byte-identical to re-analyzing the accumulated traces from
+//! scratch, but touching only the users that actually posted in the
+//! round.
 
 use crowdtz_core::{GenericProfile, GeolocationPipeline, StreamingPipeline};
 use crowdtz_forum::SimulatedForum;
@@ -67,8 +68,10 @@ pub fn run(config: &Config) -> ExperimentOutput {
     ] {
         let to = start + days * 86_400;
         monitor
-            .run_each(previous_end, to, 1_800, |author, ts| {
-                streaming.ingest(author, &[ts]);
+            .run_batched(previous_end, to, 1_800, |batch| {
+                // One concurrent sharded ingest per poll, instead of one
+                // delta per post.
+                streaming.ingest_posts(batch);
             })
             .expect("monitor");
         previous_end = to;

@@ -699,6 +699,44 @@ impl Monitor {
         Ok(())
     }
 
+    /// Like [`run_each`](Monitor::run_each), but delivers each poll's
+    /// observations as one batch instead of one callback per post.
+    ///
+    /// This is the natural feed for the sharded streaming engine: hand
+    /// every batch to `crowdtz_core::StreamingPipeline::ingest_posts`,
+    /// which routes the whole poll across accumulator shards in one
+    /// concurrent pass, then snapshot between rounds. Empty polls are
+    /// not delivered.
+    pub fn run_batched(
+        &mut self,
+        from: Timestamp,
+        to: Timestamp,
+        interval_secs: i64,
+        mut sink: impl FnMut(&[(String, Timestamp)]),
+    ) -> Result<(), ForumError> {
+        let interval = interval_secs.max(1);
+        // Skip everything that predates the monitoring window.
+        self.poll_each(from, |_, _| {})?;
+        let mut batch: Vec<(String, Timestamp)> = Vec::new();
+        let mut t = from + interval;
+        while t <= to {
+            self.poll_each(t, |author, ts| batch.push((author.to_owned(), ts)))?;
+            if !batch.is_empty() {
+                sink(&batch);
+                batch.clear();
+            }
+            t = t + interval;
+        }
+        // Final partial interval, as in `resume_run`.
+        if t - interval < to {
+            self.poll_each(to, |author, ts| batch.push((author.to_owned(), ts)))?;
+            if !batch.is_empty() {
+                sink(&batch);
+            }
+        }
+        Ok(())
+    }
+
     /// Runs (or resumes) a monitoring session over the same window.
     ///
     /// On an unrecoverable fault, returns a [`MonitorInterrupted`]
@@ -1062,6 +1100,36 @@ mod tests {
             .run_each(mid, to, interval, |author, ts| streamed.record(author, ts))
             .unwrap();
         assert_eq!(streamed, reference);
+    }
+
+    #[test]
+    fn run_batched_delivers_every_observation_in_poll_batches() {
+        let from = Timestamp::from_civil_utc(CivilDateTime::new(2016, 3, 1, 0, 0, 0).unwrap());
+        let to = Timestamp::from_civil_utc(CivilDateTime::new(2016, 3, 8, 0, 0, 0).unwrap());
+        let interval = 3_600;
+
+        let (scraper, _) = connect(&forum_spec(0, TimestampPolicy::Hidden));
+        let reference = scraper.into_monitor().run(from, to, interval).unwrap();
+
+        let (scraper, _) = connect(&forum_spec(0, TimestampPolicy::Hidden));
+        let mut batched = TraceSet::default();
+        let mut batches = 0usize;
+        scraper
+            .into_monitor()
+            .run_batched(from, to, interval, |batch| {
+                assert!(!batch.is_empty(), "empty batches must not be delivered");
+                // Each batch is one poll: every observation shares its
+                // self-timestamp (the observer clock of that poll).
+                let t0 = batch[0].1;
+                for (author, ts) in batch {
+                    assert_eq!(*ts, t0);
+                    batched.record(author, *ts);
+                }
+                batches += 1;
+            })
+            .unwrap();
+        assert_eq!(batched, reference);
+        assert!(batches > 1, "a week of hourly polls must batch many times");
     }
 
     #[test]

@@ -156,7 +156,59 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
+/// Rewrites a metric name into the Prometheus identifier charset:
+/// `crowdtz_` prefix, dots and any other illegal character become `_`.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("crowdtz_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
 impl MetricsSnapshot {
+    /// Render the snapshot in the Prometheus text exposition format.
+    ///
+    /// Every metric is prefixed `crowdtz_` and name-sanitized (dots to
+    /// underscores). Counters get a `_total` suffix; histograms emit
+    /// *cumulative* `_bucket{le="…"}` series (converting this crate's
+    /// per-bucket counts), a catch-all `le="+Inf"` bucket, and `_sum` /
+    /// `_count` series, exactly as a Prometheus scraper expects. Output
+    /// is key-sorted and deterministic for a given snapshot.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let pname = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {pname}_total counter");
+            let _ = writeln!(out, "{pname}_total {value}");
+        }
+        for (name, value) in &self.gauges {
+            let pname = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {pname} gauge");
+            let _ = writeln!(out, "{pname} {value}");
+        }
+        for (name, hist) in &self.histograms {
+            let pname = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {pname} histogram");
+            let mut cumulative = 0u64;
+            for (bound, bucket) in hist.bounds.iter().zip(&hist.buckets) {
+                cumulative += bucket;
+                let _ = writeln!(out, "{pname}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            // The overflow bucket (values above every bound) folds into +Inf.
+            let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", hist.count);
+            let _ = writeln!(out, "{pname}_sum {}", hist.sum);
+            let _ = writeln!(out, "{pname}_count {}", hist.count);
+        }
+        out
+    }
+
     /// Fold `other` into `self`.
     ///
     /// Counters and histogram buckets/counts/sums add; gauges keep the

@@ -401,6 +401,32 @@ impl RegionDb {
                 HolidayCalendar::none(),
             ),
             Region::new(
+                "sri-lanka",
+                "Sri Lanka",
+                Zone::fixed(TzOffset::from_minutes(330).expect("+5:30 valid")),
+                None,
+                HolidayCalendar::none(),
+            ),
+            // South Australia: a half-hour base offset *with* DST — it
+            // shares NSW's first-Sunday-of-April/October transitions.
+            Region::new(
+                "australia-central",
+                "Australia (Central)",
+                Zone::with_dst(
+                    TzOffset::from_minutes(570).expect("+9:30 valid"),
+                    DstRule::australia_nsw(),
+                ),
+                None,
+                HolidayCalendar::none().with_range((12, 23), (1, 2)),
+            ),
+            Region::new(
+                "newfoundland",
+                "Newfoundland",
+                Zone::us(TzOffset::from_minutes(-210).expect("-3:30 valid")),
+                None,
+                HolidayCalendar::western(),
+            ),
+            Region::new(
                 "argentina",
                 "Argentina",
                 Zone::fixed(h(-3)),
@@ -537,6 +563,32 @@ mod tests {
             db.get(&"paraguay".into()).unwrap().hemisphere(),
             Hemisphere::Southern
         );
+    }
+
+    #[test]
+    fn extended_covers_half_hour_offsets() {
+        let db = RegionDb::extended();
+        let offset_hours = |id: &str| {
+            db.get(&id.into())
+                .unwrap_or_else(|| panic!("missing {id}"))
+                .standard_offset()
+                .hours()
+        };
+        assert!((offset_hours("india") - 5.5).abs() < 1e-12);
+        assert!((offset_hours("sri-lanka") - 5.5).abs() < 1e-12);
+        assert!((offset_hours("australia-central") - 9.5).abs() < 1e-12);
+        assert!((offset_hours("newfoundland") + 3.5).abs() < 1e-12);
+        // Central Australia observes DST (southern-hemisphere dates),
+        // Newfoundland observes DST (US dates); India and Sri Lanka don't.
+        assert_eq!(
+            db.get(&"australia-central".into()).unwrap().hemisphere(),
+            Hemisphere::Southern
+        );
+        assert_eq!(
+            db.get(&"newfoundland".into()).unwrap().hemisphere(),
+            Hemisphere::Northern
+        );
+        assert!(db.get(&"india".into()).unwrap().zone().dst_rule().is_none());
     }
 
     #[test]

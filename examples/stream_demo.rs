@@ -125,6 +125,12 @@ fn main() {
         snapshot.users_classified(),
         snapshot.flat_removed()
     );
+    let (hits, misses) = streaming.cache_stats();
+    println!(
+        "engine: {} accumulator shards {:?}, placement cache {hits} hits / {misses} misses",
+        streaming.shard_count(),
+        streaming.shard_occupancy(),
+    );
     for (zone, weight) in snapshot.multi_fit().time_zones() {
         println!(
             "  {:>3.0}% of the crowd in {}",

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Observability regression gate.
+
+Compares the current run report (``obs.json``, the serialized
+``crowdtz_obs::RunReport``) against the previous run's artifact and fails
+when either
+
+* a pipeline stage's wall time regressed more than ``THRESHOLD``x, or
+* ``placement.exact_evals`` — the deterministic work counter behind the
+  pruned EMD scan — grew more than ``THRESHOLD``x,
+
+which catches both "someone made a stage slow" and "someone quietly
+disabled the pruning or the placement cache".
+
+Usage: ``obs_gate.py baseline.json current.json``
+
+Wall times are noisy on shared CI runners, so stages where *both* runs
+spent less than ``MIN_STAGE_NS`` are ignored, and the exact-evals check
+only applies once the counter is large enough to be meaningful. Stages
+present in only one of the two reports are skipped: experiments come and
+go, and a brand-new stage has no baseline to regress from.
+"""
+
+import json
+import sys
+
+THRESHOLD = 2.0
+# Sub-5ms stages are scheduler noise, not signal.
+MIN_STAGE_NS = 5_000_000
+# Exact-evals drift below this is a config change, not a regression.
+MIN_EVALS = 1_000
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        base = json.load(f)
+    with open(sys.argv[2]) as f:
+        cur = json.load(f)
+
+    failures = []
+    checked = 0
+
+    base_stages = {s["name"]: s["total_ns"] for s in base.get("stages", [])}
+    for stage in cur.get("stages", []):
+        prev_ns = base_stages.get(stage["name"])
+        if prev_ns is None:
+            continue
+        now_ns = stage["total_ns"]
+        if max(prev_ns, now_ns) < MIN_STAGE_NS:
+            continue
+        checked += 1
+        ratio = now_ns / max(prev_ns, 1)
+        if ratio > THRESHOLD:
+            failures.append(
+                f"stage {stage['name']}: {prev_ns / 1e6:.1f} ms -> "
+                f"{now_ns / 1e6:.1f} ms ({ratio:.2f}x)"
+            )
+
+    prev_evals = base.get("metrics", {}).get("counters", {}).get("placement.exact_evals")
+    now_evals = cur.get("metrics", {}).get("counters", {}).get("placement.exact_evals")
+    if prev_evals is not None and now_evals is not None and now_evals >= MIN_EVALS:
+        checked += 1
+        ratio = now_evals / max(prev_evals, 1)
+        if ratio > THRESHOLD:
+            failures.append(
+                f"placement.exact_evals: {prev_evals} -> {now_evals} ({ratio:.2f}x)"
+            )
+
+    if failures:
+        print(f"obs gate: {len(failures)} regression(s) > {THRESHOLD}x", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"obs gate: ok ({checked} comparisons within {THRESHOLD}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
