@@ -8,12 +8,16 @@
 //! ```text
 //! cargo run --release -p crowdtz-bench --bin bench \
 //!     [users] [out.json] [streaming_users] [streaming_out.json] \
-//!     [sharding_out.json] [--obs-out obs.json]
+//!     [sharding_out.json] [durability_out.json] [--obs-out obs.json]
 //! ```
 //!
 //! Defaults: 10 000 placement users to `BENCH_placement.json`, 100 000
 //! streaming users to `BENCH_streaming.json` and `BENCH_sharding.json`,
-//! in the working directory. The sharding JSON records ingest posts/sec
+//! durable-store numbers to `BENCH_durability.json`, in the working
+//! directory. The durability JSON times the warm `open_durable` restart
+//! at two write-ahead-log suffix lengths over the *same* crawl (replay
+//! cost must scale with the log, not the crawl), the snapshot rotation
+//! itself, and the from-scratch re-analysis a warm restart avoids. The sharding JSON records ingest posts/sec
 //! at 1, 4, and 16 shards plus the placement cache's measured hit rate
 //! on a low-post crowd (colliding profiles) and a 40-post contrast.
 //! The placement JSON carries users/sec for each placement path,
@@ -76,6 +80,9 @@ fn main() {
         .unwrap_or(100_000);
     let streaming_out = args.next().unwrap_or_else(|| "BENCH_streaming.json".into());
     let sharding_out = args.next().unwrap_or_else(|| "BENCH_sharding.json".into());
+    let durability_out = args
+        .next()
+        .unwrap_or_else(|| "BENCH_durability.json".into());
     let runs = 5;
     let threads = default_threads();
 
@@ -171,6 +178,7 @@ fn main() {
 
     streaming_bench(streaming_users, threads, host_cpus, &streaming_out);
     sharding_bench(streaming_users, threads, host_cpus, &sharding_out);
+    durability_bench(streaming_users, threads, host_cpus, &durability_out);
 
     if let (Some(obs), Some(path)) = (&observer, &obs_out) {
         let report = obs.run_report("bench");
@@ -303,5 +311,131 @@ fn sharding_bench(users: usize, threads: usize, host_cpus: usize, out_path: &str
     eprintln!("wrote {out_path}");
     if low_rate < 0.5 {
         eprintln!("WARNING: low-post cache hit rate {low_rate:.2} — expected most users cached");
+    }
+}
+
+/// Warm-restart cost of the durable store at two log-suffix lengths
+/// over the same crawl, plus snapshot rotation and the from-scratch
+/// re-analysis a warm restart avoids, written to
+/// `BENCH_durability.json`.
+fn durability_bench(users: usize, threads: usize, host_cpus: usize, out_path: &str) {
+    // The durable engine's cost profile is about record counts, not
+    // crowd scale — a modest crowd keeps the bench quick.
+    let users = users.min(10_000);
+    let posts_per_user = 40;
+    let (short_suffix, long_suffix) = (8u64, 64u64);
+    eprintln!("synthesizing {users} durable traces…");
+    let traces = synthetic_traces(users, posts_per_user, 29);
+    let pipeline = || GeolocationPipeline::default().threads(threads);
+    let dir = std::env::temp_dir().join(format!("crowdtz-bench-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // One delta batch: ~0.1% of the crowd posting once. Deterministic in
+    // the batch number, so replayed and re-ingested runs agree.
+    let delta = |b: u64| -> Vec<(String, Timestamp)> {
+        (0..(users / 1000).max(1))
+            .map(|i| {
+                let user = format!("u{:06}", (i * 131 + b as usize * 37) % users);
+                let ts = Timestamp::from_secs(
+                    posts_per_user as i64 * 86_400 + b as i64 * 3_600 + i as i64,
+                );
+                (user, ts)
+            })
+            .collect()
+    };
+    let primer: Vec<(String, Timestamp)> = traces
+        .iter()
+        .flat_map(|t| t.posts().iter().map(|&ts| (t.id().to_owned(), ts)))
+        .collect();
+
+    eprintln!("building the durable state ({long_suffix}-record suffix)…");
+    {
+        let mut engine =
+            StreamingPipeline::open_durable(pipeline(), &dir).expect("open durable engine");
+        // Rotation is timed separately below; disable the automatic one
+        // so the log suffix grows to exactly the lengths under test.
+        engine.snapshot_every_bytes(u64::MAX);
+        engine
+            .ingest_batch(1, &primer, None)
+            .expect("ingest primer batch");
+        engine.checkpoint_now().expect("primer snapshot");
+        for b in 1..=short_suffix {
+            engine.ingest_batch(1 + b, &delta(b), None).expect("delta");
+        }
+    }
+    let runs = 3;
+    let warm_open = |label: &str| {
+        eprintln!("timing warm open ({label}, best of {runs})…");
+        time_best(runs, || {
+            StreamingPipeline::open_durable(pipeline(), &dir).expect("warm open")
+        })
+    };
+    let warm_short_s = warm_open("short suffix");
+    let (_, rec) = crowdtz_store::DurableStore::open(&dir).expect("store stats");
+    let short_records = rec.stats.records_replayed;
+
+    // Same crawl, longer un-snapshotted suffix.
+    let mut engine =
+        StreamingPipeline::open_durable(pipeline(), &dir).expect("reopen durable engine");
+    engine.snapshot_every_bytes(u64::MAX);
+    for b in short_suffix + 1..=long_suffix {
+        engine.ingest_batch(1 + b, &delta(b), None).expect("delta");
+    }
+    drop(engine);
+    let warm_long_s = warm_open("long suffix");
+    let (_, rec) = crowdtz_store::DurableStore::open(&dir).expect("store stats");
+    let long_records = rec.stats.records_replayed;
+
+    // Snapshot rotation: fold the long suffix into a new generation and
+    // compact the log. Timed once — the first call does the real work.
+    let mut engine =
+        StreamingPipeline::open_durable(pipeline(), &dir).expect("reopen for rotation");
+    let start = Instant::now();
+    engine.checkpoint_now().expect("rotation snapshot");
+    let rotation_s = start.elapsed().as_secs_f64();
+    drop(engine);
+    let warm_compacted_s = warm_open("post-rotation");
+
+    // The alternative to any of this: re-analyze the whole crawl cold.
+    eprintln!("timing cold re-analysis (best of {runs})…");
+    let mut cumulative = traces;
+    for b in 1..=long_suffix {
+        for (user, ts) in delta(b) {
+            cumulative.record(&user, ts);
+        }
+    }
+    let cold_s = time_best(runs, || {
+        pipeline().analyze(&cumulative).expect("cold analyze")
+    });
+
+    let report = serde_json::json!({
+        "users": users,
+        "posts_per_user": posts_per_user,
+        "threads": threads,
+        "threads_effective": clamped_threads(threads),
+        "host_cpus": host_cpus,
+        "short_suffix_records": short_records,
+        "long_suffix_records": long_records,
+        "warm_open_short_suffix_secs": warm_short_s,
+        "warm_open_long_suffix_secs": warm_long_s,
+        "warm_open_post_rotation_secs": warm_compacted_s,
+        "replay_secs_per_record":
+            (warm_long_s - warm_short_s) / (long_records - short_records).max(1) as f64,
+        "snapshot_rotation_secs": rotation_s,
+        "cold_reanalyze_secs": cold_s,
+        "warm_open_speedup_vs_cold": cold_s / warm_long_s,
+    });
+    let json = serde_json::to_string_pretty(&report).expect("serialize durability report");
+    std::fs::write(out_path, format!("{json}\n")).expect("write durability telemetry");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+    let _ = std::fs::remove_dir_all(&dir);
+    // Replay cost must track the log suffix, not the crawl: the long
+    // suffix replays 8x the records; opening after rotation replays ~0.
+    if warm_long_s < warm_short_s {
+        eprintln!(
+            "note: long-suffix open ({warm_long_s:.4}s) beat short-suffix open \
+             ({warm_short_s:.4}s) — replay is noise-dominated at this scale"
+        );
     }
 }

@@ -73,29 +73,45 @@ pub(crate) struct ResolvedCdf {
     pub(crate) flat: bool,
 }
 
-/// CDF-keyed placement cache: quantized CDF → [`ResolvedCdf`].
+/// CDF-keyed placement cache: quantized CDF → [`ResolvedCdf`], bounded
+/// by **clock (second-chance) eviction**.
 ///
 /// The cache is probed and filled **sequentially** (inside
 /// [`PlacementEngine::resolve_cdfs`]) while only the missed computations
-/// fan out across worker threads, so hit/miss counts — and therefore the
-/// observability metrics — are identical for every thread count and
-/// every shard count, preserving the workspace-wide determinism
-/// invariant. Insertion stops at `capacity` entries (new keys are still
-/// computed and *counted* as misses, just not stored), bounding memory on
-/// adversarial high-cardinality crowds.
+/// fan out across worker threads, so hit/miss/eviction counts — and
+/// therefore the observability metrics — are identical for every thread
+/// count and every shard count, preserving the workspace-wide
+/// determinism invariant.
+///
+/// At `capacity` entries, each new key evicts one resident: a clock hand
+/// sweeps the slot ring, giving slots whose reference bit was set by a
+/// hit since the hand last passed a second chance (bit cleared, hand
+/// advances) and evicting the first slot found unreferenced. Long-lived
+/// deployments therefore keep hitting after crowd drift — stale CDFs
+/// rotate out instead of permanently squatting the capacity the way the
+/// old stop-inserting-at-capacity policy let them. Eviction only
+/// forgets: a re-miss recomputes through the same
+/// [`resolve_one`](PlacementEngine::resolve_one) kernel, so results are
+/// byte-identical under any eviction schedule.
 #[derive(Debug, Clone)]
 pub(crate) struct PlacementCache {
-    map: HashMap<CdfKey, ResolvedCdf>,
+    /// Key → index into `slots`.
+    map: HashMap<CdfKey, usize>,
+    /// The clock ring: `(key, value, referenced)` per resident entry.
+    slots: Vec<(CdfKey, ResolvedCdf, bool)>,
+    /// Clock hand: the next eviction candidate.
+    hand: usize,
     capacity: usize,
     enabled: bool,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl PlacementCache {
-    /// Entries before insertion stops. Each entry is ~0.25 KiB, so the
-    /// bound caps the cache near 256 MiB — far above any realistic
-    /// distinct-profile count, but finite.
+    /// Resident entries before eviction starts. Each entry is ~0.25 KiB,
+    /// so the bound caps the cache near 256 MiB — far above any
+    /// realistic distinct-profile count, but finite.
     const DEFAULT_CAPACITY: usize = 1 << 20;
 
     /// An empty cache; when `enabled` is false every lookup misses and
@@ -103,16 +119,60 @@ impl PlacementCache {
     pub(crate) fn new(enabled: bool) -> PlacementCache {
         PlacementCache {
             map: HashMap::new(),
+            slots: Vec::new(),
+            hand: 0,
             capacity: Self::DEFAULT_CAPACITY,
             enabled,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
+    }
+
+    /// Looks up a key, marking its slot referenced so the clock hand
+    /// passes it over once before eviction.
+    fn get(&mut self, key: &CdfKey) -> Option<ResolvedCdf> {
+        let &i = self.map.get(key)?;
+        self.slots[i].2 = true;
+        Some(self.slots[i].1)
+    }
+
+    /// Inserts a key, evicting the clock hand's first second-chance
+    /// victim when the ring is full. New entries start unreferenced, so
+    /// a never-hit entry is the preferred victim over anything probed
+    /// since the hand last swept by.
+    fn insert(&mut self, key: CdfKey, entry: ResolvedCdf) {
+        if self.capacity == 0 || self.map.contains_key(&key) {
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            self.map.insert(key, self.slots.len());
+            self.slots.push((key, entry, false));
+            return;
+        }
+        // The sweep terminates: clearing bits as it goes, one full
+        // revolution leaves every slot unreferenced.
+        while self.slots[self.hand].2 {
+            self.slots[self.hand].2 = false;
+            self.hand = (self.hand + 1) % self.capacity;
+        }
+        let victim = self.hand;
+        self.map.remove(&self.slots[victim].0);
+        self.map.insert(key, victim);
+        self.slots[victim] = (key, entry, false);
+        self.hand = (victim + 1) % self.capacity;
+        self.evictions += 1;
     }
 
     /// Lifetime `(hits, misses)` counts.
     pub(crate) fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Lifetime count of entries rotated out by the clock hand.
+    #[cfg(test)]
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Distinct CDFs currently stored.
@@ -433,19 +493,20 @@ impl PlacementEngine {
     ///    list (later duplicates in the same batch wait for it).
     /// 2. **Parallel compute** of the unique misses via [`chunked_map`] —
     ///    the expensive part, order-stable by construction.
-    /// 3. **Sequential insert + fill**: misses enter the cache (up to its
-    ///    capacity) and every output slot is assembled in input order.
+    /// 3. **Sequential insert + fill**: misses enter the cache (evicting
+    ///    second-chance victims once it is at capacity) and every output
+    ///    slot is assembled in input order.
     ///
-    /// Because the probe is sequential, hit/miss counts are a pure
-    /// function of the input sequence — identical for every thread
+    /// Because the probe is sequential, hit/miss/eviction counts are a
+    /// pure function of the input sequence — identical for every thread
     /// count — and because a key hit only ever returns a value computed
     /// by [`resolve_one`](Self::resolve_one) on a bit-identical CDF, the
     /// returned resolutions are byte-identical to a cache-off run.
     ///
     /// Observability (when `obs` is attached): counters
     /// `placement.cache_hits`, `placement.cache_misses`,
-    /// `placement.exact_evals`, and one `placement.exact_evals_per_user`
-    /// histogram observation per miss.
+    /// `placement.cache_evictions`, `placement.exact_evals`, and one
+    /// `placement.exact_evals_per_user` histogram observation per miss.
     pub(crate) fn resolve_cdfs(
         &self,
         cdfs: &[[f64; BINS]],
@@ -454,6 +515,7 @@ impl PlacementEngine {
         obs: Option<&crowdtz_obs::Observer>,
     ) -> Vec<ResolvedCdf> {
         let mut hits = 0u64;
+        let evictions_before = cache.evictions;
         let (resolved, computed) = if cache.enabled {
             // Phase 1: sequential probe; dedup unseen keys within the batch.
             let mut out: Vec<Option<ResolvedCdf>> = Vec::with_capacity(cdfs.len());
@@ -461,7 +523,7 @@ impl PlacementEngine {
             let mut miss_cdfs: Vec<[f64; BINS]> = Vec::new();
             for cdf in cdfs {
                 let key = cdf_key(cdf);
-                if let Some(&entry) = cache.map.get(&key) {
+                if let Some(entry) = cache.get(&key) {
                     hits += 1;
                     out.push(Some(entry));
                 } else {
@@ -483,9 +545,7 @@ impl PlacementEngine {
                 chunked_map(&miss_cdfs, threads, |cdf| self.resolve_one(cdf));
             // Phase 3: insert, then fill the waiting slots in input order.
             for (cdf, &(entry, _)) in miss_cdfs.iter().zip(&computed) {
-                if cache.map.len() < cache.capacity {
-                    cache.map.insert(cdf_key(cdf), entry);
-                }
+                cache.insert(cdf_key(cdf), entry);
             }
             let resolved = out
                 .into_iter()
@@ -507,6 +567,8 @@ impl PlacementEngine {
         if let Some(obs) = obs {
             obs.counter("placement.cache_hits").add(hits);
             obs.counter("placement.cache_misses").add(misses);
+            obs.counter("placement.cache_evictions")
+                .add(cache.evictions - evictions_before);
             let exact = obs.counter("placement.exact_evals");
             let per_miss = obs.histogram("placement.exact_evals_per_user", EXACT_EVAL_BOUNDS);
             for &(_, evals) in &computed {
@@ -680,14 +742,77 @@ mod tests {
             })
             .collect();
         let first = engine.resolve_cdfs(&cdfs, &mut cache, 1, None);
-        assert_eq!(cache.len(), 1, "insertion stops at capacity");
+        assert_eq!(cache.len(), 1, "residency never exceeds capacity");
         let second = engine.resolve_cdfs(&cdfs, &mut cache, 1, None);
         for (a, b) in first.iter().zip(&second) {
             assert_eq!(a.zone, b.zone);
             assert_eq!(a.emd.to_bits(), b.emd.to_bits());
         }
-        // Second call: one hit (the stored entry), three re-computed.
+        // Second call: one hit (the clock keeps the last-inserted entry
+        // resident), three re-computed.
         assert_eq!(cache.stats(), (1, 7));
+    }
+
+    #[test]
+    fn post_capacity_insert_still_caches_via_clock_eviction() {
+        let engine = PlacementEngine::new(&GenericProfile::reference());
+        let mut cache = PlacementCache::new(true);
+        cache.capacity = 2;
+        let cdfs: Vec<[f64; BINS]> = (0..3)
+            .map(|i| {
+                profile_from_hours(&format!("u{i}"), &[((i * 5 % 24) as u8, 9), (2, 3)])
+                    .distribution()
+                    .cdf()
+            })
+            .collect();
+        // Fill to capacity with the first two CDFs.
+        engine.resolve_cdfs(&cdfs[..2], &mut cache, 1, None);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        // A post-capacity miss evicts a victim instead of being dropped...
+        engine.resolve_cdfs(&cdfs[2..], &mut cache, 1, None);
+        assert_eq!(cache.len(), 2, "ring stays at capacity");
+        assert_eq!(cache.evictions(), 1);
+        // ...so re-probing it is a hit, not another miss.
+        let (hits_before, misses_before) = cache.stats();
+        engine.resolve_cdfs(&cdfs[2..], &mut cache, 1, None);
+        assert_eq!(
+            cache.stats(),
+            (hits_before + 1, misses_before),
+            "post-capacity insert must still cache"
+        );
+    }
+
+    #[test]
+    fn clock_gives_referenced_entries_a_second_chance() {
+        let engine = PlacementEngine::new(&GenericProfile::reference());
+        let mut cache = PlacementCache::new(true);
+        cache.capacity = 2;
+        let cdfs: Vec<[f64; BINS]> = (0..3)
+            .map(|i| {
+                profile_from_hours(&format!("v{i}"), &[((i * 7 % 24) as u8, 8), (5, 2)])
+                    .distribution()
+                    .cdf()
+            })
+            .collect();
+        // Fill with {0, 1}, then hit 0 so its reference bit is set.
+        engine.resolve_cdfs(&cdfs[..2], &mut cache, 1, None);
+        engine.resolve_cdfs(&cdfs[..1], &mut cache, 1, None);
+        // Inserting 2 must spare the referenced 0 and evict 1.
+        engine.resolve_cdfs(&cdfs[2..], &mut cache, 1, None);
+        let (hits_before, misses_before) = cache.stats();
+        engine.resolve_cdfs(&cdfs[..1], &mut cache, 1, None);
+        assert_eq!(
+            cache.stats(),
+            (hits_before + 1, misses_before),
+            "0 survived"
+        );
+        engine.resolve_cdfs(&cdfs[1..2], &mut cache, 1, None);
+        assert_eq!(
+            cache.stats(),
+            (hits_before + 1, misses_before + 1),
+            "1 was the clock's victim"
+        );
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub enum CoreError {
         /// The offending fraction.
         coverage: f64,
     },
+    /// The durable store failed — an I/O error, unroutable corruption,
+    /// or an injected crash point (see `crowdtz-store`).
+    Store(crowdtz_store::StoreError),
 }
 
 impl fmt::Display for CoreError {
@@ -46,6 +49,7 @@ impl fmt::Display for CoreError {
             CoreError::InvalidCoverage { coverage } => {
                 write!(f, "coverage fraction {coverage} outside (0, 1]")
             }
+            CoreError::Store(e) => write!(f, "durable store failure: {e}"),
         }
     }
 }
@@ -54,6 +58,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Stats(e) => Some(e),
+            CoreError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -62,6 +67,12 @@ impl std::error::Error for CoreError {
 impl From<StatsError> for CoreError {
     fn from(e: StatsError) -> CoreError {
         CoreError::Stats(e)
+    }
+}
+
+impl From<crowdtz_store::StoreError> for CoreError {
+    fn from(e: crowdtz_store::StoreError) -> CoreError {
+        CoreError::Store(e)
     }
 }
 

@@ -59,6 +59,7 @@
 
 mod confidence;
 mod crowd;
+mod durable;
 mod engine;
 mod error;
 mod generic;
@@ -75,6 +76,7 @@ pub use confidence::{
     bootstrap_components, bootstrap_components_threads, BootstrapConfig, ComponentConfidence,
 };
 pub use crowd::CrowdProfile;
+pub use durable::DurableStreamingPipeline;
 pub use engine::{clamped_threads, default_threads, PlacementEngine};
 pub use error::CoreError;
 pub use generic::GenericProfile;

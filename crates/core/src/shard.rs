@@ -282,6 +282,39 @@ impl ShardSet {
     pub(crate) fn occupancy(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.users.len()).collect()
     }
+
+    /// Visits every shard in index order with its id-sorted accumulator
+    /// map and dirty set — the export side of durable snapshots.
+    pub(crate) fn for_each_shard<F>(&self, mut f: F)
+    where
+        F: FnMut(&BTreeMap<String, UserAccumulator>, &BTreeSet<String>),
+    {
+        for shard in &self.shards {
+            f(&shard.users, &shard.dirty);
+        }
+    }
+
+    /// Reinstates one user recovered from a durable snapshot, routing by
+    /// the *current* shard count (snapshots survive reconfiguration: the
+    /// persisted partition is just how the users happened to be grouped
+    /// at write time). `dirty` re-marks users that were awaiting a
+    /// refresh when the snapshot was taken.
+    pub(crate) fn restore_user(&mut self, id: String, acc: UserAccumulator, dirty: bool) {
+        let shard = self.shard_of(&id);
+        if dirty {
+            self.shards[shard].dirty.insert(id.clone());
+        }
+        self.shards[shard].users.insert(id, acc);
+    }
+
+    /// Every user across all shards in global id order — the recovery
+    /// pass that rebuilds the engine's derived state walks this once.
+    pub(crate) fn all_users_sorted(&self) -> Vec<(&String, &UserAccumulator)> {
+        let mut all: Vec<(&String, &UserAccumulator)> =
+            self.shards.iter().flat_map(|s| s.users.iter()).collect();
+        all.sort_unstable_by_key(|&(id, _)| id);
+        all
+    }
 }
 
 #[cfg(test)]

@@ -262,6 +262,46 @@ impl StreamingPipeline {
         self.cache.stats()
     }
 
+    /// Shard store access for the durable-persistence layer (`durable.rs`).
+    pub(crate) fn shards_ref(&self) -> &ShardSet {
+        &self.shards
+    }
+
+    /// Mutable shard store access for snapshot restore.
+    pub(crate) fn shards_mut_ref(&mut self) -> &mut ShardSet {
+        &mut self.shards
+    }
+
+    /// Recomputes every piece of derived state (kept vectors, eligible
+    /// count, zone counts) from the accumulators' stored analyses — the
+    /// last step of recovering a durable snapshot. The kept vectors are
+    /// rebuilt in global user-id order, exactly the order incremental
+    /// refreshes maintain, so a recovered engine continues byte-identical
+    /// to one that never restarted. The fit cache is dropped: in
+    /// [`RefitMode::Exact`] a cold refit is bit-identical anyway.
+    pub(crate) fn rebuild_derived_state(&mut self) {
+        let mut profiles = Vec::new();
+        let mut placements = Vec::new();
+        let mut eligible = 0usize;
+        let mut zone_counts = [0usize; ZONE_COUNT];
+        for (_, acc) in self.shards.all_users_sorted() {
+            let Some(a) = &acc.analysis else { continue };
+            eligible += 1;
+            if let Some(p) = &a.placement {
+                zone_counts[PlacementHistogram::index_of(p.zone_hours())] += 1;
+            }
+            if a.kept() {
+                profiles.push(a.profile.clone());
+                placements.push(a.placement.clone().expect("kept users are placed"));
+            }
+        }
+        self.kept_profiles = Arc::new(profiles);
+        self.kept_placements = Arc::new(placements);
+        self.eligible = eligible;
+        self.zone_counts = zone_counts;
+        self.fit_cache = None;
+    }
+
     /// Ingests new posts for one user — a pure delta update.
     ///
     /// Timestamps are read in UTC (the anonymous-crowd convention the

@@ -495,6 +495,11 @@ pub struct MonitorCheckpoint {
     /// done; afterwards the next scheduled poll instant.
     next_poll: Option<Timestamp>,
     traces: TraceSet,
+    /// Sequence number of the last batch [`Monitor::resume_run_batched`]
+    /// delivered (0 before any batch). Persisted alongside each batch by
+    /// the consumer, it is what lets a restarted session prove a
+    /// re-delivered boundary batch has already been applied.
+    batch_seq: u64,
 }
 
 impl MonitorCheckpoint {
@@ -511,6 +516,12 @@ impl MonitorCheckpoint {
     /// Traces gathered before the interruption (observer UTC).
     pub fn traces(&self) -> &TraceSet {
         &self.traces
+    }
+
+    /// Sequence number of the last batch delivered by
+    /// [`Monitor::resume_run_batched`] (0 before any batch).
+    pub fn batch_seq(&self) -> u64 {
+        self.batch_seq
     }
 }
 
@@ -805,6 +816,112 @@ impl Monitor {
         }
         Ok(cp.traces)
     }
+
+    /// Runs (or resumes) a monitoring session delivering each non-empty
+    /// poll as one batch tagged with a monotonically increasing **batch
+    /// sequence number**, together with the checkpoint describing the
+    /// session *after* that batch.
+    ///
+    /// This is the durable streaming feed. The sequence number closes
+    /// the restart gap: persist it *with* the batch (e.g. hand both to
+    /// `crowdtz_core::DurableStreamingPipeline::ingest_batch`, which
+    /// stores the serialized checkpoint in the same log record as the
+    /// batch) and a killed session restarted from a recovered — possibly
+    /// stale — checkpoint re-delivers the boundary batch with its
+    /// original sequence number, so the consumer drops it by comparison
+    /// instead of double-counting it.
+    ///
+    /// Unlike [`resume_run`](Monitor::resume_run), the checkpoint does
+    /// **not** accumulate traces (the consumer owns the observations),
+    /// so its serialized size stays O(1) however long the session runs.
+    /// On a fault, the returned checkpoint — and the monitor's own
+    /// cursor — rewind to the last *delivered* batch, so observations
+    /// buffered in a partially polled batch are re-polled on resume
+    /// rather than lost. The sink returns `true` to continue; `false`
+    /// ends the session cleanly after the current batch (for consumers
+    /// whose own persistence failed — resume later from the checkpoint
+    /// they last managed to store).
+    // As with `resume_run`: the Err variant carries the checkpoint by
+    // value on purpose.
+    #[allow(clippy::result_large_err)]
+    pub fn resume_run_batched(
+        &mut self,
+        from: Timestamp,
+        to: Timestamp,
+        interval_secs: i64,
+        checkpoint: MonitorCheckpoint,
+        mut sink: impl FnMut(u64, &[(String, Timestamp)], &MonitorCheckpoint) -> bool,
+    ) -> Result<(), MonitorInterrupted> {
+        let interval = interval_secs.max(1);
+        let observer = self.link.observer();
+        let _s = crowdtz_obs::span!(observer, "monitor.run");
+        if let Some(obs) = &observer {
+            if checkpoint.last_seen > PostId(0) || checkpoint.next_poll.is_some() {
+                obs.counter("monitor.resumes").inc();
+            }
+        }
+        let mut cp = checkpoint;
+        cp.traces = TraceSet::default();
+        // Rewind — never fast-forward — to the checkpoint: anything this
+        // monitor instance saw beyond it was never delivered as a batch.
+        self.last_seen = cp.last_seen;
+        if cp.next_poll.is_none() {
+            // Skip everything that predates the monitoring window. Safe
+            // to redo on resume: discarded ids stay discarded.
+            if let Err(error) = self.poll_each(from, |_, _| {}) {
+                self.last_seen = cp.last_seen;
+                return Err(MonitorInterrupted {
+                    error,
+                    checkpoint: cp,
+                });
+            }
+            cp.last_seen = self.last_seen;
+            cp.next_poll = Some(from + interval);
+        }
+        let mut batch: Vec<(String, Timestamp)> = Vec::new();
+        let mut t = cp.next_poll.unwrap_or(from + interval);
+        while t <= to {
+            batch.clear();
+            let poll = self.poll_each(t, |author, ts| batch.push((author.to_owned(), ts)));
+            if let Err(error) = poll {
+                self.last_seen = cp.last_seen;
+                return Err(MonitorInterrupted {
+                    error,
+                    checkpoint: cp,
+                });
+            }
+            if !batch.is_empty() {
+                cp.last_seen = self.last_seen;
+                cp.next_poll = Some(t + interval);
+                cp.batch_seq += 1;
+                if !sink(cp.batch_seq, &batch, &cp) {
+                    return Ok(());
+                }
+            }
+            t = t + interval;
+        }
+        // Final partial interval: one more poll at the window end so no
+        // post inside (last poll, to] is missed. Re-running it on resume
+        // is a no-op: `last_seen` already covers anything delivered.
+        if t - interval < to {
+            batch.clear();
+            let poll = self.poll_each(to, |author, ts| batch.push((author.to_owned(), ts)));
+            if let Err(error) = poll {
+                self.last_seen = cp.last_seen;
+                return Err(MonitorInterrupted {
+                    error,
+                    checkpoint: cp,
+                });
+            }
+            if !batch.is_empty() {
+                cp.last_seen = self.last_seen;
+                cp.next_poll = Some(t);
+                cp.batch_seq += 1;
+                sink(cp.batch_seq, &batch, &cp);
+            }
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Debug for Monitor {
@@ -825,6 +942,8 @@ mod tests {
     use crate::spec::{CrowdComponent, ForumSpec};
     use crowdtz_time::CivilDateTime;
     use crowdtz_tor::{Fault, FaultPlan, FaultRates, TorNetwork};
+
+    type DeliveredBatch = (u64, Vec<(String, Timestamp)>, MonitorCheckpoint);
 
     fn forum_spec(offset_secs: i64, policy: TimestampPolicy) -> ForumSpec {
         ForumSpec::new("Test Forum", vec![CrowdComponent::new("italy", 1.0)], 8)
@@ -1130,6 +1249,148 @@ mod tests {
             .unwrap();
         assert_eq!(batched, reference);
         assert!(batches > 1, "a week of hourly polls must batch many times");
+    }
+
+    #[test]
+    fn batched_resume_delivers_each_seq_exactly_once_across_interruptions() {
+        let from = Timestamp::from_civil_utc(CivilDateTime::new(2016, 3, 1, 0, 0, 0).unwrap());
+        let to = Timestamp::from_civil_utc(CivilDateTime::new(2016, 3, 8, 0, 0, 0).unwrap());
+        let interval = 3_600;
+
+        // Reference: one uninterrupted batched session.
+        let (scraper, _) = connect(&forum_spec(0, TimestampPolicy::Hidden));
+        let mut reference: Vec<(u64, Vec<(String, Timestamp)>)> = Vec::new();
+        scraper
+            .into_monitor()
+            .resume_run_batched(
+                from,
+                to,
+                interval,
+                MonitorCheckpoint::start(),
+                |seq, b, cp| {
+                    assert_eq!(cp.batch_seq(), seq);
+                    assert_eq!(
+                        cp.traces().total_posts(),
+                        0,
+                        "batched checkpoints stay O(1)"
+                    );
+                    reference.push((seq, b.to_vec()));
+                    true
+                },
+            )
+            .unwrap();
+        assert!(reference.len() > 1);
+        let seqs: Vec<u64> = reference.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, (1..=reference.len() as u64).collect::<Vec<_>>());
+
+        // Chaos session: fail-fast policy with forced faults, resuming
+        // each time from the checkpoint persisted with the last batch,
+        // deduping by sequence number.
+        let (scraper, _, net) =
+            connect_faulty(&forum_spec(0, TimestampPolicy::Hidden), FaultRates::none());
+        let mut monitor = scraper.into_monitor().retry_policy(RetryPolicy::none());
+        net.force_fault(Fault::Timeout);
+        net.force_fault(Fault::Timeout);
+        let mut stored = MonitorCheckpoint::start();
+        let mut applied: Vec<(u64, Vec<(String, Timestamp)>)> = Vec::new();
+        let mut interruptions = 0u32;
+        loop {
+            // Round-trip the stored checkpoint as a restart would.
+            let blob = serde_json::to_string(&stored).unwrap();
+            let cp: MonitorCheckpoint = serde_json::from_str(&blob).unwrap();
+            let result = monitor.resume_run_batched(from, to, interval, cp, |seq, b, after| {
+                let last = applied.last().map_or(0, |(s, _)| *s);
+                assert!(seq > last, "monitor re-delivered an applied batch");
+                applied.push((seq, b.to_vec()));
+                stored = after.clone();
+                true
+            });
+            match result {
+                Ok(()) => break,
+                Err(interrupted) => {
+                    interruptions += 1;
+                    assert!(interruptions <= 10, "batched resume makes no progress");
+                    stored = interrupted.checkpoint;
+                }
+            }
+        }
+        assert!(interruptions >= 2, "both forced faults should interrupt");
+        assert_eq!(applied, reference);
+    }
+
+    #[test]
+    fn stale_checkpoint_redelivers_the_boundary_batch_with_its_original_seq() {
+        let from = Timestamp::from_civil_utc(CivilDateTime::new(2016, 3, 1, 0, 0, 0).unwrap());
+        let to = Timestamp::from_civil_utc(CivilDateTime::new(2016, 3, 8, 0, 0, 0).unwrap());
+        let interval = 3_600;
+
+        let (scraper, _) = connect(&forum_spec(0, TimestampPolicy::Hidden));
+        let mut delivered: Vec<DeliveredBatch> = Vec::new();
+        scraper
+            .into_monitor()
+            .resume_run_batched(
+                from,
+                to,
+                interval,
+                MonitorCheckpoint::start(),
+                |seq, b, cp| {
+                    delivered.push((seq, b.to_vec(), cp.clone()));
+                    true
+                },
+            )
+            .unwrap();
+        assert!(delivered.len() >= 3);
+
+        // A fresh process restarted from a checkpoint one batch behind
+        // the consumer's durable state: the boundary batch comes back
+        // with its original sequence number and identical content, so a
+        // seq compare is all the consumer needs to drop it.
+        let k = delivered.len() / 2;
+        let stale = delivered[k - 1].2.clone();
+        let (scraper, _) = connect(&forum_spec(0, TimestampPolicy::Hidden));
+        let mut redelivered: Vec<(u64, Vec<(String, Timestamp)>)> = Vec::new();
+        scraper
+            .into_monitor()
+            .resume_run_batched(from, to, interval, stale, |seq, b, _| {
+                redelivered.push((seq, b.to_vec()));
+                true
+            })
+            .unwrap();
+        let tail: Vec<(u64, Vec<(String, Timestamp)>)> = delivered[k..]
+            .iter()
+            .map(|(s, b, _)| (*s, b.clone()))
+            .collect();
+        assert_eq!(redelivered, tail);
+        assert_eq!(redelivered[0].0, delivered[k].0, "boundary keeps its seq");
+    }
+
+    #[test]
+    fn batched_sink_can_stop_the_session_cleanly() {
+        let from = Timestamp::from_civil_utc(CivilDateTime::new(2016, 3, 1, 0, 0, 0).unwrap());
+        let to = Timestamp::from_civil_utc(CivilDateTime::new(2016, 3, 8, 0, 0, 0).unwrap());
+        let (scraper, _) = connect(&forum_spec(0, TimestampPolicy::Hidden));
+        let mut monitor = scraper.into_monitor();
+        let mut stored: Option<MonitorCheckpoint> = None;
+        let mut first_leg = 0u64;
+        monitor
+            .resume_run_batched(from, to, 3_600, MonitorCheckpoint::start(), |seq, _, cp| {
+                first_leg = seq;
+                stored = Some(cp.clone());
+                seq < 2 // stop after the second batch
+            })
+            .unwrap();
+        assert_eq!(first_leg, 2);
+        // Resume where the sink stopped: delivery continues at seq 3.
+        let mut next = 0u64;
+        monitor
+            .resume_run_batched(from, to, 3_600, stored.unwrap(), |seq, _, _| {
+                if next == 0 {
+                    next = seq;
+                }
+                true
+            })
+            .unwrap();
+        assert_eq!(next, 3);
     }
 
     #[test]

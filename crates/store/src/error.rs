@@ -1,0 +1,64 @@
+use std::fmt;
+
+/// Errors surfaced by the durable store.
+///
+/// Recovery deliberately swallows most corruption (torn tails, bad
+/// generations) — those show up as counters, not errors. `StoreError`
+/// is reserved for conditions the caller must act on: the directory is
+/// unusable, an injected crash fired, or *no* snapshot generation
+/// survived verification when one was required.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An underlying filesystem operation failed (message carries the
+    /// `std::io::Error` display, stringified so the error stays `Clone`).
+    Io {
+        op: &'static str,
+        path: String,
+        reason: String,
+    },
+    /// Data read back from disk failed structural validation in a way
+    /// recovery could not route around.
+    Corrupt { path: String, reason: String },
+    /// A `FaultStore` crash point fired. Every subsequent operation on
+    /// the same VFS returns this until the "process" is restarted by
+    /// reopening the directory with a fresh VFS.
+    InjectedCrash { op: u64 },
+    /// Payload serialization/deserialization failed.
+    Codec { reason: String },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, reason } => {
+                write!(f, "store io error during {op} on {path}: {reason}")
+            }
+            StoreError::Corrupt { path, reason } => {
+                write!(f, "store corruption in {path}: {reason}")
+            }
+            StoreError::InjectedCrash { op } => {
+                write!(f, "injected crash at store op {op}")
+            }
+            StoreError::Codec { reason } => write!(f, "store codec error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl StoreError {
+    pub(crate) fn io(op: &'static str, path: &std::path::Path, err: std::io::Error) -> Self {
+        StoreError::Io {
+            op,
+            path: path.display().to_string(),
+            reason: err.to_string(),
+        }
+    }
+
+    /// True when the error is a `FaultStore` crash point, i.e. the
+    /// simulated process is dead and the caller should "restart".
+    pub fn is_injected_crash(&self) -> bool {
+        matches!(self, StoreError::InjectedCrash { .. })
+    }
+}

@@ -1,0 +1,341 @@
+//! Deterministic fault injection for the store, mirroring the shape of
+//! `crowdtz-tor`'s `FaultPlan`: a seed plus explicit fault knobs, so a
+//! failing case is reproducible from `(seed, crash_at)` alone.
+//!
+//! [`FaultStore`] wraps [`RealVfs`] and counts every *mutating* VFS
+//! operation (write, append, sync, sync_dir, rename, remove, truncate,
+//! create_dir_all). The plan can:
+//!
+//! - **crash at op N**: the Nth mutating op fails with
+//!   [`StoreError::InjectedCrash`], after applying only a seeded prefix
+//!   of any data it would have written (a short/torn write). Every
+//!   subsequent op also fails — the simulated process is dead until the
+//!   directory is reopened with a fresh VFS ("restart").
+//! - **bit flips**: with a seeded per-op probability, one bit of a
+//!   written buffer is flipped before it hits disk, modelling silent
+//!   media corruption that CRC verification must catch.
+//!
+//! Reads are never faulted and never counted: a crash during a read is
+//! indistinguishable from a crash at the next mutation, and recovery
+//! paths care about what reached disk, not what was observed.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::StoreError;
+use crate::vfs::{RealVfs, Vfs, VfsResult};
+
+/// splitmix64 — tiny, seedable, and good enough to decorrelate per-op
+/// decisions. Not `rand` so the store crate stays dependency-light.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Declarative description of the faults to inject, built with a
+/// fluent API:
+///
+/// ```
+/// use crowdtz_store::FaultPlan;
+/// let plan = FaultPlan::new(42).crash_at(7).bit_flip_rate_pct(5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    crash_at: Option<u64>,
+    bit_flip_rate_pct: u8,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (yet); `seed` drives every seeded
+    /// decision the plan later enables.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            crash_at: None,
+            bit_flip_rate_pct: 0,
+        }
+    }
+
+    /// Crash on the `op`-th mutating VFS operation (0-based). Writes in
+    /// flight at the crash point are truncated to a seeded prefix.
+    pub fn crash_at(mut self, op: u64) -> Self {
+        self.crash_at = Some(op);
+        self
+    }
+
+    /// Flip one bit of a written buffer with probability `pct`% per
+    /// write/append op.
+    pub fn bit_flip_rate_pct(mut self, pct: u8) -> Self {
+        self.bit_flip_rate_pct = pct.min(100);
+        self
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultShared {
+    ops: AtomicU64,
+    crashed: AtomicBool,
+    bit_flips: AtomicU64,
+    short_writes: AtomicU64,
+}
+
+/// Shared handle onto a [`FaultStore`]'s counters, so tests can observe
+/// what happened after the store (and the VFS inside it) has been moved
+/// into an engine.
+#[derive(Debug, Clone)]
+pub struct FaultProbe {
+    state: Arc<FaultShared>,
+}
+
+impl FaultProbe {
+    /// Mutating VFS operations performed so far (including the one that
+    /// crashed, if any).
+    pub fn ops(&self) -> u64 {
+        self.state.ops.load(Ordering::Relaxed)
+    }
+
+    /// Whether the crash point has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Number of bit flips injected into written data.
+    pub fn bit_flips(&self) -> u64 {
+        self.state.bit_flips.load(Ordering::Relaxed)
+    }
+
+    /// Number of writes truncated to a prefix by the crash point.
+    pub fn short_writes(&self) -> u64 {
+        self.state.short_writes.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`Vfs`] that applies a [`FaultPlan`] on top of [`RealVfs`].
+#[derive(Debug)]
+pub struct FaultStore {
+    inner: RealVfs,
+    plan: FaultPlan,
+    state: Arc<FaultShared>,
+}
+
+impl FaultStore {
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultStore {
+            inner: RealVfs::new(),
+            plan,
+            state: Arc::new(FaultShared::default()),
+        }
+    }
+
+    /// Counter handle that outlives the store being boxed/moved.
+    pub fn probe(&self) -> FaultProbe {
+        FaultProbe {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Account for one mutating op. Returns `Err` if the simulated
+    /// process is (or just became) dead; `Ok(op_index)` otherwise.
+    fn tick(&self) -> Result<u64, StoreError> {
+        if self.state.crashed.load(Ordering::Relaxed) {
+            return Err(StoreError::InjectedCrash {
+                op: self.state.ops.load(Ordering::Relaxed),
+            });
+        }
+        let op = self.state.ops.fetch_add(1, Ordering::Relaxed);
+        if self.plan.crash_at == Some(op) {
+            self.state.crashed.store(true, Ordering::Relaxed);
+            return Err(StoreError::InjectedCrash { op });
+        }
+        Ok(op)
+    }
+
+    /// Like [`FaultStore::tick`], but for ops carrying a data buffer:
+    /// on the crash op, a seeded prefix of `data` is still written (the
+    /// torn write) before the error is returned. Also applies seeded
+    /// bit flips on surviving ops. Returns the bytes to actually write
+    /// and whether to fail afterwards.
+    fn tick_write(&self, data: &[u8]) -> (Vec<u8>, Option<StoreError>) {
+        if self.state.crashed.load(Ordering::Relaxed) {
+            let op = self.state.ops.load(Ordering::Relaxed);
+            return (Vec::new(), Some(StoreError::InjectedCrash { op }));
+        }
+        let op = self.state.ops.fetch_add(1, Ordering::Relaxed);
+        let roll = mix(self.plan.seed ^ op.wrapping_mul(0x517C_C1B7_2722_0A95));
+        if self.plan.crash_at == Some(op) {
+            self.state.crashed.store(true, Ordering::Relaxed);
+            // Torn write: a deterministic prefix (possibly empty, never
+            // the whole buffer) reaches disk before the "power cut".
+            let keep = if data.is_empty() {
+                0
+            } else {
+                (roll as usize) % data.len()
+            };
+            if keep < data.len() {
+                self.state.short_writes.fetch_add(1, Ordering::Relaxed);
+            }
+            return (
+                data[..keep].to_vec(),
+                Some(StoreError::InjectedCrash { op }),
+            );
+        }
+        let mut out = data.to_vec();
+        if self.plan.bit_flip_rate_pct > 0
+            && !out.is_empty()
+            && (roll % 100) < self.plan.bit_flip_rate_pct as u64
+        {
+            let pos_roll = mix(roll);
+            let byte = (pos_roll as usize) % out.len();
+            let bit = ((pos_roll >> 32) % 8) as u8;
+            out[byte] ^= 1 << bit;
+            self.state.bit_flips.fetch_add(1, Ordering::Relaxed);
+        }
+        (out, None)
+    }
+}
+
+impl Vfs for FaultStore {
+    fn read(&self, path: &Path) -> VfsResult<Vec<u8>> {
+        if self.state.crashed.load(Ordering::Relaxed) {
+            return Err(StoreError::InjectedCrash {
+                op: self.state.ops.load(Ordering::Relaxed),
+            });
+        }
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> VfsResult<()> {
+        let (bytes, fail) = self.tick_write(data);
+        if !bytes.is_empty() || fail.is_none() {
+            self.inner.write(path, &bytes)?;
+        }
+        match fail {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> VfsResult<()> {
+        let (bytes, fail) = self.tick_write(data);
+        if !bytes.is_empty() || fail.is_none() {
+            self.inner.append(path, &bytes)?;
+        }
+        match fail {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn sync(&self, path: &Path) -> VfsResult<()> {
+        self.tick()?;
+        self.inner.sync(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> VfsResult<()> {
+        self.tick()?;
+        self.inner.sync_dir(dir)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> VfsResult<()> {
+        // Crash strictly *before* the rename: rename is the commit
+        // point, so the crash leaves the old name in place.
+        self.tick()?;
+        self.inner.rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> VfsResult<()> {
+        self.tick()?;
+        self.inner.remove(path)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> VfsResult<()> {
+        self.tick()?;
+        self.inner.truncate(path, len)
+    }
+
+    fn list(&self, dir: &Path) -> VfsResult<Vec<String>> {
+        if self.state.crashed.load(Ordering::Relaxed) {
+            return Err(StoreError::InjectedCrash {
+                op: self.state.ops.load(Ordering::Relaxed),
+            });
+        }
+        self.inner.list(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> VfsResult<()> {
+        self.tick()?;
+        self.inner.create_dir_all(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::Vfs;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("crowdtz-fault-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crash_point_poisons_all_later_ops() {
+        let dir = tmp_dir("poison");
+        let vfs = FaultStore::new(FaultPlan::new(1).crash_at(1));
+        let p = dir.join("a");
+        vfs.write(&p, b"first").unwrap();
+        let err = vfs.write(&p, b"second").unwrap_err();
+        assert!(err.is_injected_crash());
+        // Dead forever after.
+        assert!(vfs.sync(&p).unwrap_err().is_injected_crash());
+        assert!(vfs.read(&p).unwrap_err().is_injected_crash());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_write_leaves_prefix() {
+        let dir = tmp_dir("prefix");
+        let vfs = FaultStore::new(FaultPlan::new(7).crash_at(0));
+        let probe = vfs.probe();
+        let p = dir.join("a");
+        let data = vec![0xAB; 256];
+        assert!(vfs.write(&p, &data).unwrap_err().is_injected_crash());
+        assert!(probe.crashed());
+        let on_disk = std::fs::read(&p).unwrap_or_default();
+        assert!(
+            on_disk.len() < data.len(),
+            "torn write must be a strict prefix"
+        );
+        assert_eq!(&data[..on_disk.len()], &on_disk[..]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flips_are_seed_deterministic() {
+        let run = |seed: u64| {
+            let dir = tmp_dir(&format!("flip{seed}"));
+            let vfs = FaultStore::new(FaultPlan::new(seed).bit_flip_rate_pct(100));
+            let p = dir.join("a");
+            vfs.write(&p, &[0u8; 64]).unwrap();
+            let out = std::fs::read(&p).unwrap();
+            std::fs::remove_dir_all(&dir).unwrap();
+            out
+        };
+        assert_eq!(run(3), run(3), "same seed, same corruption");
+        assert_ne!(run(3), vec![0u8; 64], "rate 100% must flip something");
+    }
+}

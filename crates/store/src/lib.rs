@@ -1,0 +1,53 @@
+//! # crowdtz-store — crash-safe persistence for shard state
+//!
+//! A long-lived dark-web monitor earns its geolocation confidence over
+//! weeks of observation (the paper's monitor-duration result); losing
+//! the accumulators on process death and replaying the whole crawl is
+//! the one failure mode such a deployment is guaranteed to hit. This
+//! crate provides the storage half of the fix: a directory containing
+//! per-shard **snapshots** plus a checksummed, length-prefixed
+//! **append-only delta log**, recovered as *snapshot + valid log
+//! suffix*.
+//!
+//! The crate is payload-agnostic — `crowdtz-core` decides what bytes a
+//! shard snapshot or an ingest batch serializes to; this crate decides
+//! how those bytes survive torn writes, bit rot, and crashes between
+//! write, fsync, and rename. See `DESIGN.md` §13 for the full layout
+//! and crash matrix.
+//!
+//! ```no_run
+//! use crowdtz_store::DurableStore;
+//!
+//! let (mut store, recovered) = DurableStore::open("/var/lib/crowdtz/shard0").unwrap();
+//! // Rebuild in-memory state from recovered.snapshot, then re-apply
+//! // recovered.deltas in order; new batches append as they are ingested.
+//! let seq = store.append_delta(b"batch bytes").unwrap();
+//! assert_eq!(seq, store.last_seq());
+//! ```
+//!
+//! Fault injection for tests mirrors `crowdtz-tor`'s `FaultPlan`:
+//!
+//! ```no_run
+//! use crowdtz_store::{DurableStore, FaultPlan, FaultStore};
+//!
+//! let vfs = FaultStore::new(FaultPlan::new(42).crash_at(7));
+//! let probe = vfs.probe();
+//! let result = DurableStore::open_with(Box::new(vfs), "/tmp/crash-test", None);
+//! assert!(result.is_err() == probe.crashed());
+//! ```
+
+mod crc;
+mod error;
+mod fault;
+mod log;
+mod store;
+mod vfs;
+
+pub use crc::{crc32, crc32_concat};
+pub use error::StoreError;
+pub use fault::{FaultPlan, FaultProbe, FaultStore};
+pub use log::{decode_blob, decode_log, encode_record, DecodedLog, TailState, HEADER_LEN};
+pub use store::{
+    DurableStore, Recovered, RecoveryStats, SnapshotData, DEFAULT_COMPACT_THRESHOLD, LOG_FILE,
+};
+pub use vfs::{RealVfs, Vfs, VfsResult};

@@ -1,0 +1,168 @@
+//! Filesystem abstraction for the durable store.
+//!
+//! Every byte the store reads or writes goes through a [`Vfs`] so that
+//! tests can interpose [`crate::fault::FaultStore`] and exercise the
+//! recovery paths deterministically: short writes, bit flips, and
+//! crash points between write/fsync/rename. [`RealVfs`] is the
+//! production implementation over `std::fs`.
+//!
+//! The surface is deliberately primitive — `write`, `append`, `sync`,
+//! `rename`, … as *separate* operations — because the interesting crash
+//! points live between them. A combined "write atomically" method would
+//! hide exactly the windows recovery has to survive.
+
+use std::fs::{self, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::error::StoreError;
+
+/// Result alias local to the store.
+pub type VfsResult<T> = Result<T, StoreError>;
+
+/// Minimal filesystem interface the store is written against.
+///
+/// Methods take `&self`; implementations keep any bookkeeping behind
+/// interior mutability so a store can hold `Box<dyn Vfs>`.
+pub trait Vfs: std::fmt::Debug {
+    /// Read the entire contents of `path`.
+    fn read(&self, path: &Path) -> VfsResult<Vec<u8>>;
+
+    /// Create (or truncate) `path` and write `data` to it. Not durable
+    /// until [`Vfs::sync`] is called on the same path.
+    fn write(&self, path: &Path, data: &[u8]) -> VfsResult<()>;
+
+    /// Append `data` to `path`, creating it if missing. Not durable
+    /// until [`Vfs::sync`].
+    fn append(&self, path: &Path, data: &[u8]) -> VfsResult<()>;
+
+    /// fsync the file at `path`.
+    fn sync(&self, path: &Path) -> VfsResult<()>;
+
+    /// fsync the directory `dir`, making renames/creates within it
+    /// durable.
+    fn sync_dir(&self, dir: &Path) -> VfsResult<()>;
+
+    /// Atomically rename `from` to `to` (same directory).
+    fn rename(&self, from: &Path, to: &Path) -> VfsResult<()>;
+
+    /// Remove the file at `path`.
+    fn remove(&self, path: &Path) -> VfsResult<()>;
+
+    /// Truncate the file at `path` to `len` bytes.
+    fn truncate(&self, path: &Path, len: u64) -> VfsResult<()>;
+
+    /// File names (not full paths) of plain files directly in `dir`.
+    fn list(&self, dir: &Path) -> VfsResult<Vec<String>>;
+
+    /// Whether a file exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Create `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> VfsResult<()>;
+}
+
+/// Production [`Vfs`] backed directly by `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealVfs;
+
+impl RealVfs {
+    pub fn new() -> Self {
+        RealVfs
+    }
+}
+
+impl Vfs for RealVfs {
+    fn read(&self, path: &Path) -> VfsResult<Vec<u8>> {
+        fs::read(path).map_err(|e| StoreError::io("read", path, e))
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> VfsResult<()> {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| StoreError::io("write", path, e))?;
+        f.write_all(data)
+            .map_err(|e| StoreError::io("write", path, e))
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> VfsResult<()> {
+        let mut f = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)
+            .map_err(|e| StoreError::io("append", path, e))?;
+        f.write_all(data)
+            .map_err(|e| StoreError::io("append", path, e))
+    }
+
+    fn sync(&self, path: &Path) -> VfsResult<()> {
+        let f = fs::File::open(path).map_err(|e| StoreError::io("sync", path, e))?;
+        f.sync_all().map_err(|e| StoreError::io("sync", path, e))
+    }
+
+    fn sync_dir(&self, dir: &Path) -> VfsResult<()> {
+        // Directory fsync is a Unix-ism; opening the directory as a file
+        // works on Linux/macOS. On platforms where it fails, renames are
+        // still atomic — only the durability of the rename itself is at
+        // the mercy of the OS, so a failure here is not fatal.
+        match fs::File::open(dir) {
+            Ok(d) => {
+                let _ = d.sync_all();
+                Ok(())
+            }
+            Err(e) => Err(StoreError::io("sync_dir", dir, e)),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> VfsResult<()> {
+        fs::rename(from, to).map_err(|e| StoreError::io("rename", from, e))
+    }
+
+    fn remove(&self, path: &Path) -> VfsResult<()> {
+        fs::remove_file(path).map_err(|e| StoreError::io("remove", path, e))
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> VfsResult<()> {
+        let f = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| StoreError::io("truncate", path, e))?;
+        f.set_len(len)
+            .map_err(|e| StoreError::io("truncate", path, e))
+    }
+
+    fn list(&self, dir: &Path) -> VfsResult<Vec<String>> {
+        let mut names = Vec::new();
+        let entries = fs::read_dir(dir).map_err(|e| StoreError::io("list", dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::io("list", dir, e))?;
+            let is_file = entry
+                .file_type()
+                .map_err(|e| StoreError::io("list", dir, e))?
+                .is_file();
+            if is_file {
+                if let Some(name) = entry.file_name().to_str() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> VfsResult<()> {
+        fs::create_dir_all(dir).map_err(|e| StoreError::io("create_dir_all", dir, e))
+    }
+}
+
+/// Join helper used throughout the store: `dir/name`.
+pub(crate) fn file_in(dir: &Path, name: &str) -> PathBuf {
+    dir.join(name)
+}

@@ -2,7 +2,8 @@
 //! batch re-analysis vs incremental snapshots.
 //!
 //! ```text
-//! cargo run --release --example stream_demo [users] [rounds]
+//! cargo run --release --example stream_demo [users] [rounds] \
+//!     [--durable DIR] [--crash-after R]
 //! ```
 //!
 //! Synthesizes a two-region crowd (60% Tokyo UTC+9, 40% São Paulo UTC−3)
@@ -11,7 +12,16 @@
 //! analyzed twice: a from-scratch batch run over the cumulative traces,
 //! and an incremental snapshot that re-places only the dirty users. The
 //! reports are byte-identical every round; only the wall-clock differs.
+//!
+//! With `--durable DIR` the demo runs the crash-safe engine instead:
+//! every round is one sequence-numbered batch in `DIR`'s write-ahead
+//! log, and the final report lands in `DIR/final_report.json`. Because
+//! the workload is derived deterministically from the seed, re-running
+//! the same command after a kill resumes from the recovered state and
+//! produces a byte-identical final report — `--crash-after R` aborts
+//! the process (no orderly shutdown) right after round `R` to prove it.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use crowdtz::core::{GenericProfile, GeolocationPipeline, StreamingPipeline};
@@ -54,16 +64,113 @@ fn synthesize(users: usize, seed: u64) -> TraceSet {
     out
 }
 
+/// The durable path: every round is one `ingest_batch` into the
+/// write-ahead log under `dir`. The workload (primer crowd + per-round
+/// deltas) is a pure function of the seeds, so a killed run re-invoked
+/// with the same arguments regenerates the same batches, the recovery
+/// dedupes everything already durable by sequence number, and the final
+/// report is byte-identical to an uninterrupted run.
+fn durable_run(users: usize, rounds: usize, dir: PathBuf, crash_after: Option<u64>) {
+    let dirty_per_round = (users / 100).max(1);
+    println!("synthesizing {users} users (60% UTC+9, 40% UTC-3)…");
+    let cumulative = synthesize(users, 42);
+
+    let mut engine = StreamingPipeline::open_durable(GeolocationPipeline::default(), &dir)
+        .expect("open durable engine");
+    let recovered = engine.last_source_seq();
+    if recovered > 0 {
+        println!("warm restart: recovered through batch {recovered}, resuming…");
+    }
+
+    // Batch 1: the primer crowd. A restart skips it by sequence number.
+    let primer: Vec<(String, crowdtz::time::Timestamp)> = cumulative
+        .iter()
+        .flat_map(|t| t.posts().iter().map(|&ts| (t.id().to_owned(), ts)))
+        .collect();
+    if engine
+        .ingest_batch(1, &primer, Some("primed"))
+        .expect("ingest primer")
+    {
+        println!("primed the engine with {} posts (batch 1)…", primer.len());
+        // Fold the primer into a snapshot generation immediately so a
+        // crash never replays the whole crowd from the log.
+        engine.checkpoint_now().expect("primer checkpoint");
+    }
+
+    println!("playing {rounds} monitor rounds, ~{dirty_per_round} active users each…");
+    let mut rng = StdRng::seed_from_u64(7);
+    for round in 1..=rounds as u64 {
+        // The rng is drawn for every round — applied or skipped — so a
+        // resumed run sees the same deltas as an uninterrupted one.
+        let batch: Vec<(String, Timestamp)> = (0..dirty_per_round)
+            .map(|_| {
+                let user = format!("u{:06}", rng.gen_range(0..users));
+                let ts = Timestamp::from_secs(
+                    40 * 86_400 + round as i64 * 86_400 + rng.gen_range(0..86_400),
+                );
+                (user, ts)
+            })
+            .collect();
+        let ckpt = format!("round-{round}");
+        let applied = engine
+            .ingest_batch(1 + round, &batch, Some(&ckpt))
+            .expect("ingest round");
+        if applied && Some(round) == crash_after {
+            println!("crashing after round {round} (no orderly shutdown)…");
+            std::process::abort();
+        }
+    }
+
+    let report = engine.snapshot().expect("final snapshot");
+    let json = serde_json::to_string(&report).expect("serialize report");
+    let out = dir.join("final_report.json");
+    std::fs::write(&out, &json).expect("write final report");
+    println!(
+        "{} users classified, {} flat profiles removed",
+        report.users_classified(),
+        report.flat_removed()
+    );
+    println!(
+        "log: {} bytes after {} batches; final report written to {}",
+        engine.store().log_len(),
+        engine.last_source_seq(),
+        out.display()
+    );
+}
+
 fn main() {
+    let mut positional: Vec<String> = Vec::new();
+    let mut durable_dir: Option<PathBuf> = None;
+    let mut crash_after: Option<u64> = None;
     let mut args = std::env::args().skip(1);
-    let users: usize = args
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--durable" => {
+                durable_dir = Some(args.next().expect("--durable needs a directory").into());
+            }
+            "--crash-after" => {
+                crash_after = Some(
+                    args.next()
+                        .expect("--crash-after needs a round")
+                        .parse()
+                        .expect("--crash-after round must be an integer"),
+                );
+            }
+            _ => positional.push(a),
+        }
+    }
+    let mut positional = positional.into_iter();
+    let users: usize = positional
         .next()
         .map(|a| a.parse().expect("users must be an integer"))
         .unwrap_or(100_000);
-    let rounds: usize = args
+    let rounds: usize = positional
         .next()
         .map(|a| a.parse().expect("rounds must be an integer"))
         .unwrap_or(50);
+    if let Some(dir) = durable_dir {
+        return durable_run(users, rounds, dir, crash_after);
+    }
     let dirty_per_round = (users / 100).max(1);
 
     println!("synthesizing {users} users (60% UTC+9, 40% UTC-3)…");

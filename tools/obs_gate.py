@@ -12,7 +12,15 @@ when either
 which catches both "someone made a stage slow" and "someone quietly
 disabled the pruning or the placement cache".
 
+With the optional durability pair (``BENCH_durability.json`` from the
+bench bin), additionally fails when the warm ``open_durable`` restart or
+the snapshot rotation regressed more than ``THRESHOLD``x, and — baseline
+or not — when the replay-scaling invariant is broken: the long-suffix
+run must replay more log records than the short-suffix run over the same
+crawl (replay cost scales with the write-ahead log, not the crawl).
+
 Usage: ``obs_gate.py baseline.json current.json``
+       ``obs_gate.py baseline.json current.json base_durability.json current_durability.json``
 
 Wall times are noisy on shared CI runners, so stages where *both* runs
 spent less than ``MIN_STAGE_NS`` are ignored, and the exact-evals check
@@ -29,10 +37,42 @@ THRESHOLD = 2.0
 MIN_STAGE_NS = 5_000_000
 # Exact-evals drift below this is a config change, not a regression.
 MIN_EVALS = 1_000
+# Sub-10ms durable-store timings are filesystem noise, not signal.
+MIN_STORE_SECS = 0.010
+# Timed durability keys gated against the baseline.
+DURABILITY_KEYS = ("warm_open_long_suffix_secs", "snapshot_rotation_secs")
+
+
+def check_durability(base, cur, failures):
+    """Gate BENCH_durability.json: timed regressions plus the
+    replay-scales-with-the-log invariant. Returns comparisons made."""
+    checked = 0
+    short = cur.get("short_suffix_records", 0)
+    long_ = cur.get("long_suffix_records", 0)
+    checked += 1
+    if long_ <= short:
+        failures.append(
+            f"durability: long suffix replayed {long_} records vs {short} short — "
+            "replay no longer scales with the log suffix"
+        )
+    for key in DURABILITY_KEYS:
+        prev_s, now_s = base.get(key), cur.get(key)
+        if prev_s is None or now_s is None:
+            continue
+        if max(prev_s, now_s) < MIN_STORE_SECS:
+            continue
+        checked += 1
+        ratio = now_s / max(prev_s, 1e-12)
+        if ratio > THRESHOLD:
+            failures.append(
+                f"durability {key}: {prev_s * 1e3:.1f} ms -> "
+                f"{now_s * 1e3:.1f} ms ({ratio:.2f}x)"
+            )
+    return checked
 
 
 def main() -> int:
-    if len(sys.argv) != 3:
+    if len(sys.argv) not in (3, 5):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     with open(sys.argv[1]) as f:
@@ -42,6 +82,13 @@ def main() -> int:
 
     failures = []
     checked = 0
+
+    if len(sys.argv) == 5:
+        with open(sys.argv[3]) as f:
+            base_durability = json.load(f)
+        with open(sys.argv[4]) as f:
+            cur_durability = json.load(f)
+        checked += check_durability(base_durability, cur_durability, failures)
 
     base_stages = {s["name"]: s["total_ns"] for s in base.get("stages", [])}
     for stage in cur.get("stages", []):
