@@ -20,11 +20,14 @@
 //! itself, and the from-scratch re-analysis a warm restart avoids. The sharding JSON records ingest posts/sec
 //! at 1, 4, and 16 shards plus the placement cache's measured hit rate
 //! on a low-post crowd (colliding profiles) and a 40-post contrast.
-//! The placement JSON carries users/sec for each placement path,
-//! resamples/sec for each bootstrap thread count, and the two headline
-//! ratios (engine vs naive, 4-thread vs 1-thread bootstrap); both
-//! record the requested *and* effective worker counts, since
-//! [`clamped_threads`] caps workers at the host's parallelism. The
+//! The placement JSON carries users/sec for each placement path, the
+//! single-thread batch-kernel throughput on each zone grid (24/48/96),
+//! resamples/sec for each bootstrap thread count, and the headline
+//! engine-vs-naive ratio; both sections record the requested *and*
+//! effective worker counts, since [`clamped_threads`] caps workers at
+//! the host's parallelism, and the 4-thread-vs-1 bootstrap ratio is
+//! omitted entirely when the host clamps every request to one worker
+//! (it would measure scheduler noise, not speedup). The
 //! streaming JSON compares a full batch re-analysis against an
 //! incremental snapshot with ~1% dirty users.
 
@@ -33,7 +36,7 @@ use std::time::Instant;
 use crowdtz_bench::{synthetic_profiles, synthetic_traces};
 use crowdtz_core::{
     bootstrap_components_threads, clamped_threads, default_threads, place_user, BootstrapConfig,
-    GenericProfile, GeolocationPipeline, PlacementEngine, StreamingPipeline,
+    GenericProfile, GeolocationPipeline, PlacementEngine, StreamingPipeline, ZoneGrid,
 };
 use crowdtz_time::Timestamp;
 
@@ -102,6 +105,16 @@ fn main() {
     let parallel_s = time_best(runs, || engine.place_all(&profiles, threads));
     let placements = engine.place_all(&profiles, threads);
 
+    // Single-thread batch-kernel throughput on each zone grid, so CI can
+    // gate per-grid regressions (the 48/96 grids do 2x/4x the lane work).
+    eprintln!("timing the batch kernel per grid (best of {runs})…");
+    let mut kernel_users_per_sec_by_grid = std::collections::BTreeMap::new();
+    for grid in [ZoneGrid::Hourly, ZoneGrid::HalfHour, ZoneGrid::QuarterHour] {
+        let grid_engine = PlacementEngine::with_grid(&generic, grid);
+        let s = time_best(runs, || grid_engine.place_all(&profiles, 1));
+        kernel_users_per_sec_by_grid.insert(grid.label().to_string(), users as f64 / s);
+    }
+
     let iterations = 200;
     let config = BootstrapConfig {
         iterations,
@@ -128,21 +141,34 @@ fn main() {
         "parallel_threads_effective": clamped_threads(threads),
         "engine_speedup_vs_naive": naive_s / engine_s,
         "parallel_speedup_vs_naive": naive_s / parallel_s,
+        "kernel_users_per_sec_by_grid": kernel_users_per_sec_by_grid,
     });
     let resamples_per_sec: std::collections::BTreeMap<String, f64> = boot_s
         .iter()
         .map(|&(t, s)| (t.to_string(), iterations as f64 / s))
         .collect();
+    let requested_threads: Vec<usize> = boot_s.iter().map(|&(t, _)| t).collect();
     let effective_threads: std::collections::BTreeMap<String, usize> = boot_s
         .iter()
         .map(|&(t, _)| (t.to_string(), clamped_threads(t)))
         .collect();
-    let bootstrap = serde_json::json!({
+    let mut bootstrap = serde_json::json!({
         "iterations": iterations,
         "resamples_per_sec": resamples_per_sec,
+        "requested_threads": requested_threads,
         "effective_threads": effective_threads,
-        "speedup_4_threads_vs_1": boot_1 / boot_4,
     });
+    // When the host clamps every request to one worker the 4-vs-1 ratio
+    // measures scheduler noise, not parallel speedup — omit it rather
+    // than publish a misleading ~1.0x.
+    if clamped_threads(4) > 1 {
+        if let serde_json::Value::Object(fields) = &mut bootstrap {
+            fields.push((
+                "speedup_4_threads_vs_1".to_string(),
+                serde_json::json!(boot_1 / boot_4),
+            ));
+        }
+    }
     let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let report = serde_json::json!({
         "users": users,

@@ -116,10 +116,13 @@ pub fn bootstrap_components_threads(
         .collect();
 
     // Zone indices are extracted once; resampling only ever touches this
-    // flat byte array, never the heap-backed placement records.
+    // flat byte array, never the heap-backed placement records. The grid
+    // is the coarsest one covering every placement, matching the
+    // reference histogram built by `from_placements` above.
+    let grid = crate::placement::ZoneGrid::covering(placements.iter());
     let zone_indices: Vec<u8> = placements
         .iter()
-        .map(|p| PlacementHistogram::index_of(p.zone_hours()) as u8)
+        .map(|p| grid.index_of_minutes(p.offset_minutes()) as u8)
         .collect();
     let users = zone_indices.len();
 
@@ -134,7 +137,7 @@ pub fn bootstrap_components_threads(
     let matches: Vec<(usize, f64)> = crate::engine::chunked_map_with(
         &resample_ids,
         threads,
-        || [0usize; crate::placement::ZONE_COUNT],
+        || vec![0usize; grid.zones()],
         move |counts, &resample_index, out| {
             let mut rng = StdRng::seed_from_u64(config.seed ^ resample_index);
             counts.fill(0);

@@ -82,7 +82,7 @@ pub use error::CoreError;
 pub use generic::GenericProfile;
 pub use pipeline::{GeolocationPipeline, GeolocationReport};
 pub use placement::{
-    place_distribution, place_user, PlacementHistogram, UserPlacement, ZONE_COUNT,
+    place_distribution, place_user, PlacementHistogram, UserPlacement, ZoneGrid, ZONE_COUNT,
 };
 pub use profile::{ActivityProfile, ProfileBuilder};
 pub use shard::default_shards;

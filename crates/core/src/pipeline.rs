@@ -13,7 +13,7 @@ use crate::crowd::CrowdProfile;
 use crate::engine::{chunked_map, default_threads, PlacementCache, PlacementEngine};
 use crate::error::CoreError;
 use crate::generic::GenericProfile;
-use crate::placement::{PlacementHistogram, UserPlacement};
+use crate::placement::{PlacementHistogram, UserPlacement, ZoneGrid};
 use crate::profile::ActivityProfile;
 use crate::shard::default_shards;
 use crate::single::{MultiRegionFit, SingleRegionFit};
@@ -44,6 +44,7 @@ pub struct GeolocationPipeline {
     threads: Option<usize>,
     shards: Option<usize>,
     placement_cache: bool,
+    grid: Option<ZoneGrid>,
     observer: Option<Arc<crowdtz_obs::Observer>>,
 }
 
@@ -60,6 +61,7 @@ impl GeolocationPipeline {
             threads: None,
             shards: None,
             placement_cache: true,
+            grid: None,
             observer: None,
         }
     }
@@ -110,6 +112,28 @@ impl GeolocationPipeline {
     pub fn shards(mut self, shards: usize) -> GeolocationPipeline {
         self.shards = Some(shards.max(1));
         self
+    }
+
+    /// Sets the zone grid the placement engine scans (24 hourly, 48
+    /// half-hour, or 96 quarter-hour zones).
+    ///
+    /// When not set, [`ZoneGrid::from_env`] applies: the `CROWDTZ_GRID`
+    /// environment variable (`48`/`half`, `96`/`quarter`), falling back
+    /// to the paper's hourly grid. Activity profiles stay 24-bin hourly
+    /// on every grid; finer grids add candidate zones (e.g. Nepal's
+    /// +5:45), widen the placement histogram to the grid's zone count,
+    /// and keep everything else — thresholds, polishing, fits — working
+    /// unchanged. On the default hourly grid, reports are byte-identical
+    /// to previous releases.
+    #[must_use]
+    pub fn grid(mut self, grid: ZoneGrid) -> GeolocationPipeline {
+        self.grid = Some(grid);
+        self
+    }
+
+    /// The zone grid the placement engine will scan.
+    pub fn effective_grid(&self) -> ZoneGrid {
+        self.grid.unwrap_or_else(ZoneGrid::from_env)
     }
 
     /// Enables/disables the CDF-keyed placement cache (default: enabled).
@@ -264,7 +288,7 @@ impl GeolocationPipeline {
         }
         let threads = self.effective_threads();
         let obs = self.obs();
-        let engine = PlacementEngine::new(&self.generic);
+        let engine = PlacementEngine::with_grid(&self.generic, self.effective_grid());
         let mut cache = PlacementCache::new(self.placement_cache);
         let resolved = {
             let _s = crowdtz_obs::span!(obs, "pipeline.placement");
@@ -281,7 +305,11 @@ impl GeolocationPipeline {
                 if self.polish && r.flat {
                     flat_removed += 1;
                 } else {
-                    placements.push(UserPlacement::new(profile.user(), r.zone, r.emd));
+                    placements.push(UserPlacement::from_offset_minutes(
+                        profile.user(),
+                        r.zone_minutes,
+                        r.emd,
+                    ));
                     kept.push(profile);
                 }
             }
@@ -291,7 +319,11 @@ impl GeolocationPipeline {
             return Err(CoreError::EmptyCrowd);
         }
         let crowd = CrowdProfile::aggregate(&profiles)?;
-        let histogram = PlacementHistogram::from_placements(&placements);
+        // Sized to the engine's grid (not the placements' covering grid)
+        // so this path stays byte-identical to a streaming snapshot on the
+        // same grid.
+        let histogram =
+            PlacementHistogram::from_placements_on_grid(placements.iter(), self.effective_grid());
         let (single, multi) = {
             let _s = crowdtz_obs::span!(obs, "pipeline.fit");
             (
@@ -427,7 +459,10 @@ impl GeolocationReport {
         &self.placements
     }
 
-    /// The placement histogram over the 24 zones.
+    /// The placement histogram over the analysis grid's zones (24 hourly
+    /// zones by default; 48 or 96 when a finer [`ZoneGrid`] was selected).
+    ///
+    /// [`ZoneGrid`]: crate::ZoneGrid
     pub fn histogram(&self) -> &PlacementHistogram {
         &self.histogram
     }
@@ -506,13 +541,20 @@ impl GeolocationReport {
     /// with the paper-style city labels.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
+        // The fitted curve is sampled at the histogram's own zone
+        // coordinates so the overlay lines up on every grid width
+        // (`fitted_series()` is fixed at the 24 hourly points).
+        let fitted = self
+            .multi
+            .mixture()
+            .density_all_wrapped(&self.histogram.zone_coords(), 24.0);
         let mut out = crowdtz_stats::render_overlay(
             &format!(
                 "placement of {} users (bar = crowd fraction, · = fitted mixture)",
                 self.users_classified()
             ),
             self.histogram.fractions(),
-            &self.multi.fitted_series(),
+            &fitted,
         );
         let _ = writeln!(
             out,

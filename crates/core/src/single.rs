@@ -53,6 +53,15 @@ fn snap_zone(mean: f64) -> TzOffset {
     TzOffset::from_hours(hours).expect("wrapped into valid range")
 }
 
+/// The rotated fitting axis for a `bins`-wide histogram: coordinates in
+/// **hours** (`0, 24/bins, …`), so σ constants and means keep hour units
+/// on every grid. On the hourly grid the spacing factor is exactly `1.0`,
+/// so the axis is bit-identical to the historical `0.0, 1.0, …` one.
+fn rotated_axis(bins: usize) -> Vec<f64> {
+    let step_hours = 24.0 / bins as f64;
+    (0..bins).map(|i| i as f64 * step_hours).collect()
+}
+
 /// A single-region geolocation: one Gaussian over the placement histogram.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SingleRegionFit {
@@ -70,17 +79,18 @@ impl SingleRegionFit {
     pub fn fit(histogram: &PlacementHistogram) -> Result<SingleRegionFit, StatsError> {
         // Zones live on a circle; fit on the axis unrolled at the crowd's
         // emptiest stretch so crowds near UTC±12 are not split in two.
+        // The axis is in hours regardless of grid resolution, so every σ
+        // constant keeps its meaning on the 48- and 96-zone grids.
         let cut = histogram.wrap_cut();
         let rotated = histogram.rotated_fractions(cut);
-        let xs_rot: Vec<f64> = (0..rotated.len()).map(|i| i as f64).collect();
+        let xs_rot = rotated_axis(rotated.len());
         let fit_rot = fit_gaussian(&xs_rot, &rotated, Some(SIGMA_INIT))?;
         let curve = GaussianCurve::new(
-            PlacementHistogram::unrotate_coord(fit_rot.mean, cut),
+            histogram.unrotate_axis_coord(fit_rot.mean, cut),
             fit_rot.sigma,
             fit_rot.amplitude,
         );
-        let xs = PlacementHistogram::xs();
-        let fitted = curve.eval_all_wrapped(&xs, 24.0);
+        let fitted = curve.eval_all_wrapped(&histogram.zone_coords(), 24.0);
         let quality = FitQuality::between(&fitted, histogram.fractions())?;
         Ok(SingleRegionFit { curve, quality })
     }
@@ -109,9 +119,8 @@ impl SingleRegionFit {
     ///
     /// Propagates metric computation failures.
     pub fn baseline(&self, histogram: &PlacementHistogram) -> Result<FitQuality, StatsError> {
-        let xs = PlacementHistogram::xs();
-        let fitted = self.curve.eval_all_wrapped(&xs, 24.0);
-        FitQuality::shifted_baseline(&fitted, histogram.fractions(), 12)
+        let fitted = self.curve.eval_all_wrapped(&histogram.zone_coords(), 24.0);
+        FitQuality::shifted_baseline(&fitted, histogram.fractions(), histogram.bins() / 2)
     }
 }
 
@@ -155,7 +164,7 @@ impl MultiRegionFit {
         let rotated = histogram.rotated_fractions(cut);
         let users = histogram.users() as f64;
         let counts: Vec<f64> = rotated.iter().map(|f| f * users).collect();
-        let xs_rot: Vec<f64> = (0..rotated.len()).map(|i| i as f64).collect();
+        let xs_rot = rotated_axis(rotated.len());
         let config = Self::em_config();
         let mut mixture = select_components(
             &xs_rot,
@@ -170,7 +179,7 @@ impl MultiRegionFit {
         while mixture.len() > 1 && Self::needs_prune(&mixture) {
             mixture = em(&xs_rot, &counts, mixture.len() - 1, &config)?;
         }
-        let mixture = mixture.map_means(|m| PlacementHistogram::unrotate_coord(m, cut));
+        let mixture = mixture.map_means(|m| histogram.unrotate_axis_coord(m, cut));
         let quality = Self::quality_of(&mixture, histogram)?;
         Ok(MultiRegionFit { mixture, quality })
     }
@@ -204,7 +213,8 @@ impl MultiRegionFit {
         let rotated = histogram.rotated_fractions(cut);
         let users = histogram.users() as f64;
         let counts: Vec<f64> = rotated.iter().map(|f| f * users).collect();
-        let xs_rot: Vec<f64> = (0..rotated.len()).map(|i| i as f64).collect();
+        let xs_rot = rotated_axis(rotated.len());
+        let step_hours = 24.0 / rotated.len() as f64;
         let config = Self::em_config();
         let init: Vec<GaussianComponent> = previous
             .components()
@@ -212,7 +222,7 @@ impl MultiRegionFit {
             .take(max_components.max(1))
             .map(|c| GaussianComponent {
                 weight: c.weight,
-                mean: (c.mean + 11.0 - cut as f64).rem_euclid(24.0),
+                mean: (c.mean + 11.0 - cut as f64 * step_hours).rem_euclid(24.0),
                 sigma: c.sigma,
             })
             .collect();
@@ -223,7 +233,7 @@ impl MultiRegionFit {
         while mixture.len() > 1 && Self::needs_prune(&mixture) {
             mixture = em(&xs_rot, &counts, mixture.len() - 1, &config)?;
         }
-        let mixture = mixture.map_means(|m| PlacementHistogram::unrotate_coord(m, cut));
+        let mixture = mixture.map_means(|m| histogram.unrotate_axis_coord(m, cut));
         let quality = Self::quality_of(&mixture, histogram)?;
         Ok(MultiRegionFit { mixture, quality })
     }
@@ -263,10 +273,10 @@ impl MultiRegionFit {
         let rotated = histogram.rotated_fractions(cut);
         let users = histogram.users() as f64;
         let counts: Vec<f64> = rotated.iter().map(|f| f * users).collect();
-        let xs_rot: Vec<f64> = (0..rotated.len()).map(|i| i as f64).collect();
+        let xs_rot = rotated_axis(rotated.len());
         let config = Self::em_config();
-        let mixture = em(&xs_rot, &counts, k, &config)?
-            .map_means(|m| PlacementHistogram::unrotate_coord(m, cut));
+        let mixture =
+            em(&xs_rot, &counts, k, &config)?.map_means(|m| histogram.unrotate_axis_coord(m, cut));
         let quality = Self::quality_of(&mixture, histogram)?;
         Ok(MultiRegionFit { mixture, quality })
     }
@@ -275,8 +285,7 @@ impl MultiRegionFit {
         mixture: &GaussianMixture,
         histogram: &PlacementHistogram,
     ) -> Result<FitQuality, StatsError> {
-        let xs = PlacementHistogram::xs();
-        let fitted = mixture.density_all_wrapped(&xs, 24.0);
+        let fitted = mixture.density_all_wrapped(&histogram.zone_coords(), 24.0);
         FitQuality::between(&fitted, histogram.fractions())
     }
 

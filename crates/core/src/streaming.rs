@@ -70,7 +70,7 @@ use crate::crowd::CrowdProfile;
 use crate::engine::{chunked_map, PlacementCache, PlacementEngine};
 use crate::error::CoreError;
 use crate::pipeline::{GeolocationPipeline, GeolocationReport};
-use crate::placement::{PlacementHistogram, UserPlacement, ZONE_COUNT};
+use crate::placement::{PlacementHistogram, UserPlacement};
 use crate::profile::ActivityProfile;
 use crate::shard::{ShardSet, UserAccumulator, UserAnalysis};
 use crate::single::{MultiRegionFit, SingleRegionFit};
@@ -136,8 +136,8 @@ impl StreamObs {
 /// refit, bit for bit.
 #[derive(Debug, Clone)]
 struct FitCache {
-    zone_counts: [usize; ZONE_COUNT],
-    fractions: [f64; ZONE_COUNT],
+    zone_counts: Vec<usize>,
+    fractions: Vec<f64>,
     single: SingleRegionFit,
     multi: MultiRegionFit,
 }
@@ -186,9 +186,10 @@ pub struct StreamingPipeline {
     /// Users whose analysis is `Some` (at or above the activity
     /// threshold); `eligible − kept` is the flat-removed count.
     eligible: usize,
-    /// Kept users per zone index — the integer pre-image of the placement
-    /// histogram, maintained by subtract-old / add-new on re-placement.
-    zone_counts: [usize; ZONE_COUNT],
+    /// Kept users per zone index (one slot per zone of the pipeline's
+    /// grid) — the integer pre-image of the placement histogram,
+    /// maintained by subtract-old / add-new on re-placement.
+    zone_counts: Vec<usize>,
     fit_cache: Option<FitCache>,
     obs: Option<StreamObs>,
 }
@@ -199,7 +200,8 @@ impl StreamingPipeline {
     /// shard count, and placement-cache toggle all carry over; the
     /// placement engine is built once and reused across every refresh.
     pub fn new(pipeline: GeolocationPipeline) -> StreamingPipeline {
-        let engine = PlacementEngine::new(pipeline.generic());
+        let grid = pipeline.effective_grid();
+        let engine = PlacementEngine::with_grid(pipeline.generic(), grid);
         let obs = pipeline.obs().map(StreamObs::new);
         let shards = ShardSet::new(pipeline.effective_shards());
         let cache = PlacementCache::new(pipeline.placement_cache_enabled());
@@ -213,7 +215,7 @@ impl StreamingPipeline {
             kept_profiles: Arc::new(Vec::new()),
             kept_placements: Arc::new(Vec::new()),
             eligible: 0,
-            zone_counts: [0; ZONE_COUNT],
+            zone_counts: vec![0; grid.zones()],
             fit_cache: None,
         }
     }
@@ -280,15 +282,16 @@ impl StreamingPipeline {
     /// to one that never restarted. The fit cache is dropped: in
     /// [`RefitMode::Exact`] a cold refit is bit-identical anyway.
     pub(crate) fn rebuild_derived_state(&mut self) {
+        let grid = self.engine.grid();
         let mut profiles = Vec::new();
         let mut placements = Vec::new();
         let mut eligible = 0usize;
-        let mut zone_counts = [0usize; ZONE_COUNT];
+        let mut zone_counts = vec![0usize; grid.zones()];
         for (_, acc) in self.shards.all_users_sorted() {
             let Some(a) = &acc.analysis else { continue };
             eligible += 1;
             if let Some(p) = &a.placement {
-                zone_counts[PlacementHistogram::index_of(p.zone_hours())] += 1;
+                zone_counts[grid.index_of_minutes(p.offset_minutes())] += 1;
             }
             if a.kept() {
                 profiles.push(a.profile.clone());
@@ -433,7 +436,11 @@ impl StreamingPipeline {
                 let placement = if flat {
                     None
                 } else {
-                    Some(UserPlacement::new(profile.user(), r.zone, r.emd))
+                    Some(UserPlacement::from_offset_minutes(
+                        profile.user(),
+                        r.zone_minutes,
+                        r.emd,
+                    ))
                 };
                 UserAnalysis {
                     profile,
@@ -442,12 +449,13 @@ impl StreamingPipeline {
                 }
             });
             placed += u64::from(analysis.as_ref().is_some_and(UserAnalysis::kept));
+            let grid = self.engine.grid();
             let old = acc.analysis.take();
             if let Some(p) = old.as_ref().and_then(|a| a.placement.as_ref()) {
-                self.zone_counts[PlacementHistogram::index_of(p.zone_hours())] -= 1;
+                self.zone_counts[grid.index_of_minutes(p.offset_minutes())] -= 1;
             }
             if let Some(p) = analysis.as_ref().and_then(|a| a.placement.as_ref()) {
-                self.zone_counts[PlacementHistogram::index_of(p.zone_hours())] += 1;
+                self.zone_counts[grid.index_of_minutes(p.offset_minutes())] += 1;
             }
             self.eligible -= usize::from(old.is_some());
             self.eligible += usize::from(analysis.is_some());
@@ -605,8 +613,8 @@ impl StreamingPipeline {
             _ => MultiRegionFit::fit(histogram, max_components)?,
         };
         self.fit_cache = Some(FitCache {
-            zone_counts: self.zone_counts,
-            fractions: *histogram.fractions(),
+            zone_counts: self.zone_counts.clone(),
+            fractions: histogram.fractions().to_vec(),
             single: single.clone(),
             multi: multi.clone(),
         });
@@ -614,8 +622,8 @@ impl StreamingPipeline {
     }
 }
 
-/// `Σ|a − b|` over the 24 zone fractions.
-fn l1_shift(a: &[f64; ZONE_COUNT], b: &[f64; ZONE_COUNT]) -> f64 {
+/// `Σ|a − b|` over the zone fractions.
+fn l1_shift(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum()
 }
 

@@ -3,11 +3,14 @@
 //! profiles — not just the shapes the unit tests pick by hand.
 
 use crowdtz_core::{
-    place_distribution, place_user, ActivityProfile, GenericProfile, PlacementEngine,
+    place_distribution, place_user, ActivityProfile, GenericProfile, GeolocationPipeline,
+    PlacementEngine, StreamingPipeline, ZoneGrid,
 };
 use crowdtz_stats::{Distribution24, BINS};
-use crowdtz_time::{Timestamp, TzOffset, UserTrace};
+use crowdtz_time::{Timestamp, TraceSet, TzOffset, UserTrace};
 use proptest::prelude::*;
+
+const GRIDS: [ZoneGrid; 3] = [ZoneGrid::Hourly, ZoneGrid::HalfHour, ZoneGrid::QuarterHour];
 
 /// Strategy: an arbitrary valid 24-bin distribution.
 fn distribution() -> impl Strategy<Value = Distribution24> {
@@ -84,5 +87,86 @@ proptest! {
             .fold(f64::INFINITY, f64::min);
         let naive = crowdtz_stats::circular_emd(&user, &uniform) < best_zone;
         prop_assert_eq!(engine.is_flat(&user), naive);
+    }
+}
+
+proptest! {
+    // These walk full batches through the SoA kernel (and whole pipelines
+    // below), so fewer but larger cases beat proptest's default 256.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The SoA batch kernel is byte-identical to the scalar per-user scan
+    /// on every grid (24/48/96), across batch sizes that cross the 64-lane
+    /// boundary (partial final batches included) and across thread counts.
+    #[test]
+    fn batch_kernel_matches_scalar_on_every_grid_and_thread_count(
+        profiles in proptest::collection::vec(activity_profile(), 1..100),
+        threads in (0usize..3).prop_map(|i| [1usize, 2, 8][i]),
+    ) {
+        let generic = GenericProfile::reference();
+        for grid in GRIDS {
+            let engine = PlacementEngine::with_grid(&generic, grid);
+            let batch = engine.place_all(&profiles, threads);
+            prop_assert_eq!(batch.len(), profiles.len());
+            for (profile, got) in profiles.iter().zip(&batch) {
+                let scalar = engine.place(profile);
+                prop_assert_eq!(&scalar, got, "grid {} threads {}", grid, threads);
+            }
+        }
+    }
+
+    /// Full-pipeline identity: for each grid, a streaming snapshot over
+    /// any shard count, with the placement cache on or off, carries the
+    /// exact placements batch `analyze` produces — the cache and the
+    /// shard partitioning are invisible to the numbers.
+    #[test]
+    fn pipeline_placements_invariant_to_shards_and_cache(
+        crowds in proptest::collection::vec(
+            proptest::collection::vec(0usize..8, BINS), 4..24,
+        ),
+        threads in (0usize..3).prop_map(|i| [1usize, 2, 8][i]),
+    ) {
+        let mut traces = TraceSet::new();
+        for (i, counts) in crowds.iter().enumerate() {
+            let mut posts = Vec::new();
+            let mut day = 0i64;
+            for (hour, &n) in counts.iter().enumerate() {
+                for _ in 0..n {
+                    posts.push(Timestamp::from_secs(day * 86_400 + hour as i64 * 3_600));
+                    day += 1;
+                }
+            }
+            if posts.is_empty() {
+                continue;
+            }
+            traces.insert(UserTrace::new(format!("u{i}"), posts));
+        }
+        if traces.is_empty() {
+            return Ok(());
+        }
+        for grid in GRIDS {
+            let base = GeolocationPipeline::with_generic(GenericProfile::reference())
+                .grid(grid)
+                .threads(threads)
+                .min_posts(1);
+            let Ok(batch) = base.clone().analyze(&traces) else { continue };
+            for shards in [1usize, 4, 16] {
+                for cache in [true, false] {
+                    let mut streaming = StreamingPipeline::new(
+                        base.clone().shards(shards).placement_cache(cache),
+                    );
+                    streaming.ingest_set(&traces);
+                    let snap = streaming.snapshot().unwrap();
+                    prop_assert_eq!(
+                        batch.placements(),
+                        snap.placements(),
+                        "grid {} shards {} cache {}",
+                        grid,
+                        shards,
+                        cache
+                    );
+                }
+            }
+        }
     }
 }

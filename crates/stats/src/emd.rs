@@ -83,15 +83,15 @@ pub fn circular_emd_cdf(p_cdf: &[f64; BINS], q_cdf: &[f64; BINS]) -> f64 {
 /// tail of every circular-EMD path.
 ///
 /// The optimal `c` is the median, and at the median the objective telescopes
-/// to *(sum of the 12 largest diffs) − (sum of the 12 smallest)*, so only a
-/// half-partition (`select_nth_unstable`, O(n)) is needed — no full sort and
-/// no explicit median subtraction.
+/// to *(sum of the 12 largest diffs) − (sum of the 12 smallest)*, computed
+/// as in-order half sums over the ascending-sorted differences. The sorted
+/// summation order makes the bits a function of the difference multiset
+/// alone, which is what lets the lane-parallel batch kernel
+/// ([`crate::SortNetwork`]) reproduce this value exactly — see the
+/// determinism discussion in [`crate::kernel`].
 pub fn circular_emd_of_cdf_diff(diffs: &[f64; BINS]) -> f64 {
     let mut scratch = *diffs;
-    let (lower, mid, upper) = scratch.select_nth_unstable_by(BINS / 2 - 1, f64::total_cmp);
-    let lower_sum = lower.iter().sum::<f64>() + *mid;
-    let upper_sum: f64 = upper.iter().sum();
-    upper_sum - lower_sum
+    crate::kernel::circular_emd_of_cdf_diff_scratch(&mut scratch)
 }
 
 /// A cheap lower bound on [`circular_emd_of_cdf_diff`]: pairing the hours

@@ -171,6 +171,16 @@ impl DstRule {
         )
     }
 
+    /// New Zealand (and the Chatham Islands, which share its dates):
+    /// last Sunday of September to the first Sunday of April — southern.
+    pub fn new_zealand() -> DstRule {
+        DstRule::new(
+            Transition::new(Month::September, WeekOfMonth::Last, Weekday::Sunday, 2),
+            Transition::new(Month::April, WeekOfMonth::Nth(1), Weekday::Sunday, 3),
+            3_600,
+        )
+    }
+
     /// The shift applied while DST is in force, in seconds.
     pub fn shift_secs(&self) -> i32 {
         self.shift_secs

@@ -433,6 +433,28 @@ impl RegionDb {
                 None,
                 HolidayCalendar::none(),
             ),
+            // Nepal: the only +X:45 zone without DST. Unrepresentable on
+            // the hourly (and half-hour) placement grid — the fixture for
+            // quarter-hour resolution.
+            Region::new(
+                "nepal",
+                "Nepal",
+                Zone::fixed(TzOffset::from_minutes(345).expect("+5:45 valid")),
+                None,
+                HolidayCalendar::none(),
+            ),
+            // Chatham Islands: +12:45 standard, +13:45 during NZ summer —
+            // a quarter-hour offset *with* DST.
+            Region::new(
+                "chatham",
+                "Chatham Islands",
+                Zone::with_dst(
+                    TzOffset::from_minutes(765).expect("+12:45 valid"),
+                    DstRule::new_zealand(),
+                ),
+                None,
+                HolidayCalendar::none().with_range((12, 23), (1, 2)),
+            ),
         ] {
             db.insert(region);
         }

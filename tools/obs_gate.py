@@ -19,8 +19,14 @@ or not — when the replay-scaling invariant is broken: the long-suffix
 run must replay more log records than the short-suffix run over the same
 crawl (replay cost scales with the write-ahead log, not the crawl).
 
+With the optional placement pair (``--placement base.json current.json``,
+the bench bin's ``BENCH_placement.json``), additionally fails when the
+batch kernel's single-thread users/sec on any zone grid (24/48/96)
+dropped more than ``THRESHOLD``x against the baseline.
+
 Usage: ``obs_gate.py baseline.json current.json``
        ``obs_gate.py baseline.json current.json base_durability.json current_durability.json``
+       ``obs_gate.py ... --placement base_placement.json current_placement.json``
 
 Wall times are noisy on shared CI runners, so stages where *both* runs
 spent less than ``MIN_STAGE_NS`` are ignored, and the exact-evals check
@@ -71,22 +77,58 @@ def check_durability(base, cur, failures):
     return checked
 
 
+def check_placement(base, cur, failures):
+    """Gate BENCH_placement.json: per-grid batch-kernel throughput must
+    stay within THRESHOLD of the baseline. Returns comparisons made."""
+    checked = 0
+    base_grids = base.get("placement", {}).get("kernel_users_per_sec_by_grid", {})
+    cur_grids = cur.get("placement", {}).get("kernel_users_per_sec_by_grid", {})
+    for grid, now in sorted(cur_grids.items()):
+        prev = base_grids.get(grid)
+        if prev is None or prev <= 0 or now <= 0:
+            continue
+        checked += 1
+        ratio = prev / now
+        if ratio > THRESHOLD:
+            failures.append(
+                f"placement kernel, {grid}-zone grid: {prev:,.0f} users/s -> "
+                f"{now:,.0f} users/s ({ratio:.2f}x slower)"
+            )
+    return checked
+
+
 def main() -> int:
-    if len(sys.argv) not in (3, 5):
+    argv = sys.argv[1:]
+    placement_pair = None
+    if "--placement" in argv:
+        i = argv.index("--placement")
+        placement_pair = argv[i + 1 : i + 3]
+        argv = argv[:i] + argv[i + 3 :]
+        if len(placement_pair) != 2:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+    if len(argv) not in (2, 4):
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(sys.argv[1]) as f:
+    with open(argv[0]) as f:
         base = json.load(f)
-    with open(sys.argv[2]) as f:
+    with open(argv[1]) as f:
         cur = json.load(f)
 
     failures = []
     checked = 0
 
-    if len(sys.argv) == 5:
-        with open(sys.argv[3]) as f:
+    if placement_pair is not None:
+        with open(placement_pair[0]) as f:
+            base_placement = json.load(f)
+        with open(placement_pair[1]) as f:
+            cur_placement = json.load(f)
+        checked += check_placement(base_placement, cur_placement, failures)
+
+    if len(argv) == 4:
+        with open(argv[2]) as f:
             base_durability = json.load(f)
-        with open(sys.argv[4]) as f:
+        with open(argv[3]) as f:
             cur_durability = json.load(f)
         checked += check_durability(base_durability, cur_durability, failures)
 
