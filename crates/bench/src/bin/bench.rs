@@ -8,13 +8,15 @@
 //! ```text
 //! cargo run --release -p crowdtz-bench --bin bench \
 //!     [users] [out.json] [streaming_users] [streaming_out.json] \
-//!     [sharding_out.json] [durability_out.json] [--obs-out obs.json]
+//!     [sharding_out.json] [durability_out.json] [ingest_out.json] \
+//!     [--obs-out obs.json]
 //! ```
 //!
 //! Defaults: 10 000 placement users to `BENCH_placement.json`, 100 000
 //! streaming users to `BENCH_streaming.json` and `BENCH_sharding.json`,
-//! durable-store numbers to `BENCH_durability.json`, in the working
-//! directory. The durability JSON times the warm `open_durable` restart
+//! durable-store numbers to `BENCH_durability.json`, and concurrent
+//! multi-writer ingest throughput (writers 1/2/4/8 at 1/4/16 shards) to
+//! `BENCH_ingest.json`, in the working directory. The durability JSON times the warm `open_durable` restart
 //! at two write-ahead-log suffix lengths over the *same* crawl (replay
 //! cost must scale with the log, not the crawl), the snapshot rotation
 //! itself, and the from-scratch re-analysis a warm restart avoids. The sharding JSON records ingest posts/sec
@@ -36,7 +38,8 @@ use std::time::Instant;
 use crowdtz_bench::{synthetic_profiles, synthetic_traces};
 use crowdtz_core::{
     bootstrap_components_threads, clamped_threads, default_threads, place_user, BootstrapConfig,
-    GenericProfile, GeolocationPipeline, PlacementEngine, StreamingPipeline, ZoneGrid,
+    ConcurrentStreamingPipeline, GenericProfile, GeolocationPipeline, PlacementEngine,
+    StreamingPipeline, ZoneGrid,
 };
 use crowdtz_time::Timestamp;
 
@@ -86,6 +89,7 @@ fn main() {
     let durability_out = args
         .next()
         .unwrap_or_else(|| "BENCH_durability.json".into());
+    let ingest_out = args.next().unwrap_or_else(|| "BENCH_ingest.json".into());
     let runs = 5;
     let threads = default_threads();
 
@@ -205,6 +209,7 @@ fn main() {
     streaming_bench(streaming_users, threads, host_cpus, &streaming_out);
     sharding_bench(streaming_users, threads, host_cpus, &sharding_out);
     durability_bench(streaming_users, threads, host_cpus, &durability_out);
+    ingest_bench(streaming_users, host_cpus, &ingest_out);
 
     if let (Some(obs), Some(path)) = (&observer, &obs_out) {
         let report = obs.run_report("bench");
@@ -281,7 +286,10 @@ fn sharding_bench(users: usize, threads: usize, host_cpus: usize, out_path: &str
     let total_posts = (users * posts_per_user) as f64;
 
     let runs = 3;
-    let mut ingest_posts_per_sec = std::collections::BTreeMap::new();
+    // A sorted array of records, not a string-keyed map: consumers get
+    // shard counts as integers in ascending order instead of lexically
+    // ordered keys ("16" < "4").
+    let mut ingest_posts_per_sec = Vec::new();
     for shards in [1usize, 4, 16] {
         eprintln!("timing ingest at {shards} shards (best of {runs})…");
         let s = time_best(runs, || {
@@ -293,7 +301,10 @@ fn sharding_bench(users: usize, threads: usize, host_cpus: usize, out_path: &str
             streaming.ingest_set(&traces);
             streaming
         });
-        ingest_posts_per_sec.insert(shards.to_string(), total_posts / s);
+        ingest_posts_per_sec.push(serde_json::json!({
+            "shards": shards,
+            "posts_per_sec": total_posts / s,
+        }));
     }
 
     // Cache hit rate on a low-post crowd: with 2 posts per user the
@@ -338,6 +349,106 @@ fn sharding_bench(users: usize, threads: usize, host_cpus: usize, out_path: &str
     if low_rate < 0.5 {
         eprintln!("WARNING: low-post cache hit rate {low_rate:.2} — expected most users cached");
     }
+}
+
+/// Concurrent multi-writer ingest throughput (posts/sec) across writer
+/// counts 1/2/4/8 at 1/4/16 shards, written to `BENCH_ingest.json`.
+///
+/// Clamp-aware: every record carries the requested *and* effective
+/// writer count, and the per-shard scaling ratios (4 writers vs 1) are
+/// omitted entirely on a one-CPU host, where they would measure
+/// scheduler noise rather than lock-per-shard parallelism.
+fn ingest_bench(users: usize, host_cpus: usize, out_path: &str) {
+    // Ingest cost is per-batch lock traffic, not crowd scale; a modest
+    // crowd keeps the 12-combination sweep quick.
+    let users = users.min(20_000);
+    let posts_per_user = 40;
+    eprintln!("synthesizing {users} concurrent-ingest traces…");
+    let traces = synthetic_traces(users, posts_per_user, 31);
+    let per_user: Vec<(String, Vec<Timestamp>)> = traces
+        .iter()
+        .map(|t| (t.id().to_owned(), t.posts().to_vec()))
+        .collect();
+    let total_posts = (users * posts_per_user) as f64;
+
+    let runs = 3;
+    let writer_grid = [1usize, 2, 4, 8];
+    let mut records = Vec::new();
+    let mut scaling = Vec::new();
+    for shards in [1usize, 4, 16] {
+        let mut by_writers: Vec<(usize, f64)> = Vec::new();
+        for writers in writer_grid {
+            eprintln!(
+                "timing concurrent ingest at {shards} shards / {writers} writers \
+                 (best of {runs})…"
+            );
+            // Deal users round-robin so every writer carries an equal,
+            // shard-mixed share; each ingest call is a 64-user batch
+            // (one gate hold, one watermark step).
+            let schedules: Vec<Vec<&(String, Vec<Timestamp>)>> = {
+                let mut schedules = vec![Vec::new(); writers];
+                for (i, delta) in per_user.iter().enumerate() {
+                    schedules[i % writers].push(delta);
+                }
+                schedules
+            };
+            let secs = time_best(runs, || {
+                let engine = ConcurrentStreamingPipeline::new(
+                    GeolocationPipeline::default().shards(shards).threads(1),
+                );
+                std::thread::scope(|scope| {
+                    for schedule in &schedules {
+                        let writer = engine.writer();
+                        scope.spawn(move || {
+                            for chunk in schedule.chunks(64) {
+                                let deltas: Vec<(&str, &[Timestamp])> = chunk
+                                    .iter()
+                                    .map(|(user, posts)| (user.as_str(), posts.as_slice()))
+                                    .collect();
+                                writer.ingest_deltas(&deltas).expect("plain ingest");
+                            }
+                        });
+                    }
+                });
+                engine
+            });
+            let posts_per_sec = total_posts / secs;
+            by_writers.push((writers, posts_per_sec));
+            records.push(serde_json::json!({
+                "shards": shards,
+                "writers": writers,
+                "writers_effective": clamped_threads(writers),
+                "posts_per_sec": posts_per_sec,
+            }));
+        }
+        if host_cpus > 1 {
+            let one = by_writers[0].1;
+            let four = by_writers[2].1;
+            scaling.push(serde_json::json!({
+                "shards": shards,
+                "speedup_4_writers_vs_1": four / one,
+            }));
+        }
+    }
+
+    let mut report = serde_json::json!({
+        "users": users,
+        "posts_per_user": posts_per_user,
+        "host_cpus": host_cpus,
+        "writer_grid": writer_grid,
+        "ingest_posts_per_sec": records,
+    });
+    if host_cpus > 1 {
+        if let serde_json::Value::Object(fields) = &mut report {
+            fields.push(("scaling".to_string(), serde_json::Value::Array(scaling)));
+        }
+    } else {
+        eprintln!("note: host has 1 CPU — writer-scaling ratios omitted (not measurable)");
+    }
+    let json = serde_json::to_string_pretty(&report).expect("serialize ingest report");
+    std::fs::write(out_path, format!("{json}\n")).expect("write ingest telemetry");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
 }
 
 /// Warm-restart cost of the durable store at two log-suffix lengths

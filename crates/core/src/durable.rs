@@ -185,6 +185,67 @@ impl StreamingPipeline {
     }
 }
 
+/// Encodes a plain (source-less) ingest batch as one WAL record — the
+/// concurrent engine's writer path (`concurrent.rs`) appends these under
+/// its WAL lock before applying the deltas in memory, so the write-ahead
+/// contract is the same one [`DurableStreamingPipeline::ingest`] keeps.
+/// Recovery replays the record through [`apply_batch`] unchanged.
+pub(crate) fn encode_plain_batch(deltas: &[(&str, &[Timestamp])]) -> Result<Vec<u8>, CoreError> {
+    let batch = LogBatch {
+        source_seq: 0,
+        checkpoint: None,
+        deltas: deltas
+            .iter()
+            .map(|(user, posts)| {
+                (
+                    (*user).to_owned(),
+                    posts.iter().map(|t| t.as_secs()).collect(),
+                )
+            })
+            .collect(),
+    };
+    encode_json("log record", &batch)
+}
+
+/// Builds the full snapshot part set — one [`ShardSnap`] per shard in
+/// shard-index order, then the [`MetaSnap`] — for the engine's current
+/// in-memory state. Shared by [`DurableStreamingPipeline::checkpoint_now`]
+/// and the concurrent engine's publish-time rotation (`concurrent.rs`),
+/// so both persist byte-identical generations for identical state.
+pub(crate) fn build_snapshot_parts(
+    stream: &StreamingPipeline,
+    source_seq: u64,
+    checkpoint: Option<&str>,
+) -> Result<Vec<Vec<u8>>, CoreError> {
+    let mut parts: Vec<Result<Vec<u8>, CoreError>> = Vec::new();
+    stream.shards_ref().for_each_shard(|users, dirty| {
+        let snap = ShardSnap {
+            users: users
+                .iter()
+                .map(|(id, acc)| UserSnap {
+                    id: id.clone(),
+                    slots: acc.slots.clone(),
+                    posts: acc.posts as u64,
+                    analysis: acc.analysis.as_ref().map(|a| AnalysisSnap {
+                        flat: a.flat,
+                        placed: a.placement.is_some(),
+                        zone: a.placement.as_ref().map_or(0, UserPlacement::zone_hours),
+                        emd_bits: a.placement.as_ref().map_or(0, |p| p.emd().to_bits()),
+                    }),
+                })
+                .collect(),
+            dirty: dirty.iter().cloned().collect(),
+        };
+        parts.push(encode_json("shard snapshot", &snap));
+    });
+    let meta = MetaSnap {
+        source_seq,
+        checkpoint: checkpoint.map(str::to_owned),
+    };
+    parts.push(encode_json("snapshot meta", &meta));
+    parts.into_iter().collect()
+}
+
 /// Replays one logged batch through the normal delta-update path.
 fn apply_batch(inner: &mut StreamingPipeline, batch: &LogBatch) {
     for (user, secs) in &batch.deltas {
@@ -341,33 +402,7 @@ impl DurableStreamingPipeline {
     /// threshold; callers can also invoke it explicitly (e.g. before a
     /// planned shutdown). Returns the generation number.
     pub fn checkpoint_now(&mut self) -> Result<u64, CoreError> {
-        let mut parts: Vec<Result<Vec<u8>, CoreError>> = Vec::new();
-        self.inner.shards_ref().for_each_shard(|users, dirty| {
-            let snap = ShardSnap {
-                users: users
-                    .iter()
-                    .map(|(id, acc)| UserSnap {
-                        id: id.clone(),
-                        slots: acc.slots.clone(),
-                        posts: acc.posts as u64,
-                        analysis: acc.analysis.as_ref().map(|a| AnalysisSnap {
-                            flat: a.flat,
-                            placed: a.placement.is_some(),
-                            zone: a.placement.as_ref().map_or(0, UserPlacement::zone_hours),
-                            emd_bits: a.placement.as_ref().map_or(0, |p| p.emd().to_bits()),
-                        }),
-                    })
-                    .collect(),
-                dirty: dirty.iter().cloned().collect(),
-            };
-            parts.push(encode_json("shard snapshot", &snap));
-        });
-        let meta = MetaSnap {
-            source_seq: self.source_seq,
-            checkpoint: self.checkpoint.clone(),
-        };
-        parts.push(encode_json("snapshot meta", &meta));
-        let parts = parts.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let parts = build_snapshot_parts(&self.inner, self.source_seq, self.checkpoint.as_deref())?;
         let last_seq = self.store.last_seq();
         Ok(self.store.write_snapshot(last_seq, &parts)?)
     }
@@ -413,5 +448,13 @@ impl DurableStreamingPipeline {
     /// snapshot rotation mid-ingest.
     pub fn snapshot_every_bytes(&mut self, bytes: u64) {
         self.store.set_compact_threshold(bytes);
+    }
+
+    /// Splits the durable engine into its pieces. The concurrent engine
+    /// (`concurrent.rs`) recovers through the normal
+    /// [`StreamingPipeline::open_durable_with`] path and then re-homes
+    /// the stream and the store behind its own locks.
+    pub(crate) fn into_parts(self) -> (StreamingPipeline, DurableStore, u64, Option<String>) {
+        (self.inner, self.store, self.source_seq, self.checkpoint)
     }
 }

@@ -57,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod concurrent;
 mod confidence;
 mod crowd;
 mod durable;
@@ -72,6 +73,7 @@ mod shard;
 mod single;
 mod streaming;
 
+pub use concurrent::{ConcurrentStreamingPipeline, IngestWriter, PublishedReport};
 pub use confidence::{
     bootstrap_components, bootstrap_components_threads, BootstrapConfig, ComponentConfidence,
 };

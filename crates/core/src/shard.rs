@@ -10,6 +10,15 @@
 //! concurrently** — each worker owns whole shards, no locks, no shared
 //! mutable state.
 //!
+//! Since ISSUE 8 each shard additionally sits behind its own mutex, so a
+//! [`ConcurrentStreamingPipeline`](crate::ConcurrentStreamingPipeline)
+//! can drive the same shards from **many writer threads at once**
+//! ([`ShardSet::ingest_batch_shared`]): writers route by the same FNV
+//! hash and lock one shard at a time, so two writers touching different
+//! shards never contend. The single-owner `&mut` paths are unchanged in
+//! cost — they reach through the mutexes with
+//! [`Mutex::get_mut`], which is a plain borrow, not a lock.
+//!
 //! # Determinism
 //!
 //! Sharding never changes a byte of analysis output, for any shard count
@@ -22,7 +31,10 @@
 //!   user stay in their original relative order inside that user's
 //!   shard. Deltas for *different* users commute — each accumulator is
 //!   independent — so applying shards concurrently is observationally
-//!   identical to the serial loop.
+//!   identical to the serial loop. (Deltas for the *same* user commute
+//!   too: the accumulator state is a slot-set union plus integer adds,
+//!   so even the multi-writer path needs no cross-writer ordering — see
+//!   DESIGN.md §15.)
 //! * The dirty set is drained in **globally sorted user-id order**
 //!   ([`ShardSet::take_dirty_sorted`]), exactly the order the unsharded
 //!   engine's single `BTreeSet` produced. Everything downstream
@@ -30,11 +42,15 @@
 //!   same users in the same order regardless of the shard count.
 //!
 //! `tests/sharding_determinism.rs` asserts the resulting snapshots are
-//! byte-identical across shard counts {1, 4, 16} × threads {1, 2, 8}.
+//! byte-identical across shard counts {1, 4, 16} × threads {1, 2, 8};
+//! `tests/concurrent_determinism.rs` extends the same assertion to
+//! multi-writer ingestion.
 //!
 //! [FNV-1a]: http://www.isthe.com/chongo/tech/comp/fnv/
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
 
 use crowdtz_stats::BINS;
 use crowdtz_time::{Timestamp, TzOffset};
@@ -64,13 +80,38 @@ pub fn default_shards() -> usize {
 /// 64-bit FNV-1a over the user id — stable across platforms and runs
 /// (unlike `std`'s randomized `DefaultHasher`), cheap, and well mixed on
 /// short ASCII ids.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325_u64;
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// Lock a shard mutex, surviving poisoning: accumulator state is plain
+/// data, and a writer that panicked mid-batch leaves at worst a
+/// partially applied batch — the same state an interrupted sequential
+/// loop would leave.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// `Mutex::get_mut` with the same poisoning policy as [`relock`].
+fn remut<T>(m: &mut Mutex<T>) -> &mut T {
+    m.get_mut().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Observability handles for the multi-writer ingest path, created once
+/// by the concurrent engine and passed down so the per-batch cost is an
+/// atomic add, not a registry lookup.
+#[derive(Debug, Clone)]
+pub(crate) struct SharedIngestObs {
+    /// `ingest.lock_wait_ns`: nanoseconds spent blocked on a contended
+    /// shard (or gate) lock — one observation per contended acquisition.
+    pub(crate) lock_wait: crowdtz_obs::Histogram,
+    /// `ingest.shard_contention`: shard-lock acquisitions that blocked.
+    pub(crate) shard_contention: crowdtz_obs::Counter,
 }
 
 /// Per-user integer accumulator: everything needed to rebuild the user's
@@ -151,6 +192,11 @@ impl UserAnalysis {
 struct Shard {
     users: BTreeMap<String, UserAccumulator>,
     dirty: BTreeSet<String>,
+    /// Monotonic count of deltas ever applied to this shard — the
+    /// per-shard sequence number the concurrent engine's publications
+    /// carry. Purely observational: the analysis output is a function of
+    /// the accumulator state alone.
+    seq: u64,
 }
 
 impl Shard {
@@ -164,21 +210,38 @@ impl Shard {
         // Any non-empty delta changes the profile (at minimum its post
         // count), so the user must be re-analyzed.
         self.dirty.insert(user.to_owned());
+        self.seq += 1;
     }
 }
 
 /// N hash-partitioned shards of per-user accumulators with per-shard
-/// dirty sets. See the module docs for the determinism argument.
-#[derive(Debug, Clone)]
+/// dirty sets, each behind its own mutex. See the module docs for the
+/// determinism argument; single-owner paths bypass the mutexes with
+/// `get_mut`, multi-writer paths lock one shard at a time.
+#[derive(Debug)]
 pub(crate) struct ShardSet {
-    shards: Vec<Shard>,
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl Clone for ShardSet {
+    fn clone(&self) -> ShardSet {
+        ShardSet {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| Mutex::new(relock(s).clone()))
+                .collect(),
+        }
+    }
 }
 
 impl ShardSet {
     /// A set of `shards` empty shards (at least 1).
     pub(crate) fn new(shards: usize) -> ShardSet {
         ShardSet {
-            shards: vec![Shard::default(); shards.max(1)],
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
         }
     }
 
@@ -191,27 +254,45 @@ impl ShardSet {
         (fnv1a(user.as_bytes()) % self.shards.len() as u64) as usize
     }
 
-    /// The user's accumulator, if ever ingested.
-    pub(crate) fn acc(&self, user: &str) -> Option<&UserAccumulator> {
-        self.shards[self.shard_of(user)].users.get(user)
+    /// The accumulators for `ids` in the given order — the refresh
+    /// phase-1 read. Single-owner access: reaches through the mutexes
+    /// without locking.
+    pub(crate) fn accs_for(&mut self, ids: &[String]) -> Vec<&UserAccumulator> {
+        let count = self.shards.len() as u64;
+        let maps: Vec<&BTreeMap<String, UserAccumulator>> =
+            self.shards.iter_mut().map(|m| &remut(m).users).collect();
+        ids.iter()
+            .map(|id| {
+                let shard = (fnv1a(id.as_bytes()) % count) as usize;
+                maps[shard].get(id).expect("dirty user exists")
+            })
+            .collect()
     }
 
-    /// Mutable access to the user's accumulator.
+    /// The user's accumulator, if ever ingested (single-owner access).
+    #[cfg(test)]
+    pub(crate) fn acc(&mut self, user: &str) -> Option<&UserAccumulator> {
+        let shard = self.shard_of(user);
+        remut(&mut self.shards[shard]).users.get(user)
+    }
+
+    /// Mutable access to the user's accumulator (single-owner access).
     pub(crate) fn acc_mut(&mut self, user: &str) -> Option<&mut UserAccumulator> {
         let shard = self.shard_of(user);
-        self.shards[shard].users.get_mut(user)
+        remut(&mut self.shards[shard]).users.get_mut(user)
     }
 
-    /// Routes and applies a single delta.
+    /// Routes and applies a single delta (single-owner access).
     pub(crate) fn ingest(&mut self, user: &str, posts: &[Timestamp]) {
         let shard = self.shard_of(user);
-        self.shards[shard].ingest(user, posts);
+        remut(&mut self.shards[shard]).ingest(user, posts);
     }
 
     /// Routes a batch of deltas to their shards (in arrival order), then
     /// applies the shards concurrently on up to `threads` workers — each
     /// worker owns a contiguous run of whole shards, so no two threads
-    /// ever touch the same accumulator.
+    /// ever touch the same accumulator. Single-owner access: workers
+    /// split the mutexes mutably instead of locking them.
     pub(crate) fn ingest_batch(&mut self, deltas: &[(&str, &[Timestamp])], threads: usize) {
         let mut routed: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (i, (user, _)) in deltas.iter().enumerate() {
@@ -220,6 +301,7 @@ impl ShardSet {
         let threads = clamped_threads(threads).min(self.shards.len());
         if threads == 1 {
             for (shard, idxs) in self.shards.iter_mut().zip(&routed) {
+                let shard = remut(shard);
                 for &i in idxs {
                     let (user, posts) = deltas[i];
                     shard.ingest(user, posts);
@@ -227,7 +309,8 @@ impl ShardSet {
             }
             return;
         }
-        let mut work: Vec<(&mut Shard, Vec<usize>)> = self.shards.iter_mut().zip(routed).collect();
+        let mut work: Vec<(&mut Shard, Vec<usize>)> =
+            self.shards.iter_mut().map(remut).zip(routed).collect();
         let chunk_len = work.len().div_ceil(threads);
         crossbeam::thread::scope(|scope| {
             for chunk in work.chunks_mut(chunk_len) {
@@ -244,6 +327,48 @@ impl ShardSet {
         .expect("thread scope failed");
     }
 
+    /// Multi-writer batch ingest: routes the batch per shard, then locks
+    /// each touched shard **once**, applies its deltas in arrival order,
+    /// and releases before moving to the next — at most one shard lock is
+    /// held at a time, so writer/writer deadlock is impossible and two
+    /// writers whose batches route to disjoint shards never contend.
+    ///
+    /// Contended acquisitions are counted and their wait timed into the
+    /// `ingest.*` metrics when `obs` is attached; the uncontended fast
+    /// path costs one `try_lock`.
+    pub(crate) fn ingest_batch_shared(
+        &self,
+        deltas: &[(&str, &[Timestamp])],
+        obs: Option<&SharedIngestObs>,
+    ) {
+        let mut routed: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, (user, _)) in deltas.iter().enumerate() {
+            routed[self.shard_of(user)].push(i);
+        }
+        for (mutex, idxs) in self.shards.iter().zip(&routed) {
+            if idxs.is_empty() {
+                continue;
+            }
+            let mut shard = match mutex.try_lock() {
+                Ok(guard) => guard,
+                Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    let start = Instant::now();
+                    let guard = relock(mutex);
+                    if let Some(obs) = obs {
+                        obs.shard_contention.inc();
+                        obs.lock_wait.observe(start.elapsed().as_nanos() as u64);
+                    }
+                    guard
+                }
+            };
+            for &i in idxs {
+                let (user, posts) = deltas[i];
+                shard.ingest(user, posts);
+            }
+        }
+    }
+
     /// Drains every shard's dirty set into one globally id-sorted vector —
     /// the merge point where sharding disappears: downstream refresh work
     /// sees exactly the order a single `BTreeSet` would have produced.
@@ -251,7 +376,7 @@ impl ShardSet {
         let mut dirty: Vec<String> = self
             .shards
             .iter_mut()
-            .flat_map(|s| std::mem::take(&mut s.dirty))
+            .flat_map(|s| std::mem::take(&mut remut(s).dirty))
             .collect();
         // Each shard's run is already sorted; one global sort merges them.
         dirty.sort_unstable();
@@ -260,36 +385,43 @@ impl ShardSet {
 
     /// Total dirty users across all shards.
     pub(crate) fn dirty_len(&self) -> usize {
-        self.shards.iter().map(|s| s.dirty.len()).sum()
+        self.shards.iter().map(|s| relock(s).dirty.len()).sum()
     }
 
     /// Total users ever ingested.
     pub(crate) fn users_tracked(&self) -> usize {
-        self.shards.iter().map(|s| s.users.len()).sum()
+        self.shards.iter().map(|s| relock(s).users.len()).sum()
     }
 
     /// Total posts ingested (duplicates included).
     pub(crate) fn posts_ingested(&self) -> usize {
         self.shards
             .iter()
-            .flat_map(|s| s.users.values())
-            .map(|a| a.posts)
+            .map(|s| relock(s).users.values().map(|a| a.posts).sum::<usize>())
             .sum()
     }
 
     /// Users per shard, in shard-index order — the occupancy the
     /// observability layer gauges.
     pub(crate) fn occupancy(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.users.len()).collect()
+        self.shards.iter().map(|s| relock(s).users.len()).collect()
+    }
+
+    /// Deltas ever applied per shard, in shard-index order.
+    #[cfg(test)]
+    pub(crate) fn shard_seqs(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| relock(s).seq).collect()
     }
 
     /// Visits every shard in index order with its id-sorted accumulator
-    /// map and dirty set — the export side of durable snapshots.
+    /// map and dirty set — the export side of durable snapshots. Locks
+    /// each shard for the duration of its visit.
     pub(crate) fn for_each_shard<F>(&self, mut f: F)
     where
         F: FnMut(&BTreeMap<String, UserAccumulator>, &BTreeSet<String>),
     {
         for shard in &self.shards {
+            let shard = relock(shard);
             f(&shard.users, &shard.dirty);
         }
     }
@@ -301,17 +433,21 @@ impl ShardSet {
     /// refresh when the snapshot was taken.
     pub(crate) fn restore_user(&mut self, id: String, acc: UserAccumulator, dirty: bool) {
         let shard = self.shard_of(&id);
+        let shard = remut(&mut self.shards[shard]);
         if dirty {
-            self.shards[shard].dirty.insert(id.clone());
+            shard.dirty.insert(id.clone());
         }
-        self.shards[shard].users.insert(id, acc);
+        shard.users.insert(id, acc);
     }
 
     /// Every user across all shards in global id order — the recovery
     /// pass that rebuilds the engine's derived state walks this once.
-    pub(crate) fn all_users_sorted(&self) -> Vec<(&String, &UserAccumulator)> {
-        let mut all: Vec<(&String, &UserAccumulator)> =
-            self.shards.iter().flat_map(|s| s.users.iter()).collect();
+    pub(crate) fn all_users_sorted(&mut self) -> Vec<(&String, &UserAccumulator)> {
+        let mut all: Vec<(&String, &UserAccumulator)> = self
+            .shards
+            .iter_mut()
+            .flat_map(|s| remut(s).users.iter())
+            .collect();
         all.sort_unstable_by_key(|&(id, _)| id);
         all
     }
@@ -381,12 +517,74 @@ mod tests {
                 s.take_dirty_sorted()
             });
             for user in (0..13).map(|i| format!("u{i:02}")) {
-                let a = batched.acc(&user).expect("user ingested");
+                let a = batched.acc(&user).expect("user ingested").clone();
                 let b = serial.acc(&user).expect("user ingested");
                 assert_eq!(a.slots, b.slots);
                 assert_eq!(a.hour_counts, b.hour_counts);
                 assert_eq!(a.posts, b.posts);
             }
+        }
+    }
+
+    #[test]
+    fn shared_batch_ingest_matches_owned_batch_ingest() {
+        let deltas: Vec<(String, Vec<Timestamp>)> = (0..60)
+            .map(|i| {
+                (
+                    format!("w{:02}", i % 17),
+                    (0..2).map(|j| ts(i * 7 + j)).collect(),
+                )
+            })
+            .collect();
+        let borrowed: Vec<(&str, &[Timestamp])> = deltas
+            .iter()
+            .map(|(u, p)| (u.as_str(), p.as_slice()))
+            .collect();
+        let mut owned = ShardSet::new(4);
+        owned.ingest_batch(&borrowed, 1);
+        let shared = ShardSet::new(4);
+        shared.ingest_batch_shared(&borrowed, None);
+        let mut shared = shared;
+        assert_eq!(shared.users_tracked(), owned.users_tracked());
+        assert_eq!(shared.posts_ingested(), owned.posts_ingested());
+        assert_eq!(shared.shard_seqs(), owned.shard_seqs());
+        assert_eq!(shared.take_dirty_sorted(), owned.take_dirty_sorted());
+    }
+
+    #[test]
+    fn shared_ingest_from_many_threads_converges_to_the_serial_state() {
+        // 8 threads, disjoint delta slices: the final accumulator state
+        // must equal the serial loop's, whatever the interleaving.
+        let deltas: Vec<(String, Vec<Timestamp>)> = (0..160)
+            .map(|i| (format!("c{:02}", i % 23), vec![ts(i), ts(i + 3)]))
+            .collect();
+        let mut serial = ShardSet::new(4);
+        for (u, p) in &deltas {
+            serial.ingest(u, p);
+        }
+        let shared = ShardSet::new(4);
+        std::thread::scope(|scope| {
+            for chunk in deltas.chunks(20) {
+                let shared = &shared;
+                scope.spawn(move || {
+                    for (u, p) in chunk {
+                        let one = [(u.as_str(), p.as_slice())];
+                        shared.ingest_batch_shared(&one, None);
+                    }
+                });
+            }
+        });
+        let mut shared = shared;
+        assert_eq!(shared.posts_ingested(), serial.posts_ingested());
+        assert_eq!(shared.shard_seqs(), serial.shard_seqs());
+        assert_eq!(shared.take_dirty_sorted(), serial.take_dirty_sorted());
+        let ids: Vec<String> = (0..23).map(|i| format!("c{i:02}")).collect();
+        for id in &ids {
+            let got = shared.acc(id).expect("user ingested").clone();
+            let want = serial.acc(id).expect("user ingested");
+            assert_eq!(got.slots, want.slots, "{id}");
+            assert_eq!(got.hour_counts, want.hour_counts, "{id}");
+            assert_eq!(got.posts, want.posts, "{id}");
         }
     }
 
@@ -417,11 +615,35 @@ mod tests {
     }
 
     #[test]
+    fn accumulator_absorb_commutes_across_delta_order() {
+        // The multi-writer determinism argument rests on this: absorbing
+        // the same deltas in any order yields identical state.
+        let deltas: Vec<Vec<Timestamp>> = vec![
+            vec![ts(10), ts(4)],
+            vec![ts(4), ts(200)],
+            vec![ts(77)],
+            vec![ts(10), ts(10), ts(5)],
+        ];
+        let mut forward = UserAccumulator::default();
+        for d in &deltas {
+            forward.absorb(d);
+        }
+        let mut reverse = UserAccumulator::default();
+        for d in deltas.iter().rev() {
+            reverse.absorb(d);
+        }
+        assert_eq!(forward.slots, reverse.slots);
+        assert_eq!(forward.hour_counts, reverse.hour_counts);
+        assert_eq!(forward.posts, reverse.posts);
+    }
+
+    #[test]
     fn empty_delta_is_ignored() {
         let mut set = ShardSet::new(3);
         set.ingest("ghost", &[]);
         assert_eq!(set.users_tracked(), 0);
         assert_eq!(set.dirty_len(), 0);
+        assert_eq!(set.shard_seqs(), vec![0, 0, 0]);
     }
 
     #[test]

@@ -67,12 +67,12 @@ use crowdtz_stats::{Distribution24, Histogram24, BINS};
 use crowdtz_time::{Timestamp, TraceSet, UserTrace};
 
 use crate::crowd::CrowdProfile;
-use crate::engine::{chunked_map, PlacementCache, PlacementEngine};
+use crate::engine::{chunked_map, PlacementCache, PlacementEngine, SharedPlacementCache};
 use crate::error::CoreError;
 use crate::pipeline::{GeolocationPipeline, GeolocationReport};
 use crate::placement::{PlacementHistogram, UserPlacement};
 use crate::profile::ActivityProfile;
-use crate::shard::{ShardSet, UserAccumulator, UserAnalysis};
+use crate::shard::{ShardSet, SharedIngestObs, UserAccumulator, UserAnalysis};
 use crate::single::{MultiRegionFit, SingleRegionFit};
 
 /// How [`StreamingPipeline::snapshot`] refits the mixture when the
@@ -131,6 +131,22 @@ impl StreamObs {
     }
 }
 
+/// Which placement cache the pipeline resolves through.
+///
+/// The default is a **private** sequential cache: probes happen in input
+/// order under `&mut self`, so hit/miss/eviction counts are a pure
+/// function of the ingest history (the property the observability tests
+/// pin). The concurrent engine (`concurrent.rs`) switches the pipeline to
+/// a **shared** lock-striped cache so resolvers on other pipelines reuse
+/// the same entries; resolutions stay byte-identical (both backends only
+/// ever return values the same kernel computed from bit-identical CDFs),
+/// but the hit/miss split becomes schedule-dependent.
+#[derive(Debug, Clone)]
+enum CacheBackend {
+    Private(PlacementCache),
+    Shared(Arc<SharedPlacementCache>),
+}
+
 /// The last mixture fit, keyed by the exact zone counts it was computed
 /// from: identical counts → identical histogram → the cached fit *is* the
 /// refit, bit for bit.
@@ -173,8 +189,9 @@ pub struct StreamingPipeline {
     /// ([`GeolocationPipeline::shards`] sets the partition count).
     shards: ShardSet,
     /// CDF-keyed placement cache, persistent across refreshes
-    /// ([`GeolocationPipeline::placement_cache`] toggles it).
-    cache: PlacementCache,
+    /// ([`GeolocationPipeline::placement_cache`] toggles it; the
+    /// concurrent engine swaps in a shared striped backend).
+    cache: CacheBackend,
     /// Kept users' profiles in user-id order — exactly the vector the
     /// batch pipeline would build, patched in place per dirty user and
     /// shared with every snapshot through its [`Arc`]. `Arc::make_mut`
@@ -204,7 +221,7 @@ impl StreamingPipeline {
         let engine = PlacementEngine::with_grid(pipeline.generic(), grid);
         let obs = pipeline.obs().map(StreamObs::new);
         let shards = ShardSet::new(pipeline.effective_shards());
-        let cache = PlacementCache::new(pipeline.placement_cache_enabled());
+        let cache = CacheBackend::Private(PlacementCache::new(pipeline.placement_cache_enabled()));
         StreamingPipeline {
             pipeline,
             engine,
@@ -224,6 +241,19 @@ impl StreamingPipeline {
     #[must_use]
     pub fn refit_mode(mut self, refit: RefitMode) -> StreamingPipeline {
         self.refit = refit;
+        self
+    }
+
+    /// Switches placement resolution onto a lock-striped cache shared
+    /// with other resolvers — the concurrent engine's backend. Results
+    /// are byte-identical to the private cache (see [`CacheBackend`]);
+    /// hit/miss counts become schedule-dependent under concurrency.
+    #[must_use]
+    pub(crate) fn with_shared_cache(
+        mut self,
+        cache: Arc<SharedPlacementCache>,
+    ) -> StreamingPipeline {
+        self.cache = CacheBackend::Shared(cache);
         self
     }
 
@@ -259,9 +289,13 @@ impl StreamingPipeline {
     }
 
     /// Lifetime placement-cache `(hits, misses)`. With the cache disabled
-    /// every resolution counts as a miss.
+    /// every resolution counts as a miss. On the shared backend the
+    /// counts span every pipeline attached to the cache.
     pub fn cache_stats(&self) -> (u64, u64) {
-        self.cache.stats()
+        match &self.cache {
+            CacheBackend::Private(cache) => cache.stats(),
+            CacheBackend::Shared(cache) => cache.stats(),
+        }
     }
 
     /// Shard store access for the durable-persistence layer (`durable.rs`).
@@ -374,6 +408,31 @@ impl StreamingPipeline {
             .ingest_batch(deltas, self.pipeline.effective_threads());
     }
 
+    /// [`ingest_deltas`](Self::ingest_deltas) through a **shared**
+    /// reference — the concurrent engine's writer path (`concurrent.rs`).
+    ///
+    /// The batch locks one shard at a time
+    /// ([`ShardSet::ingest_batch_shared`]) and every metric update is an
+    /// atomic add, so any number of writer threads may call this at once;
+    /// deltas commute (see `shard.rs`), so the final accumulator state —
+    /// and with it every later snapshot — is identical to a serial
+    /// application of the same batches in any order.
+    pub(crate) fn ingest_deltas_shared(
+        &self,
+        deltas: &[(&str, &[Timestamp])],
+        ingest_obs: Option<&SharedIngestObs>,
+    ) {
+        if deltas.is_empty() {
+            return;
+        }
+        if let Some(obs) = &self.obs {
+            let posts: usize = deltas.iter().map(|(_, p)| p.len()).sum();
+            obs.posts.add(posts as u64);
+            obs.deltas.add(deltas.len() as u64);
+        }
+        self.shards.ingest_batch_shared(deltas, ingest_obs);
+    }
+
     /// Re-analyzes exactly the dirty users: drain every shard's dirty set
     /// in globally sorted id order, rebuild the changed profiles in
     /// parallel, resolve their CDFs through the placement cache (parallel
@@ -400,10 +459,7 @@ impl StreamingPipeline {
         // Phase 1 (parallel, pure): rebuild each dirty user's distribution
         // and CDF from its integer accumulator.
         let prepared: Vec<Option<(Distribution24, [f64; BINS])>> = {
-            let work: Vec<&UserAccumulator> = dirty
-                .iter()
-                .map(|id| self.shards.acc(id).expect("dirty user exists"))
-                .collect();
+            let work: Vec<&UserAccumulator> = self.shards.accs_for(&dirty);
             chunked_map(&work, threads, |&acc| Self::prepare_user(acc, min_posts))
         };
         // Phase 2: resolve the eligible CDFs through the placement cache
@@ -412,9 +468,16 @@ impl StreamingPipeline {
             .iter()
             .filter_map(|p| p.as_ref().map(|&(_, cdf)| cdf))
             .collect();
-        let resolved =
-            self.engine
-                .resolve_cdfs(&cdfs, &mut self.cache, threads, observer.as_deref());
+        let resolved = match &mut self.cache {
+            CacheBackend::Private(cache) => {
+                self.engine
+                    .resolve_cdfs(&cdfs, cache, threads, observer.as_deref())
+            }
+            CacheBackend::Shared(cache) => {
+                self.engine
+                    .resolve_cdfs_striped(&cdfs, cache, threads, observer.as_deref())
+            }
+        };
         // Phase 3 (sequential): assemble analyses and patch shared state.
         let mut resolutions = resolved.into_iter();
         let mut placed = 0u64;

@@ -23,8 +23,11 @@ pub type VfsResult<T> = Result<T, StoreError>;
 /// Minimal filesystem interface the store is written against.
 ///
 /// Methods take `&self`; implementations keep any bookkeeping behind
-/// interior mutability so a store can hold `Box<dyn Vfs>`.
-pub trait Vfs: std::fmt::Debug {
+/// *thread-safe* interior mutability (`Send + Sync` is a supertrait) so
+/// a store can hold `Box<dyn Vfs>` and still cross threads — the
+/// concurrent ingestion engine shares one durable store between
+/// writers.
+pub trait Vfs: std::fmt::Debug + Send + Sync {
     /// Read the entire contents of `path`.
     fn read(&self, path: &Path) -> VfsResult<Vec<u8>>;
 

@@ -18,6 +18,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod live;
+
 pub use crowdtz_core as core;
 pub use crowdtz_forum as forum;
 pub use crowdtz_stats as stats;

@@ -24,9 +24,25 @@ the bench bin's ``BENCH_placement.json``), additionally fails when the
 batch kernel's single-thread users/sec on any zone grid (24/48/96)
 dropped more than ``THRESHOLD``x against the baseline.
 
+With the optional sharding pair (``--sharding base.json current.json``,
+the bench bin's ``BENCH_sharding.json``), additionally fails when the
+sequential ingest throughput at any shard count dropped more than
+``THRESHOLD``x. Records are the sorted ``{shards, posts_per_sec}`` array
+the bench emits.
+
+With the optional ingest pair (``--ingest base.json current.json``, the
+bench bin's ``BENCH_ingest.json``), additionally fails when concurrent
+multi-writer ingest throughput at any (shards, writers) combination
+dropped more than ``THRESHOLD``x. The check is clamp-aware: writer
+counts above either run's ``host_cpus`` are skipped (an oversubscribed
+writer pool measures scheduler noise, not the lock-per-shard engine),
+so on a one-CPU host only the single-writer rows are gated.
+
 Usage: ``obs_gate.py baseline.json current.json``
        ``obs_gate.py baseline.json current.json base_durability.json current_durability.json``
        ``obs_gate.py ... --placement base_placement.json current_placement.json``
+       ``obs_gate.py ... --sharding base_sharding.json current_sharding.json``
+       ``obs_gate.py ... --ingest base_ingest.json current_ingest.json``
 
 Wall times are noisy on shared CI runners, so stages where *both* runs
 spent less than ``MIN_STAGE_NS`` are ignored, and the exact-evals check
@@ -97,16 +113,72 @@ def check_placement(base, cur, failures):
     return checked
 
 
+def check_sharding(base, cur, failures):
+    """Gate BENCH_sharding.json: sequential ingest posts/sec per shard
+    count must stay within THRESHOLD. Returns comparisons made."""
+    checked = 0
+    base_rows = {r["shards"]: r["posts_per_sec"] for r in base.get("ingest_posts_per_sec", [])}
+    for row in cur.get("ingest_posts_per_sec", []):
+        prev = base_rows.get(row["shards"])
+        now = row["posts_per_sec"]
+        if prev is None or prev <= 0 or now <= 0:
+            continue
+        checked += 1
+        ratio = prev / now
+        if ratio > THRESHOLD:
+            failures.append(
+                f"sharding ingest, {row['shards']} shards: {prev:,.0f} posts/s -> "
+                f"{now:,.0f} posts/s ({ratio:.2f}x slower)"
+            )
+    return checked
+
+
+def check_ingest(base, cur, failures):
+    """Gate BENCH_ingest.json: concurrent multi-writer ingest posts/sec
+    per (shards, writers) must stay within THRESHOLD. Clamp-aware: rows
+    whose writer count exceeds either run's host_cpus are skipped — an
+    oversubscribed pool measures the scheduler, not the engine. Returns
+    comparisons made."""
+    checked = 0
+    measurable = min(base.get("host_cpus", 1), cur.get("host_cpus", 1))
+    base_rows = {
+        (r["shards"], r["writers"]): r["posts_per_sec"]
+        for r in base.get("ingest_posts_per_sec", [])
+    }
+    for row in cur.get("ingest_posts_per_sec", []):
+        if row["writers"] > max(measurable, 1):
+            continue
+        prev = base_rows.get((row["shards"], row["writers"]))
+        now = row["posts_per_sec"]
+        if prev is None or prev <= 0 or now <= 0:
+            continue
+        checked += 1
+        ratio = prev / now
+        if ratio > THRESHOLD:
+            failures.append(
+                f"concurrent ingest, {row['shards']} shards x {row['writers']} writers: "
+                f"{prev:,.0f} posts/s -> {now:,.0f} posts/s ({ratio:.2f}x slower)"
+            )
+    return checked
+
+
+def pop_pair(argv, flag):
+    """Extract ``flag base cur`` from argv; returns (pair or None, argv)."""
+    if flag not in argv:
+        return None, argv
+    i = argv.index(flag)
+    pair = argv[i + 1 : i + 3]
+    if len(pair) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        raise SystemExit(2)
+    return pair, argv[:i] + argv[i + 3 :]
+
+
 def main() -> int:
     argv = sys.argv[1:]
-    placement_pair = None
-    if "--placement" in argv:
-        i = argv.index("--placement")
-        placement_pair = argv[i + 1 : i + 3]
-        argv = argv[:i] + argv[i + 3 :]
-        if len(placement_pair) != 2:
-            print(__doc__.strip(), file=sys.stderr)
-            return 2
+    placement_pair, argv = pop_pair(argv, "--placement")
+    sharding_pair, argv = pop_pair(argv, "--sharding")
+    ingest_pair, argv = pop_pair(argv, "--ingest")
     if len(argv) not in (2, 4):
         print(__doc__.strip(), file=sys.stderr)
         return 2
@@ -118,12 +190,18 @@ def main() -> int:
     failures = []
     checked = 0
 
-    if placement_pair is not None:
-        with open(placement_pair[0]) as f:
-            base_placement = json.load(f)
-        with open(placement_pair[1]) as f:
-            cur_placement = json.load(f)
-        checked += check_placement(base_placement, cur_placement, failures)
+    for pair, check in (
+        (placement_pair, check_placement),
+        (sharding_pair, check_sharding),
+        (ingest_pair, check_ingest),
+    ):
+        if pair is None:
+            continue
+        with open(pair[0]) as f:
+            pair_base = json.load(f)
+        with open(pair[1]) as f:
+            pair_cur = json.load(f)
+        checked += check(pair_base, pair_cur, failures)
 
     if len(argv) == 4:
         with open(argv[2]) as f:
