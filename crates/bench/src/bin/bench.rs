@@ -9,14 +9,16 @@
 //! cargo run --release -p crowdtz-bench --bin bench \
 //!     [users] [out.json] [streaming_users] [streaming_out.json] \
 //!     [sharding_out.json] [durability_out.json] [ingest_out.json] \
-//!     [--obs-out obs.json]
+//!     [serve_out.json] [--obs-out obs.json]
 //! ```
 //!
 //! Defaults: 10 000 placement users to `BENCH_placement.json`, 100 000
 //! streaming users to `BENCH_streaming.json` and `BENCH_sharding.json`,
-//! durable-store numbers to `BENCH_durability.json`, and concurrent
+//! durable-store numbers to `BENCH_durability.json`, concurrent
 //! multi-writer ingest throughput (writers 1/2/4/8 at 1/4/16 shards) to
-//! `BENCH_ingest.json`, in the working directory. The durability JSON times the warm `open_durable` restart
+//! `BENCH_ingest.json`, and HTTP requests/sec through a loopback
+//! `crowdtz-serve` instance (ingest POSTs and published-snapshot GETs
+//! at 1/2/4 clients) to `BENCH_serve.json`, in the working directory. The durability JSON times the warm `open_durable` restart
 //! at two write-ahead-log suffix lengths over the *same* crawl (replay
 //! cost must scale with the log, not the crawl), the snapshot rotation
 //! itself, and the from-scratch re-analysis a warm restart avoids. The sharding JSON records ingest posts/sec
@@ -90,6 +92,7 @@ fn main() {
         .next()
         .unwrap_or_else(|| "BENCH_durability.json".into());
     let ingest_out = args.next().unwrap_or_else(|| "BENCH_ingest.json".into());
+    let serve_out = args.next().unwrap_or_else(|| "BENCH_serve.json".into());
     let runs = 5;
     let threads = default_threads();
 
@@ -210,6 +213,7 @@ fn main() {
     sharding_bench(streaming_users, threads, host_cpus, &sharding_out);
     durability_bench(streaming_users, threads, host_cpus, &durability_out);
     ingest_bench(streaming_users, host_cpus, &ingest_out);
+    serve_bench(host_cpus, &serve_out);
 
     if let (Some(obs), Some(path)) = (&observer, &obs_out) {
         let report = obs.run_report("bench");
@@ -447,6 +451,164 @@ fn ingest_bench(users: usize, host_cpus: usize, out_path: &str) {
     }
     let json = serde_json::to_string_pretty(&report).expect("serialize ingest report");
     std::fs::write(out_path, format!("{json}\n")).expect("write ingest telemetry");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}
+
+/// HTTP throughput through a loopback `crowdtz-serve` instance: ingest
+/// POSTs (distinct users per request, pre-serialized bodies) and
+/// published-snapshot GETs at 1/2/4 concurrent clients, written to
+/// `BENCH_serve.json`.
+///
+/// Clamp-aware: every record carries the requested *and* effective
+/// client count (client threads clamp like worker threads), so the
+/// regression gate can skip comparisons the host cannot express.
+fn serve_bench(host_cpus: usize, out_path: &str) {
+    use crowdtz_serve::{serve, HttpClient, ServeConfig};
+
+    let runs = 3;
+    let client_grid = [1usize, 2, 4];
+    let requests_per_client = 200;
+    let users_per_batch = 8;
+    let posts_per_user = 10i64;
+
+    // One pre-serialized ingest body per (client, request): distinct
+    // users everywhere, so the engine sees an ingest-heavy crawl and
+    // serialization cost stays outside the timed region.
+    let body_for = |request_idx: usize| -> Vec<u8> {
+        let entries: Vec<serde_json::Value> = (0..users_per_batch)
+            .map(|u| {
+                let id = request_idx * users_per_batch + u;
+                let posts: Vec<i64> = (0..posts_per_user)
+                    .map(|p| p * 86_400 + ((id as i64 * 7 + p) % 24) * 3_600)
+                    .collect();
+                serde_json::json!({"user": format!("u{id:07}"), "posts": posts})
+            })
+            .collect();
+        serde_json::to_vec(&serde_json::json!({ "deltas": entries })).expect("ingest body")
+    };
+
+    let handle = serve(
+        ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        },
+        None,
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+
+    // A small published tenant for the read path: 50 users, one cut.
+    {
+        let mut admin = HttpClient::connect(addr).expect("connect");
+        let created = admin
+            .post_json("/v1/tenants/reader", &serde_json::json!({"min_posts": 1}))
+            .expect("create reader tenant");
+        assert_eq!(created.status, 201, "create reader tenant");
+        let entries: Vec<serde_json::Value> = (0..50)
+            .map(|u| {
+                let posts: Vec<i64> = (0..posts_per_user)
+                    .map(|p| p * 86_400 + ((u * 5 + p) % 24) * 3_600)
+                    .collect();
+                serde_json::json!({"user": format!("r{u:03}"), "posts": posts})
+            })
+            .collect();
+        let ingested = admin
+            .post_json(
+                "/v1/tenants/reader/ingest",
+                &serde_json::json!({ "deltas": entries }),
+            )
+            .expect("reader ingest");
+        assert_eq!(ingested.status, 200);
+        let published = admin
+            .get("/v1/tenants/reader/snapshot?publish=1")
+            .expect("reader publish");
+        assert_eq!(published.status, 200, "publish reader tenant");
+    }
+
+    let mut ingest_rows = Vec::new();
+    let mut snapshot_rows = Vec::new();
+    let mut tenant_seq = 0usize;
+    for clients in client_grid {
+        let bodies: Vec<Vec<Vec<u8>>> = (0..clients)
+            .map(|c| {
+                (0..requests_per_client)
+                    .map(|i| body_for(c * requests_per_client + i))
+                    .collect()
+            })
+            .collect();
+        let total_requests = (clients * requests_per_client) as f64;
+
+        eprintln!("timing HTTP ingest at {clients} clients (best of {runs})…");
+        let ingest_s = time_best(runs, || {
+            // A fresh tenant per run: no cross-run state, no deletes.
+            let tenant = format!("bench-{tenant_seq}");
+            tenant_seq += 1;
+            let mut admin = HttpClient::connect(addr).expect("connect");
+            let created = admin
+                .post_json(
+                    &format!("/v1/tenants/{tenant}"),
+                    &serde_json::json!({"min_posts": 1}),
+                )
+                .expect("create bench tenant");
+            assert_eq!(created.status, 201, "create bench tenant");
+            let path = format!("/v1/tenants/{tenant}/ingest");
+            std::thread::scope(|scope| {
+                for schedule in &bodies {
+                    let path = path.as_str();
+                    scope.spawn(move || {
+                        let mut client = HttpClient::connect(addr).expect("client connect");
+                        for body in schedule {
+                            let reply = client
+                                .request("POST", path, Some(body))
+                                .expect("ingest request");
+                            assert_eq!(reply.status, 200, "ingest");
+                        }
+                    });
+                }
+            });
+        });
+        ingest_rows.push(serde_json::json!({
+            "clients": clients,
+            "clients_effective": clamped_threads(clients),
+            "requests_per_sec": total_requests / ingest_s,
+        }));
+
+        eprintln!("timing snapshot reads at {clients} clients (best of {runs})…");
+        let read_s = time_best(runs, || {
+            std::thread::scope(|scope| {
+                for _ in 0..clients {
+                    scope.spawn(|| {
+                        let mut client = HttpClient::connect(addr).expect("client connect");
+                        for _ in 0..requests_per_client {
+                            let reply = client
+                                .get("/v1/tenants/reader/snapshot")
+                                .expect("snapshot request");
+                            assert_eq!(reply.status, 200, "snapshot read");
+                        }
+                    });
+                }
+            });
+        });
+        snapshot_rows.push(serde_json::json!({
+            "clients": clients,
+            "clients_effective": clamped_threads(clients),
+            "requests_per_sec": total_requests / read_s,
+        }));
+    }
+    handle.shutdown().expect("serve shutdown");
+
+    let report = serde_json::json!({
+        "requests_per_client": requests_per_client,
+        "users_per_batch": users_per_batch,
+        "posts_per_user": posts_per_user,
+        "workers": 4,
+        "host_cpus": host_cpus,
+        "ingest_requests_per_sec": ingest_rows,
+        "snapshot_requests_per_sec": snapshot_rows,
+    });
+    let json = serde_json::to_string_pretty(&report).expect("serialize serve report");
+    std::fs::write(out_path, format!("{json}\n")).expect("write serve telemetry");
     println!("{json}");
     eprintln!("wrote {out_path}");
 }

@@ -55,14 +55,17 @@ struct LogBatch {
     deltas: Vec<(String, Vec<i64>)>,
 }
 
-/// Persisted form of one user's placement analysis. `zone`/`emd_bits`
-/// are meaningful only when `placed`; the EMD travels as raw bits so
-/// the recovered value is the identical `f64`.
+/// Persisted form of one user's placement analysis.
+/// `offset_minutes`/`emd_bits` are meaningful only when `placed`; the
+/// EMD travels as raw bits so the recovered value is the identical
+/// `f64`, and the offset travels in minutes so sub-hour placements on
+/// the half- and quarter-hour grids survive recovery exactly (a
+/// whole-hours field would silently truncate ±15/±30/±45).
 #[derive(Debug, Serialize, Deserialize)]
 struct AnalysisSnap {
     flat: bool,
     placed: bool,
-    zone: i32,
+    offset_minutes: i32,
     emd_bits: u64,
 }
 
@@ -229,7 +232,10 @@ pub(crate) fn build_snapshot_parts(
                     analysis: acc.analysis.as_ref().map(|a| AnalysisSnap {
                         flat: a.flat,
                         placed: a.placement.is_some(),
-                        zone: a.placement.as_ref().map_or(0, UserPlacement::zone_hours),
+                        offset_minutes: a
+                            .placement
+                            .as_ref()
+                            .map_or(0, UserPlacement::offset_minutes),
                         emd_bits: a.placement.as_ref().map_or(0, |p| p.emd().to_bits()),
                     }),
                 })
@@ -278,9 +284,13 @@ fn rebuild_accumulator(user: &UserSnap) -> Result<UserAccumulator, CoreError> {
                 user.slots.len(),
                 user.posts as usize,
             );
-            let placement = a
-                .placed
-                .then(|| UserPlacement::new(profile.user(), a.zone, f64::from_bits(a.emd_bits)));
+            let placement = a.placed.then(|| {
+                UserPlacement::from_offset_minutes(
+                    profile.user(),
+                    a.offset_minutes,
+                    f64::from_bits(a.emd_bits),
+                )
+            });
             Some(UserAnalysis {
                 profile,
                 flat: a.flat,

@@ -72,6 +72,7 @@ mod profile;
 mod shard;
 mod single;
 mod streaming;
+mod tenant;
 
 pub use concurrent::{ConcurrentStreamingPipeline, IngestWriter, PublishedReport};
 pub use confidence::{
@@ -90,3 +91,6 @@ pub use profile::{ActivityProfile, ProfileBuilder};
 pub use shard::default_shards;
 pub use single::{MultiRegionFit, SingleRegionFit, SIGMA_INIT};
 pub use streaming::{RefitMode, StreamingPipeline};
+pub use tenant::{
+    valid_tenant_name, Tenant, TenantConfig, TenantError, TenantRegistry, MAX_TENANT_NAME,
+};

@@ -8,7 +8,7 @@
 
 use std::path::PathBuf;
 
-use crowdtz_core::{GeolocationPipeline, StreamingPipeline};
+use crowdtz_core::{GeolocationPipeline, StreamingPipeline, ZoneGrid};
 use crowdtz_store::{FaultPlan, FaultStore};
 use crowdtz_time::Timestamp;
 use proptest::prelude::*;
@@ -168,6 +168,76 @@ fn recovery_tolerates_a_torn_log_tail() {
         Err(e) => format!("error: {e}"),
     };
     assert_eq!(got, reference_json(seed, 3));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Sub-hour placements survive a checkpoint + warm restart byte-exactly.
+///
+/// Regression: the snapshot format once persisted placements as whole
+/// hours, so recovery silently floored every ±15/±30/±45 quarter-grid
+/// offset to its hour — an hourly-grid engine could never notice.
+#[test]
+fn quarter_grid_placements_survive_restart_exactly() {
+    let dir = tmp_dir("quarter-grid");
+    let quarter = || {
+        GeolocationPipeline::default()
+            .min_posts(1)
+            .grid(ZoneGrid::QuarterHour)
+    };
+    // A clustered diurnal workload: 12 users, 5 posts per batch around a
+    // per-user home hour with deterministic jitter. Enough activity to
+    // survive polishing, shaped enough to place — and on the quarter
+    // grid, placements land off the whole-hour lattice.
+    let shifted: Vec<Vec<(String, Timestamp)>> = (0..4i64)
+        .map(|day| {
+            (0..12i64)
+                .flat_map(|u| {
+                    (0..5i64).map(move |p| {
+                        let home = if u % 3 == 0 { 12 } else { 21 };
+                        let jitter = (u * 7 + p * 3 + day) % 5 - 2;
+                        let hour = (home + jitter).rem_euclid(24);
+                        (
+                            format!("user{u:02}"),
+                            Timestamp::from_secs(day * 86_400 + hour * 3_600 + u * 60),
+                        )
+                    })
+                })
+                .collect()
+        })
+        .collect();
+
+    let reference = {
+        let mut engine = StreamingPipeline::new(quarter());
+        for posts in &shifted {
+            engine.ingest_posts(posts);
+        }
+        snapshot_json(&mut engine)
+    };
+    // `zone_minutes` is serialized only when nonzero, so its presence
+    // proves the workload actually exercises sub-hour offsets.
+    assert!(
+        reference.contains("zone_minutes"),
+        "workload must place at least one user off the whole-hour lattice: {reference}"
+    );
+
+    {
+        let mut durable = StreamingPipeline::open_durable(quarter(), &dir).unwrap();
+        for (b, posts) in shifted.iter().enumerate() {
+            durable.ingest_batch(b as u64 + 1, posts, None).unwrap();
+        }
+        // Force a snapshot generation so recovery rebuilds placements
+        // from the persisted accumulator, not by replaying the log.
+        durable.checkpoint_now().unwrap();
+    }
+    let mut recovered = StreamingPipeline::open_durable(quarter(), &dir).unwrap();
+    let got = match recovered.snapshot() {
+        Ok(r) => serde_json::to_string(&r).unwrap(),
+        Err(e) => format!("error: {e}"),
+    };
+    assert_eq!(
+        got, reference,
+        "quarter-grid placements truncated by recovery"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -40,7 +40,9 @@ mod trace;
 
 use std::sync::{Arc, OnceLock};
 
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    labeled, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
 pub use report::RunReport;
 pub use trace::{Span, StageTiming, TraceEvent};
 

@@ -156,6 +156,45 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
+/// Builds a labeled metric name: `base|key=value`.
+///
+/// Labels ride inside the registry name, so labeled series are ordinary
+/// metrics everywhere (snapshots, merges, JSON run reports) and only
+/// [`MetricsSnapshot::to_prometheus`] gives the label structural meaning:
+/// `serve.latency_ns|route=ingest` renders as
+/// `crowdtz_serve_latency_ns{route="ingest"}`. The label value is
+/// sanitized to `[A-Za-z0-9._-]` (anything else becomes `_`) so the
+/// rendered exposition never needs escaping.
+pub fn labeled(base: &str, key: &str, value: &str) -> String {
+    let mut out = String::with_capacity(base.len() + key.len() + value.len() + 2);
+    out.push_str(base);
+    out.push('|');
+    out.push_str(key);
+    out.push('=');
+    for c in value.chars() {
+        if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Splits a registry name into its base and optional `key=value` label
+/// (the [`labeled`] convention). Names without a well-formed label part
+/// are all base.
+fn split_label(name: &str) -> (&str, Option<(&str, &str)>) {
+    if let Some((base, label)) = name.split_once('|') {
+        if let Some((key, value)) = label.split_once('=') {
+            if !key.is_empty() {
+                return (base, Some((key, value)));
+            }
+        }
+    }
+    (name, None)
+}
+
 /// Rewrites a metric name into the Prometheus identifier charset:
 /// `crowdtz_` prefix, dots and any other illegal character become `_`.
 fn prometheus_name(name: &str) -> String {
@@ -171,6 +210,15 @@ fn prometheus_name(name: &str) -> String {
     out
 }
 
+/// `{key="value"}` (or `{key="value",extra}`) rendered from an optional
+/// label, for sample lines.
+fn label_block(label: Option<(&str, &str)>) -> String {
+    match label {
+        None => String::new(),
+        Some((key, value)) => format!("{{{key}=\"{value}\"}}"),
+    }
+}
+
 impl MetricsSnapshot {
     /// Render the snapshot in the Prometheus text exposition format.
     ///
@@ -178,33 +226,52 @@ impl MetricsSnapshot {
     /// underscores). Counters get a `_total` suffix; histograms emit
     /// *cumulative* `_bucket{le="…"}` series (converting this crate's
     /// per-bucket counts), a catch-all `le="+Inf"` bucket, and `_sum` /
-    /// `_count` series, exactly as a Prometheus scraper expects. Output
-    /// is key-sorted and deterministic for a given snapshot.
+    /// `_count` series, exactly as a Prometheus scraper expects. Names
+    /// carrying a [`labeled`] suffix render as one *family* with a label
+    /// per series — the `# TYPE` line is emitted once per family, and a
+    /// histogram's label precedes its `le` bucket label. Output is
+    /// key-sorted and deterministic for a given snapshot.
     pub fn to_prometheus(&self) -> String {
+        use std::collections::BTreeSet;
         use std::fmt::Write;
         let mut out = String::new();
+        let mut typed: BTreeSet<String> = BTreeSet::new();
         for (name, value) in &self.counters {
-            let pname = prometheus_name(name);
-            let _ = writeln!(out, "# TYPE {pname}_total counter");
-            let _ = writeln!(out, "{pname}_total {value}");
+            let (base, label) = split_label(name);
+            let pname = prometheus_name(base);
+            if typed.insert(pname.clone()) {
+                let _ = writeln!(out, "# TYPE {pname}_total counter");
+            }
+            let _ = writeln!(out, "{pname}_total{} {value}", label_block(label));
         }
         for (name, value) in &self.gauges {
-            let pname = prometheus_name(name);
-            let _ = writeln!(out, "# TYPE {pname} gauge");
-            let _ = writeln!(out, "{pname} {value}");
+            let (base, label) = split_label(name);
+            let pname = prometheus_name(base);
+            if typed.insert(pname.clone()) {
+                let _ = writeln!(out, "# TYPE {pname} gauge");
+            }
+            let _ = writeln!(out, "{pname}{} {value}", label_block(label));
         }
         for (name, hist) in &self.histograms {
-            let pname = prometheus_name(name);
-            let _ = writeln!(out, "# TYPE {pname} histogram");
+            let (base, label) = split_label(name);
+            let pname = prometheus_name(base);
+            if typed.insert(pname.clone()) {
+                let _ = writeln!(out, "# TYPE {pname} histogram");
+            }
+            // A labeled histogram's own label comes before `le`.
+            let prefix = match label {
+                None => String::new(),
+                Some((key, value)) => format!("{key}=\"{value}\","),
+            };
             let mut cumulative = 0u64;
             for (bound, bucket) in hist.bounds.iter().zip(&hist.buckets) {
                 cumulative += bucket;
-                let _ = writeln!(out, "{pname}_bucket{{le=\"{bound}\"}} {cumulative}");
+                let _ = writeln!(out, "{pname}_bucket{{{prefix}le=\"{bound}\"}} {cumulative}");
             }
             // The overflow bucket (values above every bound) folds into +Inf.
-            let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", hist.count);
-            let _ = writeln!(out, "{pname}_sum {}", hist.sum);
-            let _ = writeln!(out, "{pname}_count {}", hist.count);
+            let _ = writeln!(out, "{pname}_bucket{{{prefix}le=\"+Inf\"}} {}", hist.count);
+            let _ = writeln!(out, "{pname}_sum{} {}", label_block(label), hist.sum);
+            let _ = writeln!(out, "{pname}_count{} {}", label_block(label), hist.count);
         }
         out
     }

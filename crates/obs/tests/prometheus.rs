@@ -1,7 +1,7 @@
 //! The Prometheus text rendering of a snapshot: format, name
 //! sanitization, cumulative-bucket conversion, and internal consistency.
 
-use crowdtz_obs::{MetricsRegistry, MetricsSnapshot};
+use crowdtz_obs::{labeled, MetricsRegistry, MetricsSnapshot};
 
 fn sample_snapshot() -> MetricsSnapshot {
     let registry = MetricsRegistry::new();
@@ -52,6 +52,62 @@ fn rendering_round_trips_through_the_serde_snapshot() {
     let restored: MetricsSnapshot = serde_json::from_str(&json).unwrap();
     assert_eq!(snapshot, restored);
     assert_eq!(snapshot.to_prometheus(), restored.to_prometheus());
+}
+
+#[test]
+fn labeled_names_render_as_one_family_with_a_label_per_series() {
+    let registry = MetricsRegistry::new();
+    registry
+        .counter(&labeled("serve.responses", "class", "2xx"))
+        .add(9);
+    registry
+        .counter(&labeled("serve.responses", "class", "4xx"))
+        .add(2);
+    registry
+        .gauge(&labeled("serve.queue", "route", "ingest"))
+        .set(3.0);
+    let text = registry.snapshot().to_prometheus();
+    // One TYPE line per family, one labeled sample per series.
+    assert_eq!(
+        text.matches("# TYPE crowdtz_serve_responses_total counter")
+            .count(),
+        1
+    );
+    assert!(text.contains("crowdtz_serve_responses_total{class=\"2xx\"} 9\n"));
+    assert!(text.contains("crowdtz_serve_responses_total{class=\"4xx\"} 2\n"));
+    assert!(text.contains("crowdtz_serve_queue{route=\"ingest\"} 3\n"));
+    // The label convention never leaks its raw `|key=value` form.
+    assert!(!text.contains('|'));
+}
+
+#[test]
+fn labeled_histograms_put_their_label_before_le() {
+    let registry = MetricsRegistry::new();
+    let hist = registry.histogram(
+        &labeled("serve.latency_ns", "route", "snapshot"),
+        &[10, 100],
+    );
+    for v in [5u64, 50, 500] {
+        hist.observe(v);
+    }
+    let text = registry.snapshot().to_prometheus();
+    let h = "crowdtz_serve_latency_ns";
+    assert!(text.contains(&format!("# TYPE {h} histogram\n")));
+    assert!(text.contains(&format!("{h}_bucket{{route=\"snapshot\",le=\"10\"}} 1\n")));
+    assert!(text.contains(&format!("{h}_bucket{{route=\"snapshot\",le=\"100\"}} 2\n")));
+    assert!(text.contains(&format!("{h}_bucket{{route=\"snapshot\",le=\"+Inf\"}} 3\n")));
+    assert!(text.contains(&format!("{h}_sum{{route=\"snapshot\"}} 555\n")));
+    assert!(text.contains(&format!("{h}_count{{route=\"snapshot\"}} 3\n")));
+}
+
+#[test]
+fn label_values_are_sanitized_and_malformed_labels_stay_plain() {
+    assert_eq!(labeled("a.b", "route", "x y/z"), "a.b|route=x_y_z");
+    let registry = MetricsRegistry::new();
+    // A '|' with no '=' after it is not a label: the whole name is the base.
+    registry.counter("odd|name").inc();
+    let text = registry.snapshot().to_prometheus();
+    assert!(text.contains("crowdtz_odd_name_total 1\n"));
 }
 
 #[test]

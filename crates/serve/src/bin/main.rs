@@ -1,0 +1,81 @@
+//! The `crowdtz-serve` binary: bind, serve, run until killed.
+//!
+//! ```text
+//! crowdtz-serve [ADDR] [--workers N] [--durable-root DIR]
+//!               [--read-timeout-ms N] [--max-body-bytes N]
+//!               [--crash-after N]
+//! ```
+//!
+//! `ADDR` defaults to `127.0.0.1:0` (ephemeral port). The resolved
+//! address is printed as `crowdtz-serve listening on http://<addr>` on
+//! stdout and flushed before the first accept, so a parent process can
+//! scrape it — the kill-and-restart suite does exactly that.
+//!
+//! `--crash-after N` is the fault-injection hook: the `N+1`-th ingest
+//! batch aborts the process (SIGABRT) before anything is journaled,
+//! giving the durability tests a deterministic crash point.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use crowdtz_serve::{serve, ServeConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: crowdtz-serve [ADDR] [--workers N] [--durable-root DIR] \
+         [--read-timeout-ms N] [--max-body-bytes N] [--crash-after N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut config = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                let _ = usage();
+                return ExitCode::SUCCESS;
+            }
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.workers = n,
+                None => return usage(),
+            },
+            "--durable-root" => match args.next() {
+                Some(dir) => config.service.durable_root = Some(dir.into()),
+                None => return usage(),
+            },
+            "--read-timeout-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(0) => config.read_timeout = None,
+                Some(ms) => config.read_timeout = Some(Duration::from_millis(ms)),
+                None => return usage(),
+            },
+            "--max-body-bytes" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.max_body_bytes = n,
+                None => return usage(),
+            },
+            "--crash-after" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.service.crash_after_batches = Some(n),
+                None => return usage(),
+            },
+            addr if !addr.starts_with('-') => config.addr = addr.to_string(),
+            _ => return usage(),
+        }
+    }
+
+    let observer = crowdtz_obs::Observer::from_env();
+    crowdtz_obs::install_global(std::sync::Arc::clone(&observer));
+    let handle = match serve(config, Some(observer)) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("crowdtz-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Flushed before the first line of traffic: parents scrape this.
+    println!("crowdtz-serve listening on http://{}", handle.addr());
+    let _ = std::io::stdout().flush();
+    handle.join();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,210 @@
+//! A minimal blocking HTTP/1.1 client for tests, benches and examples.
+//!
+//! Speaks exactly the subset the server does: `Content-Length` framing,
+//! persistent connections, no redirects, no TLS. This is deliberately
+//! not a general client — it exists so the black-box suites and the
+//! throughput bench can drive the server without growing a dependency.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Cap on response bodies the client will buffer (snapshots of large
+/// crowds are a few MB; 64 MiB is far beyond anything the server emits).
+const MAX_RESPONSE_BODY: usize = 64 * 1024 * 1024;
+
+/// One parsed response.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `(lowercased-name, value)` pairs in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty for `HEAD`).
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of header `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body parsed as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the parse error on a non-JSON body.
+    pub fn json(&self) -> Result<serde_json::Value, serde_json::Error> {
+        serde_json::from_slice(&self.body)
+    }
+}
+
+/// A persistent connection to one server.
+#[derive(Debug)]
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    host: String,
+}
+
+impl HttpClient {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream),
+            writer,
+            host: addr.to_string(),
+        })
+    }
+
+    /// Sets the read timeout for responses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option failure.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one request and reads the response. `HEAD` responses are
+    /// read headers-only regardless of their `Content-Length`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and malformed responses surface as
+    /// `io::Error`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<ClientResponse> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.host);
+        if let Some(body) = body {
+            head.push_str(&format!(
+                "Content-Length: {}\r\nContent-Type: application/json\r\n",
+                body.len()
+            ));
+        }
+        head.push_str("\r\n");
+        self.writer.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            self.writer.write_all(body)?;
+        }
+        self.writer.flush()?;
+        self.read_response(method == "HEAD")
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](HttpClient::request).
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](HttpClient::request).
+    pub fn post_json(
+        &mut self,
+        path: &str,
+        body: &serde_json::Value,
+    ) -> io::Result<ClientResponse> {
+        let bytes = serde_json::to_vec(body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        self.request("POST", path, Some(&bytes))
+    }
+
+    /// Writes raw bytes straight onto the socket — the malformed-input
+    /// suite uses this to send things `request` would never produce.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+
+    /// Reads one response off the connection (pairs with
+    /// [`send_raw`](HttpClient::send_raw) for pipelining tests).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and malformed responses.
+    pub fn read_response(&mut self, head_only: bool) -> io::Result<ClientResponse> {
+        let status_line = self.read_line()?;
+        let mut parts = status_line.splitn(3, ' ');
+        let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+            return Err(bad(format!("malformed status line {status_line:?}")));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(bad(format!("unexpected protocol {version:?}")));
+        }
+        let status: u16 = code
+            .parse()
+            .map_err(|_| bad(format!("unparseable status {code:?}")))?;
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(bad(format!("malformed header {line:?}")));
+            };
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let content_length = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .map(|(_, v)| v.parse::<usize>())
+            .transpose()
+            .map_err(|_| bad("unparseable Content-Length".to_string()))?
+            .unwrap_or(0);
+        if content_length > MAX_RESPONSE_BODY {
+            return Err(bad(format!("response body of {content_length} bytes")));
+        }
+        let mut body = vec![0u8; if head_only { 0 } else { content_length }];
+        self.reader.read_exact(&mut body)?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}
+
+fn bad(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}

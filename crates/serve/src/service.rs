@@ -1,0 +1,776 @@
+//! The analysis service: routes → tenant engines.
+//!
+//! [`AnalysisService`] is transport-light — it maps one parsed
+//! [`Request`] to one [`Response`] against a
+//! [`TenantRegistry`](crowdtz_core::TenantRegistry), with all per-route
+//! metrics recorded out of band. The connection loop in `server.rs`
+//! owns sockets; nothing here does I/O.
+//!
+//! # Route table
+//!
+//! | Method | Path | Meaning |
+//! |---|---|---|
+//! | `POST` | `/v1/tenants/{forum}` | create a tenant (JSON config body) |
+//! | `POST` | `/v1/tenants/{forum}/ingest` | ingest delta batches, returns the writer watermark |
+//! | `GET`  | `/v1/tenants/{forum}/snapshot` | newest published report (`?publish=1` cuts a fresh one) |
+//! | `GET`  | `/v1/tenants/{forum}/drift` | zone-count histogram (`?nonzero=1`, `?top=N`, `?publish=1`) |
+//! | `GET`  | `/v1/tenants` | list tenants |
+//! | `GET`  | `/metrics` | Prometheus text exposition |
+//! | `GET`  | `/healthz` | liveness |
+//!
+//! # The byte-identity contract
+//!
+//! `GET …/snapshot` returns **exactly** `serde_json::to_string(report)`
+//! as the body — the same bytes the in-process engine's published report
+//! serializes to — with the cut metadata (epoch, per-writer watermarks,
+//! post total) in `X-Crowdtz-*` headers rather than a JSON envelope.
+//! That is what lets `tests/serve_http.rs` pin the HTTP path against an
+//! in-process replay with `assert_eq!` on raw bodies, the same way every
+//! prior layer of this workspace was pinned.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crowdtz_core::{
+    ConcurrentStreamingPipeline, CoreError, IngestWriter, PublishedReport, TenantConfig,
+    TenantError, TenantRegistry, ZoneGrid,
+};
+use crowdtz_obs::{labeled, Counter, Gauge, Histogram, Observer};
+use crowdtz_time::Timestamp;
+
+use crate::http::{Request, Response};
+
+/// Route labels, also the `route` label values on `serve.*` metrics.
+pub const ROUTES: &[&str] = &[
+    "create", "ingest", "snapshot", "drift", "tenants", "metrics", "healthz", "other",
+];
+
+/// Per-route latency bounds: 10µs … 10s.
+const LATENCY_BOUNDS: &[u64] = &[
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// The `serve.*` metric handles, resolved once at service construction.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// `serve.requests`: requests fully parsed and routed.
+    pub requests: Counter,
+    /// `serve.bytes_in` / `serve.bytes_out`: wire bytes per direction.
+    pub bytes_in: Counter,
+    /// See [`ServeMetrics::bytes_in`].
+    pub bytes_out: Counter,
+    /// `serve.responses|class=…`: one counter per status class.
+    classes: BTreeMap<&'static str, Counter>,
+    /// `serve.latency_ns|route=…`: handler wall time per route.
+    latency: BTreeMap<&'static str, Histogram>,
+    /// `serve.connections`: currently open connections.
+    connections: Gauge,
+    /// Backing count for the gauge (gauges are last-write-wins).
+    open: AtomicI64,
+    /// `serve.panics`: handler panics caught by the connection loop.
+    /// The malformed-input suite asserts this stays zero.
+    pub panics: Counter,
+}
+
+impl ServeMetrics {
+    fn new(observer: &Observer) -> ServeMetrics {
+        ServeMetrics {
+            requests: observer.counter("serve.requests"),
+            bytes_in: observer.counter("serve.bytes_in"),
+            bytes_out: observer.counter("serve.bytes_out"),
+            classes: ["1xx", "2xx", "3xx", "4xx", "5xx"]
+                .into_iter()
+                .map(|class| {
+                    (
+                        class,
+                        observer.counter(&labeled("serve.responses", "class", class)),
+                    )
+                })
+                .collect(),
+            latency: ROUTES
+                .iter()
+                .map(|&route| {
+                    (
+                        route,
+                        observer.histogram(
+                            &labeled("serve.latency_ns", "route", route),
+                            LATENCY_BOUNDS,
+                        ),
+                    )
+                })
+                .collect(),
+            connections: observer.gauge("serve.connections"),
+            open: AtomicI64::new(0),
+            panics: observer.counter("serve.panics"),
+        }
+    }
+
+    /// Tracks a connection opening (bumps the `serve.connections` gauge).
+    pub fn conn_opened(&self) {
+        let now = self.open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.connections.set(now as f64);
+    }
+
+    /// Tracks a connection closing.
+    pub fn conn_closed(&self) {
+        let now = self.open.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.connections.set(now as f64);
+    }
+
+    /// Records one routed response: request count, status class, and
+    /// handler latency.
+    pub fn record(&self, route: &'static str, status: u16, elapsed_ns: u64) {
+        self.requests.inc();
+        let class = match status / 100 {
+            1 => "1xx",
+            2 => "2xx",
+            3 => "3xx",
+            4 => "4xx",
+            _ => "5xx",
+        };
+        if let Some(counter) = self.classes.get(class) {
+            counter.inc();
+        }
+        if let Some(hist) = self.latency.get(route) {
+            hist.observe(elapsed_ns);
+        }
+    }
+}
+
+/// Service-level configuration (the server wraps this with socket
+/// settings in [`ServeConfig`](crate::ServeConfig)).
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Directory under which durable tenants journal
+    /// (`<root>/<tenant>`). `None` disables durable tenants: creating
+    /// one returns `503`.
+    pub durable_root: Option<PathBuf>,
+    /// Abort the process (SIGABRT, no orderly shutdown) when ingest
+    /// batch `n+1` arrives, *before* anything is journaled or applied —
+    /// the deterministic crash point the kill-and-restart suite drives.
+    /// `None` in production.
+    pub crash_after_batches: Option<u64>,
+}
+
+/// Per-connection state: one [`IngestWriter`] per tenant, created
+/// lazily on the first ingest — so a connection's batches carry one
+/// stable watermark index per tenant, and
+/// `POST …/ingest` can return "batches this writer has fully applied"
+/// as its response.
+#[derive(Debug, Default)]
+pub struct ConnState {
+    writers: HashMap<String, IngestWriter>,
+}
+
+/// The routing core. Shared across every worker thread via `Arc`.
+#[derive(Debug)]
+pub struct AnalysisService {
+    registry: TenantRegistry,
+    observer: Arc<Observer>,
+    metrics: ServeMetrics,
+    config: ServiceConfig,
+    /// Ingest batches accepted service-wide (drives `crash_after_batches`).
+    ingest_batches: AtomicU64,
+}
+
+impl AnalysisService {
+    /// Builds a service over an empty registry. When `observer` is
+    /// `None`, the process-global observer is used if installed,
+    /// otherwise a private one — `/metrics` always has a registry to
+    /// render.
+    pub fn new(config: ServiceConfig, observer: Option<Arc<Observer>>) -> AnalysisService {
+        let observer = observer
+            .or_else(crowdtz_obs::global)
+            .unwrap_or_else(Observer::from_env);
+        AnalysisService {
+            registry: TenantRegistry::new(),
+            metrics: ServeMetrics::new(&observer),
+            observer,
+            config,
+            ingest_batches: AtomicU64::new(0),
+        }
+    }
+
+    /// The tenant registry (for embeddings that pre-create tenants).
+    pub fn registry(&self) -> &TenantRegistry {
+        &self.registry
+    }
+
+    /// The observer every tenant engine reports into.
+    pub fn observer(&self) -> &Arc<Observer> {
+        &self.observer
+    }
+
+    /// The `serve.*` metric handles (the connection loop records into
+    /// these).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Routes one request. Returns the response and the route label for
+    /// metrics. Never panics on malformed input — every parse failure is
+    /// a 4xx.
+    pub fn handle(&self, request: &Request, conn: &mut ConnState) -> (Response, &'static str) {
+        let segments = request.segments();
+        match (request.method.as_str(), segments.as_slice()) {
+            ("GET" | "HEAD", ["healthz"]) => (Response::text(200, "ok\n"), "healthz"),
+            ("GET" | "HEAD", ["metrics"]) => (self.metrics_response(), "metrics"),
+            ("GET" | "HEAD", ["v1", "tenants"]) => (self.list_tenants(), "tenants"),
+            ("POST", ["v1", "tenants", name]) => (self.create_tenant(name, request), "create"),
+            ("POST", ["v1", "tenants", name, "ingest"]) => {
+                (self.ingest(name, request, conn), "ingest")
+            }
+            ("GET" | "HEAD", ["v1", "tenants", name, "snapshot"]) => {
+                (self.snapshot(name, request), "snapshot")
+            }
+            ("GET" | "HEAD", ["v1", "tenants", name, "drift"]) => {
+                (self.drift(name, request), "drift")
+            }
+            // Known paths with the wrong method get 405 + Allow.
+            (_, ["healthz"] | ["metrics"] | ["v1", "tenants"]) => {
+                (method_not_allowed("GET"), "other")
+            }
+            (_, ["v1", "tenants", _]) => (method_not_allowed("POST"), "other"),
+            (_, ["v1", "tenants", _, "ingest"]) => (method_not_allowed("POST"), "other"),
+            (_, ["v1", "tenants", _, "snapshot" | "drift"]) => (method_not_allowed("GET"), "other"),
+            _ => (
+                Response::error(404, &format!("no route for {}", request.path)),
+                "other",
+            ),
+        }
+    }
+
+    fn metrics_response(&self) -> Response {
+        let text = self.observer.snapshot().to_prometheus();
+        Response {
+            status: 200,
+            headers: Vec::new(),
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: text.into_bytes(),
+            close: false,
+        }
+    }
+
+    fn list_tenants(&self) -> Response {
+        let tenants: Vec<serde_json::Value> = self
+            .registry
+            .names()
+            .into_iter()
+            .filter_map(|name| self.registry.get(&name))
+            .map(|tenant| {
+                serde_json::json!({
+                    "forum": tenant.name(),
+                    "grid": tenant.config().grid.zones(),
+                    "durable": tenant.is_durable(),
+                    "users": tenant.engine().users_tracked(),
+                    "posts": tenant.engine().posts_ingested(),
+                })
+            })
+            .collect();
+        Response::json(200, &serde_json::json!({ "tenants": tenants }))
+    }
+
+    fn create_tenant(&self, name: &str, request: &Request) -> Response {
+        let spec = if request.body.is_empty() {
+            serde_json::Value::object(Vec::new())
+        } else {
+            match serde_json::from_slice::<serde_json::Value>(&request.body) {
+                Ok(value @ serde_json::Value::Object(_)) => value,
+                Ok(other) => {
+                    return Response::error(
+                        400,
+                        &format!("config must be a JSON object, got {}", other.kind()),
+                    )
+                }
+                Err(e) => return Response::error(400, &format!("body is not JSON: {e}")),
+            }
+        };
+        let mut config = TenantConfig::default();
+        match parse_grid(&spec) {
+            Ok(Some(grid)) => config.grid = grid,
+            Ok(None) => {}
+            Err(message) => return Response::error(400, &message),
+        }
+        for (field, slot) in [
+            ("shards", &mut config.shards),
+            ("threads", &mut config.threads),
+            ("min_posts", &mut config.min_posts),
+        ] {
+            match parse_usize(&spec, field) {
+                Ok(Some(v)) => *slot = v,
+                Ok(None) => {}
+                Err(message) => return Response::error(400, &message),
+            }
+        }
+        match field_of(&spec, "durable") {
+            None => {}
+            Some(serde_json::Value::Bool(false)) => {}
+            Some(serde_json::Value::Bool(true)) => match &self.config.durable_root {
+                None => {
+                    return Response::error(
+                        503,
+                        "durable tenants are disabled: the server has no --durable-root",
+                    )
+                }
+                Some(root) => config.durable_dir = Some(root.join(name)),
+            },
+            Some(other) => {
+                return Response::error(
+                    400,
+                    &format!("durable must be a bool, got {}", other.kind()),
+                )
+            }
+        }
+        match self
+            .registry
+            .create(name, config, Some(Arc::clone(&self.observer)))
+        {
+            Ok(tenant) => Response::json(
+                201,
+                &serde_json::json!({
+                    "forum": tenant.name(),
+                    "grid": tenant.config().grid.zones(),
+                    "shards": tenant.engine().shard_count(),
+                    "min_posts": tenant.config().min_posts,
+                    "durable": tenant.is_durable(),
+                }),
+            ),
+            Err(TenantError::InvalidName { name }) => {
+                Response::error(400, &format!("invalid tenant name {name:?}"))
+            }
+            Err(TenantError::AlreadyExists { name }) => {
+                Response::error(409, &format!("tenant {name:?} already exists"))
+            }
+            Err(TenantError::Core(e)) => {
+                Response::error(500, &format!("tenant engine failed to open: {e}"))
+            }
+        }
+    }
+
+    fn ingest(&self, name: &str, request: &Request, conn: &mut ConnState) -> Response {
+        let Some(tenant) = self.registry.get(name) else {
+            return Response::error(404, &format!("unknown tenant {name:?}"));
+        };
+        let deltas = match parse_deltas(&request.body) {
+            Ok(deltas) => deltas,
+            Err(message) => return Response::error(400, &message),
+        };
+        // The deterministic crash point: batch n+1 aborts before the WAL
+        // or any shard sees it, so exactly n batches are recoverable and
+        // an unacknowledged batch is never half-durable.
+        if let Some(limit) = self.config.crash_after_batches {
+            if self.ingest_batches.fetch_add(1, Ordering::SeqCst) >= limit {
+                eprintln!("crowdtz-serve: --crash-after {limit} reached, aborting");
+                std::process::abort();
+            }
+        }
+        let writer = conn
+            .writers
+            .entry(name.to_string())
+            .or_insert_with(|| tenant.engine().writer());
+        let borrowed: Vec<(&str, &[Timestamp])> = deltas
+            .iter()
+            .map(|(user, posts)| (user.as_str(), posts.as_slice()))
+            .collect();
+        let posts: usize = deltas.iter().map(|(_, p)| p.len()).sum();
+        if let Err(e) = writer.ingest_deltas(&borrowed) {
+            // Only the durable append can fail; the in-memory engine is
+            // untouched, but this connection's journal is now suspect.
+            return Response::error(500, &format!("write-ahead append failed: {e}")).closing();
+        }
+        Response::json(
+            200,
+            &serde_json::json!({
+                "forum": name,
+                "watermark": writer.batches_applied(),
+                "users": deltas.len(),
+                "posts": posts,
+            }),
+        )
+    }
+
+    /// Resolves the report to serve: the newest published cell read
+    /// (wait-free), or a fresh `publish` cut when `?publish=1`.
+    fn published(
+        &self,
+        engine: &ConcurrentStreamingPipeline,
+        request: &Request,
+    ) -> Result<Arc<PublishedReport>, Response> {
+        let publish = matches!(request.query_param("publish"), Some("1" | "true"));
+        if publish {
+            let coverage = match request.query_param("coverage") {
+                None => 1.0,
+                Some(raw) => raw
+                    .parse::<f64>()
+                    .map_err(|_| Response::error(400, &format!("unparseable coverage {raw:?}")))?,
+            };
+            engine.publish_with_coverage(coverage).map_err(|e| match e {
+                CoreError::EmptyCrowd => {
+                    Response::error(409, "no users survive the filters yet; ingest more")
+                }
+                CoreError::InvalidCoverage { coverage } => {
+                    Response::error(400, &format!("coverage {coverage} outside (0, 1]"))
+                }
+                other => Response::error(500, &format!("publish failed: {other}")),
+            })
+        } else {
+            engine.snapshot().ok_or_else(|| {
+                Response::error(
+                    404,
+                    "nothing published yet; POST more batches or GET ?publish=1",
+                )
+            })
+        }
+    }
+
+    fn snapshot(&self, name: &str, request: &Request) -> Response {
+        let Some(tenant) = self.registry.get(name) else {
+            return Response::error(404, &format!("unknown tenant {name:?}"));
+        };
+        let published = match self.published(tenant.engine(), request) {
+            Ok(published) => published,
+            Err(response) => return response,
+        };
+        let body = match serde_json::to_vec(published.report()) {
+            Ok(body) => body,
+            Err(e) => return Response::error(500, &format!("serialize failed: {e}")),
+        };
+        let watermarks = published
+            .watermarks()
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        Response {
+            status: 200,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body,
+            close: false,
+        }
+        .with_header("X-Crowdtz-Epoch", published.epoch().to_string())
+        .with_header("X-Crowdtz-Watermarks", watermarks)
+        .with_header("X-Crowdtz-Posts", published.posts_ingested().to_string())
+    }
+
+    fn drift(&self, name: &str, request: &Request) -> Response {
+        let Some(tenant) = self.registry.get(name) else {
+            return Response::error(404, &format!("unknown tenant {name:?}"));
+        };
+        let top = match request.query_param("top") {
+            None => None,
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) => Some(n),
+                Err(_) => return Response::error(400, &format!("unparseable top {raw:?}")),
+            },
+        };
+        let nonzero = matches!(request.query_param("nonzero"), Some("1" | "true"));
+        let published = match self.published(tenant.engine(), request) {
+            Ok(published) => published,
+            Err(response) => return response,
+        };
+        let histogram = published.report().histogram();
+        let grid = histogram.grid();
+        let counts = histogram.counts();
+        let fractions = histogram.fractions();
+        let mut zones: Vec<(i32, f64, f64)> = (0..histogram.bins())
+            .map(|i| (grid.minutes_of(i), counts[i], fractions[i]))
+            .filter(|&(_, count, _)| !nonzero || count > 0.0)
+            .collect();
+        if let Some(top) = top {
+            // Largest crowds first, offset as the deterministic tie-break.
+            zones.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            zones.truncate(top);
+        }
+        let rows: Vec<serde_json::Value> = zones
+            .into_iter()
+            .map(|(offset_minutes, count, fraction)| {
+                serde_json::json!({
+                    "offset_minutes": offset_minutes,
+                    "count": count,
+                    "fraction": fraction,
+                })
+            })
+            .collect();
+        Response::json(
+            200,
+            &serde_json::json!({
+                "forum": name,
+                "epoch": published.epoch(),
+                "grid": grid.zones(),
+                "users": histogram.users(),
+                "zones": rows,
+            }),
+        )
+    }
+}
+
+fn method_not_allowed(allow: &str) -> Response {
+    Response::error(405, &format!("method not allowed; try {allow}"))
+        .with_header("Allow", allow.to_string())
+}
+
+/// `spec[name]` when `spec` is an object with that field.
+fn field_of<'v>(spec: &'v serde_json::Value, name: &str) -> Option<&'v serde_json::Value> {
+    match spec {
+        serde_json::Value::Object(fields) => fields
+            .iter()
+            .find(|(field, _)| field == name)
+            .map(|(_, value)| value),
+        _ => None,
+    }
+}
+
+fn parse_usize(spec: &serde_json::Value, field: &str) -> Result<Option<usize>, String> {
+    match field_of(spec, field) {
+        None => Ok(None),
+        Some(value) => match value.as_u64() {
+            Some(n) => usize::try_from(n)
+                .map(Some)
+                .map_err(|_| format!("{field} {n} is out of range")),
+            None => Err(format!(
+                "{field} must be a non-negative integer, got {}",
+                value.kind()
+            )),
+        },
+    }
+}
+
+/// `grid` accepts the zone count (24/48/96) or the `CROWDTZ_GRID`-style
+/// names.
+fn parse_grid(spec: &serde_json::Value) -> Result<Option<ZoneGrid>, String> {
+    let Some(value) = field_of(spec, "grid") else {
+        return Ok(None);
+    };
+    if let Some(zones) = value.as_u64() {
+        return ZoneGrid::from_zones(zones as usize)
+            .map(Some)
+            .ok_or_else(|| format!("grid must be 24, 48 or 96, got {zones}"));
+    }
+    match value.as_str() {
+        Some("hourly" | "24") => Ok(Some(ZoneGrid::Hourly)),
+        Some("half" | "half-hour" | "48") => Ok(Some(ZoneGrid::HalfHour)),
+        Some("quarter" | "quarter-hour" | "96") => Ok(Some(ZoneGrid::QuarterHour)),
+        Some(other) => Err(format!("unknown grid {other:?}")),
+        None => Err(format!(
+            "grid must be a number or string, got {}",
+            value.kind()
+        )),
+    }
+}
+
+/// Parses an ingest body: `{"deltas": [{"user": "...", "posts":
+/// [secs, …]}, …]}`, timestamps in epoch seconds.
+fn parse_deltas(body: &[u8]) -> Result<Vec<(String, Vec<Timestamp>)>, String> {
+    let value: serde_json::Value =
+        serde_json::from_slice(body).map_err(|e| format!("body is not JSON: {e}"))?;
+    let Some(entries) = field_of(&value, "deltas") else {
+        return Err("missing field \"deltas\"".into());
+    };
+    let serde_json::Value::Array(entries) = entries else {
+        return Err(format!("deltas must be an array, got {}", entries.kind()));
+    };
+    let mut deltas = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let user = field_of(entry, "user")
+            .and_then(serde_json::Value::as_str)
+            .ok_or_else(|| format!("deltas[{i}].user must be a string"))?;
+        if user.is_empty() {
+            return Err(format!("deltas[{i}].user must be non-empty"));
+        }
+        let posts = match field_of(entry, "posts") {
+            Some(serde_json::Value::Array(posts)) => posts,
+            Some(other) => {
+                return Err(format!(
+                    "deltas[{i}].posts must be an array, got {}",
+                    other.kind()
+                ))
+            }
+            None => return Err(format!("deltas[{i}].posts must be an array")),
+        };
+        let mut timestamps = Vec::with_capacity(posts.len());
+        for (j, post) in posts.iter().enumerate() {
+            let secs = post.as_i64().ok_or_else(|| {
+                format!("deltas[{i}].posts[{j}] must be an integer (epoch seconds)")
+            })?;
+            timestamps.push(Timestamp::from_secs(secs));
+        }
+        deltas.push((user.to_string(), timestamps));
+    }
+    Ok(deltas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: &str, target: &str, body: &[u8]) -> Request {
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (
+                p.to_string(),
+                q.split('&')
+                    .map(|pair| match pair.split_once('=') {
+                        Some((k, v)) => (k.to_string(), v.to_string()),
+                        None => (pair.to_string(), String::new()),
+                    })
+                    .collect(),
+            ),
+            None => (target.to_string(), Vec::new()),
+        };
+        Request {
+            method: method.to_string(),
+            path,
+            query,
+            headers: Vec::new(),
+            body: body.to_vec(),
+            close: false,
+            wire_bytes: body.len(),
+        }
+    }
+
+    fn service() -> AnalysisService {
+        AnalysisService::new(
+            ServiceConfig::default(),
+            Some(Observer::with_level(crowdtz_obs::LogLevel::Off)),
+        )
+    }
+
+    #[test]
+    fn create_ingest_publish_snapshot_round_trip() {
+        let service = service();
+        let mut conn = ConnState::default();
+        let (created, route) = service.handle(
+            &request(
+                "POST",
+                "/v1/tenants/alpha",
+                br#"{"min_posts": 1, "threads": 1}"#,
+            ),
+            &mut conn,
+        );
+        assert_eq!((created.status, route), (201, "create"));
+
+        let mut deltas = String::from(r#"{"deltas":["#);
+        for day in 0..10 {
+            if day > 0 {
+                deltas.push(',');
+            }
+            deltas.push_str(&format!(
+                r#"{{"user":"u1","posts":[{}]}}"#,
+                day * 86_400 + 20 * 3_600
+            ));
+        }
+        deltas.push_str("]}");
+        let (ingested, route) = service.handle(
+            &request("POST", "/v1/tenants/alpha/ingest", deltas.as_bytes()),
+            &mut conn,
+        );
+        assert_eq!((ingested.status, route), (200, "ingest"));
+        let body: serde_json::Value = serde_json::from_slice(&ingested.body).unwrap();
+        assert_eq!(body.field("watermark").unwrap().as_u64(), Some(1));
+        assert_eq!(body.field("posts").unwrap().as_u64(), Some(10));
+
+        // Nothing published yet → 404; publish=1 cuts a report.
+        let (miss, _) = service.handle(
+            &request("GET", "/v1/tenants/alpha/snapshot", b""),
+            &mut conn,
+        );
+        assert_eq!(miss.status, 404);
+        let (hit, _) = service.handle(
+            &request("GET", "/v1/tenants/alpha/snapshot?publish=1", b""),
+            &mut conn,
+        );
+        assert_eq!(hit.status, 200);
+        assert!(hit
+            .headers
+            .iter()
+            .any(|(n, v)| n == "X-Crowdtz-Epoch" && v == "1"));
+        // The published cell now serves the same bytes wait-free.
+        let (cached, _) = service.handle(
+            &request("GET", "/v1/tenants/alpha/snapshot", b""),
+            &mut conn,
+        );
+        assert_eq!(cached.status, 200);
+        assert_eq!(cached.body, hit.body);
+
+        let (drift, _) = service.handle(
+            &request("GET", "/v1/tenants/alpha/drift?nonzero=1", b""),
+            &mut conn,
+        );
+        assert_eq!(drift.status, 200);
+        let drift: serde_json::Value = serde_json::from_slice(&drift.body).unwrap();
+        assert_eq!(drift.field("users").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn bad_inputs_map_to_4xx_not_panics() {
+        let service = service();
+        let mut conn = ConnState::default();
+        service.handle(
+            &request("POST", "/v1/tenants/alpha", br#"{"min_posts": 1}"#),
+            &mut conn,
+        );
+        for (method, target, body, want) in [
+            ("POST", "/v1/tenants/alpha", b"{}".as_slice(), 409),
+            ("POST", "/v1/tenants/bad name!", b"{}", 400),
+            ("POST", "/v1/tenants/beta", br#"{"grid": 25}"#, 400),
+            ("POST", "/v1/tenants/beta", br#"{"shards": -4}"#, 400),
+            ("POST", "/v1/tenants/beta", br#"{"durable": true}"#, 503),
+            ("POST", "/v1/tenants/ghost/ingest", br#"{"deltas":[]}"#, 404),
+            ("POST", "/v1/tenants/alpha/ingest", b"not json", 400),
+            ("POST", "/v1/tenants/alpha/ingest", br#"{"deltas": 7}"#, 400),
+            (
+                "POST",
+                "/v1/tenants/alpha/ingest",
+                br#"{"deltas":[{"user":"","posts":[1]}]}"#,
+                400,
+            ),
+            (
+                "POST",
+                "/v1/tenants/alpha/ingest",
+                br#"{"deltas":[{"user":"u","posts":["x"]}]}"#,
+                400,
+            ),
+            ("GET", "/v1/tenants/ghost/snapshot", b"", 404),
+            ("GET", "/v1/tenants/alpha/snapshot?publish=1", b"", 409),
+            (
+                "GET",
+                "/v1/tenants/alpha/snapshot?publish=1&coverage=2",
+                b"",
+                400,
+            ),
+            ("GET", "/v1/tenants/alpha/drift?top=banana", b"", 400),
+            ("DELETE", "/v1/tenants/alpha/snapshot", b"", 405),
+            ("POST", "/healthz", b"", 405),
+            ("GET", "/nope", b"", 404),
+        ] {
+            let (response, _) = service.handle(&request(method, target, body), &mut conn);
+            assert_eq!(
+                response.status,
+                want,
+                "{method} {target} with {:?}",
+                String::from_utf8_lossy(body)
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_route_renders_serve_series() {
+        let service = service();
+        let mut conn = ConnState::default();
+        service.metrics().record("healthz", 200, 1_000);
+        let (response, route) = service.handle(&request("GET", "/metrics", b""), &mut conn);
+        assert_eq!((response.status, route), (200, "metrics"));
+        let text = String::from_utf8(response.body).unwrap();
+        assert!(text.contains("crowdtz_serve_requests_total 1"));
+        assert!(text.contains("crowdtz_serve_responses_total{class=\"2xx\"} 1"));
+        assert!(text.contains("crowdtz_serve_latency_ns_count{route=\"healthz\"} 1"));
+    }
+}

@@ -12,6 +12,9 @@
 //! * [`tor`] — a minimal hidden-service substrate.
 //! * [`forum`] — Dark Web forum simulator, scraper, offset calibration.
 //! * [`core`] — the paper's method: profiles, placement, geolocation.
+//! * [`serve`] — the multi-tenant HTTP analysis service over the
+//!   concurrent engine ([`live::serve_monitors`] ties it to a monitor
+//!   fleet).
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
 //! repository `README.md` for an architecture overview.
@@ -22,6 +25,7 @@ pub mod live;
 
 pub use crowdtz_core as core;
 pub use crowdtz_forum as forum;
+pub use crowdtz_serve as serve;
 pub use crowdtz_stats as stats;
 pub use crowdtz_synth as synth;
 pub use crowdtz_time as time;

@@ -30,9 +30,11 @@
 //! ```
 
 use std::fmt;
+use std::sync::Arc;
 
-use crowdtz_core::{ConcurrentStreamingPipeline, CoreError};
+use crowdtz_core::{ConcurrentStreamingPipeline, CoreError, TenantConfig, TenantError};
 use crowdtz_forum::{ForumError, Monitor};
+use crowdtz_serve::{serve, ServeConfig, ServerHandle};
 use crowdtz_time::Timestamp;
 
 /// What can go wrong while monitors feed the shared engine.
@@ -43,6 +45,10 @@ pub enum LiveError {
     /// The engine rejected an ingest — only possible in durable mode,
     /// when the write-ahead append fails.
     Core(CoreError),
+    /// The HTTP service could not bind its socket.
+    Serve(std::io::Error),
+    /// The forum could not be registered as a tenant.
+    Tenant(TenantError),
 }
 
 impl fmt::Display for LiveError {
@@ -50,6 +56,8 @@ impl fmt::Display for LiveError {
         match self {
             LiveError::Forum(e) => write!(f, "monitor failed: {e}"),
             LiveError::Core(e) => write!(f, "ingest failed: {e}"),
+            LiveError::Serve(e) => write!(f, "serve failed: {e}"),
+            LiveError::Tenant(e) => write!(f, "tenant failed: {e}"),
         }
     }
 }
@@ -59,6 +67,8 @@ impl std::error::Error for LiveError {
         match self {
             LiveError::Forum(e) => Some(e),
             LiveError::Core(e) => Some(e),
+            LiveError::Serve(e) => Some(e),
+            LiveError::Tenant(e) => Some(e),
         }
     }
 }
@@ -124,4 +134,44 @@ pub fn run_concurrent(
             .collect()
     });
     outcomes.into_iter().collect()
+}
+
+/// Crawls a forum with a monitor fleet, then serves the analysis over
+/// HTTP: one tenant named `forum`, its engine fed by [`run_concurrent`],
+/// one publish so `GET …/snapshot` answers immediately, and the running
+/// [`ServerHandle`] returned for the caller to hold (and eventually
+/// [`shutdown`](ServerHandle::shutdown)).
+///
+/// This is the whole deployment story in one call: the paper's
+/// measurement campaign as a monitoring *service* rather than a batch
+/// run. New deltas can keep flowing in over `POST …/ingest` after this
+/// returns — the initial crawl is just the warm-up corpus.
+///
+/// # Errors
+///
+/// [`LiveError::Serve`] when the bind fails, [`LiveError::Tenant`] when
+/// the forum name is rejected, plus everything [`run_concurrent`] can
+/// return. An engine with no placeable users yet publishes nothing
+/// (snapshot stays 404) but is not an error.
+pub fn serve_monitors(
+    config: ServeConfig,
+    forum: &str,
+    tenant: TenantConfig,
+    monitors: &mut [Monitor],
+    from: Timestamp,
+    to: Timestamp,
+    interval_secs: i64,
+) -> Result<ServerHandle, LiveError> {
+    let handle = serve(config, None).map_err(LiveError::Serve)?;
+    let observer = Arc::clone(handle.service().observer());
+    let tenant = handle
+        .service()
+        .registry()
+        .create(forum, tenant, Some(observer))
+        .map_err(LiveError::Tenant)?;
+    run_concurrent(tenant.engine(), monitors, from, to, interval_secs)?;
+    match tenant.engine().publish() {
+        Ok(_) | Err(CoreError::EmptyCrowd | CoreError::InsufficientActivity { .. }) => Ok(handle),
+        Err(e) => Err(LiveError::Core(e)),
+    }
 }

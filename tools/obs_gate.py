@@ -36,13 +36,24 @@ multi-writer ingest throughput at any (shards, writers) combination
 dropped more than ``THRESHOLD``x. The check is clamp-aware: writer
 counts above either run's ``host_cpus`` are skipped (an oversubscribed
 writer pool measures scheduler noise, not the lock-per-shard engine),
-so on a one-CPU host only the single-writer rows are gated.
+so on a one-CPU host only the single-writer rows are gated. The skip is
+symmetric — the clamp is ``min(base host_cpus, current host_cpus)`` —
+and baseline rows missing a key (older bench layouts) are skipped
+rather than crashing the gate.
+
+With the optional serve pair (``--serve base.json current.json``, the
+bench bin's ``BENCH_serve.json``), additionally fails when HTTP
+requests/sec through the loopback service — ingest POSTs or
+published-snapshot GETs at any client count — dropped more than
+``THRESHOLD``x. Clamp-aware with the same symmetric rule: client counts
+above ``min(base host_cpus, current host_cpus)`` are skipped.
 
 Usage: ``obs_gate.py baseline.json current.json``
        ``obs_gate.py baseline.json current.json base_durability.json current_durability.json``
        ``obs_gate.py ... --placement base_placement.json current_placement.json``
        ``obs_gate.py ... --sharding base_sharding.json current_sharding.json``
        ``obs_gate.py ... --ingest base_ingest.json current_ingest.json``
+       ``obs_gate.py ... --serve base_serve.json current_serve.json``
 
 Wall times are noisy on shared CI runners, so stages where *both* runs
 spent less than ``MIN_STAGE_NS`` are ignored, and the exact-evals check
@@ -141,11 +152,17 @@ def check_ingest(base, cur, failures):
     comparisons made."""
     checked = 0
     measurable = min(base.get("host_cpus", 1), cur.get("host_cpus", 1))
+    # Tolerate baseline rows from older bench layouts that lack a key —
+    # a stale artifact cache must degrade to "nothing to compare", not
+    # crash the gate asymmetrically.
     base_rows = {
         (r["shards"], r["writers"]): r["posts_per_sec"]
         for r in base.get("ingest_posts_per_sec", [])
+        if "shards" in r and "writers" in r and "posts_per_sec" in r
     }
     for row in cur.get("ingest_posts_per_sec", []):
+        if "shards" not in row or "writers" not in row or "posts_per_sec" not in row:
+            continue
         if row["writers"] > max(measurable, 1):
             continue
         prev = base_rows.get((row["shards"], row["writers"]))
@@ -159,6 +176,43 @@ def check_ingest(base, cur, failures):
                 f"concurrent ingest, {row['shards']} shards x {row['writers']} writers: "
                 f"{prev:,.0f} posts/s -> {now:,.0f} posts/s ({ratio:.2f}x slower)"
             )
+    return checked
+
+
+SERVE_SERIES = ("ingest_requests_per_sec", "snapshot_requests_per_sec")
+
+
+def check_serve(base, cur, failures):
+    """Gate BENCH_serve.json: HTTP requests/sec per client count, for
+    both the ingest-POST and snapshot-GET series, must stay within
+    THRESHOLD. Clamp-aware and symmetric like check_ingest: client
+    counts above ``min(base host_cpus, current host_cpus)`` are skipped,
+    and incomplete rows on either side are ignored. Returns comparisons
+    made."""
+    checked = 0
+    measurable = min(base.get("host_cpus", 1), cur.get("host_cpus", 1))
+    for series in SERVE_SERIES:
+        base_rows = {
+            r["clients"]: r["requests_per_sec"]
+            for r in base.get(series, [])
+            if "clients" in r and "requests_per_sec" in r
+        }
+        for row in cur.get(series, []):
+            if "clients" not in row or "requests_per_sec" not in row:
+                continue
+            if row["clients"] > max(measurable, 1):
+                continue
+            prev = base_rows.get(row["clients"])
+            now = row["requests_per_sec"]
+            if prev is None or prev <= 0 or now <= 0:
+                continue
+            checked += 1
+            ratio = prev / now
+            if ratio > THRESHOLD:
+                failures.append(
+                    f"serve {series}, {row['clients']} clients: "
+                    f"{prev:,.0f} req/s -> {now:,.0f} req/s ({ratio:.2f}x slower)"
+                )
     return checked
 
 
@@ -179,6 +233,7 @@ def main() -> int:
     placement_pair, argv = pop_pair(argv, "--placement")
     sharding_pair, argv = pop_pair(argv, "--sharding")
     ingest_pair, argv = pop_pair(argv, "--ingest")
+    serve_pair, argv = pop_pair(argv, "--serve")
     if len(argv) not in (2, 4):
         print(__doc__.strip(), file=sys.stderr)
         return 2
@@ -194,6 +249,7 @@ def main() -> int:
         (placement_pair, check_placement),
         (sharding_pair, check_sharding),
         (ingest_pair, check_ingest),
+        (serve_pair, check_serve),
     ):
         if pair is None:
             continue
