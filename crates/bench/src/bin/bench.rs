@@ -9,7 +9,7 @@
 //! cargo run --release -p crowdtz-bench --bin bench \
 //!     [users] [out.json] [streaming_users] [streaming_out.json] \
 //!     [sharding_out.json] [durability_out.json] [ingest_out.json] \
-//!     [serve_out.json] [--obs-out obs.json]
+//!     [serve_out.json] [window_out.json] [--obs-out obs.json]
 //! ```
 //!
 //! Defaults: 10 000 placement users to `BENCH_placement.json`, 100 000
@@ -93,6 +93,7 @@ fn main() {
         .unwrap_or_else(|| "BENCH_durability.json".into());
     let ingest_out = args.next().unwrap_or_else(|| "BENCH_ingest.json".into());
     let serve_out = args.next().unwrap_or_else(|| "BENCH_serve.json".into());
+    let window_out = args.next().unwrap_or_else(|| "BENCH_window.json".into());
     let runs = 5;
     let threads = default_threads();
 
@@ -214,6 +215,7 @@ fn main() {
     durability_bench(streaming_users, threads, host_cpus, &durability_out);
     ingest_bench(streaming_users, host_cpus, &ingest_out);
     serve_bench(host_cpus, &serve_out);
+    window_bench(host_cpus, &window_out);
 
     if let (Some(obs), Some(path)) = (&observer, &obs_out) {
         let report = obs.run_report("bench");
@@ -611,6 +613,149 @@ fn serve_bench(host_cpus: usize, out_path: &str) {
     std::fs::write(out_path, format!("{json}\n")).expect("write serve telemetry");
     println!("{json}");
     eprintln!("wrote {out_path}");
+}
+
+/// Signed-delta window costs, written to `BENCH_window.json`: the
+/// tracking overhead a [`crowdtz_core::WindowedPipeline`] adds on the
+/// ingest path (windowed vs plain posts/sec over the same workload),
+/// retraction throughput (posts/sec released through the signed path),
+/// and the publish that expires a full bucket vs a steady-state publish
+/// with nothing to expire.
+fn window_bench(host_cpus: usize, out_path: &str) {
+    use crowdtz_core::{WindowConfig, WindowedPipeline};
+
+    let users = 10_000usize;
+    let rounds = 6usize;
+    let bucket_secs = 86_400i64;
+    let window_buckets = 3usize;
+    let total_posts = (users * rounds) as f64;
+
+    // One post per user per round, spread over the round's day.
+    let round_posts = |r: usize| -> Vec<(String, Timestamp)> {
+        (0..users)
+            .map(|u| {
+                (
+                    format!("u{u:06}"),
+                    Timestamp::from_secs(
+                        r as i64 * bucket_secs + (u % 24) as i64 * 3_600 + (u / 24) as i64,
+                    ),
+                )
+            })
+            .collect()
+    };
+    let all_rounds: Vec<Vec<(String, Timestamp)>> = (0..rounds).map(round_posts).collect();
+    fn refs(round: &[(String, Timestamp)]) -> Vec<(&str, Timestamp)> {
+        round.iter().map(|(u, t)| (u.as_str(), *t)).collect()
+    }
+    let pipeline = || GeolocationPipeline::default().min_posts(1).threads(1);
+    let config = WindowConfig {
+        bucket_secs,
+        window_buckets,
+        ..WindowConfig::default()
+    };
+
+    let runs = 3;
+    eprintln!("timing plain ingest ({users} users x {rounds} rounds, best of {runs})…");
+    let plain_s = time_best(runs, || {
+        let engine = ConcurrentStreamingPipeline::new(pipeline());
+        let writer = engine.writer();
+        for round in &all_rounds {
+            writer.ingest_posts_ref(&refs(round)).expect("plain ingest");
+        }
+        engine
+    });
+
+    eprintln!("timing windowed ingest (same workload, best of {runs})…");
+    let windowed_s = time_best(runs, || {
+        let window = WindowedPipeline::new(
+            ConcurrentStreamingPipeline::new(pipeline()),
+            config.clone(),
+            None,
+        );
+        let writer = window.engine().writer();
+        for round in &all_rounds {
+            window
+                .ingest_posts(&writer, &refs(round))
+                .expect("windowed ingest");
+        }
+        window
+    });
+
+    eprintln!("timing retraction (one full round, best of {runs})…");
+    let mut retract_s = f64::INFINITY;
+    for _ in 0..runs {
+        let window = WindowedPipeline::new(
+            ConcurrentStreamingPipeline::new(pipeline()),
+            config.clone(),
+            None,
+        );
+        let writer = window.engine().writer();
+        for round in &all_rounds {
+            window
+                .ingest_posts(&writer, &refs(round))
+                .expect("windowed ingest");
+        }
+        let start = Instant::now();
+        let released = window
+            .retract_posts(&writer, &refs(&all_rounds[rounds - 1]))
+            .expect("retract round");
+        retract_s = retract_s.min(start.elapsed().as_secs_f64());
+        assert_eq!(released, users, "every retraction target was live");
+    }
+
+    // The publish that expires everything outside the window (rounds
+    // 0..rounds-window_buckets, here 3 x users posts released in one
+    // cut) vs the steady-state publish right after it (nothing left to
+    // expire; the report is already warm).
+    eprintln!("timing publish with a full expiry (best of {runs})…");
+    let mut expiry_s = f64::INFINITY;
+    let mut steady_s = f64::INFINITY;
+    for _ in 0..runs {
+        let window = WindowedPipeline::new(
+            ConcurrentStreamingPipeline::new(pipeline()),
+            config.clone(),
+            None,
+        );
+        let writer = window.engine().writer();
+        for round in &all_rounds {
+            window
+                .ingest_posts(&writer, &refs(round))
+                .expect("windowed ingest");
+        }
+        let start = Instant::now();
+        std::hint::black_box(window.publish().expect("expiry publish"));
+        expiry_s = expiry_s.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        std::hint::black_box(window.publish().expect("steady publish"));
+        steady_s = steady_s.min(start.elapsed().as_secs_f64());
+    }
+
+    let expired_posts = (users * (rounds - window_buckets)) as f64;
+    let report = serde_json::json!({
+        "users": users,
+        "rounds": rounds,
+        "bucket_secs": bucket_secs,
+        "window_buckets": window_buckets,
+        "host_cpus": host_cpus,
+        "plain_ingest_posts_per_sec": total_posts / plain_s,
+        "windowed_ingest_posts_per_sec": total_posts / windowed_s,
+        "tracking_overhead_pct": (windowed_s / plain_s - 1.0) * 100.0,
+        "retract_posts_per_sec": users as f64 / retract_s.max(1e-9),
+        "publish_expiry_secs": expiry_s,
+        "publish_steady_secs": steady_s,
+        "expired_posts_at_the_cut": expired_posts,
+    });
+    let json = serde_json::to_string_pretty(&report).expect("serialize window report");
+    std::fs::write(out_path, format!("{json}\n")).expect("write window telemetry");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+    let overhead = windowed_s / plain_s;
+    if overhead > 2.0 {
+        eprintln!(
+            "WARNING: windowed ingest is {overhead:.2}x plain ingest — tracking overhead \
+             above the 2x bar"
+        );
+    }
 }
 
 /// Warm-restart cost of the durable store at two log-suffix lengths

@@ -91,7 +91,7 @@ use std::time::Instant;
 use crowdtz_store::{DurableStore, RealVfs, Vfs};
 use crowdtz_time::Timestamp;
 
-use crate::durable::{build_snapshot_parts, encode_plain_batch};
+use crate::durable::{build_snapshot_parts, encode_plain_batch, encode_retract_batch};
 use crate::engine::SharedPlacementCache;
 use crate::error::CoreError;
 use crate::pipeline::{GeolocationPipeline, GeolocationReport};
@@ -568,6 +568,62 @@ impl IngestWriter {
         self.ingest_deltas(&deltas)
     }
 
+    /// [`ingest_posts`](Self::ingest_posts) over borrowed user ids — no
+    /// owned `String` per observation.
+    ///
+    /// # Errors
+    ///
+    /// As [`ingest`](Self::ingest).
+    pub fn ingest_posts_ref(&self, posts: &[(&str, Timestamp)]) -> Result<(), CoreError> {
+        let deltas: Vec<(&str, &[Timestamp])> = posts
+            .iter()
+            .map(|(user, ts)| (*user, std::slice::from_ref(ts)))
+            .collect();
+        self.ingest_deltas(&deltas)
+    }
+
+    /// Retracts posts for one user — one signed batch, one gate hold,
+    /// under exactly the ingest discipline (WAL append first in durable
+    /// mode, one shard locked at a time, watermark bumped inside the
+    /// hold). Retraction batches count toward the writer's watermark
+    /// like any other batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`ingest`](Self::ingest).
+    pub fn retract(&self, user: &str, posts: &[Timestamp]) -> Result<(), CoreError> {
+        if posts.is_empty() {
+            return Ok(());
+        }
+        self.retract_deltas(&[(user, posts)])
+    }
+
+    /// Retracts a batch of single-post observations as one signed batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`ingest`](Self::ingest).
+    pub fn retract_posts(&self, posts: &[(String, Timestamp)]) -> Result<(), CoreError> {
+        let deltas: Vec<(&str, &[Timestamp])> = posts
+            .iter()
+            .map(|(user, ts)| (user.as_str(), std::slice::from_ref(ts)))
+            .collect();
+        self.retract_deltas(&deltas)
+    }
+
+    /// [`retract_posts`](Self::retract_posts) over borrowed user ids.
+    ///
+    /// # Errors
+    ///
+    /// As [`ingest`](Self::ingest).
+    pub fn retract_posts_ref(&self, posts: &[(&str, Timestamp)]) -> Result<(), CoreError> {
+        let deltas: Vec<(&str, &[Timestamp])> = posts
+            .iter()
+            .map(|(user, ts)| (*user, std::slice::from_ref(ts)))
+            .collect();
+        self.retract_deltas(&deltas)
+    }
+
     /// Ingests a batch of per-user deltas. Empty batches are ignored
     /// (no gate hold, no watermark step).
     ///
@@ -581,18 +637,45 @@ impl IngestWriter {
     ///
     /// As [`ingest`](Self::ingest).
     pub fn ingest_deltas(&self, deltas: &[(&str, &[Timestamp])]) -> Result<(), CoreError> {
+        self.apply_deltas(deltas, false)
+    }
+
+    /// Retracts a batch of per-user deltas — the signed twin of
+    /// [`ingest_deltas`](Self::ingest_deltas): same gate/WAL/shard lock
+    /// order, but the record is a retraction and the shards release the
+    /// posts instead of absorbing them.
+    ///
+    /// # Errors
+    ///
+    /// As [`ingest`](Self::ingest).
+    pub fn retract_deltas(&self, deltas: &[(&str, &[Timestamp])]) -> Result<(), CoreError> {
+        self.apply_deltas(deltas, true)
+    }
+
+    fn apply_deltas(
+        &self,
+        deltas: &[(&str, &[Timestamp])],
+        retract: bool,
+    ) -> Result<(), CoreError> {
         if deltas.iter().all(|(_, posts)| posts.is_empty()) {
             return Ok(());
         }
         let guard = self.shared.enter_batch();
         if let Some(wal) = &guard.wal {
-            let payload = encode_plain_batch(deltas)?;
+            let payload = if retract {
+                encode_retract_batch(deltas)?
+            } else {
+                encode_plain_batch(deltas)?
+            };
             let mut wal = relock(wal);
             wal.store.append_delta(&payload)?;
         }
-        guard
-            .stream
-            .ingest_deltas_shared(deltas, self.shared.obs.as_ref().map(|o| &o.shared));
+        let obs = self.shared.obs.as_ref().map(|o| &o.shared);
+        if retract {
+            guard.stream.retract_deltas_shared(deltas, obs);
+        } else {
+            guard.stream.ingest_deltas_shared(deltas, obs);
+        }
         if let Some(obs) = &self.shared.obs {
             obs.batches.inc();
         }
@@ -766,6 +849,40 @@ mod tests {
                 assert_eq!(report.posts_ingested(), 10 + 6 * (batches - 1));
             }
         });
+    }
+
+    #[test]
+    fn concurrent_retraction_matches_the_single_owner_path() {
+        // Ingest everything, then retract the back half from several
+        // writers at once: the published report must equal a single-owner
+        // engine fed only the surviving posts.
+        let traces: Vec<(String, Vec<Timestamp>)> = (0..18)
+            .map(|i| (format!("u{i:02}"), posts_for(i % 4, (i * 5 % 24) as u8, 10)))
+            .collect();
+        let engine = ConcurrentStreamingPipeline::new(pipeline());
+        let seed = engine.writer();
+        for (user, posts) in &traces {
+            seed.ingest(user, posts).unwrap();
+        }
+        std::thread::scope(|scope| {
+            for chunk in traces.chunks(6) {
+                let writer = engine.writer();
+                scope.spawn(move || {
+                    for (user, posts) in chunk {
+                        writer.retract(user, &posts[5..]).unwrap();
+                    }
+                });
+            }
+        });
+        let mut reference = StreamingPipeline::new(pipeline());
+        for (user, posts) in &traces {
+            reference.ingest(user, &posts[..5]);
+        }
+        let expected = serde_json::to_string(&reference.snapshot().unwrap()).unwrap();
+        let published = engine.publish().unwrap();
+        assert_eq!(serde_json::to_string(published.report()).unwrap(), expected);
+        // 18 ingest batches + 18 retraction batches, all watermarked.
+        assert_eq!(published.watermarks().iter().sum::<u64>(), 36);
     }
 
     #[test]

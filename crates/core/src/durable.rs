@@ -44,7 +44,18 @@ use crate::streaming::StreamingPipeline;
 
 /// One ingest batch as logged: the engine-visible deltas plus the
 /// monitor bookkeeping stored transactionally with them.
-#[derive(Debug, Serialize, Deserialize)]
+///
+/// # Record versioning
+///
+/// The signed-delta extension rides in the `retractions` field, omitted
+/// from the wire when empty and defaulted when absent (hand-written
+/// impls below — the vendored serde derive has no attribute support):
+/// pre-signed-record logs, which have no such field, decode with no
+/// retractions and replay as pure ingest, and a new log that only ever
+/// ingests is byte-identical to what the old code would have written —
+/// the field's *presence* is the version marker, no framing change
+/// needed.
+#[derive(Debug)]
 struct LogBatch {
     /// Source (monitor) batch sequence number; `0` for batches that
     /// did not come through [`DurableStreamingPipeline::ingest_batch`].
@@ -53,6 +64,37 @@ struct LogBatch {
     checkpoint: Option<String>,
     /// `(user, post timestamps as epoch seconds)` deltas.
     deltas: Vec<(String, Vec<i64>)>,
+    /// Signed (negative) deltas, applied after `deltas` — same shape.
+    retractions: Vec<(String, Vec<i64>)>,
+}
+
+impl Serialize for LogBatch {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("source_seq".to_owned(), self.source_seq.to_value()),
+            ("checkpoint".to_owned(), self.checkpoint.to_value()),
+            ("deltas".to_owned(), self.deltas.to_value()),
+        ];
+        if !self.retractions.is_empty() {
+            fields.push(("retractions".to_owned(), self.retractions.to_value()));
+        }
+        serde::Value::object(fields)
+    }
+}
+
+impl Deserialize for LogBatch {
+    fn from_value(value: &serde::Value) -> Result<LogBatch, serde::DeError> {
+        Ok(LogBatch {
+            source_seq: Deserialize::from_value(value.field("source_seq")?)?,
+            checkpoint: Deserialize::from_value(value.field("checkpoint")?)?,
+            deltas: Deserialize::from_value(value.field("deltas")?)?,
+            // Absent in pre-signed-record logs → pure-ingest replay.
+            retractions: match value.field("retractions") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => Vec::new(),
+            },
+        })
+    }
 }
 
 /// Persisted form of one user's placement analysis.
@@ -71,12 +113,49 @@ struct AnalysisSnap {
 
 /// Persisted form of one user's accumulator. Hour counts are derivable
 /// from the slot keys and are rebuilt on load.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 struct UserSnap {
     id: String,
     slots: Vec<i64>,
+    /// Live post count per slot, parallel to `slots` — the refcounts the
+    /// retraction path needs. Absent in pre-signed-record snapshots
+    /// (hand-written impls below, defaulted when missing);
+    /// [`rebuild_accumulator`] then reconstructs counts that preserve
+    /// the `sum == posts` invariant (analysis output never depends on
+    /// the split, only later retractions would).
+    slot_posts: Vec<u32>,
     posts: u64,
     analysis: Option<AnalysisSnap>,
+}
+
+impl Serialize for UserSnap {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("id".to_owned(), self.id.to_value()),
+            ("slots".to_owned(), self.slots.to_value()),
+        ];
+        if !self.slot_posts.is_empty() {
+            fields.push(("slot_posts".to_owned(), self.slot_posts.to_value()));
+        }
+        fields.push(("posts".to_owned(), self.posts.to_value()));
+        fields.push(("analysis".to_owned(), self.analysis.to_value()));
+        serde::Value::object(fields)
+    }
+}
+
+impl Deserialize for UserSnap {
+    fn from_value(value: &serde::Value) -> Result<UserSnap, serde::DeError> {
+        Ok(UserSnap {
+            id: Deserialize::from_value(value.field("id")?)?,
+            slots: Deserialize::from_value(value.field("slots")?)?,
+            slot_posts: match value.field("slot_posts") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => Vec::new(),
+            },
+            posts: Deserialize::from_value(value.field("posts")?)?,
+            analysis: Deserialize::from_value(value.field("analysis")?)?,
+        })
+    }
 }
 
 /// One snapshot part: a shard's users (in id order) plus its dirty ids.
@@ -197,17 +276,36 @@ pub(crate) fn encode_plain_batch(deltas: &[(&str, &[Timestamp])]) -> Result<Vec<
     let batch = LogBatch {
         source_seq: 0,
         checkpoint: None,
-        deltas: deltas
-            .iter()
-            .map(|(user, posts)| {
-                (
-                    (*user).to_owned(),
-                    posts.iter().map(|t| t.as_secs()).collect(),
-                )
-            })
-            .collect(),
+        deltas: owned_deltas(deltas),
+        retractions: Vec::new(),
     };
     encode_json("log record", &batch)
+}
+
+/// Encodes a retraction batch as one WAL record — the signed counterpart
+/// of [`encode_plain_batch`]. Recovery replays it after any ingests in
+/// the same record, so a recovered windowed engine lands on exactly the
+/// state the uninterrupted run held.
+pub(crate) fn encode_retract_batch(deltas: &[(&str, &[Timestamp])]) -> Result<Vec<u8>, CoreError> {
+    let batch = LogBatch {
+        source_seq: 0,
+        checkpoint: None,
+        deltas: Vec::new(),
+        retractions: owned_deltas(deltas),
+    };
+    encode_json("log record", &batch)
+}
+
+fn owned_deltas(deltas: &[(&str, &[Timestamp])]) -> Vec<(String, Vec<i64>)> {
+    deltas
+        .iter()
+        .map(|(user, posts)| {
+            (
+                (*user).to_owned(),
+                posts.iter().map(|t| t.as_secs()).collect(),
+            )
+        })
+        .collect()
 }
 
 /// Builds the full snapshot part set — one [`ShardSnap`] per shard in
@@ -228,6 +326,7 @@ pub(crate) fn build_snapshot_parts(
                 .map(|(id, acc)| UserSnap {
                     id: id.clone(),
                     slots: acc.slots.clone(),
+                    slot_posts: acc.slot_counts.clone(),
                     posts: acc.posts as u64,
                     analysis: acc.analysis.as_ref().map(|a| AnalysisSnap {
                         flat: a.flat,
@@ -252,11 +351,17 @@ pub(crate) fn build_snapshot_parts(
     parts.into_iter().collect()
 }
 
-/// Replays one logged batch through the normal delta-update path.
+/// Replays one logged batch through the normal delta-update path —
+/// ingests first, then retractions, matching the live order (a record
+/// never carries both today, but the order makes mixed records safe).
 fn apply_batch(inner: &mut StreamingPipeline, batch: &LogBatch) {
     for (user, secs) in &batch.deltas {
         let posts: Vec<Timestamp> = secs.iter().map(|&s| Timestamp::from_secs(s)).collect();
         inner.ingest(user, &posts);
+    }
+    for (user, secs) in &batch.retractions {
+        let posts: Vec<Timestamp> = secs.iter().map(|&s| Timestamp::from_secs(s)).collect();
+        inner.retract(user, &posts);
     }
 }
 
@@ -298,8 +403,22 @@ fn rebuild_accumulator(user: &UserSnap) -> Result<UserAccumulator, CoreError> {
             })
         }
     };
+    let slot_counts = if user.slot_posts.len() == user.slots.len() {
+        user.slot_posts.clone()
+    } else {
+        // Pre-signed-record snapshot: the per-slot split was not
+        // persisted. Any split summing to `posts` yields the identical
+        // analysis; park the surplus on the first slot so the refcount
+        // invariant holds for whatever retractions come later.
+        let mut counts = vec![1u32; user.slots.len()];
+        if let Some(first) = counts.first_mut() {
+            *first += (user.posts as usize).saturating_sub(user.slots.len()) as u32;
+        }
+        counts
+    };
     Ok(UserAccumulator {
         slots: user.slots.clone(),
+        slot_counts,
         hour_counts,
         posts: user.posts as usize,
         analysis,
@@ -335,6 +454,30 @@ impl DurableStreamingPipeline {
             source_seq: 0,
             checkpoint: None,
             deltas: vec![(user.to_owned(), posts.iter().map(|t| t.as_secs()).collect())],
+            retractions: Vec::new(),
+        };
+        self.log_and_apply(batch)?;
+        Ok(())
+    }
+
+    /// Retracts posts for one user: logged as a signed record, fsynced,
+    /// then released in memory — the same write-ahead contract as
+    /// [`ingest`](Self::ingest), so a recovered engine lands on the
+    /// retracted state byte-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Store`] when the append fails; the in-memory engine
+    /// is unchanged in that case.
+    pub fn retract(&mut self, user: &str, posts: &[Timestamp]) -> Result<(), CoreError> {
+        if posts.is_empty() {
+            return Ok(());
+        }
+        let batch = LogBatch {
+            source_seq: 0,
+            checkpoint: None,
+            deltas: Vec::new(),
+            retractions: vec![(user.to_owned(), posts.iter().map(|t| t.as_secs()).collect())],
         };
         self.log_and_apply(batch)?;
         Ok(())
@@ -350,6 +493,26 @@ impl DurableStreamingPipeline {
             source_seq: 0,
             checkpoint: None,
             deltas: posts
+                .iter()
+                .map(|(user, ts)| (user.clone(), vec![ts.as_secs()]))
+                .collect(),
+            retractions: Vec::new(),
+        };
+        self.log_and_apply(batch)?;
+        Ok(())
+    }
+
+    /// Retracts a batch of single-post observations, logged as one
+    /// signed record — the inverse of [`ingest_posts`](Self::ingest_posts).
+    pub fn retract_posts(&mut self, posts: &[(String, Timestamp)]) -> Result<(), CoreError> {
+        if posts.is_empty() {
+            return Ok(());
+        }
+        let batch = LogBatch {
+            source_seq: 0,
+            checkpoint: None,
+            deltas: Vec::new(),
+            retractions: posts
                 .iter()
                 .map(|(user, ts)| (user.clone(), vec![ts.as_secs()]))
                 .collect(),
@@ -383,6 +546,7 @@ impl DurableStreamingPipeline {
                 .iter()
                 .map(|(user, ts)| (user.clone(), vec![ts.as_secs()]))
                 .collect(),
+            retractions: Vec::new(),
         };
         self.log_and_apply(batch)?;
         Ok(true)

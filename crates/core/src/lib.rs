@@ -73,6 +73,7 @@ mod shard;
 mod single;
 mod streaming;
 mod tenant;
+mod window;
 
 pub use concurrent::{ConcurrentStreamingPipeline, IngestWriter, PublishedReport};
 pub use confidence::{
@@ -94,3 +95,4 @@ pub use streaming::{RefitMode, StreamingPipeline};
 pub use tenant::{
     valid_tenant_name, Tenant, TenantConfig, TenantError, TenantRegistry, MAX_TENANT_NAME,
 };
+pub use window::{DriftPoint, DriftTracker, WindowConfig, WindowedPipeline};

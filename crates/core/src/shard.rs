@@ -120,6 +120,10 @@ pub(crate) struct SharedIngestObs {
 pub(crate) struct UserAccumulator {
     /// Sorted, deduplicated `day·24 + hour` keys of active slots (UTC).
     pub(crate) slots: Vec<i64>,
+    /// Live post count per slot, parallel to `slots` — the refcount the
+    /// signed-delta path decrements. A slot stays active while its count
+    /// is positive; `sum(slot_counts) == posts` always.
+    pub(crate) slot_counts: Vec<u32>,
     /// Number of active slots per hour of day — the integer pre-image of
     /// the profile's distribution.
     pub(crate) hour_counts: [u32; BINS],
@@ -131,42 +135,106 @@ pub(crate) struct UserAccumulator {
     pub(crate) analysis: Option<UserAnalysis>,
 }
 
+/// The sorted `(slot key, post count)` runs of a delta — the common
+/// routing for both signs: absorb adds the counts, release subtracts
+/// them.
+fn keyed_counts(posts: &[Timestamp]) -> Vec<(i64, u32)> {
+    let mut keys: Vec<i64> = posts
+        .iter()
+        .map(|ts| {
+            ts.day_in_offset(TzOffset::UTC) * 24 + i64::from(ts.hour_in_offset(TzOffset::UTC))
+        })
+        .collect();
+    keys.sort_unstable();
+    let mut runs: Vec<(i64, u32)> = Vec::new();
+    for k in keys {
+        match runs.last_mut() {
+            Some((last, c)) if *last == k => *c += 1,
+            _ => runs.push((k, 1)),
+        }
+    }
+    runs
+}
+
 impl UserAccumulator {
     /// Absorbs one delta of posts — a pure integer update. Duplicates and
     /// out-of-order arrivals are fine; a timestamp whose (day, hour) slot
-    /// is already active only bumps the post count.
+    /// is already active only bumps the slot's refcount.
     pub(crate) fn absorb(&mut self, posts: &[Timestamp]) {
         self.posts += posts.len();
-        let mut keys: Vec<i64> = posts
-            .iter()
-            .map(|ts| {
-                ts.day_in_offset(TzOffset::UTC) * 24 + i64::from(ts.hour_in_offset(TzOffset::UTC))
-            })
-            .collect();
-        keys.sort_unstable();
-        keys.dedup();
-        keys.retain(|k| self.slots.binary_search(k).is_err());
-        if keys.is_empty() {
+        let mut fresh: Vec<(i64, u32)> = Vec::new();
+        for (k, c) in keyed_counts(posts) {
+            match self.slots.binary_search(&k) {
+                Ok(i) => self.slot_counts[i] += c,
+                Err(_) => fresh.push((k, c)),
+            }
+        }
+        if fresh.is_empty() {
             return;
         }
-        for &k in &keys {
+        for &(k, _) in &fresh {
             self.hour_counts[k.rem_euclid(24) as usize] += 1;
         }
         // Merge the two sorted runs in one pass.
-        let mut merged = Vec::with_capacity(self.slots.len() + keys.len());
+        let mut slots = Vec::with_capacity(self.slots.len() + fresh.len());
+        let mut counts = Vec::with_capacity(self.slots.len() + fresh.len());
         let (mut i, mut j) = (0usize, 0usize);
-        while i < self.slots.len() && j < keys.len() {
-            if self.slots[i] < keys[j] {
-                merged.push(self.slots[i]);
+        while i < self.slots.len() && j < fresh.len() {
+            if self.slots[i] < fresh[j].0 {
+                slots.push(self.slots[i]);
+                counts.push(self.slot_counts[i]);
                 i += 1;
             } else {
-                merged.push(keys[j]);
+                slots.push(fresh[j].0);
+                counts.push(fresh[j].1);
                 j += 1;
             }
         }
-        merged.extend_from_slice(&self.slots[i..]);
-        merged.extend_from_slice(&keys[j..]);
-        self.slots = merged;
+        slots.extend_from_slice(&self.slots[i..]);
+        counts.extend_from_slice(&self.slot_counts[i..]);
+        for &(k, c) in &fresh[j..] {
+            slots.push(k);
+            counts.push(c);
+        }
+        self.slots = slots;
+        self.slot_counts = counts;
+    }
+
+    /// Exact inverse of [`absorb`](Self::absorb): decrements the slot
+    /// refcounts, removes slots whose count reaches zero (and their
+    /// hour-count contribution), and returns how many posts were actually
+    /// removed. A timestamp that was never ingested (or already
+    /// retracted) is skipped rather than driving a count negative, so the
+    /// state stays exactly what an engine that never saw the removed
+    /// posts would hold.
+    pub(crate) fn release(&mut self, posts: &[Timestamp]) -> usize {
+        let mut removed = 0usize;
+        let mut vacated = false;
+        for (k, c) in keyed_counts(posts) {
+            if let Ok(i) = self.slots.binary_search(&k) {
+                let take = c.min(self.slot_counts[i]);
+                self.slot_counts[i] -= take;
+                removed += take as usize;
+                if self.slot_counts[i] == 0 {
+                    self.hour_counts[k.rem_euclid(24) as usize] -= 1;
+                    vacated = true;
+                }
+            }
+        }
+        if vacated {
+            let mut keep = 0usize;
+            for i in 0..self.slots.len() {
+                if self.slot_counts[i] > 0 {
+                    self.slots[keep] = self.slots[i];
+                    self.slot_counts[keep] = self.slot_counts[i];
+                    keep += 1;
+                }
+            }
+            self.slots.truncate(keep);
+            self.slot_counts.truncate(keep);
+        }
+        self.posts -= removed;
+        removed
     }
 }
 
@@ -211,6 +279,39 @@ impl Shard {
         // count), so the user must be re-analyzed.
         self.dirty.insert(user.to_owned());
         self.seq += 1;
+    }
+
+    /// Applies one signed delta. Unknown users and never-ingested posts
+    /// are skipped (retraction of a post the engine never saw is a
+    /// no-op), and a retraction that changes nothing leaves the dirty set
+    /// and sequence number untouched — the state remains exactly what an
+    /// engine that never saw the retracted posts would hold. The user's
+    /// (possibly now-empty) accumulator stays in the map: an empty
+    /// accumulator analyzes to nothing, so reports are unaffected, and
+    /// keeping it preserves the refresh invariant that every dirty id
+    /// resolves to an accumulator.
+    fn retract(&mut self, user: &str, posts: &[Timestamp]) {
+        if posts.is_empty() {
+            return;
+        }
+        let Some(acc) = self.users.get_mut(user) else {
+            return;
+        };
+        if acc.release(posts) == 0 {
+            return;
+        }
+        self.dirty.insert(user.to_owned());
+        self.seq += 1;
+    }
+
+    /// Dispatches one delta by sign — the shared inner loop of the batch
+    /// paths, so ingest and retraction route identically.
+    fn apply(&mut self, user: &str, posts: &[Timestamp], retract: bool) {
+        if retract {
+            self.retract(user, posts);
+        } else {
+            self.ingest(user, posts);
+        }
     }
 }
 
@@ -288,12 +389,29 @@ impl ShardSet {
         remut(&mut self.shards[shard]).ingest(user, posts);
     }
 
+    /// Routes and retracts a single delta (single-owner access).
+    pub(crate) fn retract(&mut self, user: &str, posts: &[Timestamp]) {
+        let shard = self.shard_of(user);
+        remut(&mut self.shards[shard]).retract(user, posts);
+    }
+
     /// Routes a batch of deltas to their shards (in arrival order), then
     /// applies the shards concurrently on up to `threads` workers — each
     /// worker owns a contiguous run of whole shards, so no two threads
     /// ever touch the same accumulator. Single-owner access: workers
     /// split the mutexes mutably instead of locking them.
     pub(crate) fn ingest_batch(&mut self, deltas: &[(&str, &[Timestamp])], threads: usize) {
+        self.apply_batch(deltas, false, threads);
+    }
+
+    /// [`ingest_batch`](Self::ingest_batch) with the sign flipped: the
+    /// same routing, partitioning, and worker layout, but each delta is
+    /// released from its accumulator instead of absorbed.
+    pub(crate) fn retract_batch(&mut self, deltas: &[(&str, &[Timestamp])], threads: usize) {
+        self.apply_batch(deltas, true, threads);
+    }
+
+    fn apply_batch(&mut self, deltas: &[(&str, &[Timestamp])], retract: bool, threads: usize) {
         let mut routed: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (i, (user, _)) in deltas.iter().enumerate() {
             routed[self.shard_of(user)].push(i);
@@ -304,7 +422,7 @@ impl ShardSet {
                 let shard = remut(shard);
                 for &i in idxs {
                     let (user, posts) = deltas[i];
-                    shard.ingest(user, posts);
+                    shard.apply(user, posts, retract);
                 }
             }
             return;
@@ -318,7 +436,7 @@ impl ShardSet {
                     for (shard, idxs) in chunk.iter_mut() {
                         for &i in idxs.iter() {
                             let (user, posts) = deltas[i];
-                            shard.ingest(user, posts);
+                            shard.apply(user, posts, retract);
                         }
                     }
                 });
@@ -339,6 +457,29 @@ impl ShardSet {
     pub(crate) fn ingest_batch_shared(
         &self,
         deltas: &[(&str, &[Timestamp])],
+        obs: Option<&SharedIngestObs>,
+    ) {
+        self.apply_batch_shared(deltas, false, obs);
+    }
+
+    /// [`ingest_batch_shared`](Self::ingest_batch_shared) with the sign
+    /// flipped — multi-writer retraction under the same lock-one-shard-
+    /// at-a-time discipline. Retraction only commutes with ingestion of
+    /// the *same* posts when it runs after them (releasing an unseen post
+    /// is a skip, not a debt), so callers sequence a post's retraction
+    /// after the batch that ingested it; see `window.rs`.
+    pub(crate) fn retract_batch_shared(
+        &self,
+        deltas: &[(&str, &[Timestamp])],
+        obs: Option<&SharedIngestObs>,
+    ) {
+        self.apply_batch_shared(deltas, true, obs);
+    }
+
+    fn apply_batch_shared(
+        &self,
+        deltas: &[(&str, &[Timestamp])],
+        retract: bool,
         obs: Option<&SharedIngestObs>,
     ) {
         let mut routed: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
@@ -364,7 +505,7 @@ impl ShardSet {
             };
             for &i in idxs {
                 let (user, posts) = deltas[i];
-                shard.ingest(user, posts);
+                shard.apply(user, posts, retract);
             }
         }
     }
@@ -635,6 +776,124 @@ mod tests {
         assert_eq!(forward.slots, reverse.slots);
         assert_eq!(forward.hour_counts, reverse.hour_counts);
         assert_eq!(forward.posts, reverse.posts);
+    }
+
+    #[test]
+    fn release_is_the_exact_inverse_of_absorb() {
+        // Ingest A∪B, release B: state must equal an accumulator that
+        // only ever saw A — including the per-slot refcounts.
+        let a = [ts(1), ts(1), ts(5), ts(30)];
+        let b = [ts(1), ts(5), ts(5), ts(200)];
+        let mut acc = UserAccumulator::default();
+        acc.absorb(&a);
+        acc.absorb(&b);
+        assert_eq!(acc.release(&b), b.len());
+        let mut fresh = UserAccumulator::default();
+        fresh.absorb(&a);
+        assert_eq!(acc.slots, fresh.slots);
+        assert_eq!(acc.slot_counts, fresh.slot_counts);
+        assert_eq!(acc.hour_counts, fresh.hour_counts);
+        assert_eq!(acc.posts, fresh.posts);
+    }
+
+    #[test]
+    fn release_of_unseen_posts_is_a_noop() {
+        let mut acc = UserAccumulator::default();
+        acc.absorb(&[ts(3), ts(3)]);
+        let before = acc.clone();
+        // ts(900) never ingested; ts(3) over-released by one.
+        assert_eq!(acc.release(&[ts(900)]), 0);
+        assert_eq!(acc.release(&[ts(3), ts(3), ts(3)]), 2);
+        assert_eq!(acc.posts, 0);
+        assert!(acc.slots.is_empty());
+        assert_eq!(acc.hour_counts, [0; BINS]);
+        // The earlier no-op left everything intact.
+        assert_eq!(before.posts, 2);
+        assert_eq!(before.slots, vec![3]);
+        assert_eq!(before.slot_counts, vec![2]);
+    }
+
+    #[test]
+    fn release_keeps_shared_slots_while_posts_remain() {
+        // Two posts in one slot: retracting one must keep the slot (and
+        // its hour count); retracting the other clears it.
+        let mut acc = UserAccumulator::default();
+        acc.absorb(&[ts(7), ts(7)]);
+        assert_eq!(acc.release(&[ts(7)]), 1);
+        assert_eq!(acc.slots, vec![7]);
+        assert_eq!(acc.slot_counts, vec![1]);
+        assert_eq!(acc.hour_counts[7], 1);
+        assert_eq!(acc.release(&[ts(7)]), 1);
+        assert!(acc.slots.is_empty());
+        assert_eq!(acc.hour_counts[7], 0);
+    }
+
+    #[test]
+    fn shard_retract_matches_fresh_ingest_of_survivors() {
+        for shards in [1usize, 4, 16] {
+            let mut set = ShardSet::new(shards);
+            let keep: Vec<(String, Vec<Timestamp>)> = (0..9)
+                .map(|i| (format!("u{i:02}"), vec![ts(i * 3), ts(i * 3 + 1)]))
+                .collect();
+            let drop: Vec<(String, Vec<Timestamp>)> = (0..9)
+                .step_by(2)
+                .map(|i| (format!("u{i:02}"), vec![ts(i * 3 + 1), ts(i * 100 + 40)]))
+                .collect();
+            for (u, p) in keep.iter().chain(&drop) {
+                set.ingest(u, p);
+            }
+            for (u, p) in &drop {
+                set.retract(u, p);
+            }
+            let mut fresh = ShardSet::new(shards);
+            for (u, p) in &keep {
+                fresh.ingest(u, p);
+            }
+            assert_eq!(set.posts_ingested(), fresh.posts_ingested());
+            for (u, _) in &keep {
+                let got = set.acc(u).expect("user kept").clone();
+                let want = fresh.acc(u).expect("user kept");
+                assert_eq!(got.slots, want.slots, "{u} shards={shards}");
+                assert_eq!(got.slot_counts, want.slot_counts, "{u}");
+                assert_eq!(got.hour_counts, want.hour_counts, "{u}");
+                assert_eq!(got.posts, want.posts, "{u}");
+            }
+        }
+    }
+
+    #[test]
+    fn retract_of_unknown_user_changes_nothing() {
+        let mut set = ShardSet::new(4);
+        set.ingest("known", &[ts(1)]);
+        set.take_dirty_sorted();
+        set.retract("ghost", &[ts(1)]);
+        // A retraction that removed nothing must not dirty the user or
+        // bump the shard sequence.
+        set.retract("known", &[ts(999)]);
+        assert_eq!(set.dirty_len(), 0);
+        assert_eq!(set.shard_seqs().iter().sum::<u64>(), 1);
+        assert_eq!(set.users_tracked(), 1);
+    }
+
+    #[test]
+    fn retract_batch_shared_matches_owned_retract_batch() {
+        let posts: Vec<(String, Vec<Timestamp>)> = (0..40)
+            .map(|i| (format!("r{:02}", i % 11), vec![ts(i), ts(i + 2)]))
+            .collect();
+        let dropped: Vec<(String, Vec<Timestamp>)> = posts.iter().skip(13).cloned().collect();
+        fn as_refs(v: &[(String, Vec<Timestamp>)]) -> Vec<(&str, &[Timestamp])> {
+            v.iter().map(|(u, p)| (u.as_str(), p.as_slice())).collect()
+        }
+        let mut owned = ShardSet::new(4);
+        owned.ingest_batch(&as_refs(&posts), 2);
+        owned.retract_batch(&as_refs(&dropped), 2);
+        let shared = ShardSet::new(4);
+        shared.ingest_batch_shared(&as_refs(&posts), None);
+        shared.retract_batch_shared(&as_refs(&dropped), None);
+        let mut shared = shared;
+        assert_eq!(shared.posts_ingested(), owned.posts_ingested());
+        assert_eq!(shared.shard_seqs(), owned.shard_seqs());
+        assert_eq!(shared.take_dirty_sorted(), owned.take_dirty_sorted());
     }
 
     #[test]

@@ -111,6 +111,8 @@ struct StreamObs {
     observer: Arc<crowdtz_obs::Observer>,
     /// `streaming.posts_ingested`: posts across all deltas.
     posts: crowdtz_obs::Counter,
+    /// `streaming.posts_retracted`: posts removed by signed deltas.
+    retracted: crowdtz_obs::Counter,
     /// `streaming.deltas`: ingested non-empty deltas.
     deltas: crowdtz_obs::Counter,
     /// `streaming.dirty`: dirty-set size entering the last refresh.
@@ -123,6 +125,7 @@ impl StreamObs {
     fn new(observer: Arc<crowdtz_obs::Observer>) -> StreamObs {
         StreamObs {
             posts: observer.counter("streaming.posts_ingested"),
+            retracted: observer.counter("streaming.posts_retracted"),
             deltas: observer.counter("streaming.deltas"),
             dirty: observer.gauge("streaming.dirty"),
             snapshots: observer.counter("streaming.snapshots"),
@@ -391,6 +394,92 @@ impl StreamingPipeline {
             .map(|(user, ts)| (user.as_str(), std::slice::from_ref(ts)))
             .collect();
         self.ingest_deltas(&deltas);
+    }
+
+    /// [`ingest_posts`](Self::ingest_posts) over borrowed user ids —
+    /// callers that already hold `&str` keys (the live monitor loop, the
+    /// HTTP service) need not allocate owned `String`s per observation.
+    pub fn ingest_posts_ref(&mut self, posts: &[(&str, Timestamp)]) {
+        let deltas: Vec<(&str, &[Timestamp])> = posts
+            .iter()
+            .map(|(user, ts)| (*user, std::slice::from_ref(ts)))
+            .collect();
+        self.ingest_deltas(&deltas);
+    }
+
+    /// Retracts posts for one user — the signed inverse of
+    /// [`ingest`](StreamingPipeline::ingest). The accumulator's slot
+    /// refcounts are decremented, slots reaching zero disappear (with
+    /// their hour-count contribution), and a user falling below the
+    /// activity threshold drops out of the analysis at the next refresh —
+    /// the snapshot afterwards is byte-identical to an engine that never
+    /// saw the retracted posts. Retracting posts the engine never saw is
+    /// a no-op, so retraction must be sequenced after the ingest that
+    /// delivered the posts (the windowed pipeline guarantees this).
+    pub fn retract(&mut self, user: &str, posts: &[Timestamp]) {
+        if posts.is_empty() {
+            return;
+        }
+        if let Some(obs) = &self.obs {
+            obs.retracted.add(posts.len() as u64);
+            obs.deltas.inc();
+        }
+        self.shards.retract(user, posts);
+    }
+
+    /// Retracts a batch of single-post observations — the signed inverse
+    /// of [`ingest_posts`](Self::ingest_posts), routed and applied the
+    /// same way.
+    pub fn retract_posts(&mut self, posts: &[(String, Timestamp)]) {
+        let deltas: Vec<(&str, &[Timestamp])> = posts
+            .iter()
+            .map(|(user, ts)| (user.as_str(), std::slice::from_ref(ts)))
+            .collect();
+        self.retract_deltas(&deltas);
+    }
+
+    /// [`retract_posts`](Self::retract_posts) over borrowed user ids.
+    pub fn retract_posts_ref(&mut self, posts: &[(&str, Timestamp)]) {
+        let deltas: Vec<(&str, &[Timestamp])> = posts
+            .iter()
+            .map(|(user, ts)| (*user, std::slice::from_ref(ts)))
+            .collect();
+        self.retract_deltas(&deltas);
+    }
+
+    /// Bulk signed path: mirror of [`ingest_deltas`](Self::ingest_deltas)
+    /// with the sign flipped.
+    pub(crate) fn retract_deltas(&mut self, deltas: &[(&str, &[Timestamp])]) {
+        if deltas.is_empty() {
+            return;
+        }
+        if let Some(obs) = &self.obs {
+            let posts: usize = deltas.iter().map(|(_, p)| p.len()).sum();
+            obs.retracted.add(posts as u64);
+            obs.deltas.add(deltas.len() as u64);
+        }
+        self.shards
+            .retract_batch(deltas, self.pipeline.effective_threads());
+    }
+
+    /// [`retract_deltas`](Self::retract_deltas) through a **shared**
+    /// reference — the concurrent engine's writer path, under the same
+    /// one-shard-at-a-time locking as
+    /// [`ingest_deltas_shared`](Self::ingest_deltas_shared).
+    pub(crate) fn retract_deltas_shared(
+        &self,
+        deltas: &[(&str, &[Timestamp])],
+        ingest_obs: Option<&SharedIngestObs>,
+    ) {
+        if deltas.is_empty() {
+            return;
+        }
+        if let Some(obs) = &self.obs {
+            let posts: usize = deltas.iter().map(|(_, p)| p.len()).sum();
+            obs.retracted.add(posts as u64);
+            obs.deltas.add(deltas.len() as u64);
+        }
+        self.shards.retract_batch_shared(deltas, ingest_obs);
     }
 
     /// Shared bulk-ingest path: count the batch once (totals are
@@ -938,6 +1027,82 @@ mod tests {
         assert_eq!(
             report_json(&batched.snapshot().unwrap()),
             report_json(&serial.snapshot().unwrap())
+        );
+    }
+
+    #[test]
+    fn retraction_snapshot_matches_engine_that_never_saw_the_posts() {
+        // Ingest A∪B, retract B: the snapshot must be byte-identical to
+        // an engine fed A alone — including users B pushed over the
+        // activity threshold who now drop back below it.
+        let traces = crowd("japan", 25, 31);
+        let all: Vec<&UserTrace> = traces.iter().collect();
+        let pipeline = GeolocationPipeline::default().min_posts(10).threads(2);
+        let mut stream = StreamingPipeline::new(pipeline.clone());
+        for t in &all {
+            stream.ingest_trace(t);
+        }
+        // B = the back half of every user's history.
+        for t in &all {
+            let posts = t.posts();
+            stream.retract(t.id(), &posts[posts.len() / 2..]);
+        }
+        let mut fresh = StreamingPipeline::new(pipeline);
+        for t in &all {
+            let posts = t.posts();
+            fresh.ingest(t.id(), &posts[..posts.len() / 2]);
+        }
+        assert_eq!(stream.posts_ingested(), fresh.posts_ingested());
+        assert_eq!(
+            report_json(&stream.snapshot().unwrap()),
+            report_json(&fresh.snapshot().unwrap())
+        );
+    }
+
+    #[test]
+    fn retraction_interleaves_with_snapshots() {
+        // Snapshot between ingest and retract: the intermediate refresh
+        // must not disturb the final identity.
+        let traces = crowd("brazil", 20, 33);
+        let pipeline = GeolocationPipeline::default().min_posts(5).threads(1);
+        let mut stream = StreamingPipeline::new(pipeline.clone());
+        stream.ingest_set(&traces);
+        stream.snapshot().unwrap();
+        let dropped: Vec<(String, Vec<Timestamp>)> = traces
+            .iter()
+            .take(10)
+            .map(|t| (t.id().to_owned(), t.posts().to_vec()))
+            .collect();
+        for (u, p) in &dropped {
+            stream.retract(u, p);
+        }
+        let mut fresh = StreamingPipeline::new(pipeline);
+        for t in traces.iter().skip(10) {
+            fresh.ingest_trace(t);
+        }
+        assert_eq!(
+            report_json(&stream.snapshot().unwrap()),
+            report_json(&fresh.snapshot().unwrap())
+        );
+    }
+
+    #[test]
+    fn borrowed_ingest_posts_matches_owned() {
+        let traces = crowd("france", 12, 35);
+        let owned: Vec<(String, Timestamp)> = traces
+            .iter()
+            .flat_map(|t| t.posts().iter().map(|&p| (t.id().to_owned(), p)))
+            .collect();
+        let borrowed: Vec<(&str, Timestamp)> =
+            owned.iter().map(|(u, p)| (u.as_str(), *p)).collect();
+        let pipeline = GeolocationPipeline::default().min_posts(5).threads(2);
+        let mut a = StreamingPipeline::new(pipeline.clone());
+        a.ingest_posts(&owned);
+        let mut b = StreamingPipeline::new(pipeline);
+        b.ingest_posts_ref(&borrowed);
+        assert_eq!(
+            report_json(&a.snapshot().unwrap()),
+            report_json(&b.snapshot().unwrap())
         );
     }
 

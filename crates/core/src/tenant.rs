@@ -26,6 +26,7 @@ use crate::concurrent::ConcurrentStreamingPipeline;
 use crate::error::CoreError;
 use crate::pipeline::GeolocationPipeline;
 use crate::placement::ZoneGrid;
+use crate::window::{WindowConfig, WindowedPipeline};
 
 /// Longest accepted tenant name. Names become directory components in
 /// durable mode, so the bound keeps paths portable.
@@ -61,6 +62,10 @@ pub struct TenantConfig {
     /// When set, the engine journals every batch under this directory
     /// and recovers warm from it on the next create.
     pub durable_dir: Option<PathBuf>,
+    /// When set, the tenant fronts its engine with a [`WindowedPipeline`]:
+    /// posts expire out of the analysis after the configured span and
+    /// every publish appends a drift-trajectory point.
+    pub window: Option<WindowConfig>,
 }
 
 impl Default for TenantConfig {
@@ -71,6 +76,7 @@ impl Default for TenantConfig {
             threads: 0,
             min_posts: GeolocationPipeline::default().min_posts_threshold(),
             durable_dir: None,
+            window: None,
         }
     }
 }
@@ -101,6 +107,7 @@ pub struct Tenant {
     name: String,
     config: TenantConfig,
     engine: ConcurrentStreamingPipeline,
+    window: Option<WindowedPipeline>,
 }
 
 impl Tenant {
@@ -123,6 +130,13 @@ impl Tenant {
     /// Whether this tenant journals to a durable store.
     pub fn is_durable(&self) -> bool {
         self.config.durable_dir.is_some()
+    }
+
+    /// The tenant's sliding-window front, when the config asked for one.
+    /// Windowed tenants should publish through it (so expiry and drift
+    /// tracking run) rather than through the raw engine.
+    pub fn window(&self) -> Option<&WindowedPipeline> {
+        self.window.as_ref()
     }
 }
 
@@ -212,15 +226,20 @@ impl TenantRegistry {
                 name: name.to_string(),
             });
         }
-        let pipeline = config.build_pipeline(observer);
+        let pipeline = config.build_pipeline(observer.clone());
         let engine = match &config.durable_dir {
             None => ConcurrentStreamingPipeline::new(pipeline),
             Some(dir) => ConcurrentStreamingPipeline::open_durable(pipeline, dir)?,
         };
+        let window = config
+            .window
+            .clone()
+            .map(|w| WindowedPipeline::new(engine.clone(), w, observer));
         let tenant = Arc::new(Tenant {
             name: name.to_string(),
             config,
             engine,
+            window,
         });
         tenants.insert(name.to_string(), Arc::clone(&tenant));
         Ok(tenant)

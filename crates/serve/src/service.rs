@@ -10,10 +10,11 @@
 //!
 //! | Method | Path | Meaning |
 //! |---|---|---|
-//! | `POST` | `/v1/tenants/{forum}` | create a tenant (JSON config body) |
+//! | `POST` | `/v1/tenants/{forum}` | create a tenant (JSON config body, optional `window` object) |
 //! | `POST` | `/v1/tenants/{forum}/ingest` | ingest delta batches, returns the writer watermark |
+//! | `POST` | `/v1/tenants/{forum}/retract` | retract previously ingested posts (same body shape) |
 //! | `GET`  | `/v1/tenants/{forum}/snapshot` | newest published report (`?publish=1` cuts a fresh one) |
-//! | `GET`  | `/v1/tenants/{forum}/drift` | zone-count histogram (`?nonzero=1`, `?top=N`, `?publish=1`) |
+//! | `GET`  | `/v1/tenants/{forum}/drift` | zone-count histogram (`?nonzero=1`, `?top=N`, `?publish=1`), or the longitudinal trajectory with `?trajectory=1` |
 //! | `GET`  | `/v1/tenants` | list tenants |
 //! | `GET`  | `/metrics` | Prometheus text exposition |
 //! | `GET`  | `/healthz` | liveness |
@@ -34,8 +35,8 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crowdtz_core::{
-    ConcurrentStreamingPipeline, CoreError, IngestWriter, PublishedReport, TenantConfig,
-    TenantError, TenantRegistry, ZoneGrid,
+    CoreError, IngestWriter, PublishedReport, Tenant, TenantConfig, TenantError, TenantRegistry,
+    WindowConfig, ZoneGrid,
 };
 use crowdtz_obs::{labeled, Counter, Gauge, Histogram, Observer};
 use crowdtz_time::Timestamp;
@@ -44,7 +45,7 @@ use crate::http::{Request, Response};
 
 /// Route labels, also the `route` label values on `serve.*` metrics.
 pub const ROUTES: &[&str] = &[
-    "create", "ingest", "snapshot", "drift", "tenants", "metrics", "healthz", "other",
+    "create", "ingest", "retract", "snapshot", "drift", "tenants", "metrics", "healthz", "other",
 ];
 
 /// Per-route latency bounds: 10µs … 10s.
@@ -228,6 +229,9 @@ impl AnalysisService {
             ("POST", ["v1", "tenants", name, "ingest"]) => {
                 (self.ingest(name, request, conn), "ingest")
             }
+            ("POST", ["v1", "tenants", name, "retract"]) => {
+                (self.retract(name, request, conn), "retract")
+            }
             ("GET" | "HEAD", ["v1", "tenants", name, "snapshot"]) => {
                 (self.snapshot(name, request), "snapshot")
             }
@@ -239,7 +243,9 @@ impl AnalysisService {
                 (method_not_allowed("GET"), "other")
             }
             (_, ["v1", "tenants", _]) => (method_not_allowed("POST"), "other"),
-            (_, ["v1", "tenants", _, "ingest"]) => (method_not_allowed("POST"), "other"),
+            (_, ["v1", "tenants", _, "ingest" | "retract"]) => {
+                (method_not_allowed("POST"), "other")
+            }
             (_, ["v1", "tenants", _, "snapshot" | "drift"]) => (method_not_allowed("GET"), "other"),
             _ => (
                 Response::error(404, &format!("no route for {}", request.path)),
@@ -310,6 +316,10 @@ impl AnalysisService {
                 Err(message) => return Response::error(400, &message),
             }
         }
+        match parse_window(&spec) {
+            Ok(window) => config.window = window,
+            Err(message) => return Response::error(400, &message),
+        }
         match field_of(&spec, "durable") {
             None => {}
             Some(serde_json::Value::Bool(false)) => {}
@@ -341,6 +351,7 @@ impl AnalysisService {
                     "shards": tenant.engine().shard_count(),
                     "min_posts": tenant.config().min_posts,
                     "durable": tenant.is_durable(),
+                    "windowed": tenant.window().is_some(),
                 }),
             ),
             Err(TenantError::InvalidName { name }) => {
@@ -376,12 +387,14 @@ impl AnalysisService {
             .writers
             .entry(name.to_string())
             .or_insert_with(|| tenant.engine().writer());
-        let borrowed: Vec<(&str, &[Timestamp])> = deltas
-            .iter()
-            .map(|(user, posts)| (user.as_str(), posts.as_slice()))
-            .collect();
-        let posts: usize = deltas.iter().map(|(_, p)| p.len()).sum();
-        if let Err(e) = writer.ingest_deltas(&borrowed) {
+        let flat = flatten_deltas(&deltas);
+        let result = match tenant.window() {
+            // Windowed tenants ingest-and-track in one call, so every
+            // post is queued for expiry the moment it is acknowledged.
+            Some(window) => window.ingest_posts(writer, &flat),
+            None => writer.ingest_posts_ref(&flat),
+        };
+        if let Err(e) = result {
             // Only the durable append can fail; the in-memory engine is
             // untouched, but this connection's journal is now suspect.
             return Response::error(500, &format!("write-ahead append failed: {e}")).closing();
@@ -392,16 +405,57 @@ impl AnalysisService {
                 "forum": name,
                 "watermark": writer.batches_applied(),
                 "users": deltas.len(),
-                "posts": posts,
+                "posts": flat.len(),
+            }),
+        )
+    }
+
+    /// `POST …/retract`: the signed inverse of ingest, same body shape.
+    /// On a windowed tenant the posts are also removed from the expiry
+    /// queue so they cannot be retracted a second time.
+    fn retract(&self, name: &str, request: &Request, conn: &mut ConnState) -> Response {
+        let Some(tenant) = self.registry.get(name) else {
+            return Response::error(404, &format!("unknown tenant {name:?}"));
+        };
+        let deltas = match parse_deltas(&request.body) {
+            Ok(deltas) => deltas,
+            Err(message) => return Response::error(400, &message),
+        };
+        let writer = conn
+            .writers
+            .entry(name.to_string())
+            .or_insert_with(|| tenant.engine().writer());
+        let flat = flatten_deltas(&deltas);
+        // On a windowed tenant only still-tracked posts are released
+        // (the count comes back); unwindowed retraction submits all.
+        let retracted = match tenant.window() {
+            Some(window) => window.retract_posts(writer, &flat),
+            None => writer.retract_posts_ref(&flat).map(|()| flat.len()),
+        };
+        let retracted = match retracted {
+            Ok(n) => n,
+            Err(e) => {
+                return Response::error(500, &format!("write-ahead append failed: {e}")).closing()
+            }
+        };
+        Response::json(
+            200,
+            &serde_json::json!({
+                "forum": name,
+                "watermark": writer.batches_applied(),
+                "users": deltas.len(),
+                "posts": retracted,
             }),
         )
     }
 
     /// Resolves the report to serve: the newest published cell read
-    /// (wait-free), or a fresh `publish` cut when `?publish=1`.
+    /// (wait-free), or a fresh `publish` cut when `?publish=1`. On a
+    /// windowed tenant the cut goes through the window front, so expiry
+    /// and the drift trajectory advance with it.
     fn published(
         &self,
-        engine: &ConcurrentStreamingPipeline,
+        tenant: &Tenant,
         request: &Request,
     ) -> Result<Arc<PublishedReport>, Response> {
         let publish = matches!(request.query_param("publish"), Some("1" | "true"));
@@ -412,7 +466,11 @@ impl AnalysisService {
                     .parse::<f64>()
                     .map_err(|_| Response::error(400, &format!("unparseable coverage {raw:?}")))?,
             };
-            engine.publish_with_coverage(coverage).map_err(|e| match e {
+            let cut = match tenant.window() {
+                Some(window) => window.publish_with_coverage(coverage),
+                None => tenant.engine().publish_with_coverage(coverage),
+            };
+            cut.map_err(|e| match e {
                 CoreError::EmptyCrowd => {
                     Response::error(409, "no users survive the filters yet; ingest more")
                 }
@@ -422,7 +480,7 @@ impl AnalysisService {
                 other => Response::error(500, &format!("publish failed: {other}")),
             })
         } else {
-            engine.snapshot().ok_or_else(|| {
+            tenant.engine().snapshot().ok_or_else(|| {
                 Response::error(
                     404,
                     "nothing published yet; POST more batches or GET ?publish=1",
@@ -435,7 +493,7 @@ impl AnalysisService {
         let Some(tenant) = self.registry.get(name) else {
             return Response::error(404, &format!("unknown tenant {name:?}"));
         };
-        let published = match self.published(tenant.engine(), request) {
+        let published = match self.published(&tenant, request) {
             Ok(published) => published,
             Err(response) => return response,
         };
@@ -465,6 +523,9 @@ impl AnalysisService {
         let Some(tenant) = self.registry.get(name) else {
             return Response::error(404, &format!("unknown tenant {name:?}"));
         };
+        if matches!(request.query_param("trajectory"), Some("1" | "true")) {
+            return self.drift_trajectory(&tenant, request);
+        }
         let top = match request.query_param("top") {
             None => None,
             Some(raw) => match raw.parse::<usize>() {
@@ -473,7 +534,7 @@ impl AnalysisService {
             },
         };
         let nonzero = matches!(request.query_param("nonzero"), Some("1" | "true"));
-        let published = match self.published(tenant.engine(), request) {
+        let published = match self.published(&tenant, request) {
             Ok(published) => published,
             Err(response) => return response,
         };
@@ -511,6 +572,60 @@ impl AnalysisService {
             }),
         )
     }
+
+    /// `GET …/drift?trajectory=1`: the longitudinal drift trajectory —
+    /// one row per publish, with the L1 shift, the change-point flag,
+    /// and the dominant zone. `?publish=1` cuts a fresh point first.
+    fn drift_trajectory(&self, tenant: &Tenant, request: &Request) -> Response {
+        let Some(window) = tenant.window() else {
+            return Response::error(
+                400,
+                &format!(
+                    "tenant {:?} has no window config; create it with a \"window\" object",
+                    tenant.name()
+                ),
+            );
+        };
+        if matches!(request.query_param("publish"), Some("1" | "true")) {
+            if let Err(response) = self.published(tenant, request) {
+                return response;
+            }
+        }
+        let grid = tenant.config().grid;
+        let points = window.trajectory();
+        let changepoints = points.iter().filter(|p| p.is_changepoint()).count();
+        let rows: Vec<serde_json::Value> = points
+            .iter()
+            .map(|p| {
+                let (dominant_offset, dominant_fraction) = match p.dominant() {
+                    Some((zone, fraction)) => (
+                        serde_json::json!(grid.minutes_of(zone)),
+                        serde_json::json!(fraction),
+                    ),
+                    None => (serde_json::Value::Null, serde_json::Value::Null),
+                };
+                serde_json::json!({
+                    "epoch": p.epoch(),
+                    "bucket": p.bucket(),
+                    "shift": p.shift(),
+                    "changepoint": p.is_changepoint(),
+                    "dominant_offset_minutes": dominant_offset,
+                    "dominant_fraction": dominant_fraction,
+                })
+            })
+            .collect();
+        Response::json(
+            200,
+            &serde_json::json!({
+                "forum": tenant.name(),
+                "grid": grid.zones(),
+                "bucket_secs": window.config().bucket_secs,
+                "window_buckets": window.config().window_buckets,
+                "changepoints": changepoints,
+                "trajectory": rows,
+            }),
+        )
+    }
 }
 
 fn method_not_allowed(allow: &str) -> Response {
@@ -542,6 +657,57 @@ fn parse_usize(spec: &serde_json::Value, field: &str) -> Result<Option<usize>, S
             )),
         },
     }
+}
+
+/// Flattens grouped deltas into the `(user, timestamp)` pairs the
+/// borrowed ingest/retract variants take.
+fn flatten_deltas(deltas: &[(String, Vec<Timestamp>)]) -> Vec<(&str, Timestamp)> {
+    deltas
+        .iter()
+        .flat_map(|(user, posts)| posts.iter().map(move |ts| (user.as_str(), *ts)))
+        .collect()
+}
+
+/// `window` is an optional object: `{"bucket_secs": n, "window_buckets":
+/// n, "drift_threshold": x, "drift_history": n}`, each field defaulting
+/// to [`WindowConfig::default`].
+fn parse_window(spec: &serde_json::Value) -> Result<Option<WindowConfig>, String> {
+    let Some(value) = field_of(spec, "window") else {
+        return Ok(None);
+    };
+    if !matches!(value, serde_json::Value::Object(_)) {
+        return Err(format!("window must be an object, got {}", value.kind()));
+    }
+    let mut config = WindowConfig::default();
+    if let Some(raw) = field_of(value, "bucket_secs") {
+        config.bucket_secs = raw
+            .as_i64()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| "window.bucket_secs must be a positive integer".to_string())?;
+    }
+    if let Some(raw) = field_of(value, "window_buckets") {
+        let n = raw
+            .as_u64()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| "window.window_buckets must be a positive integer".to_string())?;
+        config.window_buckets =
+            usize::try_from(n).map_err(|_| format!("window.window_buckets {n} is out of range"))?;
+    }
+    if let Some(raw) = field_of(value, "drift_threshold") {
+        config.drift_threshold = raw
+            .as_f64()
+            .filter(|x| x.is_finite() && *x >= 0.0)
+            .ok_or_else(|| "window.drift_threshold must be a non-negative number".to_string())?;
+    }
+    if let Some(raw) = field_of(value, "drift_history") {
+        let n = raw
+            .as_u64()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| "window.drift_history must be a positive integer".to_string())?;
+        config.drift_history =
+            usize::try_from(n).map_err(|_| format!("window.drift_history {n} is out of range"))?;
+    }
+    Ok(Some(config))
 }
 
 /// `grid` accepts the zone count (24/48/96) or the `CROWDTZ_GRID`-style
@@ -710,6 +876,95 @@ mod tests {
     }
 
     #[test]
+    fn windowed_tenant_expires_old_posts_and_reports_the_trajectory() {
+        let service = service();
+        let mut conn = ConnState::default();
+        let (created, route) = service.handle(
+            &request(
+                "POST",
+                "/v1/tenants/w",
+                br#"{"min_posts": 1, "threads": 1, "window": {"bucket_secs": 86400, "window_buckets": 2, "drift_threshold": 0.5, "drift_history": 2}}"#,
+            ),
+            &mut conn,
+        );
+        assert_eq!((created.status, route), (201, "create"));
+        let created: serde_json::Value = serde_json::from_slice(&created.body).unwrap();
+        assert_eq!(
+            created.field("windowed").unwrap(),
+            &serde_json::Value::Bool(true)
+        );
+
+        // Bucket 0: a night-owl user; publish point one.
+        let (r, _) = service.handle(
+            &request(
+                "POST",
+                "/v1/tenants/w/ingest",
+                br#"{"deltas":[{"user":"old","posts":[72000]}]}"#,
+            ),
+            &mut conn,
+        );
+        assert_eq!(r.status, 200);
+        let (r, _) = service.handle(
+            &request("GET", "/v1/tenants/w/snapshot?publish=1", b""),
+            &mut conn,
+        );
+        assert_eq!(r.status, 200);
+
+        // Buckets 4 and 5: a morning user. Publishing now expires bucket
+        // 0 (cutoff = 5 − 2 + 1 = 4), so only "new" survives — a full
+        // composition shift, which the tracker must flag.
+        let (r, _) = service.handle(
+            &request(
+                "POST",
+                "/v1/tenants/w/ingest",
+                br#"{"deltas":[{"user":"new","posts":[378000, 464400]}]}"#,
+            ),
+            &mut conn,
+        );
+        assert_eq!(r.status, 200);
+        let (r, _) = service.handle(
+            &request("GET", "/v1/tenants/w/snapshot?publish=1", b""),
+            &mut conn,
+        );
+        assert_eq!(r.status, 200);
+        let report: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        let users = report.field("histogram").unwrap().field("users").unwrap();
+        assert_eq!(users.as_u64(), Some(1), "expired user must be gone");
+
+        // Explicit retraction over the same wire shape.
+        let (r, route) = service.handle(
+            &request(
+                "POST",
+                "/v1/tenants/w/retract",
+                br#"{"deltas":[{"user":"new","posts":[464400]}]}"#,
+            ),
+            &mut conn,
+        );
+        assert_eq!((r.status, route), (200, "retract"));
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(body.field("posts").unwrap().as_u64(), Some(1));
+
+        let (r, _) = service.handle(
+            &request("GET", "/v1/tenants/w/drift?trajectory=1", b""),
+            &mut conn,
+        );
+        assert_eq!(r.status, 200);
+        let body: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(body.field("window_buckets").unwrap().as_u64(), Some(2));
+        assert_eq!(body.field("changepoints").unwrap().as_u64(), Some(1));
+        let serde_json::Value::Array(points) = body.field("trajectory").unwrap() else {
+            panic!("trajectory must be an array");
+        };
+        assert_eq!(points.len(), 2);
+        assert_eq!(
+            points[1].field("changepoint").unwrap(),
+            &serde_json::Value::Bool(true),
+            "full composition shift must be flagged"
+        );
+        assert!(points[1].field("shift").unwrap().as_f64().unwrap() > 0.5);
+    }
+
+    #[test]
     fn bad_inputs_map_to_4xx_not_panics() {
         let service = service();
         let mut conn = ConnState::default();
@@ -723,7 +978,29 @@ mod tests {
             ("POST", "/v1/tenants/beta", br#"{"grid": 25}"#, 400),
             ("POST", "/v1/tenants/beta", br#"{"shards": -4}"#, 400),
             ("POST", "/v1/tenants/beta", br#"{"durable": true}"#, 503),
+            ("POST", "/v1/tenants/beta", br#"{"window": 5}"#, 400),
+            (
+                "POST",
+                "/v1/tenants/beta",
+                br#"{"window": {"bucket_secs": 0}}"#,
+                400,
+            ),
+            (
+                "POST",
+                "/v1/tenants/beta",
+                br#"{"window": {"drift_threshold": "hot"}}"#,
+                400,
+            ),
             ("POST", "/v1/tenants/ghost/ingest", br#"{"deltas":[]}"#, 404),
+            (
+                "POST",
+                "/v1/tenants/ghost/retract",
+                br#"{"deltas":[]}"#,
+                404,
+            ),
+            ("POST", "/v1/tenants/alpha/retract", b"not json", 400),
+            ("GET", "/v1/tenants/alpha/drift?trajectory=1", b"", 400),
+            ("GET", "/v1/tenants/alpha/retract", b"", 405),
             ("POST", "/v1/tenants/alpha/ingest", b"not json", 400),
             ("POST", "/v1/tenants/alpha/ingest", br#"{"deltas": 7}"#, 400),
             (

@@ -38,6 +38,7 @@
 mod bots;
 mod chronotype;
 mod diurnal;
+mod migration;
 mod population;
 mod sampling;
 mod twitter;
@@ -45,6 +46,7 @@ mod twitter;
 pub use bots::{generate_bot, generate_shift_worker, BotSpec, ShiftWorkerSpec};
 pub use chronotype::Chronotype;
 pub use diurnal::DiurnalModel;
+pub use migration::MigrationSpec;
 pub use population::PopulationSpec;
 pub use sampling::{normal, poisson, sample_discrete};
 pub use twitter::{TwitterDataset, TwitterDatasetBuilder};

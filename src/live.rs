@@ -116,7 +116,14 @@ pub fn run_concurrent(
                     let mut ingest_err: Option<CoreError> = None;
                     monitor.run_batched(from, to, interval_secs, |batch| {
                         if ingest_err.is_none() {
-                            if let Err(e) = writer.ingest_posts(batch) {
+                            // The borrowed variant hands the engine
+                            // `&str` views of the poll buffer instead of
+                            // cloning every author name per batch.
+                            let refs: Vec<(&str, Timestamp)> = batch
+                                .iter()
+                                .map(|(user, ts)| (user.as_str(), *ts))
+                                .collect();
+                            if let Err(e) = writer.ingest_posts_ref(&refs) {
                                 ingest_err = Some(e);
                             }
                         }
@@ -170,7 +177,13 @@ pub fn serve_monitors(
         .create(forum, tenant, Some(observer))
         .map_err(LiveError::Tenant)?;
     run_concurrent(tenant.engine(), monitors, from, to, interval_secs)?;
-    match tenant.engine().publish() {
+    // Windowed tenants publish through the window front so the crawl's
+    // first cut already expires stale buckets and seeds the trajectory.
+    let cut = match tenant.window() {
+        Some(window) => window.publish(),
+        None => tenant.engine().publish(),
+    };
+    match cut {
         Ok(_) | Err(CoreError::EmptyCrowd | CoreError::InsufficientActivity { .. }) => Ok(handle),
         Err(e) => Err(LiveError::Core(e)),
     }

@@ -272,6 +272,178 @@ fn four_clients_durable_tenants() {
     exercise(4, true, "4c-durable");
 }
 
+/// A windowed tenant over a real socket (ISSUE 10): ingest a migrating
+/// crowd round by round, retract over HTTP, publish through the sliding
+/// window, and read the drift trajectory back — the snapshot bytes pin
+/// against an in-process [`WindowedPipeline`] driven identically, and
+/// the trajectory flags the migration within one bucket of the truth.
+#[test]
+fn windowed_tenant_tracks_a_migration_over_the_wire() {
+    use crowdtz::core::{WindowConfig, WindowedPipeline};
+    use crowdtz::synth::MigrationSpec;
+    use crowdtz::time::RegionDb;
+
+    let db = RegionDb::extended();
+    let spec = MigrationSpec::new(
+        db.get(&"new-york".into()).unwrap().clone(),
+        db.get(&"china".into()).unwrap().clone(),
+    )
+    .users(24)
+    .rounds(8)
+    .switch_round(4)
+    .round_days(7)
+    .seed(11)
+    .posts_per_day(3.0);
+
+    // The last round's posts by the first user — retracted over HTTP
+    // before the final publish, and from the reference identically.
+    let retract: Vec<(String, Vec<Timestamp>)> = {
+        let posts: Vec<Timestamp> = spec
+            .round_posts(spec.round_count() - 1)
+            .into_iter()
+            .filter(|(user, _)| user == "mig-u0")
+            .map(|(_, ts)| ts)
+            .collect();
+        assert!(!posts.is_empty(), "fixture user posted in the last round");
+        vec![("mig-u0".to_owned(), posts)]
+    };
+    let grouped = |round: usize| -> Vec<(String, Vec<Timestamp>)> {
+        let mut by_user: Vec<(String, Vec<Timestamp>)> = Vec::new();
+        for (user, ts) in spec.round_posts(round) {
+            match by_user.iter_mut().find(|(u, _)| *u == user) {
+                Some((_, posts)) => posts.push(ts),
+                None => by_user.push((user, vec![ts])),
+            }
+        }
+        by_user
+    };
+
+    let handle = start_server(None);
+    let mut client = HttpClient::connect(handle.addr()).expect("connect");
+    let created = client
+        .post_json(
+            "/v1/tenants/migrating-market",
+            &json!({
+                "min_posts": 1,
+                "threads": 2,
+                "window": json!({
+                    "bucket_secs": spec.round_secs(),
+                    "window_buckets": 2,
+                    "drift_threshold": 1.2,
+                    "drift_history": 3,
+                }),
+            }),
+        )
+        .expect("create windowed tenant");
+    assert_eq!(created.status, 201);
+    assert_eq!(
+        created.json().unwrap().field("windowed").unwrap(),
+        &json!(true),
+        "creation reports the window"
+    );
+
+    // The in-process twin, driven through the same sequence of calls.
+    let reference = WindowedPipeline::new(
+        ConcurrentStreamingPipeline::new(GeolocationPipeline::default().min_posts(1).threads(2)),
+        WindowConfig {
+            bucket_secs: spec.round_secs(),
+            window_buckets: 2,
+            drift_threshold: 1.2,
+            drift_history: 3,
+        },
+        None,
+    );
+    let ref_writer = reference.engine().writer();
+
+    let mut last_http_body = Vec::new();
+    for round in 0..spec.round_count() {
+        let batch = grouped(round);
+        let response = client
+            .post_json("/v1/tenants/migrating-market/ingest", &batch_body(&batch))
+            .expect("ingest round");
+        assert_eq!(response.status, 200, "ingest round {round}");
+        let flat: Vec<(&str, Timestamp)> = batch
+            .iter()
+            .flat_map(|(user, posts)| posts.iter().map(move |&ts| (user.as_str(), ts)))
+            .collect();
+        reference.ingest_posts(&ref_writer, &flat).unwrap();
+
+        if round == spec.round_count() - 1 {
+            let retracted = client
+                .post_json(
+                    "/v1/tenants/migrating-market/retract",
+                    &batch_body(&retract),
+                )
+                .expect("retract over the wire");
+            assert_eq!(retracted.status, 200);
+            assert_eq!(
+                retracted
+                    .json()
+                    .unwrap()
+                    .field("posts")
+                    .unwrap()
+                    .as_u64()
+                    .unwrap(),
+                retract[0].1.len() as u64,
+                "every retraction target was live"
+            );
+            let flat: Vec<(&str, Timestamp)> = retract
+                .iter()
+                .flat_map(|(user, posts)| posts.iter().map(move |&ts| (user.as_str(), ts)))
+                .collect();
+            reference.retract_posts(&ref_writer, &flat).unwrap();
+        }
+
+        let published = client
+            .get("/v1/tenants/migrating-market/snapshot?publish=1")
+            .expect("publish round");
+        assert_eq!(published.status, 200, "publish round {round}");
+        last_http_body = published.body;
+        reference.publish().unwrap();
+    }
+    assert_eq!(
+        last_http_body,
+        serde_json::to_vec(reference.engine().snapshot().unwrap().report()).unwrap(),
+        "windowed snapshot over the wire diverged from the in-process twin"
+    );
+
+    let drift = client
+        .get("/v1/tenants/migrating-market/drift?trajectory=1")
+        .expect("drift trajectory");
+    assert_eq!(drift.status, 200);
+    let body = drift.json().expect("trajectory body");
+    assert_eq!(
+        body.field("window_buckets").unwrap().as_u64().unwrap(),
+        2,
+        "window config echoed"
+    );
+    assert!(
+        body.field("changepoints").unwrap().as_u64().unwrap() >= 1,
+        "the migration must be flagged"
+    );
+    let rows = match body.field("trajectory").unwrap() {
+        serde_json::Value::Array(rows) => rows,
+        other => panic!("trajectory must be an array, got {other:?}"),
+    };
+    assert_eq!(rows.len(), spec.round_count(), "one point per publish");
+    let truth = spec
+        .round_start(spec.ground_truth_round())
+        .days_since_epoch()
+        * 86_400
+        / spec.round_secs();
+    let first_flagged = rows
+        .iter()
+        .find(|row| row.field("changepoint").unwrap() == &json!(true))
+        .expect("a flagged trajectory row");
+    let bucket = first_flagged.field("bucket").unwrap().as_i64().unwrap();
+    assert!(
+        (bucket - truth).abs() <= 1,
+        "wire trajectory flagged bucket {bucket}, switch at {truth}"
+    );
+    drop(client);
+    handle.shutdown().expect("shutdown");
+}
+
 /// A durable tenant warm-restarts: shut the server down, start a new
 /// one over the same root, re-create the tenant, and the recovered
 /// engine publishes the same bytes without any re-ingest.

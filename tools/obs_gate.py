@@ -48,12 +48,20 @@ published-snapshot GETs at any client count — dropped more than
 ``THRESHOLD``x. Clamp-aware with the same symmetric rule: client counts
 above ``min(base host_cpus, current host_cpus)`` are skipped.
 
+With the optional window pair (``--window base.json current.json``, the
+bench bin's ``BENCH_window.json``), additionally fails when any of the
+signed-delta throughputs (plain ingest, windowed ingest, retraction
+posts/sec) dropped more than ``THRESHOLD``x, or when the
+bucket-expiring publish got slower by the same factor (skipped while
+both runs are under ``MIN_STORE_SECS``, where it is allocator noise).
+
 Usage: ``obs_gate.py baseline.json current.json``
        ``obs_gate.py baseline.json current.json base_durability.json current_durability.json``
        ``obs_gate.py ... --placement base_placement.json current_placement.json``
        ``obs_gate.py ... --sharding base_sharding.json current_sharding.json``
        ``obs_gate.py ... --ingest base_ingest.json current_ingest.json``
        ``obs_gate.py ... --serve base_serve.json current_serve.json``
+       ``obs_gate.py ... --window base_window.json current_window.json``
 
 Wall times are noisy on shared CI runners, so stages where *both* runs
 spent less than ``MIN_STAGE_NS`` are ignored, and the exact-evals check
@@ -216,6 +224,42 @@ def check_serve(base, cur, failures):
     return checked
 
 
+WINDOW_THROUGHPUT_KEYS = (
+    "plain_ingest_posts_per_sec",
+    "windowed_ingest_posts_per_sec",
+    "retract_posts_per_sec",
+)
+
+
+def check_window(base, cur, failures):
+    """Gate BENCH_window.json: signed-delta throughputs must stay within
+    THRESHOLD of the baseline, and the bucket-expiring publish must not
+    get THRESHOLDx slower. Missing keys on either side (older bench
+    layouts) are skipped. Returns comparisons made."""
+    checked = 0
+    for key in WINDOW_THROUGHPUT_KEYS:
+        prev, now = base.get(key), cur.get(key)
+        if prev is None or now is None or prev <= 0 or now <= 0:
+            continue
+        checked += 1
+        ratio = prev / now
+        if ratio > THRESHOLD:
+            failures.append(
+                f"window {key}: {prev:,.0f} posts/s -> {now:,.0f} posts/s "
+                f"({ratio:.2f}x slower)"
+            )
+    prev_s, now_s = base.get("publish_expiry_secs"), cur.get("publish_expiry_secs")
+    if prev_s is not None and now_s is not None and max(prev_s, now_s) >= MIN_STORE_SECS:
+        checked += 1
+        ratio = now_s / max(prev_s, 1e-12)
+        if ratio > THRESHOLD:
+            failures.append(
+                f"window publish_expiry_secs: {prev_s * 1e3:.1f} ms -> "
+                f"{now_s * 1e3:.1f} ms ({ratio:.2f}x)"
+            )
+    return checked
+
+
 def pop_pair(argv, flag):
     """Extract ``flag base cur`` from argv; returns (pair or None, argv)."""
     if flag not in argv:
@@ -234,6 +278,7 @@ def main() -> int:
     sharding_pair, argv = pop_pair(argv, "--sharding")
     ingest_pair, argv = pop_pair(argv, "--ingest")
     serve_pair, argv = pop_pair(argv, "--serve")
+    window_pair, argv = pop_pair(argv, "--window")
     if len(argv) not in (2, 4):
         print(__doc__.strip(), file=sys.stderr)
         return 2
@@ -250,6 +295,7 @@ def main() -> int:
         (sharding_pair, check_sharding),
         (ingest_pair, check_ingest),
         (serve_pair, check_serve),
+        (window_pair, check_window),
     ):
         if pair is None:
             continue
